@@ -1,0 +1,289 @@
+// Benchmarks regenerating every figure of the paper's evaluation at CI
+// scale (shapes, not absolute numbers — see EXPERIMENTS.md), plus
+// microbenchmarks of the individual operations. Full paper-scale sweeps are
+// produced by cmd/poccbench.
+package occ_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	occ "repro"
+	"repro/internal/harness"
+)
+
+// benchScale is CIScale with windows small enough for the bench suite to
+// finish in a couple of minutes.
+func benchScale() harness.Scale {
+	sc := harness.CIScale()
+	sc.Warmup = 150 * time.Millisecond
+	sc.Measure = 500 * time.Millisecond
+	return sc
+}
+
+func reportPoint(b *testing.B, label string, p harness.Point) {
+	b.ReportMetric(p.Throughput, label+"_ops/s")
+	b.ReportMetric(float64(p.MeanResp)/float64(time.Millisecond), label+"_resp_ms")
+}
+
+// BenchmarkFig1aScalability — Fig. 1a: throughput vs number of partitions,
+// GET:PUT = p:1, POCC vs Cure*.
+func BenchmarkFig1aScalability(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Fig1a(context.Background(), sc, []int{2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 2 {
+			b.Fatalf("rows = %d", len(tab.Rows))
+		}
+	}
+}
+
+// BenchmarkFig1bResponseTime — Fig. 1b: response time vs throughput under a
+// 32:1 GET:PUT workload (one moderate-load point per system).
+func BenchmarkFig1bResponseTime(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := harness.GetPutSweep(context.Background(), sc, []int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPoint(b, "cure", points[0][0])
+		reportPoint(b, "pocc", points[0][1])
+	}
+}
+
+// BenchmarkFig1cWriteIntensity — Fig. 1c: throughput vs GET:PUT ratio.
+func BenchmarkFig1cWriteIntensity(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Fig1c(context.Background(), sc, []int{8, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 2 {
+			b.Fatalf("rows = %d", len(tab.Rows))
+		}
+	}
+}
+
+// BenchmarkFig2aBlocking — Fig. 2a: POCC blocking probability and blocking
+// time under load.
+func BenchmarkFig2aBlocking(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := harness.GetPutSweep(context.Background(), sc, []int{32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pocc := points[0][1]
+		b.ReportMetric(pocc.BlockProb, "block_prob")
+		b.ReportMetric(float64(pocc.MeanBlock)/float64(time.Millisecond), "block_ms")
+	}
+}
+
+// BenchmarkFig2bStaleness — Fig. 2b: Cure* staleness under load.
+func BenchmarkFig2bStaleness(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := harness.GetPutSweep(context.Background(), sc, []int{32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cure := points[0][0]
+		b.ReportMetric(cure.GetStale.PercentOld(), "pct_old")
+		b.ReportMetric(cure.GetStale.PercentUnmerged(), "pct_unmerged")
+	}
+}
+
+// BenchmarkFig3aTxScalability — Fig. 3a: throughput vs partitions contacted
+// per RO-TX.
+func BenchmarkFig3aTxScalability(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Fig3a(context.Background(), sc, []int{1, sc.Partitions})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 2 {
+			b.Fatalf("rows = %d", len(tab.Rows))
+		}
+	}
+}
+
+// BenchmarkFig3bTxLoad — Fig. 3b: throughput and RO-TX response time vs
+// clients per partition.
+func BenchmarkFig3bTxLoad(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := harness.TxSweep(context.Background(), sc, []int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cure, pocc := points[0][0], points[0][1]
+		b.ReportMetric(cure.Throughput, "cure_ops/s")
+		b.ReportMetric(pocc.Throughput, "pocc_ops/s")
+		b.ReportMetric(float64(pocc.TxResp)/float64(time.Millisecond), "pocc_tx_ms")
+	}
+}
+
+// BenchmarkFig3cTxBlocking — Fig. 3c: POCC blocking under the transactional
+// workload.
+func BenchmarkFig3cTxBlocking(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := harness.TxSweep(context.Background(), sc, []int{32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pocc := points[0][1]
+		b.ReportMetric(pocc.BlockProb, "block_prob")
+		b.ReportMetric(float64(pocc.MeanBlock)/float64(time.Millisecond), "block_ms")
+	}
+}
+
+// BenchmarkFig3dTxStaleness — Fig. 3d: staleness of transactional reads,
+// POCC vs Cure*.
+func BenchmarkFig3dTxStaleness(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := harness.TxSweep(context.Background(), sc, []int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cure, pocc := points[0][0], points[0][1]
+		b.ReportMetric(cure.TxStale.PercentOld(), "cure_pct_old")
+		b.ReportMetric(pocc.TxStale.PercentOld(), "pocc_pct_old")
+	}
+}
+
+// BenchmarkAblationStabilizationInterval — Cure*'s throughput/staleness
+// trade-off over the stabilization interval (§V-B discussion).
+func BenchmarkAblationStabilizationInterval(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationStabilization(context.Background(), sc,
+			[]time.Duration{2 * time.Millisecond, 20 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHeartbeatInterval — POCC blocking time vs heartbeat Δ.
+func BenchmarkAblationHeartbeatInterval(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationHeartbeat(context.Background(), sc,
+			[]time.Duration{time.Millisecond, 10 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationClockSkew — PUT clock-wait cost vs emulated NTP skew.
+func BenchmarkAblationClockSkew(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationClockSkew(context.Background(), sc,
+			[]time.Duration{0, 2 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThinkTime — blocking probability vs client think time.
+func BenchmarkAblationThinkTime(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationThinkTime(context.Background(), sc,
+			[]time.Duration{200 * time.Microsecond, 2 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionRecovery — the paper's future-work experiment: per-phase
+// availability across a network partition for all three engines.
+func BenchmarkPartitionRecovery(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.PartitionExperiment(context.Background(), sc, 200*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 9 {
+			b.Fatalf("rows = %d", len(tab.Rows))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Operation microbenchmarks
+// ---------------------------------------------------------------------------
+
+func benchStore(b *testing.B, engine occ.Engine) (*occ.Store, *occ.Session) {
+	b.Helper()
+	s, err := occ.Open(occ.Config{
+		DataCenters: 3, Partitions: 4, Engine: engine,
+		Latency: occ.UniformProfile(20*time.Microsecond, 500*time.Microsecond),
+		Seed:    99,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	for i := 0; i < 64; i++ {
+		s.Seed("bench-k"+strconv.Itoa(i), []byte("00000000"))
+	}
+	sess, err := s.Session(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, sess
+}
+
+func BenchmarkGetPOCC(b *testing.B) {
+	_, sess := benchStore(b, occ.POCC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Get("bench-k" + strconv.Itoa(i%64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetCureStar(b *testing.B) {
+	_, sess := benchStore(b, occ.CureStar)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Get("bench-k" + strconv.Itoa(i%64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutPOCC(b *testing.B) {
+	_, sess := benchStore(b, occ.POCC)
+	val := []byte("abcdefgh")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Put("bench-k"+strconv.Itoa(i%64), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkROTxPOCC(b *testing.B) {
+	_, sess := benchStore(b, occ.POCC)
+	keys := []string{"bench-k1", "bench-k2", "bench-k3", "bench-k4"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.ROTx(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

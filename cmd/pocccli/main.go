@@ -1,0 +1,70 @@
+// Command pocccli is a line client for a pocckv server: it connects to one
+// data center's port and forwards commands, printing replies.
+//
+//	pocccli -addr 127.0.0.1:7070
+//	> put user:1 ada
+//	OK
+//	> get user:1
+//	VALUE ada
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7070", "pocckv data-center address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() { _ = conn.Close() }()
+	fmt.Printf("connected to %s\n", *addr)
+
+	serverReader := bufio.NewReader(conn)
+	stdin := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !stdin.Scan() {
+			fmt.Println()
+			return 0
+		}
+		line := strings.TrimSpace(stdin.Text())
+		if line == "" {
+			continue
+		}
+		if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		upper := strings.ToUpper(line)
+		multiline := strings.HasPrefix(upper, "TX ")
+		for {
+			resp, err := serverReader.ReadString('\n')
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "connection closed")
+				return 0
+			}
+			resp = strings.TrimRight(resp, "\n")
+			fmt.Println(resp)
+			if !multiline || resp == "TXEND" || strings.HasPrefix(resp, "ERR") {
+				break
+			}
+		}
+		if upper == "QUIT" {
+			return 0
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command pocckv runs a geo-replicated causal key-value store and serves it
+// over TCP, one port per data center. Clients connect to "their" data
+// center's port and speak the line protocol documented in
+// internal/kvserver (PUT/GET/TX/STATS — try it with telnet or cmd/pocccli).
+//
+//	pocckv -engine pocc -dcs 3 -partitions 8 -port 7070
+//
+// binds ports 7070 (DC0), 7071 (DC1) and 7072 (DC2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	occ "repro"
+	"repro/internal/kvserver"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		engineFlag = flag.String("engine", "pocc", "pocc, cure or hapocc")
+		dcs        = flag.Int("dcs", 3, "number of data centers")
+		partitions = flag.Int("partitions", 8, "partitions per data center")
+		host       = flag.String("host", "127.0.0.1", "listen host")
+		port       = flag.Int("port", 7070, "base port (one per DC)")
+		latency    = flag.Float64("latency", 1.0, "AWS latency scale (1.0 = real geo delays)")
+		tcp        = flag.Bool("internal-tcp", false, "run inter-node traffic over loopback TCP too")
+	)
+	flag.Parse()
+
+	var engine occ.Engine
+	switch strings.ToLower(*engineFlag) {
+	case "pocc":
+		engine = occ.POCC
+	case "cure", "cure*", "curestar":
+		engine = occ.CureStar
+	case "hapocc", "ha-pocc":
+		engine = occ.HAPOCC
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineFlag)
+		return 2
+	}
+
+	cfg := occ.Config{
+		DataCenters: *dcs,
+		Partitions:  *partitions,
+		Engine:      engine,
+		Seed:        uint64(time.Now().UnixNano()),
+		TCP:         *tcp,
+	}
+	if !*tcp {
+		cfg.Latency = occ.AWSProfile(*latency)
+	}
+	store, err := occ.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer store.Close()
+
+	srv, err := kvserver.Serve(store, *host, *port)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer srv.Close()
+
+	for dc := 0; dc < *dcs; dc++ {
+		fmt.Printf("dc%d listening on %s\n", dc, srv.Addr(dc))
+	}
+	fmt.Printf("engine=%s partitions=%d (Ctrl-C to stop)\n", engine, *partitions)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+	return 0
+}

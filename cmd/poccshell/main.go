@@ -1,0 +1,265 @@
+// Command poccshell is an interactive shell over a POCC deployment: it
+// opens an in-process multi-DC store and lets you issue GETs, PUTs and
+// read-only transactions from sessions in different data centers, inject
+// and heal network partitions, and inspect statistics — a hands-on tour of
+// optimistic causal consistency.
+//
+// Usage:
+//
+//	poccshell [-engine pocc|cure|hapocc] [-dcs 3] [-partitions 4]
+//
+// Then type "help".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	occ "repro"
+)
+
+func main() {
+	var (
+		engineFlag = flag.String("engine", "pocc", "pocc, cure or hapocc")
+		dcs        = flag.Int("dcs", 3, "number of data centers")
+		partitions = flag.Int("partitions", 4, "partitions per data center")
+		latency    = flag.Float64("latency", 0.05, "AWS latency scale (1.0 = real)")
+	)
+	flag.Parse()
+
+	engine, err := parseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	store, err := occ.Open(occ.Config{
+		DataCenters: *dcs,
+		Partitions:  *partitions,
+		Engine:      engine,
+		Latency:     occ.AWSProfile(*latency),
+		Seed:        uint64(time.Now().UnixNano()),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	fmt.Printf("opened %s store: %d DCs × %d partitions (type \"help\")\n",
+		engine, *dcs, *partitions)
+	sh, err := newShell(store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := sh.repl(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseEngine(s string) (occ.Engine, error) {
+	switch strings.ToLower(s) {
+	case "pocc":
+		return occ.POCC, nil
+	case "cure", "cure*", "curestar":
+		return occ.CureStar, nil
+	case "hapocc", "ha-pocc":
+		return occ.HAPOCC, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want pocc, cure or hapocc)", s)
+	}
+}
+
+// shell holds the REPL state: one session per data center, one current DC.
+type shell struct {
+	store    *occ.Store
+	sessions []*occ.Session
+	dc       int
+}
+
+func newShell(store *occ.Store) (*shell, error) {
+	sh := &shell{store: store}
+	for dc := 0; dc < store.DataCenters(); dc++ {
+		s, err := store.Session(dc)
+		if err != nil {
+			return nil, err
+		}
+		sh.sessions = append(sh.sessions, s)
+	}
+	return sh, nil
+}
+
+func (sh *shell) repl(in io.Reader, out io.Writer) error {
+	scanner := bufio.NewScanner(in)
+	for {
+		fmt.Fprintf(out, "dc%d> ", sh.dc)
+		if !scanner.Scan() {
+			fmt.Fprintln(out)
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		sh.exec(out, line)
+	}
+}
+
+// exec runs one command line.
+func (sh *shell) exec(out io.Writer, line string) {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Fprint(out, helpText)
+	case "dc":
+		sh.cmdDC(out, args)
+	case "put":
+		sh.cmdPut(out, args)
+	case "get":
+		sh.cmdGet(out, args)
+	case "tx":
+		sh.cmdTx(out, args)
+	case "partition":
+		sh.cmdPartition(out, args, true)
+	case "heal":
+		sh.cmdPartition(out, args, false)
+	case "stats":
+		sh.cmdStats(out)
+	case "whereis":
+		sh.cmdWhereis(out, args)
+	default:
+		fmt.Fprintf(out, "unknown command %q (try \"help\")\n", cmd)
+	}
+}
+
+const helpText = `commands:
+  dc <i>                switch the current session to data center i
+  put <key> <value>     write a key from the current DC's session
+  get <key>             read a key from the current DC's session
+  tx <key> [key...]     causally consistent read-only transaction
+  whereis <key>         show the partition a key maps to
+  partition <a> <b>     cut all network links between DCs a and b
+  heal <a> <b>          heal the links between DCs a and b
+  stats                 server-side blocking/staleness statistics
+  quit                  exit
+`
+
+func (sh *shell) cmdDC(out io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(out, "usage: dc <i>")
+		return
+	}
+	i, err := strconv.Atoi(args[0])
+	if err != nil || i < 0 || i >= len(sh.sessions) {
+		fmt.Fprintf(out, "no data center %q (have 0..%d)\n", args[0], len(sh.sessions)-1)
+		return
+	}
+	sh.dc = i
+}
+
+func (sh *shell) cmdPut(out io.Writer, args []string) {
+	if len(args) < 2 {
+		fmt.Fprintln(out, "usage: put <key> <value>")
+		return
+	}
+	key, val := args[0], strings.Join(args[1:], " ")
+	start := time.Now()
+	if err := sh.sessions[sh.dc].Put(key, []byte(val)); err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "OK (%v)\n", time.Since(start).Round(time.Microsecond))
+}
+
+func (sh *shell) cmdGet(out io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(out, "usage: get <key>")
+		return
+	}
+	start := time.Now()
+	v, err := sh.sessions[sh.dc].Get(args[0])
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	if v == nil {
+		fmt.Fprintf(out, "(nil) (%v)\n", time.Since(start).Round(time.Microsecond))
+		return
+	}
+	fmt.Fprintf(out, "%q (%v)\n", v, time.Since(start).Round(time.Microsecond))
+}
+
+func (sh *shell) cmdTx(out io.Writer, args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(out, "usage: tx <key> [key...]")
+		return
+	}
+	start := time.Now()
+	vals, err := sh.sessions[sh.dc].ROTx(args)
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	for _, k := range args {
+		if vals[k] == nil {
+			fmt.Fprintf(out, "  %s = (nil)\n", k)
+		} else {
+			fmt.Fprintf(out, "  %s = %q\n", k, vals[k])
+		}
+	}
+	fmt.Fprintf(out, "snapshot read in %v\n", time.Since(start).Round(time.Microsecond))
+}
+
+func (sh *shell) cmdPartition(out io.Writer, args []string, down bool) {
+	if len(args) != 2 {
+		fmt.Fprintln(out, "usage: partition|heal <dcA> <dcB>")
+		return
+	}
+	a, errA := strconv.Atoi(args[0])
+	b, errB := strconv.Atoi(args[1])
+	if errA != nil || errB != nil {
+		fmt.Fprintln(out, "data centers must be numbers")
+		return
+	}
+	sh.store.PartitionNetwork(a, b, down)
+	if down {
+		fmt.Fprintf(out, "links between dc%d and dc%d are down\n", a, b)
+	} else {
+		fmt.Fprintf(out, "links between dc%d and dc%d healed\n", a, b)
+	}
+}
+
+func (sh *shell) cmdStats(out io.Writer) {
+	st := sh.store.Stats()
+	fmt.Fprintf(out, "ops=%d blocked=%d (prob %.2e, mean %v)\n",
+		st.Operations, st.BlockedOperations, st.BlockingProbability, st.MeanBlockingTime)
+	fmt.Fprintf(out, "old reads=%.3f%% unmerged=%.3f%% messages=%d\n",
+		st.PercentOldReads, st.PercentUnmergedReads, sh.store.Messages())
+	for i, s := range sh.sessions {
+		mode := "optimistic"
+		if s.Pessimistic() {
+			mode = "pessimistic"
+		}
+		fmt.Fprintf(out, "session dc%d: %s (fallbacks=%d promotions=%d)\n",
+			i, mode, s.Fallbacks(), s.Promotions())
+	}
+}
+
+func (sh *shell) cmdWhereis(out io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(out, "usage: whereis <key>")
+		return
+	}
+	fmt.Fprintf(out, "partition %d\n", sh.store.PartitionOf(args[0]))
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	occ "repro"
+)
+
+func testShell(t *testing.T) *shell {
+	t.Helper()
+	store, err := occ.Open(occ.Config{
+		DataCenters: 2, Partitions: 2, Engine: occ.POCC,
+		Latency: occ.UniformProfile(20*time.Microsecond, 200*time.Microsecond),
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	sh, err := newShell(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func runCmd(sh *shell, line string) string {
+	var sb strings.Builder
+	sh.exec(&sb, line)
+	return sb.String()
+}
+
+func TestParseEngine(t *testing.T) {
+	for in, want := range map[string]occ.Engine{
+		"pocc": occ.POCC, "cure": occ.CureStar, "CURE*": occ.CureStar,
+		"hapocc": occ.HAPOCC, "HA-POCC": occ.HAPOCC,
+	} {
+		got, err := parseEngine(in)
+		if err != nil || got != want {
+			t.Fatalf("parseEngine(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseEngine("mongo"); err == nil {
+		t.Fatal("unknown engine must be rejected")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	sh := testShell(t)
+	if out := runCmd(sh, "put color blue"); !strings.Contains(out, "OK") {
+		t.Fatalf("put: %q", out)
+	}
+	if out := runCmd(sh, "get color"); !strings.Contains(out, `"blue"`) {
+		t.Fatalf("get: %q", out)
+	}
+}
+
+func TestPutMultiWordValue(t *testing.T) {
+	sh := testShell(t)
+	runCmd(sh, "put msg hello causal world")
+	if out := runCmd(sh, "get msg"); !strings.Contains(out, `"hello causal world"`) {
+		t.Fatalf("get: %q", out)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	sh := testShell(t)
+	if out := runCmd(sh, "get ghost"); !strings.Contains(out, "(nil)") {
+		t.Fatalf("get: %q", out)
+	}
+}
+
+func TestTx(t *testing.T) {
+	sh := testShell(t)
+	runCmd(sh, "put a 1")
+	runCmd(sh, "put b 2")
+	out := runCmd(sh, "tx a b")
+	if !strings.Contains(out, `a = "1"`) || !strings.Contains(out, `b = "2"`) {
+		t.Fatalf("tx: %q", out)
+	}
+}
+
+func TestDCSwitch(t *testing.T) {
+	sh := testShell(t)
+	if out := runCmd(sh, "dc 1"); out != "" {
+		t.Fatalf("dc: %q", out)
+	}
+	if sh.dc != 1 {
+		t.Fatal("dc not switched")
+	}
+	if out := runCmd(sh, "dc 9"); !strings.Contains(out, "no data center") {
+		t.Fatalf("dc 9: %q", out)
+	}
+	if out := runCmd(sh, "dc x"); !strings.Contains(out, "no data center") {
+		t.Fatalf("dc x: %q", out)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	sh := testShell(t)
+	if out := runCmd(sh, "partition 0 1"); !strings.Contains(out, "down") {
+		t.Fatalf("partition: %q", out)
+	}
+	runCmd(sh, "put island yes") // dc0 write while partitioned
+	runCmd(sh, "dc 1")
+	if out := runCmd(sh, "get island"); !strings.Contains(out, "(nil)") {
+		t.Fatalf("partitioned read leaked: %q", out)
+	}
+	if out := runCmd(sh, "heal 0 1"); !strings.Contains(out, "healed") {
+		t.Fatalf("heal: %q", out)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if out := runCmd(sh, "get island"); strings.Contains(out, `"yes"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healed write never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStatsAndWhereis(t *testing.T) {
+	sh := testShell(t)
+	runCmd(sh, "put k v")
+	out := runCmd(sh, "stats")
+	if !strings.Contains(out, "ops=") || !strings.Contains(out, "session dc0") {
+		t.Fatalf("stats: %q", out)
+	}
+	if out := runCmd(sh, "whereis k"); !strings.Contains(out, "partition") {
+		t.Fatalf("whereis: %q", out)
+	}
+}
+
+func TestUnknownAndUsage(t *testing.T) {
+	sh := testShell(t)
+	if out := runCmd(sh, "frobnicate"); !strings.Contains(out, "unknown command") {
+		t.Fatalf("unknown: %q", out)
+	}
+	for _, line := range []string{"put onlykey", "get", "tx", "dc", "partition 1", "whereis"} {
+		if out := runCmd(sh, line); !strings.Contains(out, "usage:") {
+			t.Fatalf("%q: %q", line, out)
+		}
+	}
+	if out := runCmd(sh, "help"); !strings.Contains(out, "commands:") {
+		t.Fatalf("help: %q", out)
+	}
+}
+
+func TestREPLQuit(t *testing.T) {
+	sh := testShell(t)
+	in := strings.NewReader("put x 1\nget x\nquit\n")
+	var out strings.Builder
+	if err := sh.repl(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"1"`) {
+		t.Fatalf("repl output: %q", out.String())
+	}
+}

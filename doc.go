@@ -1,0 +1,38 @@
+// Package occ is a geo-replicated causally consistent key-value store
+// implementing Optimistic Causal Consistency (OCC) as described in
+// "Optimistic Causal Consistency for Geo-Replicated Key-Value Stores"
+// (Spirovska, Didona, Zwaenepoel — ICDCS 2017).
+//
+// The library embeds a full multi-data-center deployment in one process:
+// partition servers, per-link latency-injected networking, loosely
+// synchronized physical clocks, update replication, heartbeats, Cure-style
+// stabilization, transaction-aware garbage collection and client sessions.
+// Three engines are provided:
+//
+//   - POCC — the paper's system: reads return the freshest received version;
+//     requests with unresolved dependencies block until the dependency
+//     arrives (client-assisted lazy dependency resolution).
+//   - CureStar — the pessimistic baseline: reads return the freshest stable
+//     version, computed from a periodically stabilized snapshot (GSS).
+//   - HAPOCC — highly available POCC: optimistic operation plus infrequent
+//     stabilization and a block timeout; sessions fall back to the
+//     pessimistic protocol during network partitions and are promoted back
+//     once the partition heals.
+//
+// Quick start:
+//
+//	store, err := occ.Open(occ.Config{DataCenters: 3, Partitions: 4, Engine: occ.POCC})
+//	if err != nil { ... }
+//	defer store.Close()
+//
+//	oregon, _ := store.Session(0)
+//	_ = oregon.Put("user:42:name", []byte("ada"))
+//
+//	ireland, _ := store.Session(2)
+//	name, _ := ireland.Get("user:42:name") // freshest received version
+//
+// Sessions provide GET, PUT and causally consistent read-only transactions
+// (ROTx). Every operation carries compact dependency vectors (one physical
+// timestamp per data center), the metadata POCC uses to detect missing
+// dependencies without inter-server synchronization.
+package occ

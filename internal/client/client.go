@@ -1,0 +1,306 @@
+// Package client implements the POCC client session of Algorithm 1. A
+// session maintains a dependency vector DV (everything the client's writes
+// depend on) and a read dependency vector RDV (the dependencies of everything
+// the client has read) and attaches them to every operation, providing the
+// "cheap dependency meta-data" that lets servers resolve dependencies lazily.
+//
+// Sessions also implement HA-POCC's recovery (§III-B): when the server closes
+// the session because a blocked request exceeded the block timeout, the
+// session re-initializes itself in pessimistic mode (losing its optimistic
+// dependency state, exactly as a cross-DC failover would), and is promoted
+// back to optimistic once the local server stops suspecting a partition.
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/vclock"
+)
+
+// Router maps keys to the partition servers of one data center.
+type Router interface {
+	// ServerFor returns the server responsible for key.
+	ServerFor(key string) *core.Server
+	// Coordinator returns the server the session is attached to (transaction
+	// coordinator, §II-C).
+	Coordinator() *core.Server
+	// PartitionOf returns the partition index of key.
+	PartitionOf(key string) int
+}
+
+// Config parameterizes a Session.
+type Config struct {
+	// Router locates the client's local (same-DC) servers.
+	Router Router
+	// NumDCs sizes the dependency vectors.
+	NumDCs int
+	// Mode is the session's starting protocol. Defaults to Optimistic.
+	Mode core.Mode
+	// RequestLatency, when positive, is the injected one-way client↔server
+	// delay inside the DC (clients are collocated with servers in the paper,
+	// so the default is zero).
+	RequestLatency time.Duration
+	// AutoFallback enables HA-POCC session recovery: on ErrSessionClosed the
+	// session re-initializes pessimistically and retries; it promotes back
+	// to optimistic when the coordinator stops suspecting a partition.
+	AutoFallback bool
+}
+
+// Session is a client session. A session must be used by one goroutine at a
+// time for its operations to form a single thread of execution; the struct is
+// nevertheless internally synchronized so monitoring code may inspect it.
+type Session struct {
+	cfg Config
+
+	mu   sync.Mutex
+	mode core.Mode
+	dv   vclock.VC // DV_c: dependencies of the client's writes
+	rdv  vclock.VC // RDV_c: dependencies of the client's reads
+
+	fallbacks  uint64 // times the session fell back to pessimistic
+	promotions uint64 // times it was promoted back to optimistic
+}
+
+// NewSession opens a session against a data center.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.Router == nil {
+		return nil, errors.New("client: Router is required")
+	}
+	if cfg.NumDCs < 1 {
+		return nil, errors.New("client: NumDCs must be positive")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.Optimistic
+	}
+	return &Session{
+		cfg:  cfg,
+		mode: cfg.Mode,
+		dv:   vclock.New(cfg.NumDCs),
+		rdv:  vclock.New(cfg.NumDCs),
+	}, nil
+}
+
+// Mode returns the session's current protocol mode.
+func (s *Session) Mode() core.Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode
+}
+
+// Fallbacks returns how many times the session fell back to the pessimistic
+// protocol.
+func (s *Session) Fallbacks() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fallbacks
+}
+
+// Promotions returns how many times the session was promoted back to the
+// optimistic protocol.
+func (s *Session) Promotions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promotions
+}
+
+// DV returns a copy of the session's dependency vector (for tests).
+func (s *Session) DV() vclock.VC {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dv.Clone()
+}
+
+// RDV returns a copy of the session's read dependency vector (for tests).
+func (s *Session) RDV() vclock.VC {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rdv.Clone()
+}
+
+// Get reads key (Algorithm 1, lines 1-8).
+func (s *Session) Get(key string) ([]byte, error) {
+	reply, err := s.getReply(key)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Value, nil
+}
+
+// GetReply reads key and returns the full reply including causal metadata.
+func (s *Session) GetReply(key string) (msg.ItemReply, error) {
+	return s.getReply(key)
+}
+
+func (s *Session) getReply(key string) (msg.ItemReply, error) {
+	srv := s.cfg.Router.ServerFor(key)
+	for {
+		mode, rdv := s.opContext()
+		s.injectLatency()
+		reply, err := srv.Get(key, rdv, mode)
+		s.injectLatency()
+		if err != nil {
+			if s.handleSessionError(err) {
+				continue
+			}
+			return msg.ItemReply{}, err
+		}
+		if reply.Exists {
+			s.trackRead(reply)
+		}
+		s.maybePromote()
+		return reply, nil
+	}
+}
+
+// Put writes key (Algorithm 1, lines 9-13).
+func (s *Session) Put(key string, value []byte) error {
+	_, _, err := s.PutMeta(key, value)
+	return err
+}
+
+// PutMeta writes key and returns the new version's identity (update time and
+// source replica), which test checkers use to track real dependencies.
+func (s *Session) PutMeta(key string, value []byte) (vclock.Timestamp, int, error) {
+	srv := s.cfg.Router.ServerFor(key)
+	for {
+		mode, _ := s.opContext()
+		s.mu.Lock()
+		dv := s.dv.Clone()
+		s.mu.Unlock()
+		s.injectLatency()
+		ut, err := srv.Put(key, value, dv, mode)
+		s.injectLatency()
+		if err != nil {
+			if s.handleSessionError(err) {
+				continue
+			}
+			return 0, 0, err
+		}
+		dc := srv.ID().DC
+		s.mu.Lock()
+		if ut > s.dv[dc] {
+			s.dv[dc] = ut // track the dependency on the new write
+		}
+		s.mu.Unlock()
+		s.maybePromote()
+		return ut, dc, nil
+	}
+}
+
+// ROTx executes a causally consistent read-only transaction (Algorithm 1,
+// lines 14-20) and returns the read values keyed by item key. Missing keys
+// map to nil values.
+func (s *Session) ROTx(keys []string) (map[string][]byte, error) {
+	replies, err := s.ROTxReplies(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(replies))
+	for _, r := range replies {
+		if r.Exists {
+			out[r.Key] = r.Value
+		} else {
+			out[r.Key] = nil
+		}
+	}
+	return out, nil
+}
+
+// ROTxReplies is ROTx returning full replies including causal metadata.
+func (s *Session) ROTxReplies(keys []string) ([]msg.ItemReply, error) {
+	coord := s.cfg.Router.Coordinator()
+	for {
+		// The snapshot must include everything the client has read AND
+		// written (Proposition 4 of the paper assumes the client's writes are
+		// in the snapshot): send max(RDV, DV), which covers the writes the
+		// plain RDV of Algorithm 1 line 15 would miss. See DESIGN.md §3.
+		mode, rdv := s.opContext()
+		s.mu.Lock()
+		rdv.MaxInPlace(s.dv)
+		s.mu.Unlock()
+		s.injectLatency()
+		replies, err := coord.ROTx(keys, rdv, mode, s.cfg.Router.PartitionOf)
+		s.injectLatency()
+		if err != nil {
+			if s.handleSessionError(err) {
+				continue
+			}
+			return nil, err
+		}
+		for _, r := range replies {
+			if r.Exists {
+				s.trackRead(r) // "read d as if it was the result of a GET"
+			}
+		}
+		s.maybePromote()
+		return replies, nil
+	}
+}
+
+// opContext snapshots the mode and RDV for one operation.
+func (s *Session) opContext() (core.Mode, vclock.VC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode, s.rdv.Clone()
+}
+
+// trackRead applies Algorithm 1 lines 4-6: merge the returned item's
+// dependencies into RDV and DV, then record the direct dependency on the
+// item itself in DV.
+func (s *Session) trackRead(r msg.ItemReply) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rdv.MaxInPlace(r.Deps)
+	s.dv.MaxInPlace(s.rdv)
+	if r.UpdateTime > s.dv[r.SrcReplica] {
+		s.dv[r.SrcReplica] = r.UpdateTime
+	}
+}
+
+// handleSessionError reports whether the operation should be retried after a
+// session re-initialization. Only ErrSessionClosed with AutoFallback enabled
+// triggers recovery: the session drops its optimistic dependency state and
+// continues pessimistically (§III-B).
+func (s *Session) handleSessionError(err error) bool {
+	if !s.cfg.AutoFallback || !errors.Is(err, core.ErrSessionClosed) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mode = core.Pessimistic
+	s.dv = vclock.New(s.cfg.NumDCs)
+	s.rdv = vclock.New(s.cfg.NumDCs)
+	s.fallbacks++
+	return true
+}
+
+// maybePromote switches a fallen-back session to optimistic again once the
+// coordinator no longer suspects a partition.
+func (s *Session) maybePromote() {
+	if !s.cfg.AutoFallback || s.cfg.Mode != core.Optimistic {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode != core.Pessimistic {
+		return
+	}
+	if !s.cfg.Router.Coordinator().Suspected() {
+		// Promotion re-initializes the session like fallback does: the
+		// pessimistic dependency state is safe to carry forward (it is
+		// stable), so it is kept.
+		s.mode = core.Optimistic
+		s.promotions++
+	}
+}
+
+// injectLatency emulates the client↔server hop inside the DC.
+func (s *Session) injectLatency() {
+	if s.cfg.RequestLatency > 0 {
+		time.Sleep(s.cfg.RequestLatency)
+	}
+}

@@ -1,0 +1,178 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// The client package is exercised against a tiny real cluster: its behaviour
+// (Algorithm 1) is only meaningful coupled to servers.
+
+func twoDC(t *testing.T, engine cluster.Engine) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		NumDCs: 2, NumPartitions: 2, Engine: engine,
+		HeartbeatInterval: time.Millisecond,
+		Latency:           cluster.UniformLatency(50*time.Microsecond, time.Millisecond),
+		Seed:              31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := client.NewSession(client.Config{}); err == nil {
+		t.Fatal("missing router must be rejected")
+	}
+}
+
+func TestGetUpdatesRDVAndDV(t *testing.T) {
+	c := twoDC(t, cluster.POCC)
+	writer, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a chain: write dep, then write top (whose version carries dep in
+	// its dependency vector).
+	if err := writer.Put("dep", []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Put("top", []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+
+	reader, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdv := reader.RDV(); rdv.Get(0) != 0 {
+		t.Fatal("fresh session must have zero RDV")
+	}
+	reply, err := reader.GetReply("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Exists {
+		t.Fatal("top must exist")
+	}
+	// RDV absorbed top's deps; DV additionally holds top itself.
+	if rdv := reader.RDV(); rdv.Get(0) < reply.Deps.Get(0) {
+		t.Fatalf("RDV %v must cover item deps %v", rdv, reply.Deps)
+	}
+	if dv := reader.DV(); dv.Get(0) < reply.UpdateTime {
+		t.Fatalf("DV %v must cover the read item's timestamp %d", dv, reply.UpdateTime)
+	}
+	// RDV must NOT include the read item itself, only its dependencies: the
+	// item's own timestamp exceeds its deps entry.
+	if rdv := reader.RDV(); rdv.Get(0) >= reply.UpdateTime {
+		t.Fatalf("RDV %v leaked the read item's own timestamp %d", rdv, reply.UpdateTime)
+	}
+}
+
+func TestPutMetaReturnsIdentity(t *testing.T) {
+	c := twoDC(t, cluster.POCC)
+	s, err := c.NewSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ut, dc, err := s.PutMeta("k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc != 1 {
+		t.Fatalf("source replica = %d, want the session's DC", dc)
+	}
+	if ut == 0 {
+		t.Fatal("update time must be assigned")
+	}
+	if dv := s.DV(); dv.Get(1) != ut {
+		t.Fatalf("DV[1] = %d, want %d", dv.Get(1), ut)
+	}
+}
+
+func TestROTxTracksReads(t *testing.T) {
+	c := twoDC(t, cluster.POCC)
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := fresh.ROTx([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals["a"]) != "1" || string(vals["b"]) != "2" {
+		t.Fatalf("tx = %v", vals)
+	}
+	if dv := fresh.DV(); dv.Get(0) == 0 {
+		t.Fatal("transactional reads must establish dependencies")
+	}
+}
+
+func TestROTxMissingKeys(t *testing.T) {
+	c := twoDC(t, cluster.POCC)
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := s.ROTx([]string{"ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := vals["ghost"]; !ok || v != nil {
+		t.Fatalf("missing key must map to nil, got %v", vals)
+	}
+}
+
+func TestModeLifecycle(t *testing.T) {
+	c := twoDC(t, cluster.Cure)
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode() != core.Pessimistic {
+		t.Fatal("Cure* sessions must start pessimistic")
+	}
+	if s.Fallbacks() != 0 || s.Promotions() != 0 {
+		t.Fatal("fresh session must have no fallbacks/promotions")
+	}
+}
+
+func TestSessionLatencyInjection(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		NumDCs: 1, NumPartitions: 1, Engine: cluster.POCC,
+		SessionLatency: 5 * time.Millisecond,
+		Seed:           32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 2x injected latency", elapsed)
+	}
+}

@@ -1,0 +1,75 @@
+// Package clock provides the per-node physical clocks used by the POCC and
+// Cure* protocols. Each node owns a Clock that yields monotonically
+// increasing physical timestamps. To emulate the loose NTP synchronization of
+// the paper's testbed, a Clock can carry a fixed skew offset; protocol
+// correctness is independent of the skew (paper §IV), but the PUT clock-wait
+// (Algorithm 2, line 7) is sensitive to it, which the ablation benchmarks
+// exercise.
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Clock is a monotonically increasing physical clock with an optional fixed
+// skew. It is safe for concurrent use.
+type Clock struct {
+	epoch time.Time
+	skew  int64 // nanoseconds added to the true time, may be negative
+	last  atomic.Uint64
+}
+
+// New returns a clock with the given skew. All clocks created from the same
+// process share a wall-clock epoch so their readings are comparable, emulating
+// NTP-synchronized machines whose offsets are bounded by the skew.
+func New(skew time.Duration) *Clock {
+	return &Clock{epoch: processEpoch, skew: int64(skew)}
+}
+
+// processEpoch anchors all clocks so Timestamps stay small and positive.
+var processEpoch = time.Now()
+
+// Now returns the current timestamp. Successive calls on the same Clock are
+// strictly increasing, emulating the paper's assumption that each server's
+// physical clock provides monotonically increasing timestamps.
+func (c *Clock) Now() vclock.Timestamp {
+	raw := time.Since(c.epoch).Nanoseconds() + c.skew
+	if raw < 1 {
+		raw = 1
+	}
+	t := uint64(raw)
+	for {
+		last := c.last.Load()
+		if t <= last {
+			t = last + 1
+		}
+		if c.last.CompareAndSwap(last, t) {
+			return vclock.Timestamp(t)
+		}
+	}
+}
+
+// SleepUntilAfter blocks until Now() returns a value strictly greater than t.
+// It implements the PUT clock-wait: the server must assign the new version a
+// timestamp higher than any of its potential dependencies.
+func (c *Clock) SleepUntilAfter(t vclock.Timestamp) vclock.Timestamp {
+	for {
+		now := c.Now()
+		if now > t {
+			return now
+		}
+		// The gap is bounded by the clock skew between DCs (sub-millisecond
+		// to a few milliseconds); poll in small steps.
+		gap := time.Duration(t-now) + time.Microsecond
+		if gap > time.Millisecond {
+			gap = time.Millisecond
+		}
+		time.Sleep(gap)
+	}
+}
+
+// Skew returns the configured skew.
+func (c *Clock) Skew() time.Duration { return time.Duration(c.skew) }

@@ -1,0 +1,110 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestNowStrictlyIncreasing(t *testing.T) {
+	c := New(0)
+	prev := c.Now()
+	for i := 0; i < 10000; i++ {
+		now := c.Now()
+		if now <= prev {
+			t.Fatalf("Now() not strictly increasing: %d after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestNowStrictlyIncreasingConcurrent(t *testing.T) {
+	c := New(0)
+	const workers = 8
+	const perWorker = 5000
+	seen := make([][]vclock.Timestamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]vclock.Timestamp, perWorker)
+			for i := range out {
+				out[i] = c.Now()
+			}
+			seen[w] = out
+		}(w)
+	}
+	wg.Wait()
+	all := make(map[vclock.Timestamp]bool, workers*perWorker)
+	for w := range seen {
+		prev := vclock.Timestamp(0)
+		for _, ts := range seen[w] {
+			if ts <= prev {
+				t.Fatalf("worker %d saw non-increasing timestamps", w)
+			}
+			prev = ts
+			if all[ts] {
+				t.Fatalf("duplicate timestamp %d across workers", ts)
+			}
+			all[ts] = true
+		}
+	}
+}
+
+func TestSkewShiftsReadings(t *testing.T) {
+	ahead := New(time.Second)
+	behind := New(-time.Millisecond)
+	a, b := ahead.Now(), behind.Now()
+	if a <= b {
+		t.Fatalf("clock with +1s skew (%d) must read ahead of -1ms skew (%d)", a, b)
+	}
+	diff := time.Duration(a - b)
+	if diff < 900*time.Millisecond || diff > 1100*time.Millisecond {
+		t.Fatalf("skew difference %v outside expected window", diff)
+	}
+}
+
+func TestNegativeSkewNeverZero(t *testing.T) {
+	c := New(-time.Hour) // far behind the epoch: raw reading would be negative
+	if ts := c.Now(); ts == 0 {
+		t.Fatal("Now() must never return 0")
+	}
+}
+
+func TestSleepUntilAfter(t *testing.T) {
+	c := New(0)
+	target := c.Now() + vclock.Timestamp(2*time.Millisecond)
+	start := time.Now()
+	got := c.SleepUntilAfter(target)
+	if got <= target {
+		t.Fatalf("SleepUntilAfter returned %d, want > %d", got, target)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("returned too early after %v", elapsed)
+	}
+}
+
+func TestSleepUntilAfterPast(t *testing.T) {
+	c := New(0)
+	past := c.Now() - 1
+	done := make(chan vclock.Timestamp, 1)
+	go func() { done <- c.SleepUntilAfter(past) }()
+	select {
+	case got := <-done:
+		if got <= past {
+			t.Fatalf("got %d, want > %d", got, past)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("SleepUntilAfter with past target must return immediately")
+	}
+}
+
+func TestSkewAccessor(t *testing.T) {
+	c := New(42 * time.Microsecond)
+	if c.Skew() != 42*time.Microsecond {
+		t.Fatalf("Skew = %v", c.Skew())
+	}
+}

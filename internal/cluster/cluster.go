@@ -1,0 +1,375 @@
+// Package cluster assembles a full geo-replicated deployment: M data centers
+// × N partitions of core.Server connected by an emulated network with
+// injected inter-DC latencies, per-node skewed clocks, and client sessions
+// attached to a DC. It provides the three engine presets the evaluation
+// compares: POCC, Cure* and HA-POCC.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/item"
+	"repro/internal/keyspace"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/netemu"
+	"repro/internal/tcpnet"
+	"repro/internal/vclock"
+)
+
+// Engine selects the protocol preset.
+type Engine int
+
+// Engine presets.
+const (
+	// POCC is the paper's optimistic system: no stabilization, blocking
+	// dependency resolution.
+	POCC Engine = iota + 1
+	// Cure is the pessimistic baseline Cure*: stabilization every
+	// StabilizationInterval, stable-visibility reads.
+	Cure
+	// HAPOCC is highly available POCC: optimistic with infrequent
+	// stabilization and block-timeout session fallback.
+	HAPOCC
+)
+
+func (e Engine) String() string {
+	switch e {
+	case POCC:
+		return "POCC"
+	case Cure:
+		return "Cure*"
+	case HAPOCC:
+		return "HA-POCC"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Config parameterizes a deployment.
+type Config struct {
+	NumDCs        int
+	NumPartitions int
+	Engine        Engine
+
+	// HeartbeatInterval is Δ (1 ms in the paper).
+	HeartbeatInterval time.Duration
+	// StabilizationInterval: 5 ms for Cure* and 500 ms for HA-POCC in the
+	// paper's spirit; ignored for POCC.
+	StabilizationInterval time.Duration
+	// GCInterval enables the garbage-collection exchange (0 disables).
+	GCInterval time.Duration
+	// PutDepWait enables Algorithm 2 line 6 (the evaluation enables it).
+	PutDepWait bool
+	// BlockTimeout enables HA-POCC partition suspicion (HAPOCC only).
+	BlockTimeout time.Duration
+	// ClockSkew bounds the per-node clock offset: each node's skew is drawn
+	// uniformly from [-ClockSkew, +ClockSkew], emulating loose NTP sync.
+	ClockSkew time.Duration
+	// Latency is the inter-node latency function (see AWSLatency). Nil means
+	// zero latency.
+	Latency netemu.LatencyFunc
+	// JitterFrac adds uniform jitter to every message delay.
+	JitterFrac float64
+	// SessionLatency is the injected one-way client↔server delay.
+	SessionLatency time.Duration
+	// Seed drives all emulated randomness.
+	Seed uint64
+	// TCP runs the inter-node traffic over real loopback TCP connections
+	// (internal/tcpnet) instead of the emulated network. Latency, jitter and
+	// partition injection are unavailable in this mode.
+	TCP bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.HeartbeatInterval == 0 {
+		out.HeartbeatInterval = time.Millisecond
+	}
+	if out.StabilizationInterval == 0 {
+		switch out.Engine {
+		case Cure:
+			out.StabilizationInterval = 5 * time.Millisecond
+		case HAPOCC:
+			out.StabilizationInterval = 500 * time.Millisecond
+		}
+	}
+	if out.Engine == HAPOCC && out.BlockTimeout == 0 {
+		out.BlockTimeout = 250 * time.Millisecond
+	}
+	return out
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg      Config
+	net      *netemu.Network   // nil in TCP mode
+	tcpNodes []*tcpnet.Node    // nil in emulated mode
+	servers  [][]*core.Server  // [dc][partition]
+	mx       [][]*core.Metrics // [dc][partition]
+	seedSeq  atomic.Uint64     // timestamps for pre-loaded data
+	rr       atomic.Uint64     // round-robin coordinator placement
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumDCs < 1 || cfg.NumPartitions < 1 {
+		return nil, fmt.Errorf("cluster: invalid layout %dx%d", cfg.NumDCs, cfg.NumPartitions)
+	}
+	if cfg.Engine != POCC && cfg.Engine != Cure && cfg.Engine != HAPOCC {
+		return nil, errors.New("cluster: unknown engine")
+	}
+	c := &Cluster{cfg: cfg}
+	var transports map[netemu.NodeID]core.Transport
+	if cfg.TCP {
+		var err error
+		transports, err = c.buildTCPTransports()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		c.net = netemu.New(netemu.Config{
+			Latency:    cfg.Latency,
+			JitterFrac: cfg.JitterFrac,
+			Seed:       cfg.Seed,
+		})
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xc105))
+	c.servers = make([][]*core.Server, cfg.NumDCs)
+	c.mx = make([][]*core.Metrics, cfg.NumDCs)
+
+	mode := core.Optimistic
+	stab := cfg.StabilizationInterval
+	blockTimeout := time.Duration(0)
+	switch cfg.Engine {
+	case Cure:
+		mode = core.Pessimistic
+	case HAPOCC:
+		blockTimeout = cfg.BlockTimeout
+	case POCC:
+		stab = 0
+	}
+
+	for dc := 0; dc < cfg.NumDCs; dc++ {
+		c.servers[dc] = make([]*core.Server, cfg.NumPartitions)
+		c.mx[dc] = make([]*core.Metrics, cfg.NumPartitions)
+		for p := 0; p < cfg.NumPartitions; p++ {
+			id := netemu.NodeID{DC: dc, Partition: p}
+			var skew time.Duration
+			if cfg.ClockSkew > 0 {
+				skew = time.Duration(rng.Int64N(int64(2*cfg.ClockSkew))) - cfg.ClockSkew
+			}
+			mxs := &core.Metrics{}
+			var transport core.Transport
+			if cfg.TCP {
+				transport = transports[id]
+			} else {
+				transport = c.net.Register(id, nil)
+			}
+			srv, err := core.NewServer(core.Config{
+				ID:                    id,
+				NumDCs:                cfg.NumDCs,
+				NumPartitions:         cfg.NumPartitions,
+				Clock:                 clock.New(skew),
+				Endpoint:              transport,
+				DefaultMode:           mode,
+				HeartbeatInterval:     cfg.HeartbeatInterval,
+				StabilizationInterval: stab,
+				GCInterval:            cfg.GCInterval,
+				PutDepWait:            cfg.PutDepWait,
+				BlockTimeout:          blockTimeout,
+				Metrics:               mxs,
+			})
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.servers[dc][p] = srv
+			c.mx[dc][p] = mxs
+		}
+	}
+	return c, nil
+}
+
+// buildTCPTransports binds a loopback TCP node for every server and
+// distributes the address directory.
+func (c *Cluster) buildTCPTransports() (map[netemu.NodeID]core.Transport, error) {
+	directory := make(map[netemu.NodeID]string)
+	out := make(map[netemu.NodeID]core.Transport)
+	for dc := 0; dc < c.cfg.NumDCs; dc++ {
+		for p := 0; p < c.cfg.NumPartitions; p++ {
+			id := netemu.NodeID{DC: dc, Partition: p}
+			node, err := tcpnet.Listen(id, "127.0.0.1:0")
+			if err != nil {
+				for _, n := range c.tcpNodes {
+					n.Close()
+				}
+				return nil, fmt.Errorf("cluster: %w", err)
+			}
+			c.tcpNodes = append(c.tcpNodes, node)
+			directory[id] = node.Addr()
+			out[id] = node
+		}
+	}
+	for _, n := range c.tcpNodes {
+		n.Connect(directory)
+	}
+	return out, nil
+}
+
+// Close stops every server and the network.
+func (c *Cluster) Close() {
+	for _, dcServers := range c.servers {
+		for _, s := range dcServers {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	if c.net != nil {
+		c.net.Close()
+	}
+	for _, n := range c.tcpNodes {
+		n.Close()
+	}
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Network exposes the emulated network (partition injection, message
+// counts). It returns nil in TCP mode.
+func (c *Cluster) Network() *netemu.Network { return c.net }
+
+// Messages returns the total number of protocol messages sent, in either
+// transport mode.
+func (c *Cluster) Messages() uint64 {
+	if c.net != nil {
+		return c.net.MessageCount()
+	}
+	var total uint64
+	for _, n := range c.tcpNodes {
+		total += n.Sent()
+	}
+	return total
+}
+
+// Server returns the partition server p of data center dc.
+func (c *Cluster) Server(dc, p int) *core.Server { return c.servers[dc][p] }
+
+// PartitionOf returns the partition responsible for key.
+func (c *Cluster) PartitionOf(key string) int {
+	return keyspace.PartitionOf(key, c.cfg.NumPartitions)
+}
+
+// dcRouter routes a session's requests within one data center.
+type dcRouter struct {
+	servers []*core.Server
+	coord   *core.Server
+	n       int
+}
+
+func (r *dcRouter) ServerFor(key string) *core.Server {
+	return r.servers[keyspace.PartitionOf(key, r.n)]
+}
+func (r *dcRouter) Coordinator() *core.Server { return r.coord }
+func (r *dcRouter) PartitionOf(key string) int {
+	return keyspace.PartitionOf(key, r.n)
+}
+
+// NewSession opens a client session against data center dc. The session's
+// coordinator is chosen round-robin, emulating clients collocated with
+// servers.
+func (c *Cluster) NewSession(dc int) (*client.Session, error) {
+	if dc < 0 || dc >= c.cfg.NumDCs {
+		return nil, fmt.Errorf("cluster: no data center %d", dc)
+	}
+	coord := c.servers[dc][c.rr.Add(1)%uint64(c.cfg.NumPartitions)]
+	mode := core.Optimistic
+	if c.cfg.Engine == Cure {
+		mode = core.Pessimistic
+	}
+	return client.NewSession(client.Config{
+		Router:         &dcRouter{servers: c.servers[dc], coord: coord, n: c.cfg.NumPartitions},
+		NumDCs:         c.cfg.NumDCs,
+		Mode:           mode,
+		RequestLatency: c.cfg.SessionLatency,
+		AutoFallback:   c.cfg.Engine == HAPOCC,
+	})
+}
+
+// Seed pre-loads a key with an initial value into every data center, the way
+// the paper's loader populates each partition before an experiment. Seeded
+// versions carry tiny timestamps and empty dependency vectors, so they are
+// immediately visible and stable everywhere.
+func (c *Cluster) Seed(key string, value []byte) {
+	ut := vclock.Timestamp(c.seedSeq.Add(1))
+	p := c.PartitionOf(key)
+	for dc := 0; dc < c.cfg.NumDCs; dc++ {
+		v := &item.Version{
+			Key:        key,
+			Value:      append([]byte(nil), value...),
+			SrcReplica: 0,
+			UpdateTime: ut,
+			Deps:       vclock.New(c.cfg.NumDCs),
+		}
+		c.servers[dc][p].Store().Insert(v)
+	}
+}
+
+// SeedTable pre-loads every key of a keyspace table with an 8-byte value.
+func (c *Cluster) SeedTable(table *keyspace.Table) {
+	for p := 0; p < table.Partitions(); p++ {
+		for _, k := range table.AllKeys(p) {
+			c.Seed(k, []byte("00000000"))
+		}
+	}
+}
+
+// Aggregate is the cluster-wide union of per-server metrics.
+type Aggregate struct {
+	GetBlocking metrics.BlockingSnapshot
+	PutBlocking metrics.BlockingSnapshot
+	TxBlocking  metrics.BlockingSnapshot
+	GetStale    metrics.StalenessSnapshot
+	TxStale     metrics.StalenessSnapshot
+}
+
+// Blocking merges GET, PUT and slice-read blocking, the aggregate Fig. 2a /
+// 3c report.
+func (a Aggregate) Blocking() metrics.BlockingSnapshot {
+	out := a.GetBlocking
+	out.Add(a.PutBlocking)
+	out.Add(a.TxBlocking)
+	return out
+}
+
+// Metrics aggregates every server's statistics.
+func (c *Cluster) Metrics() Aggregate {
+	var agg Aggregate
+	for dc := range c.mx {
+		for _, m := range c.mx[dc] {
+			agg.GetBlocking.Add(m.GetBlocking.Snapshot())
+			agg.PutBlocking.Add(m.PutBlocking.Snapshot())
+			agg.TxBlocking.Add(m.TxBlocking.Snapshot())
+			agg.GetStale.Add(m.GetStale.Snapshot())
+			agg.TxStale.Add(m.TxStale.Snapshot())
+		}
+	}
+	return agg
+}
+
+// ReadAt performs a raw GET against a specific DC with an empty dependency
+// vector (monitoring helper for tests and examples).
+func (c *Cluster) ReadAt(dc int, key string) (msg.ItemReply, error) {
+	srv := c.servers[dc][c.PartitionOf(key)]
+	return srv.Get(key, vclock.New(c.cfg.NumDCs), core.Optimistic)
+}

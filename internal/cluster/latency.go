@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/netemu"
+)
+
+// awsOneWay approximates the one-way delays of the paper's testbed
+// (Oregon, Virginia, Ireland), in milliseconds. Round-trip times between
+// those regions are roughly 70 ms (OR-VA), 140 ms (OR-IE) and 80 ms (VA-IE).
+var awsOneWay = [3][3]float64{
+	{0.1, 35, 70},
+	{35, 0.1, 40},
+	{70, 40, 0.1},
+}
+
+// AWSLatency returns a latency function emulating the paper's 3-DC AWS
+// deployment, scaled by the given factor (1.0 = full AWS latencies; CI-sized
+// runs use a smaller factor so experiments finish quickly). Intra-DC hops are
+// 100 µs × scale with a 50 µs floor. Data centers beyond the third reuse the
+// matrix modulo 3 but are always treated as remote.
+func AWSLatency(scale float64) netemu.LatencyFunc {
+	return func(src, dst netemu.NodeID) time.Duration {
+		var ms float64
+		if src.DC == dst.DC {
+			ms = 0.1
+		} else {
+			ms = awsOneWay[src.DC%3][dst.DC%3]
+			if ms <= 0.1 {
+				ms = 40 // distinct DCs mapping to the same region slot
+			}
+		}
+		d := time.Duration(ms * scale * float64(time.Millisecond))
+		if d < 50*time.Microsecond {
+			d = 50 * time.Microsecond
+		}
+		return d
+	}
+}
+
+// UniformLatency returns a latency function with a fixed intra-DC and
+// inter-DC delay, handy for deterministic protocol tests.
+func UniformLatency(intra, inter time.Duration) netemu.LatencyFunc {
+	return func(src, dst netemu.NodeID) time.Duration {
+		if src.DC == dst.DC {
+			return intra
+		}
+		return inter
+	}
+}

@@ -1,0 +1,808 @@
+// Package core implements the partition server of POCC (Algorithm 2) and of
+// the pessimistic baseline Cure* behind a single engine, mirroring the
+// paper's fairness setup: the two protocols exchange identical metadata and
+// differ only in that the pessimistic mode runs a stabilization protocol and
+// searches version chains for stable versions, while the optimistic mode
+// returns the freshest received version and blocks (rarely) on missing
+// dependencies. HA-POCC is the optimistic engine with infrequent
+// stabilization plus a block-timeout that closes sessions so clients can fall
+// back to the pessimistic protocol (§III-B, §IV-C).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/item"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/netemu"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// Transport carries protocol messages between partition servers. The
+// emulated network (netemu.Endpoint) and the TCP transport (tcpnet.Node)
+// both implement it; the protocol only requires lossless FIFO delivery per
+// (src, dst) pair.
+type Transport interface {
+	// ID returns the local node's coordinate.
+	ID() netemu.NodeID
+	// Send enqueues m for delivery to dst without blocking.
+	Send(dst netemu.NodeID, m any)
+	// SetHandler installs the message handler; it is invoked sequentially
+	// per source link.
+	SetHandler(h netemu.Handler)
+}
+
+// Mode selects the visibility protocol a request is served under.
+type Mode int
+
+// Visibility modes.
+const (
+	// Optimistic is POCC: reads return the freshest received version; a
+	// request whose dependencies are missing blocks until they arrive.
+	Optimistic Mode = iota + 1
+	// Pessimistic is Cure*: reads return the freshest *stable* version
+	// (dependency vector covered by the GSS); local items written by
+	// pessimistic sessions are always visible.
+	Pessimistic
+)
+
+// Sentinel errors returned by server operations.
+var (
+	// ErrStopped is returned for operations on a closed server.
+	ErrStopped = errors.New("core: server stopped")
+	// ErrSessionClosed is returned when a blocked optimistic request exceeds
+	// the block timeout: the server suspects a network partition and closes
+	// the session so the client can re-initialize it pessimistically.
+	ErrSessionClosed = errors.New("core: session closed (suspected network partition)")
+)
+
+// Metrics aggregates the per-server statistics the evaluation reports.
+type Metrics struct {
+	GetBlocking metrics.Blocking
+	PutBlocking metrics.Blocking
+	TxBlocking  metrics.Blocking // transactional slice reads (Fig. 3c)
+	GetStale    metrics.Staleness
+	TxStale     metrics.Staleness
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// ID is the server's (data center, partition) coordinate.
+	ID netemu.NodeID
+	// NumDCs (M) and NumPartitions (N) describe the layout.
+	NumDCs        int
+	NumPartitions int
+	// Clock is the node's physical clock.
+	Clock *clock.Clock
+	// Endpoint attaches the server to the network (emulated or TCP). The
+	// server installs its own handler.
+	Endpoint Transport
+	// DefaultMode is the visibility protocol of the deployment: Optimistic
+	// for POCC and HA-POCC, Pessimistic for Cure*. Individual requests carry
+	// their session's mode, enabling HA-POCC's mixed operation.
+	DefaultMode Mode
+	// HeartbeatInterval is Δ of Algorithm 2 (1 ms in the evaluation).
+	HeartbeatInterval time.Duration
+	// StabilizationInterval is the GSS exchange period: 5 ms for Cure*,
+	// infrequent (e.g. 500 ms) for HA-POCC, 0 to disable (pure POCC).
+	StabilizationInterval time.Duration
+	// GCInterval is the garbage-collection exchange period; 0 disables GC.
+	GCInterval time.Duration
+	// PutDepWait enables the optional wait of Algorithm 2 line 6 (enabled in
+	// the paper's evaluation to emulate merge-based conflict handling).
+	PutDepWait bool
+	// BlockTimeout > 0 turns on HA-POCC's partition suspicion: optimistic
+	// requests blocked longer than this return ErrSessionClosed. 0 waits
+	// forever (the paper's POCC, evaluated without partitions).
+	BlockTimeout time.Duration
+	// Metrics receives the server's statistics; required.
+	Metrics *Metrics
+}
+
+func (c *Config) validate() error {
+	if c.NumDCs < 1 || c.NumPartitions < 1 {
+		return fmt.Errorf("core: invalid layout %dx%d", c.NumDCs, c.NumPartitions)
+	}
+	if c.ID.DC < 0 || c.ID.DC >= c.NumDCs || c.ID.Partition < 0 || c.ID.Partition >= c.NumPartitions {
+		return fmt.Errorf("core: id %v outside layout %dx%d", c.ID, c.NumDCs, c.NumPartitions)
+	}
+	if c.Clock == nil || c.Endpoint == nil || c.Metrics == nil {
+		return errors.New("core: Clock, Endpoint and Metrics are required")
+	}
+	if c.DefaultMode != Optimistic && c.DefaultMode != Pessimistic {
+		return errors.New("core: DefaultMode must be Optimistic or Pessimistic")
+	}
+	if c.DefaultMode == Pessimistic && c.StabilizationInterval <= 0 {
+		return errors.New("core: pessimistic mode requires a stabilization interval")
+	}
+	return nil
+}
+
+// Server is one partition replica p_n^m.
+type Server struct {
+	cfg   Config
+	m     int // data center id
+	n     int // partition id
+	clk   *clock.Clock
+	ep    Transport
+	store *storage.Store
+	mx    *Metrics
+
+	mu         sync.Mutex
+	vv         vclock.VC             // version vector VV_n^m
+	gss        vclock.VC             // globally stable snapshot (pessimistic/HA)
+	peerVV     []vclock.VC           // last VV heard from each same-DC partition
+	gcContrib  []vclock.VC           // last GC contribution per same-DC partition
+	waiters    []*waiter             // requests blocked on VV advances
+	gssWaiters []*waiter             // requests blocked on GSS advances
+	activeTx   map[uint64]vclock.VC  // snapshot vectors of in-flight RO-TXs
+	pendingTx  map[uint64]*txPending // coordinator fan-in state
+
+	txSeq       atomic.Uint64
+	suspectedAt atomic.Int64 // unix nanos of the last block timeout; 0 = never
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// txPending tracks a coordinator's outstanding slice requests.
+type txPending struct {
+	remaining int
+	items     []msg.ItemReply
+	err       string
+	done      chan struct{}
+}
+
+// waiter represents one blocked request: it is released when the watched
+// vector covers need on every entry except skip (-1 to check all entries).
+type waiter struct {
+	need vclock.VC
+	skip int
+	done chan struct{}
+}
+
+func (w *waiter) satisfiedBy(v vclock.VC) bool {
+	if w.skip < 0 {
+		return w.need.LessEq(v)
+	}
+	return w.need.LessEqExcept(v, w.skip)
+}
+
+// NewServer builds and starts a partition server: its network handler is
+// installed and its heartbeat/stabilization/GC loops are running when
+// NewServer returns.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		m:         cfg.ID.DC,
+		n:         cfg.ID.Partition,
+		clk:       cfg.Clock,
+		ep:        cfg.Endpoint,
+		store:     storage.New(),
+		mx:        cfg.Metrics,
+		vv:        vclock.New(cfg.NumDCs),
+		gss:       vclock.New(cfg.NumDCs),
+		peerVV:    make([]vclock.VC, cfg.NumPartitions),
+		gcContrib: make([]vclock.VC, cfg.NumPartitions),
+		activeTx:  make(map[uint64]vclock.VC),
+		pendingTx: make(map[uint64]*txPending),
+		stop:      make(chan struct{}),
+	}
+	for i := range s.peerVV {
+		s.peerVV[i] = vclock.New(cfg.NumDCs)
+		s.gcContrib[i] = nil // unknown until first exchange
+	}
+	s.ep.SetHandler(s.handle)
+
+	if cfg.HeartbeatInterval > 0 && cfg.NumDCs > 1 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
+	if cfg.StabilizationInterval > 0 {
+		s.wg.Add(1)
+		go s.stabilizationLoop()
+	}
+	if cfg.GCInterval > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
+	return s, nil
+}
+
+// Close stops the background loops and releases every blocked request with
+// ErrStopped. It does not close the shared network.
+func (s *Server) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.stop:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	close(s.stop)
+	s.waiters = nil
+	s.gssWaiters = nil
+	for _, p := range s.pendingTx {
+		if p.err == "" {
+			p.err = ErrStopped.Error()
+		}
+		close(p.done)
+	}
+	s.pendingTx = make(map[uint64]*txPending)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// ID returns the server's coordinate.
+func (s *Server) ID() netemu.NodeID { return s.cfg.ID }
+
+// Store exposes the underlying multiversion store for tests and seeding.
+func (s *Server) Store() *storage.Store { return s.store }
+
+// VV returns a copy of the current version vector.
+func (s *Server) VV() vclock.VC {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vv.Clone()
+}
+
+// GSS returns a copy of the current globally stable snapshot.
+func (s *Server) GSS() vclock.VC {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gss.Clone()
+}
+
+// Suspected reports whether the server recently suspected a network
+// partition (a blocked request hit the block timeout). HA-POCC clients use
+// it to decide when to promote sessions back to the optimistic protocol.
+func (s *Server) Suspected() bool {
+	at := s.suspectedAt.Load()
+	if at == 0 {
+		return false
+	}
+	window := 4 * s.cfg.BlockTimeout
+	if window <= 0 {
+		window = time.Second
+	}
+	return time.Since(time.Unix(0, at)) < window
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing operations
+// ---------------------------------------------------------------------------
+
+// Get serves a GET(k) with the client's read dependency vector (Algorithm 2,
+// lines 1-4). Under Optimistic it blocks until VV covers rdv on every remote
+// entry, then returns the freshest version. Under Pessimistic it waits until
+// the GSS covers rdv, then returns the freshest stable version.
+func (s *Server) Get(key string, rdv vclock.VC, mode Mode) (msg.ItemReply, error) {
+	var reply msg.ItemReply
+	var res storage.ReadResult
+	blocked, err := func() (time.Duration, error) {
+		if mode == Pessimistic {
+			blocked, err := s.waitGSS(rdv, s.m)
+			if err != nil {
+				return blocked, err
+			}
+			gss := s.GSS()
+			res = s.store.ReadVisible(key, s.pessimisticVisible(gss))
+			return blocked, nil
+		}
+		blocked, err := s.waitVV(rdv, s.m)
+		if err != nil {
+			return blocked, err
+		}
+		res = s.store.ReadVisible(key, nil)
+		return blocked, nil
+	}()
+	s.mx.GetBlocking.Record(blocked)
+	if err != nil {
+		return reply, err
+	}
+	s.mx.GetStale.Record(res.Fresher, res.Invisible)
+	return msg.FromVersion(key, res.V, res.Fresher, res.Invisible), nil
+}
+
+// Put serves a PUT(k, v) with the client's dependency vector (Algorithm 2,
+// lines 5-15): optionally wait until the server's state covers the client's
+// dependencies, wait until the local clock exceeds every dependency, assign
+// the update timestamp, store the version, and replicate it asynchronously
+// in timestamp order.
+func (s *Server) Put(key string, value []byte, dv vclock.VC, mode Mode) (vclock.Timestamp, error) {
+	var blocked time.Duration
+	if s.cfg.PutDepWait {
+		var err error
+		blocked, err = s.waitVV(dv, s.m)
+		if err != nil {
+			s.mx.PutBlocking.Record(blocked)
+			return 0, err
+		}
+	}
+	s.mx.PutBlocking.Record(blocked)
+
+	// Ensure the new version's timestamp exceeds all its dependencies.
+	s.clk.SleepUntilAfter(dv.MaxEntry())
+
+	val := make([]byte, len(value))
+	copy(val, value)
+
+	s.mu.Lock()
+	if s.isStopped() {
+		s.mu.Unlock()
+		return 0, ErrStopped
+	}
+	ut := s.clk.Now()
+	s.vv[s.m] = ut
+	d := &item.Version{
+		Key:        key,
+		Value:      val,
+		SrcReplica: s.m,
+		UpdateTime: ut,
+		Deps:       dv.Clone(),
+		Optimistic: mode == Optimistic,
+	}
+	if d.Deps == nil {
+		d.Deps = vclock.New(s.cfg.NumDCs)
+	}
+	s.store.Insert(d)
+	// Replicate while holding the lock so per-link FIFO order matches
+	// timestamp order (the correctness of VV advancement relies on it).
+	for dc := 0; dc < s.cfg.NumDCs; dc++ {
+		if dc != s.m {
+			s.ep.Send(netemu.NodeID{DC: dc, Partition: s.n}, msg.Replicate{V: d})
+		}
+	}
+	s.notifyVVWaitersLocked()
+	s.mu.Unlock()
+	return ut, nil
+}
+
+// ROTx coordinates a causally consistent read-only transaction (Algorithm 2,
+// lines 29-38): compute the snapshot vector TV, fan SliceReqs out to the
+// partitions holding the keys, and gather the replies.
+func (s *Server) ROTx(keys []string, rdv vclock.VC, mode Mode, partitionOf func(string) int) ([]msg.ItemReply, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	byPartition := make(map[int][]string)
+	for _, k := range keys {
+		p := partitionOf(k)
+		byPartition[p] = append(byPartition[p], k)
+	}
+
+	s.mu.Lock()
+	if s.isStopped() {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+	// Snapshot boundary: the optimistic protocol snapshots what the
+	// coordinator has *received* (VV); the pessimistic one snapshots what is
+	// *stable* (GSS). Both include the client's history (rdv).
+	var tv vclock.VC
+	if mode == Pessimistic {
+		tv = vclock.Max(s.gss, rdv)
+	} else {
+		tv = vclock.Max(s.vv, rdv)
+	}
+	txID := s.txSeq.Add(1)
+	s.activeTx[txID] = tv
+	pending := &txPending{remaining: len(byPartition), done: make(chan struct{})}
+	s.pendingTx[txID] = pending
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.activeTx, txID)
+		delete(s.pendingTx, txID)
+		s.mu.Unlock()
+	}()
+
+	for p, ks := range byPartition {
+		req := msg.SliceReq{
+			TxID:        txID,
+			Coordinator: s.cfg.ID,
+			Keys:        ks,
+			TV:          tv,
+			Pessimistic: mode == Pessimistic,
+		}
+		if p == s.n {
+			// Serve the local slice on a separate goroutine: it may block on
+			// the same conditions as a remote one.
+			go s.serveSlice(s.cfg.ID, req)
+		} else {
+			s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, req)
+		}
+	}
+
+	select {
+	case <-pending.done:
+	case <-s.stop:
+		return nil, ErrStopped
+	}
+	s.mu.Lock()
+	items, errStr := pending.items, pending.err
+	s.mu.Unlock()
+	if errStr != "" {
+		if errStr == ErrSessionClosed.Error() {
+			return nil, ErrSessionClosed
+		}
+		return nil, errors.New(errStr)
+	}
+	return items, nil
+}
+
+// ---------------------------------------------------------------------------
+// Network message handling
+// ---------------------------------------------------------------------------
+
+func (s *Server) handle(src netemu.NodeID, m any) {
+	switch mm := m.(type) {
+	case msg.Replicate:
+		s.applyReplicate(src, mm)
+	case msg.Heartbeat:
+		s.applyHeartbeat(src, mm)
+	case msg.VVExchange:
+		s.applyVVExchange(mm)
+	case msg.GCExchange:
+		s.applyGCExchange(mm)
+	case msg.SliceReq:
+		// Slice reads may block on VV/GSS; never stall the link goroutine.
+		go s.serveSlice(src, mm)
+	case msg.SliceResp:
+		s.applySliceResp(mm)
+	}
+}
+
+// applyReplicate installs a remote version and advances the version vector
+// (Algorithm 2, lines 16-18). Messages arrive in timestamp order per link.
+func (s *Server) applyReplicate(src netemu.NodeID, m msg.Replicate) {
+	s.store.Insert(m.V)
+	s.mu.Lock()
+	if m.V.UpdateTime > s.vv[src.DC] {
+		s.vv[src.DC] = m.V.UpdateTime
+	}
+	s.notifyVVWaitersLocked()
+	s.mu.Unlock()
+}
+
+// applyHeartbeat advances the sender DC's version-vector entry (lines 27-28).
+func (s *Server) applyHeartbeat(src netemu.NodeID, m msg.Heartbeat) {
+	s.mu.Lock()
+	if m.Time > s.vv[src.DC] {
+		s.vv[src.DC] = m.Time
+	}
+	s.notifyVVWaitersLocked()
+	s.mu.Unlock()
+}
+
+// applyVVExchange records a same-DC peer's version vector and recomputes the
+// GSS as the aggregate minimum (§IV-C).
+func (s *Server) applyVVExchange(m msg.VVExchange) {
+	s.mu.Lock()
+	s.peerVV[m.Partition] = m.VV
+	s.recomputeGSSLocked()
+	s.mu.Unlock()
+}
+
+// recomputeGSSLocked folds the freshest known VV of every partition in the
+// DC (including this node's own) into the GSS.
+func (s *Server) recomputeGSSLocked() {
+	s.peerVV[s.n] = s.vv.Clone()
+	gss := vclock.AggregateMin(s.peerVV)
+	if s.gss.LessEq(gss) && !s.gss.Equal(gss) {
+		s.gss = gss
+		s.notifyGSSWaitersLocked()
+	}
+}
+
+// applyGCExchange records a peer's GC contribution; when contributions from
+// every partition are known, prune with their aggregate minimum.
+func (s *Server) applyGCExchange(m msg.GCExchange) {
+	s.mu.Lock()
+	s.gcContrib[m.Partition] = m.TV
+	gv := s.gcVectorLocked()
+	s.mu.Unlock()
+	if gv != nil {
+		s.store.CollectGarbage(gv)
+	}
+}
+
+// gcVectorLocked returns the DC-wide GC vector, or nil if some partition has
+// not contributed yet.
+func (s *Server) gcVectorLocked() vclock.VC {
+	s.gcContrib[s.n] = s.localGCContributionLocked()
+	vs := make([]vclock.VC, 0, len(s.gcContrib))
+	for _, c := range s.gcContrib {
+		if c == nil {
+			return nil
+		}
+		vs = append(vs, c)
+	}
+	return vclock.AggregateMin(vs)
+}
+
+// localGCContributionLocked is the node's GC input: the minimum of its
+// visibility vector (VV for optimistic deployments, GSS when stabilization
+// runs) and the snapshot vectors of its active transactions. Taking the
+// minimum (rather than the paper's "aggregate maximum" wording) is the
+// conservative-safe choice: the GC vector never overtakes a snapshot an
+// active transaction may still read (see DESIGN.md §3).
+func (s *Server) localGCContributionLocked() vclock.VC {
+	var base vclock.VC
+	if s.cfg.StabilizationInterval > 0 {
+		base = s.gss.Clone()
+	} else {
+		base = s.vv.Clone()
+	}
+	for _, tv := range s.activeTx {
+		base.MinInPlace(tv)
+	}
+	return base
+}
+
+// serveSlice executes a transactional slice read (Algorithm 2, lines 39-47):
+// wait until this node has installed every update in the snapshot, then read
+// the freshest version of each key within TV.
+func (s *Server) serveSlice(src netemu.NodeID, req msg.SliceReq) {
+	blocked, err := s.waitVV(req.TV, -1)
+	s.mx.TxBlocking.Record(blocked)
+	resp := msg.SliceResp{TxID: req.TxID}
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		var visible func(*item.Version) bool
+		if req.Pessimistic {
+			gss := s.GSS()
+			stable := s.pessimisticVisible(gss)
+			visible = func(v *item.Version) bool {
+				return v.Deps.LessEq(req.TV) && stable(v)
+			}
+		}
+		resp.Items = make([]msg.ItemReply, 0, len(req.Keys))
+		for _, k := range req.Keys {
+			var res storage.ReadResult
+			if visible != nil {
+				res = s.store.ReadVisible(k, visible)
+			} else {
+				res = s.store.ReadWithin(k, req.TV)
+			}
+			s.mx.TxStale.Record(res.Fresher, res.Invisible)
+			resp.Items = append(resp.Items, msg.FromVersion(k, res.V, res.Fresher, res.Invisible))
+		}
+	}
+	if src == s.cfg.ID {
+		s.applySliceResp(resp)
+		return
+	}
+	s.ep.Send(src, resp)
+}
+
+// applySliceResp folds a slice reply into the coordinator's pending state.
+func (s *Server) applySliceResp(m msg.SliceResp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pendingTx[m.TxID]
+	if !ok || p.remaining <= 0 {
+		// Transaction already completed, failed, or the transport delivered
+		// a duplicate (TCP reconnects are at-least-once).
+		return
+	}
+	if m.Err != "" && p.err == "" {
+		p.err = m.Err
+	}
+	p.items = append(p.items, m.Items...)
+	p.remaining--
+	if p.remaining == 0 {
+		close(p.done)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Background loops
+// ---------------------------------------------------------------------------
+
+// heartbeatLoop broadcasts the local clock when no PUT has advanced the local
+// version-vector entry for a heartbeat interval (Algorithm 2, lines 19-26).
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		ct := s.clk.Now()
+		if ct >= s.vv[s.m]+vclock.Timestamp(s.cfg.HeartbeatInterval) {
+			s.vv[s.m] = ct
+			for dc := 0; dc < s.cfg.NumDCs; dc++ {
+				if dc != s.m {
+					s.ep.Send(netemu.NodeID{DC: dc, Partition: s.n}, msg.Heartbeat{Time: ct})
+				}
+			}
+			s.notifyVVWaitersLocked()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// stabilizationLoop periodically broadcasts this node's VV to its same-DC
+// peers so everyone can maintain the GSS (§IV-C).
+func (s *Server) stabilizationLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.StabilizationInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		vv := s.vv.Clone()
+		s.recomputeGSSLocked()
+		s.mu.Unlock()
+		for p := 0; p < s.cfg.NumPartitions; p++ {
+			if p != s.n {
+				s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, msg.VVExchange{Partition: s.n, VV: vv})
+			}
+		}
+	}
+}
+
+// gcLoop periodically broadcasts this node's GC contribution and prunes with
+// the DC-wide minimum when known.
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		contrib := s.localGCContributionLocked()
+		gv := s.gcVectorLocked()
+		s.mu.Unlock()
+		for p := 0; p < s.cfg.NumPartitions; p++ {
+			if p != s.n {
+				s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, msg.GCExchange{Partition: s.n, TV: contrib})
+			}
+		}
+		if gv != nil {
+			s.store.CollectGarbage(gv)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Blocking machinery
+// ---------------------------------------------------------------------------
+
+func (s *Server) isStopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// waitVV blocks until the version vector covers need on every entry except
+// skip. It returns how long the caller was blocked. With a BlockTimeout
+// configured, a wait that exceeds it marks the server suspected and returns
+// ErrSessionClosed (the HA-POCC recovery trigger).
+func (s *Server) waitVV(need vclock.VC, skip int) (time.Duration, error) {
+	return s.waitOn(&s.waiters, func() vclock.VC { return s.vv }, need, skip)
+}
+
+// waitGSS blocks until the GSS covers need on every entry except skip.
+func (s *Server) waitGSS(need vclock.VC, skip int) (time.Duration, error) {
+	return s.waitOn(&s.gssWaiters, func() vclock.VC { return s.gss }, need, skip)
+}
+
+func (s *Server) waitOn(list *[]*waiter, vec func() vclock.VC, need vclock.VC, skip int) (time.Duration, error) {
+	w := waiter{need: need, skip: skip, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.isStopped() {
+		s.mu.Unlock()
+		return 0, ErrStopped
+	}
+	if w.satisfiedBy(vec()) {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	*list = append(*list, &w)
+	s.mu.Unlock()
+
+	start := time.Now()
+	var timeout <-chan time.Time
+	if s.cfg.BlockTimeout > 0 {
+		timer := time.NewTimer(s.cfg.BlockTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case <-w.done:
+		return time.Since(start), nil
+	case <-s.stop:
+		s.removeWaiter(list, &w)
+		return time.Since(start), ErrStopped
+	case <-timeout:
+		// The waiter may have been released concurrently with the timer
+		// firing; prefer success in that case.
+		select {
+		case <-w.done:
+			return time.Since(start), nil
+		default:
+		}
+		s.removeWaiter(list, &w)
+		s.suspectedAt.Store(time.Now().UnixNano())
+		return time.Since(start), ErrSessionClosed
+	}
+}
+
+func (s *Server) removeWaiter(list *[]*waiter, w *waiter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := *list
+	for i, x := range ws {
+		if x == w {
+			ws[i] = ws[len(ws)-1]
+			*list = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Server) notifyVVWaitersLocked() {
+	s.waiters = releaseSatisfied(s.waiters, s.vv)
+}
+
+func (s *Server) notifyGSSWaitersLocked() {
+	s.gssWaiters = releaseSatisfied(s.gssWaiters, s.gss)
+}
+
+func releaseSatisfied(ws []*waiter, v vclock.VC) []*waiter {
+	out := ws[:0]
+	for _, w := range ws {
+		if w.satisfiedBy(v) {
+			close(w.done)
+		} else {
+			out = append(out, w)
+		}
+	}
+	// Clear the tail so released waiters are not retained.
+	for i := len(out); i < len(ws); i++ {
+		ws[i] = nil
+	}
+	return out
+}
+
+// pessimisticVisible returns the Cure* visibility predicate for the given
+// GSS snapshot: stable versions (deps covered by the GSS) are visible; local
+// versions written by pessimistic sessions are always visible; local versions
+// written by optimistic sessions need stability (HA-POCC, §IV-C).
+func (s *Server) pessimisticVisible(gss vclock.VC) func(*item.Version) bool {
+	return func(v *item.Version) bool {
+		if v.Deps.LessEq(gss) {
+			return true
+		}
+		return v.SrcReplica == s.m && !v.Optimistic
+	}
+}

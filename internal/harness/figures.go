@@ -1,0 +1,371 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// bothEngines is the comparison pair of the evaluation.
+var bothEngines = []cluster.Engine{cluster.Cure, cluster.POCC}
+
+// Fig1a — throughput while varying the number of partitions (GET:PUT = p:1).
+func Fig1a(ctx context.Context, sc Scale, partitions []int) (*Table, error) {
+	if len(partitions) == 0 {
+		partitions = []int{2, 4, 8, 16, 24, 32}
+	}
+	t := &Table{
+		ID:      "fig1a",
+		Title:   "Throughput (ops/s) vs #partitions, GET:PUT = p:1",
+		Columns: []string{"partitions", "Cure* ops/s", "POCC ops/s", "POCC/Cure*"},
+	}
+	for _, p := range partitions {
+		var thr [2]float64
+		for i, eng := range bothEngines {
+			pt, err := run(ctx, runSpec{scale: sc, engine: eng, partitions: p,
+				kind: getPutWorkload, mixParam: p})
+			if err != nil {
+				return nil, fmt.Errorf("fig1a %s p=%d: %w", eng, p, err)
+			}
+			thr[i] = pt.Throughput
+		}
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(p), fmtOps(thr[0]), fmtOps(thr[1]), fmt.Sprintf("%.2f", ratio(thr[1], thr[0])),
+		})
+	}
+	return t, nil
+}
+
+// GetPutSweep runs the 32:1 GET:PUT load sweep shared by Fig. 1b, 2a and 2b:
+// for each client count it measures both systems and returns the raw points
+// (Cure* then POCC per count).
+func GetPutSweep(ctx context.Context, sc Scale, clientsPerPart []int) ([][2]Point, error) {
+	if len(clientsPerPart) == 0 {
+		clientsPerPart = []int{8, 16, 32, 64}
+	}
+	out := make([][2]Point, 0, len(clientsPerPart))
+	for _, cpp := range clientsPerPart {
+		var pair [2]Point
+		for i, eng := range bothEngines {
+			pt, err := run(ctx, runSpec{scale: sc, engine: eng,
+				kind: getPutWorkload, mixParam: 32,
+				clients: cpp * sc.Partitions * sc.DCs})
+			if err != nil {
+				return nil, fmt.Errorf("getput sweep %s cpp=%d: %w", eng, cpp, err)
+			}
+			pt.Param = cpp
+			pair[i] = pt
+		}
+		out = append(out, pair)
+	}
+	return out, nil
+}
+
+// Fig1b — average response time vs throughput (32 partitions, 32:1).
+func Fig1b(points [][2]Point) *Table {
+	t := &Table{
+		ID:      "fig1b",
+		Title:   "Avg. response time vs throughput, 32:1 GET:PUT",
+		Columns: []string{"clients/part", "Cure* ops/s", "Cure* resp ms", "POCC ops/s", "POCC resp ms"},
+	}
+	for _, pair := range points {
+		cure, pocc := pair[0], pair[1]
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(cure.Param),
+			fmtOps(cure.Throughput), fmtMs(cure.MeanResp),
+			fmtOps(pocc.Throughput), fmtMs(pocc.MeanResp),
+		})
+	}
+	return t
+}
+
+// Fig2a — POCC blocking probability and mean blocking time vs throughput.
+func Fig2a(points [][2]Point) *Table {
+	t := &Table{
+		ID:      "fig2a",
+		Title:   "POCC blocking behaviour, 32:1 GET:PUT",
+		Columns: []string{"clients/part", "ops/s", "block prob", "block time ms"},
+	}
+	for _, pair := range points {
+		pocc := pair[1]
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(pocc.Param), fmtOps(pocc.Throughput),
+			fmtProb(pocc.BlockProb), fmtMs(pocc.MeanBlock),
+		})
+	}
+	return t
+}
+
+// Fig2b — Cure* staleness vs throughput: % old and % unmerged GETs, fresher
+// and unmerged version counts.
+func Fig2b(points [][2]Point) *Table {
+	t := &Table{
+		ID:      "fig2b",
+		Title:   "Cure* data staleness, 32:1 GET:PUT",
+		Columns: []string{"clients/part", "ops/s", "% old", "% unmerged", "# fresher", "# unmerged"},
+	}
+	for _, pair := range points {
+		cure := pair[0]
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(cure.Param), fmtOps(cure.Throughput),
+			fmtPct(cure.GetStale.PercentOld()), fmtPct(cure.GetStale.PercentUnmerged()),
+			fmt.Sprintf("%.2f", cure.GetStale.MeanFresher()),
+			fmt.Sprintf("%.2f", cure.GetStale.MeanUnmergedVersions()),
+		})
+	}
+	return t
+}
+
+// Fig1c — throughput vs GET:PUT ratio on the default partition count.
+func Fig1c(ctx context.Context, sc Scale, ratios []int) (*Table, error) {
+	if len(ratios) == 0 {
+		ratios = []int{32, 16, 8, 4, 2, 1}
+	}
+	t := &Table{
+		ID:      "fig1c",
+		Title:   "Throughput vs GET:PUT ratio",
+		Columns: []string{"ratio", "Cure* ops/s", "POCC ops/s", "POCC/Cure*"},
+	}
+	for _, r := range ratios {
+		var thr [2]float64
+		for i, eng := range bothEngines {
+			pt, err := run(ctx, runSpec{scale: sc, engine: eng,
+				kind: getPutWorkload, mixParam: r})
+			if err != nil {
+				return nil, fmt.Errorf("fig1c %s ratio=%d: %w", eng, r, err)
+			}
+			thr[i] = pt.Throughput
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d:1", r), fmtOps(thr[0]), fmtOps(thr[1]),
+			fmt.Sprintf("%.2f", ratio(thr[1], thr[0])),
+		})
+	}
+	return t, nil
+}
+
+// Fig3a — throughput while varying the number of partitions contacted per
+// RO-TX (RO-TX + PUT workload).
+func Fig3a(ctx context.Context, sc Scale, fanouts []int) (*Table, error) {
+	if len(fanouts) == 0 {
+		fanouts = []int{1, 2, 4, 8, 16, 24, 32}
+	}
+	t := &Table{
+		ID:      "fig3a",
+		Title:   "Throughput vs partitions contacted per RO-TX",
+		Columns: []string{"partitions/tx", "Cure* ops/s", "POCC ops/s", "POCC/Cure*"},
+	}
+	for _, f := range fanouts {
+		if f > sc.Partitions {
+			continue
+		}
+		var thr [2]float64
+		for i, eng := range bothEngines {
+			pt, err := run(ctx, runSpec{scale: sc, engine: eng,
+				kind: roTxWorkload, mixParam: f})
+			if err != nil {
+				return nil, fmt.Errorf("fig3a %s fanout=%d: %w", eng, f, err)
+			}
+			thr[i] = pt.Throughput
+		}
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(f), fmtOps(thr[0]), fmtOps(thr[1]),
+			fmt.Sprintf("%.2f", ratio(thr[1], thr[0])),
+		})
+	}
+	return t, nil
+}
+
+// TxSweep runs the transactional load sweep shared by Fig. 3b, 3c and 3d:
+// RO-TX over half the partitions + PUT, sweeping clients per partition.
+func TxSweep(ctx context.Context, sc Scale, clientsPerPart []int) ([][2]Point, error) {
+	if len(clientsPerPart) == 0 {
+		clientsPerPart = []int{32, 64, 96, 128, 160, 192}
+	}
+	fanout := sc.Partitions / 2
+	if fanout < 1 {
+		fanout = 1
+	}
+	out := make([][2]Point, 0, len(clientsPerPart))
+	for _, cpp := range clientsPerPart {
+		var pair [2]Point
+		for i, eng := range bothEngines {
+			pt, err := run(ctx, runSpec{scale: sc, engine: eng,
+				kind: roTxWorkload, mixParam: fanout,
+				clients: cpp * sc.Partitions * sc.DCs})
+			if err != nil {
+				return nil, fmt.Errorf("tx sweep %s cpp=%d: %w", eng, cpp, err)
+			}
+			pt.Param = cpp
+			pair[i] = pt
+		}
+		out = append(out, pair)
+	}
+	return out, nil
+}
+
+// Fig3b — throughput and RO-TX response time vs clients per partition.
+func Fig3b(points [][2]Point) *Table {
+	t := &Table{
+		ID:      "fig3b",
+		Title:   "Throughput and RO-TX response time vs clients/partition (tx over N/2 partitions)",
+		Columns: []string{"clients/part", "Cure* ops/s", "Cure* tx ms", "POCC ops/s", "POCC tx ms"},
+	}
+	for _, pair := range points {
+		cure, pocc := pair[0], pair[1]
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(cure.Param),
+			fmtOps(cure.Throughput), fmtMs(cure.TxResp),
+			fmtOps(pocc.Throughput), fmtMs(pocc.TxResp),
+		})
+	}
+	return t
+}
+
+// Fig3c — POCC blocking behaviour under the transactional workload.
+func Fig3c(points [][2]Point) *Table {
+	t := &Table{
+		ID:      "fig3c",
+		Title:   "POCC blocking behaviour, RO-TX + PUT workload",
+		Columns: []string{"clients/part", "ops/s", "block prob", "block time ms"},
+	}
+	for _, pair := range points {
+		pocc := pair[1]
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(pocc.Param), fmtOps(pocc.Throughput),
+			fmtProb(pocc.BlockProb), fmtMs(pocc.MeanBlock),
+		})
+	}
+	return t
+}
+
+// Fig3d — staleness of transactional reads: % old items returned by POCC and
+// Cure*, % unmerged for Cure*. (In POCC transactional old and unmerged
+// coincide, §V-C.)
+func Fig3d(points [][2]Point) *Table {
+	t := &Table{
+		ID:      "fig3d",
+		Title:   "Transactional data staleness: POCC vs Cure*",
+		Columns: []string{"clients/part", "Cure* % old", "Cure* % unmerged", "POCC % old"},
+	}
+	for _, pair := range points {
+		cure, pocc := pair[0], pair[1]
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(cure.Param),
+			fmtPct(cure.TxStale.PercentOld()), fmtPct(cure.TxStale.PercentUnmerged()),
+			fmtPct(pocc.TxStale.PercentOld()),
+		})
+	}
+	return t
+}
+
+// AblationStabilization sweeps Cure*'s stabilization interval, the
+// throughput-vs-staleness trade-off the paper points out in §V-B.
+func AblationStabilization(ctx context.Context, sc Scale, intervals []time.Duration) (*Table, error) {
+	if len(intervals) == 0 {
+		intervals = []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond}
+	}
+	t := &Table{
+		ID:      "ablation-stab",
+		Title:   "Cure*: stabilization interval vs throughput and staleness",
+		Columns: []string{"interval ms", "ops/s", "% old", "% unmerged"},
+	}
+	for _, iv := range intervals {
+		pt, err := run(ctx, runSpec{scale: sc, engine: cluster.Cure,
+			kind: getPutWorkload, mixParam: 8, stabilization: iv})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtMs(iv), fmtOps(pt.Throughput),
+			fmtPct(pt.GetStale.PercentOld()), fmtPct(pt.GetStale.PercentUnmerged()),
+		})
+	}
+	return t, nil
+}
+
+// AblationHeartbeat sweeps POCC's heartbeat interval Δ against the blocking
+// time of stalled operations: heartbeats bound how long a blocked request
+// waits when the missing dependency does not exist.
+func AblationHeartbeat(ctx context.Context, sc Scale, intervals []time.Duration) (*Table, error) {
+	if len(intervals) == 0 {
+		intervals = []time.Duration{500 * time.Microsecond, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
+	}
+	t := &Table{
+		ID:      "ablation-hb",
+		Title:   "POCC: heartbeat interval vs blocking",
+		Columns: []string{"interval ms", "ops/s", "block prob", "block time ms"},
+	}
+	for _, iv := range intervals {
+		pt, err := run(ctx, runSpec{scale: sc, engine: cluster.POCC,
+			kind: getPutWorkload, mixParam: 4, heartbeat: iv})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtMs(iv), fmtOps(pt.Throughput), fmtProb(pt.BlockProb), fmtMs(pt.MeanBlock),
+		})
+	}
+	return t, nil
+}
+
+// AblationClockSkew sweeps the emulated NTP skew against PUT latency: the
+// PUT clock-wait (Algorithm 2 line 7) stretches with the skew while
+// correctness is unaffected.
+func AblationClockSkew(ctx context.Context, sc Scale, skews []time.Duration) (*Table, error) {
+	if len(skews) == 0 {
+		skews = []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
+	}
+	t := &Table{
+		ID:      "ablation-skew",
+		Title:   "POCC: clock skew vs throughput and response time",
+		Columns: []string{"skew ms", "ops/s", "resp ms"},
+	}
+	for _, sk := range skews {
+		spec := runSpec{scale: sc, engine: cluster.POCC, kind: getPutWorkload, mixParam: 2}
+		if sk == 0 {
+			spec.clockSkew = -1
+		} else {
+			spec.clockSkew = sk
+		}
+		pt, err := run(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmtMs(sk), fmtOps(pt.Throughput), fmtMs(pt.MeanResp)})
+	}
+	return t, nil
+}
+
+// AblationThinkTime sweeps the client think time against POCC's blocking
+// probability: longer think times give servers time to receive missing
+// dependencies before the next request (§V-A).
+func AblationThinkTime(ctx context.Context, sc Scale, thinks []time.Duration) (*Table, error) {
+	if len(thinks) == 0 {
+		thinks = []time.Duration{100 * time.Microsecond, 500 * time.Microsecond, time.Millisecond, 5 * time.Millisecond}
+	}
+	t := &Table{
+		ID:      "ablation-think",
+		Title:   "POCC: think time vs blocking probability",
+		Columns: []string{"think ms", "ops/s", "block prob"},
+	}
+	for _, th := range thinks {
+		pt, err := run(ctx, runSpec{scale: sc, engine: cluster.POCC,
+			kind: getPutWorkload, mixParam: 4, thinkTime: th})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmtMs(th), fmtOps(pt.Throughput), fmtProb(pt.BlockProb)})
+	}
+	return t, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// microScale keeps harness tests fast: tiny cluster, tiny windows.
+func microScale() Scale {
+	return Scale{
+		DCs: 2, Partitions: 2, KeysPerPartition: 8, ValueSize: 8,
+		ThinkTime: 200 * time.Microsecond, LatencyScale: 0.005, JitterFrac: 0.1,
+		Warmup: 30 * time.Millisecond, Measure: 120 * time.Millisecond,
+		ClientsPerPart: 2, Seed: 7,
+	}
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	pt, err := run(context.Background(), runSpec{
+		scale: microScale(), engine: cluster.POCC, kind: getPutWorkload, mixParam: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Throughput <= 0 {
+		t.Fatalf("throughput = %v", pt.Throughput)
+	}
+	if pt.Errors != 0 {
+		t.Fatalf("errors = %d", pt.Errors)
+	}
+	if pt.MeanResp <= 0 {
+		t.Fatal("mean response time must be positive")
+	}
+	if pt.Messages == 0 {
+		t.Fatal("replication traffic must be counted")
+	}
+}
+
+func TestRunTxWorkload(t *testing.T) {
+	pt, err := run(context.Background(), runSpec{
+		scale: microScale(), engine: cluster.Cure, kind: roTxWorkload, mixParam: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Throughput <= 0 {
+		t.Fatal("no transactional throughput")
+	}
+	if pt.TxResp <= 0 {
+		t.Fatal("RO-TX latency not recorded")
+	}
+	if pt.TxStale.Reads == 0 {
+		t.Fatal("transactional staleness not recorded")
+	}
+}
+
+func TestFig1aTableShape(t *testing.T) {
+	tab, err := Fig1a(context.Background(), microScale(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatalf("table shape wrong: %+v", tab)
+	}
+}
+
+func TestSweepsAndDerivedTables(t *testing.T) {
+	points, err := GetPutSweep(context.Background(), microScale(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0][0].Engine != cluster.Cure || points[0][1].Engine != cluster.POCC {
+		t.Fatal("sweep must return (Cure*, POCC) pairs")
+	}
+	for _, tab := range []*Table{Fig1b(points), Fig2a(points), Fig2b(points)} {
+		if len(tab.Rows) != 1 {
+			t.Fatalf("%s rows = %d", tab.ID, len(tab.Rows))
+		}
+	}
+}
+
+func TestTxSweepAndDerivedTables(t *testing.T) {
+	points, err := TxSweep(context.Background(), microScale(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []*Table{Fig3b(points), Fig3c(points), Fig3d(points)} {
+		if len(tab.Rows) != 1 {
+			t.Fatalf("%s rows = %d", tab.ID, len(tab.Rows))
+		}
+	}
+}
+
+func TestFig3aSkipsOversizedFanout(t *testing.T) {
+	tab, err := Fig3a(context.Background(), microScale(), []int{1, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("fanout beyond partition count must be skipped, rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sc := microScale()
+	ctx := context.Background()
+	if _, err := AblationStabilization(ctx, sc, []time.Duration{2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationHeartbeat(ctx, sc, []time.Duration{time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationClockSkew(ctx, sc, []time.Duration{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationThinkTime(ctx, sc, []time.Duration{200 * time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	var sb strings.Builder
+	tab.Fprint(func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) })
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bb") {
+		t.Fatalf("rendered table: %q", out)
+	}
+}
+
+func TestFig1cTableShape(t *testing.T) {
+	tab, err := Fig1c(context.Background(), microScale(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "2:1" {
+		t.Fatalf("table = %+v", tab)
+	}
+}
+
+func TestScalesAreSane(t *testing.T) {
+	for _, sc := range []Scale{CIScale(), MediumScale(), PaperScale()} {
+		if sc.DCs < 2 || sc.Partitions < 1 || sc.KeysPerPartition < 1 {
+			t.Fatalf("scale %+v", sc)
+		}
+		if sc.Measure <= 0 || sc.ClientsPerPart <= 0 {
+			t.Fatalf("scale %+v", sc)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPartitionExperiment(t *testing.T) {
+	sc := microScale()
+	tab, err := PartitionExperiment(context.Background(), sc, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 engines x 3 phases)", len(tab.Rows))
+	}
+}

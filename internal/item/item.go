@@ -1,0 +1,40 @@
+// Package item defines the versioned data-item metadata of the protocols.
+// A version d is the tuple ⟨k, v, sr, ut, dv⟩ of the paper (§IV-A): key,
+// value, source replica (the DC where the PUT was executed), update time (the
+// physical timestamp assigned at the source replica) and dependency vector
+// (one entry per DC, tracking potential causal dependencies).
+package item
+
+import "repro/internal/vclock"
+
+// Version is one immutable version of a data item. Versions are never
+// mutated after creation, so they can be shared across goroutines and DCs
+// without copying.
+type Version struct {
+	Key        string
+	Value      []byte
+	SrcReplica int
+	UpdateTime vclock.Timestamp
+	Deps       vclock.VC
+	// Optimistic marks versions written by optimistic sessions. HA-POCC
+	// exposes such local items to pessimistic (fallback) sessions only once
+	// they are stable, because they may depend on remote items that have not
+	// been replicated yet (§IV-C).
+	Optimistic bool
+}
+
+// Newer reports whether v is ordered after o by the last-writer-wins rule:
+// higher update timestamp wins; ties are broken by the source replica id,
+// lowest winning (§IV-B).
+func (v *Version) Newer(o *Version) bool {
+	if v.UpdateTime != o.UpdateTime {
+		return v.UpdateTime > o.UpdateTime
+	}
+	return v.SrcReplica < o.SrcReplica
+}
+
+// Same reports whether v and o denote the same version (same origin and
+// timestamp). Used to make replication idempotent.
+func (v *Version) Same(o *Version) bool {
+	return v.UpdateTime == o.UpdateTime && v.SrcReplica == o.SrcReplica
+}

@@ -1,0 +1,52 @@
+package item
+
+import "testing"
+
+func TestNewerByTimestamp(t *testing.T) {
+	a := &Version{UpdateTime: 10, SrcReplica: 2}
+	b := &Version{UpdateTime: 5, SrcReplica: 0}
+	if !a.Newer(b) || b.Newer(a) {
+		t.Fatal("higher update time must win")
+	}
+}
+
+func TestNewerTieBreaksOnLowestReplica(t *testing.T) {
+	a := &Version{UpdateTime: 10, SrcReplica: 0}
+	b := &Version{UpdateTime: 10, SrcReplica: 2}
+	if !a.Newer(b) {
+		t.Fatal("on a timestamp tie the lowest source replica must win")
+	}
+	if b.Newer(a) {
+		t.Fatal("LWW order must be antisymmetric")
+	}
+}
+
+func TestNewerIsTotalOnDistinctVersions(t *testing.T) {
+	vs := []*Version{
+		{UpdateTime: 1, SrcReplica: 0},
+		{UpdateTime: 1, SrcReplica: 1},
+		{UpdateTime: 2, SrcReplica: 0},
+	}
+	for i, a := range vs {
+		for j, b := range vs {
+			if i == j {
+				continue
+			}
+			if a.Newer(b) == b.Newer(a) {
+				t.Fatalf("versions %d and %d are not totally ordered", i, j)
+			}
+		}
+	}
+}
+
+func TestSame(t *testing.T) {
+	a := &Version{Key: "x", UpdateTime: 7, SrcReplica: 1}
+	b := &Version{Key: "x", UpdateTime: 7, SrcReplica: 1, Value: []byte("different")}
+	if !a.Same(b) {
+		t.Fatal("same (ut, sr) must be the same version")
+	}
+	c := &Version{UpdateTime: 7, SrcReplica: 2}
+	if a.Same(c) {
+		t.Fatal("different source replicas are different versions")
+	}
+}

@@ -1,0 +1,64 @@
+// Package keyspace implements the deterministic key→partition mapping of the
+// system model (§II-C): the data set is split into N partitions and each key
+// is assigned to a single partition by a hash function. It also builds the
+// per-partition key tables used by the workload generators, which (like the
+// paper's loader) populate every partition with a fixed number of keys.
+package keyspace
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// PartitionOf returns the partition responsible for key under an
+// N-partition layout.
+func PartitionOf(key string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Table holds, for each partition, the list of keys that hash to it.
+type Table struct {
+	partitions int
+	keys       [][]string
+}
+
+// Build generates perPartition keys for each of n partitions. Keys are drawn
+// from a deterministic sequence ("k<i>") and bucketed by PartitionOf, so the
+// same (n, perPartition) arguments always yield the same table.
+func Build(n, perPartition int) *Table {
+	t := &Table{partitions: n, keys: make([][]string, n)}
+	for i := range t.keys {
+		t.keys[i] = make([]string, 0, perPartition)
+	}
+	filled := 0
+	for i := 0; filled < n; i++ {
+		key := fmt.Sprintf("k%d", i)
+		p := PartitionOf(key, n)
+		if len(t.keys[p]) < perPartition {
+			t.keys[p] = append(t.keys[p], key)
+			if len(t.keys[p]) == perPartition {
+				filled++
+			}
+		}
+	}
+	return t
+}
+
+// Partitions returns the number of partitions.
+func (t *Table) Partitions() int { return t.partitions }
+
+// KeysPerPartition returns the number of keys in each partition.
+func (t *Table) KeysPerPartition() int { return len(t.keys[0]) }
+
+// Key returns the rank-th key of a partition. Workload generators draw rank
+// from a zipf distribution, so rank 0 is the hottest key of the partition.
+func (t *Table) Key(partition, rank int) string { return t.keys[partition][rank] }
+
+// AllKeys returns a copy of every key of a partition.
+func (t *Table) AllKeys(partition int) []string {
+	out := make([]string, len(t.keys[partition]))
+	copy(out, t.keys[partition])
+	return out
+}

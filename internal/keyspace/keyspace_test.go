@@ -1,0 +1,88 @@
+package keyspace
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionOfStable(t *testing.T) {
+	a := PartitionOf("user:42", 32)
+	for i := 0; i < 10; i++ {
+		if PartitionOf("user:42", 32) != a {
+			t.Fatal("PartitionOf must be deterministic")
+		}
+	}
+}
+
+func TestPartitionOfInRange(t *testing.T) {
+	f := func(key string, nRaw uint8) bool {
+		n := 1 + int(nRaw%64)
+		p := PartitionOf(key, n)
+		return p >= 0 && p < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionOfSpreads(t *testing.T) {
+	const n = 8
+	counts := make([]int, n)
+	const total = 8000
+	for i := 0; i < total; i++ {
+		counts[PartitionOf(fmt.Sprintf("key-%d", i), n)]++
+	}
+	for p, c := range counts {
+		// Expect roughly total/n per partition; allow a wide band.
+		if c < total/n/2 || c > total/n*2 {
+			t.Fatalf("partition %d received %d keys, want ~%d", p, c, total/n)
+		}
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	tbl := Build(4, 100)
+	if tbl.Partitions() != 4 {
+		t.Fatalf("Partitions = %d", tbl.Partitions())
+	}
+	if tbl.KeysPerPartition() != 100 {
+		t.Fatalf("KeysPerPartition = %d", tbl.KeysPerPartition())
+	}
+	seen := map[string]bool{}
+	for p := 0; p < 4; p++ {
+		keys := tbl.AllKeys(p)
+		if len(keys) != 100 {
+			t.Fatalf("partition %d has %d keys", p, len(keys))
+		}
+		for _, k := range keys {
+			if PartitionOf(k, 4) != p {
+				t.Fatalf("key %q bucketed into wrong partition", k)
+			}
+			if seen[k] {
+				t.Fatalf("key %q appears twice", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, b := Build(3, 50), Build(3, 50)
+	for p := 0; p < 3; p++ {
+		for r := 0; r < 50; r++ {
+			if a.Key(p, r) != b.Key(p, r) {
+				t.Fatal("Build must be deterministic")
+			}
+		}
+	}
+}
+
+func TestAllKeysIsACopy(t *testing.T) {
+	tbl := Build(2, 10)
+	keys := tbl.AllKeys(0)
+	keys[0] = "mutated"
+	if tbl.Key(0, 0) == "mutated" {
+		t.Fatal("AllKeys must return a copy")
+	}
+}

@@ -1,0 +1,321 @@
+// Package kvserver exposes a running occ.Store over a plain text TCP
+// protocol, one listener per data center, so external clients (telnet, the
+// pocccli binary, or any language) can use the store without linking Go
+// code. Every connection gets its own client session bound to the
+// listener's data center, matching the paper's model of clients attached to
+// one DC.
+//
+// Protocol (one request per line, responses line-oriented):
+//
+//	PING                      -> PONG
+//	PUT <key> <value>         -> OK
+//	GET <key>                 -> VALUE <value> | NIL
+//	TX <key> [key...]         -> TXVAL <key> <value> | TXNIL <key> (one per
+//	                             key, any order) then TXEND
+//	WHEREIS <key>             -> PARTITION <n>
+//	STATS                     -> STATS ops=<n> blocked=<n> ...
+//	QUIT                      -> BYE (server closes the connection)
+//
+// Errors are reported as "ERR <message>". Keys must not contain spaces;
+// values may (everything after the key is the value).
+package kvserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	occ "repro"
+)
+
+// Server serves a store over TCP.
+type Server struct {
+	store     *occ.Store
+	listeners []net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve binds one listener per data center on consecutive ports starting at
+// basePort ("host:0" semantics are supported by passing basePort 0, in which
+// case each DC gets an ephemeral port). It returns once all listeners are
+// bound; handling runs in the background until Close.
+func Serve(store *occ.Store, host string, basePort int) (*Server, error) {
+	s := &Server{store: store, conns: make(map[net.Conn]struct{})}
+	for dc := 0; dc < store.DataCenters(); dc++ {
+		port := 0
+		if basePort != 0 {
+			port = basePort + dc
+		}
+		l, err := net.Listen("tcp", fmt.Sprintf("%s:%d", host, port))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("kvserver: bind dc%d: %w", dc, err)
+		}
+		s.listeners = append(s.listeners, l)
+		s.wg.Add(1)
+		go func(dc int, l net.Listener) {
+			defer s.wg.Done()
+			s.acceptLoop(dc, l)
+		}(dc, l)
+	}
+	return s, nil
+}
+
+// Addr returns the listen address for a data center.
+func (s *Server) Addr(dc int) string { return s.listeners[dc].Addr().String() }
+
+// Close stops the listeners and closes every open connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range s.listeners {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(dc int, l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(dc, conn)
+		}()
+	}
+}
+
+func (s *Server) handleConn(dc int, conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sess, err := s.store.Session(dc)
+	w := bufio.NewWriter(conn)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		_ = w.Flush()
+		return
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		quit := s.handleLine(w, sess, line)
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// handleLine executes one protocol line; it returns true when the
+// connection should close.
+func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) bool {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "PING":
+		fmt.Fprintln(w, "PONG")
+	case "PUT":
+		key, value, ok := strings.Cut(rest, " ")
+		if !ok || key == "" {
+			fmt.Fprintln(w, "ERR usage: PUT <key> <value>")
+			return false
+		}
+		if err := sess.Put(key, []byte(value)); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintln(w, "OK")
+	case "GET":
+		key := strings.TrimSpace(rest)
+		if key == "" || strings.ContainsRune(key, ' ') {
+			fmt.Fprintln(w, "ERR usage: GET <key>")
+			return false
+		}
+		v, err := sess.Get(key)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		if v == nil {
+			fmt.Fprintln(w, "NIL")
+		} else {
+			fmt.Fprintf(w, "VALUE %s\n", v)
+		}
+	case "TX":
+		keys := strings.Fields(rest)
+		if len(keys) == 0 {
+			fmt.Fprintln(w, "ERR usage: TX <key> [key...]")
+			return false
+		}
+		vals, err := sess.ROTx(keys)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		for _, k := range keys {
+			if vals[k] == nil {
+				fmt.Fprintf(w, "TXNIL %s\n", k)
+			} else {
+				fmt.Fprintf(w, "TXVAL %s %s\n", k, vals[k])
+			}
+		}
+		fmt.Fprintln(w, "TXEND")
+	case "WHEREIS":
+		key := strings.TrimSpace(rest)
+		if key == "" {
+			fmt.Fprintln(w, "ERR usage: WHEREIS <key>")
+			return false
+		}
+		fmt.Fprintf(w, "PARTITION %d\n", s.store.PartitionOf(key))
+	case "STATS":
+		st := s.store.Stats()
+		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f messages=%d\n",
+			st.Operations, st.BlockedOperations, st.BlockingProbability,
+			st.PercentOldReads, st.PercentUnmergedReads, s.store.Messages())
+	case "QUIT":
+		fmt.Fprintln(w, "BYE")
+		return true
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+	return false
+}
+
+// Client is a minimal client for the kvserver protocol, used by tests and
+// cmd/pocccli.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a kvserver listener.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvserver: dial: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req string) (string, error) {
+	if _, err := fmt.Fprintf(c.conn, "%s\n", req); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\n"), nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if resp != "PONG" {
+		return fmt.Errorf("kvserver: unexpected ping reply %q", resp)
+	}
+	return nil
+}
+
+// Put writes a key.
+func (c *Client) Put(key, value string) error {
+	resp, err := c.roundTrip("PUT " + key + " " + value)
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return errors.New(resp)
+	}
+	return nil
+}
+
+// Get reads a key; ok is false when the key has no visible version.
+func (c *Client) Get(key string) (value string, ok bool, err error) {
+	resp, err := c.roundTrip("GET " + key)
+	if err != nil {
+		return "", false, err
+	}
+	switch {
+	case resp == "NIL":
+		return "", false, nil
+	case strings.HasPrefix(resp, "VALUE "):
+		return strings.TrimPrefix(resp, "VALUE "), true, nil
+	default:
+		return "", false, errors.New(resp)
+	}
+}
+
+// Tx runs a read-only transaction; missing keys are absent from the map.
+func (c *Client) Tx(keys ...string) (map[string]string, error) {
+	if _, err := fmt.Fprintf(c.conn, "TX %s\n", strings.Join(keys, " ")); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(keys))
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "TXEND":
+			return out, nil
+		case strings.HasPrefix(line, "TXVAL "):
+			kv := strings.TrimPrefix(line, "TXVAL ")
+			k, v, _ := strings.Cut(kv, " ")
+			out[k] = v
+		case strings.HasPrefix(line, "TXNIL "):
+			// missing key: leave it out of the map
+		default:
+			return nil, errors.New(line)
+		}
+	}
+}
+
+// Stats returns the raw stats line.
+func (c *Client) Stats() (string, error) { return c.roundTrip("STATS") }

@@ -1,0 +1,242 @@
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	occ "repro"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	store, err := occ.Open(occ.Config{
+		DataCenters: 2, Partitions: 2, Engine: occ.POCC,
+		Latency: occ.UniformProfile(20*time.Microsecond, 500*time.Microsecond),
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(store, "127.0.0.1", 0)
+	if err != nil {
+		store.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+	return srv
+}
+
+func dial(t *testing.T, srv *Server, dc int) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr(dc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestPingPutGet(t *testing.T) {
+	srv := testServer(t)
+	c := dial(t, srv, 0)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("lang", "go"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("lang")
+	if err != nil || !ok || v != "go" {
+		t.Fatalf("get = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	srv := testServer(t)
+	c := dial(t, srv, 0)
+	_, ok, err := c.Get("nope")
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestValueWithSpaces(t *testing.T) {
+	srv := testServer(t)
+	c := dial(t, srv, 0)
+	if err := c.Put("quote", "hello causal world"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := c.Get("quote")
+	if !ok || v != "hello causal world" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestTx(t *testing.T) {
+	srv := testServer(t)
+	c := dial(t, srv, 0)
+	if err := c.Put("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.Tx("a", "b", "ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["a"] != "1" || vals["b"] != "2" {
+		t.Fatalf("tx = %v", vals)
+	}
+	if _, present := vals["ghost"]; present {
+		t.Fatal("missing key must be absent from the result")
+	}
+}
+
+func TestCrossDCSessions(t *testing.T) {
+	srv := testServer(t)
+	writer := dial(t, srv, 0)
+	reader := dial(t, srv, 1)
+	if err := writer.Put("geo", "replicated"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, ok, err := reader.Get("geo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && v == "replicated" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write never visible in the other DC")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv := testServer(t)
+	c := dial(t, srv, 0)
+	if err := c.Put("s", "1"); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "STATS ops=") {
+		t.Fatalf("stats = %q", line)
+	}
+}
+
+// rawConn exercises the wire protocol directly (errors, QUIT, unknown).
+func rawConn(t *testing.T, srv *Server) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn, bufio.NewReader(conn)
+}
+
+func sendLine(t *testing.T, conn net.Conn, r *bufio.Reader, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimRight(resp, "\n")
+}
+
+func TestProtocolErrors(t *testing.T) {
+	srv := testServer(t)
+	conn, r := rawConn(t, srv)
+	for line, wantPrefix := range map[string]string{
+		"PUT onlykey":   "ERR usage: PUT",
+		"GET":           "ERR usage: GET",
+		"GET two words": "ERR usage: GET",
+		"TX":            "ERR usage: TX",
+		"WHEREIS":       "ERR usage: WHEREIS",
+		"FLY me":        "ERR unknown command",
+	} {
+		if resp := sendLine(t, conn, r, line); !strings.HasPrefix(resp, wantPrefix) {
+			t.Fatalf("%q -> %q, want prefix %q", line, resp, wantPrefix)
+		}
+	}
+}
+
+func TestWhereis(t *testing.T) {
+	srv := testServer(t)
+	conn, r := rawConn(t, srv)
+	resp := sendLine(t, conn, r, "WHEREIS somekey")
+	if !strings.HasPrefix(resp, "PARTITION ") {
+		t.Fatalf("whereis = %q", resp)
+	}
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	srv := testServer(t)
+	conn, r := rawConn(t, srv)
+	if resp := sendLine(t, conn, r, "QUIT"); resp != "BYE" {
+		t.Fatalf("quit = %q", resp)
+	}
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("connection must be closed after QUIT")
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv := testServer(t)
+	conn, r := rawConn(t, srv)
+	srv.Close()
+	if _, err := fmt.Fprintf(conn, "PING\n"); err == nil {
+		if _, err := r.ReadString('\n'); err == nil {
+			t.Fatal("connection must be closed by server shutdown")
+		}
+	}
+}
+
+func TestCausalChainOverWire(t *testing.T) {
+	srv := testServer(t)
+	alice := dial(t, srv, 0)
+	bob := dial(t, srv, 1)
+	if err := alice.Put("photo", "cat.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Put("comment", "cute!"); err != nil {
+		t.Fatal(err)
+	}
+	// Once Bob sees the comment, the photo must be visible too (Bob's
+	// session carries the comment's dependency vector).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, ok, err := bob.Get("comment")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("comment never replicated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, ok, err := bob.Get("photo")
+	if err != nil || !ok || v != "cat.jpg" {
+		t.Fatalf("photo = %q ok=%v err=%v: causality violated over the wire", v, ok, err)
+	}
+}

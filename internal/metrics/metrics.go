@@ -1,0 +1,266 @@
+// Package metrics collects the statistics the paper's evaluation reports:
+// operation latencies and throughput, POCC's blocking incidence (probability
+// and duration of stalled requests — Fig. 2a / 3c), and the data-staleness
+// statistics of returned items (%old, %unmerged, fresher/unmerged version
+// counts — Fig. 2b / 3d). All recorders are lock-free and safe for concurrent
+// use; snapshots can be merged across servers and clients.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Blocking records how often and for how long operations stall on a server
+// waiting for missing dependencies (the OCC lazy-dependency-resolution cost).
+type Blocking struct {
+	ops          atomic.Uint64
+	blocked      atomic.Uint64
+	blockedNanos atomic.Uint64
+}
+
+// Record notes one operation; blockedFor > 0 means the operation stalled.
+func (b *Blocking) Record(blockedFor time.Duration) {
+	b.ops.Add(1)
+	if blockedFor > 0 {
+		b.blocked.Add(1)
+		b.blockedNanos.Add(uint64(blockedFor))
+	}
+}
+
+// BlockingSnapshot is an immutable view of a Blocking recorder.
+type BlockingSnapshot struct {
+	Ops          uint64
+	Blocked      uint64
+	BlockedNanos uint64
+}
+
+// Snapshot captures the current counters.
+func (b *Blocking) Snapshot() BlockingSnapshot {
+	return BlockingSnapshot{
+		Ops:          b.ops.Load(),
+		Blocked:      b.blocked.Load(),
+		BlockedNanos: b.blockedNanos.Load(),
+	}
+}
+
+// Add merges another snapshot into s.
+func (s *BlockingSnapshot) Add(o BlockingSnapshot) {
+	s.Ops += o.Ops
+	s.Blocked += o.Blocked
+	s.BlockedNanos += o.BlockedNanos
+}
+
+// Sub returns s minus o (counter delta between two snapshots of the same
+// recorder; o must be the earlier one).
+func (s BlockingSnapshot) Sub(o BlockingSnapshot) BlockingSnapshot {
+	return BlockingSnapshot{
+		Ops:          s.Ops - o.Ops,
+		Blocked:      s.Blocked - o.Blocked,
+		BlockedNanos: s.BlockedNanos - o.BlockedNanos,
+	}
+}
+
+// Probability returns the fraction of operations that blocked.
+func (s BlockingSnapshot) Probability() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(s.Ops)
+}
+
+// MeanBlockTime returns the average stall duration of blocked operations.
+func (s BlockingSnapshot) MeanBlockTime() time.Duration {
+	if s.Blocked == 0 {
+		return 0
+	}
+	return time.Duration(s.BlockedNanos / s.Blocked)
+}
+
+// Staleness records how fresh the data returned to clients is. A returned
+// item is "old" if the chain holds a fresher version than the returned one;
+// it is "unmerged" if the chain holds at least one version that is not yet
+// visible under the engine's visibility rule (paper §V-B definitions).
+type Staleness struct {
+	reads       atomic.Uint64
+	old         atomic.Uint64
+	unmerged    atomic.Uint64
+	fresherSum  atomic.Uint64
+	unmergedSum atomic.Uint64
+}
+
+// Record notes one read that returned a version with the given number of
+// fresher versions ahead of it and invisible versions in its chain.
+func (s *Staleness) Record(fresher, invisible int) {
+	s.reads.Add(1)
+	if fresher > 0 {
+		s.old.Add(1)
+		s.fresherSum.Add(uint64(fresher))
+	}
+	if invisible > 0 {
+		s.unmerged.Add(1)
+		s.unmergedSum.Add(uint64(invisible))
+	}
+}
+
+// StalenessSnapshot is an immutable view of a Staleness recorder.
+type StalenessSnapshot struct {
+	Reads       uint64
+	Old         uint64
+	Unmerged    uint64
+	FresherSum  uint64
+	UnmergedSum uint64
+}
+
+// Snapshot captures the current counters.
+func (s *Staleness) Snapshot() StalenessSnapshot {
+	return StalenessSnapshot{
+		Reads:       s.reads.Load(),
+		Old:         s.old.Load(),
+		Unmerged:    s.unmerged.Load(),
+		FresherSum:  s.fresherSum.Load(),
+		UnmergedSum: s.unmergedSum.Load(),
+	}
+}
+
+// Add merges another snapshot into s.
+func (s *StalenessSnapshot) Add(o StalenessSnapshot) {
+	s.Reads += o.Reads
+	s.Old += o.Old
+	s.Unmerged += o.Unmerged
+	s.FresherSum += o.FresherSum
+	s.UnmergedSum += o.UnmergedSum
+}
+
+// Sub returns s minus o (counter delta between two snapshots of the same
+// recorder; o must be the earlier one).
+func (s StalenessSnapshot) Sub(o StalenessSnapshot) StalenessSnapshot {
+	return StalenessSnapshot{
+		Reads:       s.Reads - o.Reads,
+		Old:         s.Old - o.Old,
+		Unmerged:    s.Unmerged - o.Unmerged,
+		FresherSum:  s.FresherSum - o.FresherSum,
+		UnmergedSum: s.UnmergedSum - o.UnmergedSum,
+	}
+}
+
+// PercentOld returns the percentage of reads that returned an old item.
+func (s StalenessSnapshot) PercentOld() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return 100 * float64(s.Old) / float64(s.Reads)
+}
+
+// PercentUnmerged returns the percentage of reads whose chain held unmerged
+// versions.
+func (s StalenessSnapshot) PercentUnmerged() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return 100 * float64(s.Unmerged) / float64(s.Reads)
+}
+
+// MeanFresher returns the average number of fresher versions ahead of an old
+// returned item.
+func (s StalenessSnapshot) MeanFresher() float64 {
+	if s.Old == 0 {
+		return 0
+	}
+	return float64(s.FresherSum) / float64(s.Old)
+}
+
+// MeanUnmergedVersions returns the average number of unmerged versions in the
+// chain of an unmerged returned item.
+func (s StalenessSnapshot) MeanUnmergedVersions() float64 {
+	if s.Unmerged == 0 {
+		return 0
+	}
+	return float64(s.UnmergedSum) / float64(s.Unmerged)
+}
+
+// histBuckets is the number of power-of-two latency buckets (covers up to
+// ~9.2s at nanosecond resolution with 34 buckets; 48 leaves headroom).
+const histBuckets = 48
+
+// Latency is a lock-free log-bucketed latency histogram with exact count and
+// sum (for means) and approximate percentiles.
+type Latency struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Record adds one latency observation.
+func (l *Latency) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.count.Add(1)
+	l.sum.Add(uint64(d))
+	b := bits.Len64(uint64(d)) // 0 for 0ns, else floor(log2)+1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	l.buckets[b].Add(1)
+}
+
+// LatencySnapshot is an immutable view of a Latency recorder.
+type LatencySnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot captures the current histogram.
+func (l *Latency) Snapshot() LatencySnapshot {
+	var s LatencySnapshot
+	s.Count = l.count.Load()
+	s.Sum = l.sum.Load()
+	for i := range l.buckets {
+		s.Buckets[i] = l.buckets[i].Load()
+	}
+	return s
+}
+
+// Add merges another snapshot into s.
+func (s *LatencySnapshot) Add(o LatencySnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the exact average latency.
+func (s LatencySnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Percentile returns an approximate percentile (0 < p <= 100): the upper edge
+// of the bucket containing the p-th observation.
+func (s LatencySnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(float64(s.Count) * p / 100))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1)<<uint(i)) - 1
+		}
+	}
+	return time.Duration(math.MaxInt64)
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBlockingBasics(t *testing.T) {
+	var b Blocking
+	b.Record(0)
+	b.Record(0)
+	b.Record(10 * time.Millisecond)
+	b.Record(30 * time.Millisecond)
+	s := b.Snapshot()
+	if s.Ops != 4 || s.Blocked != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got := s.Probability(); got != 0.5 {
+		t.Fatalf("Probability = %v", got)
+	}
+	if got := s.MeanBlockTime(); got != 20*time.Millisecond {
+		t.Fatalf("MeanBlockTime = %v", got)
+	}
+}
+
+func TestBlockingEmpty(t *testing.T) {
+	var s BlockingSnapshot
+	if s.Probability() != 0 || s.MeanBlockTime() != 0 {
+		t.Fatal("empty snapshot must be all zeros")
+	}
+}
+
+func TestBlockingAdd(t *testing.T) {
+	a := BlockingSnapshot{Ops: 10, Blocked: 1, BlockedNanos: 100}
+	b := BlockingSnapshot{Ops: 30, Blocked: 3, BlockedNanos: 300}
+	a.Add(b)
+	if a.Ops != 40 || a.Blocked != 4 || a.BlockedNanos != 400 {
+		t.Fatalf("merged = %+v", a)
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	var st Staleness
+	st.Record(0, 0) // fresh, fully merged
+	st.Record(2, 3) // old with 2 fresher, 3 unmerged versions
+	st.Record(0, 1) // fresh but unmerged versions exist
+	s := st.Snapshot()
+	if s.Reads != 3 || s.Old != 1 || s.Unmerged != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got := s.PercentOld(); got < 33.3 || got > 33.4 {
+		t.Fatalf("PercentOld = %v", got)
+	}
+	if got := s.PercentUnmerged(); got < 66.6 || got > 66.7 {
+		t.Fatalf("PercentUnmerged = %v", got)
+	}
+	if got := s.MeanFresher(); got != 2 {
+		t.Fatalf("MeanFresher = %v", got)
+	}
+	if got := s.MeanUnmergedVersions(); got != 2 {
+		t.Fatalf("MeanUnmergedVersions = %v", got)
+	}
+}
+
+func TestStalenessOldImpliesCounted(t *testing.T) {
+	var st Staleness
+	s := st.Snapshot()
+	if s.PercentOld() != 0 || s.MeanFresher() != 0 || s.MeanUnmergedVersions() != 0 {
+		t.Fatal("empty staleness must be zero")
+	}
+}
+
+func TestStalenessAdd(t *testing.T) {
+	a := StalenessSnapshot{Reads: 10, Old: 2, Unmerged: 1, FresherSum: 4, UnmergedSum: 2}
+	a.Add(StalenessSnapshot{Reads: 10, Old: 2, Unmerged: 3, FresherSum: 2, UnmergedSum: 4})
+	if a.Reads != 20 || a.Old != 4 || a.Unmerged != 4 || a.FresherSum != 6 || a.UnmergedSum != 6 {
+		t.Fatalf("merged = %+v", a)
+	}
+}
+
+func TestLatencyMean(t *testing.T) {
+	var l Latency
+	l.Record(10 * time.Millisecond)
+	l.Record(30 * time.Millisecond)
+	s := l.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if got := s.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestLatencyPercentileBounds(t *testing.T) {
+	var l Latency
+	for i := 0; i < 90; i++ {
+		l.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		l.Record(time.Second)
+	}
+	s := l.Snapshot()
+	p50 := s.Percentile(50)
+	if p50 < 512*time.Microsecond || p50 > 4*time.Millisecond {
+		t.Fatalf("P50 = %v, want ~1ms bucket", p50)
+	}
+	p99 := s.Percentile(99)
+	if p99 < 512*time.Millisecond || p99 > 4*time.Second {
+		t.Fatalf("P99 = %v, want ~1s bucket", p99)
+	}
+}
+
+func TestLatencyNegativeClamped(t *testing.T) {
+	var l Latency
+	l.Record(-time.Second)
+	s := l.Snapshot()
+	if s.Sum != 0 || s.Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestLatencyEmptyPercentile(t *testing.T) {
+	var s LatencySnapshot
+	if s.Percentile(99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty latency snapshot must be zero")
+	}
+}
+
+func TestLatencyAdd(t *testing.T) {
+	var a, b Latency
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Add(sb)
+	if sa.Count != 2 {
+		t.Fatalf("Count = %d", sa.Count)
+	}
+	if sa.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v", sa.Mean())
+	}
+}
+
+func TestConcurrentRecorders(t *testing.T) {
+	var b Blocking
+	var st Staleness
+	var l Latency
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Record(time.Duration(i%2) * time.Microsecond)
+				st.Record(i%3, i%2)
+				l.Record(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Snapshot().Ops; got != workers*per {
+		t.Fatalf("Blocking.Ops = %d", got)
+	}
+	if got := st.Snapshot().Reads; got != workers*per {
+		t.Fatalf("Staleness.Reads = %d", got)
+	}
+	if got := l.Snapshot().Count; got != workers*per {
+		t.Fatalf("Latency.Count = %d", got)
+	}
+}
+
+func TestBlockingSub(t *testing.T) {
+	later := BlockingSnapshot{Ops: 10, Blocked: 4, BlockedNanos: 400}
+	earlier := BlockingSnapshot{Ops: 6, Blocked: 1, BlockedNanos: 100}
+	d := later.Sub(earlier)
+	if d.Ops != 4 || d.Blocked != 3 || d.BlockedNanos != 300 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestStalenessSub(t *testing.T) {
+	later := StalenessSnapshot{Reads: 10, Old: 4, Unmerged: 3, FresherSum: 8, UnmergedSum: 6}
+	earlier := StalenessSnapshot{Reads: 5, Old: 1, Unmerged: 1, FresherSum: 2, UnmergedSum: 2}
+	d := later.Sub(earlier)
+	if d.Reads != 5 || d.Old != 3 || d.Unmerged != 2 || d.FresherSum != 6 || d.UnmergedSum != 4 {
+		t.Fatalf("delta = %+v", d)
+	}
+}

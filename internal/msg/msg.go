@@ -1,0 +1,92 @@
+// Package msg defines the messages exchanged between partition servers:
+// update replication, heartbeats (Algorithm 2, lines 12-28), the RO-TX slice
+// protocol (lines 29-47), the Cure-style stabilization exchange used by the
+// pessimistic mode and HA-POCC, and the garbage-collection exchange.
+package msg
+
+import (
+	"repro/internal/item"
+	"repro/internal/netemu"
+	"repro/internal/vclock"
+)
+
+// Replicate carries a freshly created version to the sibling replicas of its
+// partition in the other data centers. Replication messages from one node are
+// sent in update-timestamp order (the FIFO links preserve it).
+type Replicate struct {
+	V *item.Version
+}
+
+// Heartbeat advertises the sender's current clock so idle replicas keep the
+// receivers' version vectors moving (Algorithm 2, lines 19-28).
+type Heartbeat struct {
+	Time vclock.Timestamp
+}
+
+// SliceReq asks a same-DC partition to read keys within the transactional
+// snapshot TV on behalf of a RO-TX coordinator.
+type SliceReq struct {
+	TxID        uint64
+	Coordinator netemu.NodeID
+	Keys        []string
+	TV          vclock.VC
+	// Pessimistic marks slices of transactions issued by pessimistic
+	// (fallback) sessions; they only see stable versions.
+	Pessimistic bool
+}
+
+// SliceResp returns the versions read for a SliceReq. Err is non-empty when
+// the responder had to abort the slice (HA-POCC block timeout).
+type SliceResp struct {
+	TxID  uint64
+	Items []ItemReply
+	Err   string
+}
+
+// VVExchange is the stabilization message of the pessimistic protocol: nodes
+// within a DC periodically broadcast their version vectors and compute the
+// Globally Stable Snapshot as the aggregate minimum (§IV-C).
+type VVExchange struct {
+	Partition int
+	VV        vclock.VC
+}
+
+// GCExchange carries a node's garbage-collection contribution: the aggregate
+// minimum of its visibility vector and the snapshot vectors of its active
+// transactions. The GC vector GV is the aggregate minimum across the DC.
+type GCExchange struct {
+	Partition int
+	TV        vclock.VC
+}
+
+// ItemReply is the result of reading one key: the returned version's payload
+// and causal metadata (value, update time, dependency vector, source replica
+// — the GETReply of Algorithm 2, line 4) plus the chain statistics the
+// evaluation reports.
+type ItemReply struct {
+	Key        string
+	Exists     bool
+	Value      []byte
+	SrcReplica int
+	UpdateTime vclock.Timestamp
+	Deps       vclock.VC
+	// Fresher counts LWW-newer versions hidden by the visibility rule
+	// ("old" items, Fig. 2b); Invisible counts not-yet-visible versions in
+	// the chain ("unmerged").
+	Fresher   int
+	Invisible int
+}
+
+// FromVersion builds an ItemReply for v (nil means the key has no visible
+// version).
+func FromVersion(key string, v *item.Version, fresher, invisible int) ItemReply {
+	r := ItemReply{Key: key, Fresher: fresher, Invisible: invisible}
+	if v != nil {
+		r.Exists = true
+		r.Value = v.Value
+		r.SrcReplica = v.SrcReplica
+		r.UpdateTime = v.UpdateTime
+		r.Deps = v.Deps
+	}
+	return r
+}

@@ -1,0 +1,38 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/item"
+	"repro/internal/vclock"
+)
+
+func TestFromVersion(t *testing.T) {
+	v := &item.Version{
+		Key: "k", Value: []byte("v"), SrcReplica: 2, UpdateTime: 99,
+		Deps: vclock.VC{1, 2, 3},
+	}
+	r := FromVersion("k", v, 4, 5)
+	if !r.Exists {
+		t.Fatal("existing version must set Exists")
+	}
+	if string(r.Value) != "v" || r.SrcReplica != 2 || r.UpdateTime != 99 {
+		t.Fatalf("reply = %+v", r)
+	}
+	if !r.Deps.Equal(vclock.VC{1, 2, 3}) {
+		t.Fatalf("deps = %v", r.Deps)
+	}
+	if r.Fresher != 4 || r.Invisible != 5 {
+		t.Fatalf("staleness stats = %+v", r)
+	}
+}
+
+func TestFromVersionNil(t *testing.T) {
+	r := FromVersion("k", nil, 0, 3)
+	if r.Exists || r.Value != nil || r.UpdateTime != 0 {
+		t.Fatalf("reply = %+v", r)
+	}
+	if r.Key != "k" || r.Invisible != 3 {
+		t.Fatalf("reply = %+v", r)
+	}
+}

@@ -1,0 +1,205 @@
+// Package storage implements the multiversion in-memory key-value store
+// backing each partition server. Every key maps to a version chain ordered by
+// the last-writer-wins total order (update timestamp descending, ties broken
+// by lowest source replica). Reads select the freshest version that satisfies
+// a caller-supplied visibility predicate: the optimistic (POCC) mode passes
+// an always-true predicate and reads the chain head in O(1); the pessimistic
+// (Cure*) mode passes a stability predicate and traverses the chain — the
+// extra work the paper attributes to pessimistic designs.
+//
+// The store also implements the paper's vector-based garbage collection: for
+// each key it retains every version down to and including the first (i.e.
+// newest) version whose dependency vector is covered by the GC vector.
+package storage
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/item"
+	"repro/internal/vclock"
+)
+
+const numShards = 64
+
+// Store is a sharded multiversion key-value store. It is safe for concurrent
+// use.
+type Store struct {
+	seed   maphash.Seed
+	shards [numShards]shard
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	chains map[string][]*item.Version // newest first, LWW order
+}
+
+// New returns an empty store.
+func New() *Store {
+	s := &Store{seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		s.shards[i].chains = make(map[string][]*item.Version)
+	}
+	return s
+}
+
+func (s *Store) shardOf(key string) *shard {
+	return &s.shards[maphash.String(s.seed, key)%numShards]
+}
+
+// Insert adds a version to its key's chain, keeping the chain in LWW order.
+// Inserting the same version twice is a no-op, making replication delivery
+// idempotent.
+func (s *Store) Insert(v *item.Version) {
+	sh := s.shardOf(v.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	chain := sh.chains[v.Key]
+	// Common case: the new version is the freshest (updates replicate in
+	// timestamp order), so it lands at the head.
+	i := 0
+	for i < len(chain) {
+		if v.Same(chain[i]) {
+			return
+		}
+		if v.Newer(chain[i]) {
+			break
+		}
+		i++
+	}
+	chain = append(chain, nil)
+	copy(chain[i+1:], chain[i:])
+	chain[i] = v
+	sh.chains[v.Key] = chain
+}
+
+// ReadResult describes the outcome of a read.
+type ReadResult struct {
+	// V is the selected version, or nil if the key has no visible version.
+	V *item.Version
+	// Fresher is the number of versions in the chain that are LWW-newer than
+	// the returned one ("# fresher versions" of Fig. 2b). Zero when V is the
+	// chain head.
+	Fresher int
+	// Invisible is the number of versions in the chain that fail the
+	// visibility predicate (the "unmerged" versions of Fig. 2b).
+	Invisible int
+	// ChainLen is the total number of versions in the chain.
+	ChainLen int
+}
+
+// Head returns the chain head (the freshest version) for key, or nil.
+func (s *Store) Head(key string) *item.Version {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[key]
+	if len(chain) == 0 {
+		return nil
+	}
+	return chain[0]
+}
+
+// ReadVisible returns the freshest version of key satisfying visible, along
+// with chain statistics. A nil predicate means every version is visible, so
+// the head is returned without traversing the chain (the POCC fast path).
+func (s *Store) ReadVisible(key string, visible func(*item.Version) bool) ReadResult {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[key]
+	res := ReadResult{ChainLen: len(chain)}
+	if len(chain) == 0 {
+		return res
+	}
+	if visible == nil {
+		res.V = chain[0]
+		return res
+	}
+	for i, v := range chain {
+		if visible(v) {
+			if res.V == nil {
+				res.V = v
+				res.Fresher = i
+			}
+		} else {
+			res.Invisible++
+		}
+	}
+	return res
+}
+
+// ReadWithin returns the freshest version of key whose dependency vector is
+// entry-wise covered by tv (Algorithm 2, lines 43-44: the visible-version set
+// of a transactional snapshot).
+func (s *Store) ReadWithin(key string, tv vclock.VC) ReadResult {
+	return s.ReadVisible(key, func(v *item.Version) bool { return v.Deps.LessEq(tv) })
+}
+
+// CollectGarbage prunes every chain, retaining versions down to and including
+// the first one whose dependency vector is covered by gv. If no version
+// qualifies, the whole chain is kept (there is no safe version to anchor on).
+// It returns the number of versions removed.
+func (s *Store) CollectGarbage(gv vclock.VC) int {
+	removed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, chain := range sh.chains {
+			anchor := -1
+			for j, v := range chain {
+				if v.Deps.LessEq(gv) {
+					anchor = j
+					break
+				}
+			}
+			if anchor >= 0 && anchor+1 < len(chain) {
+				removed += len(chain) - anchor - 1
+				sh.chains[key] = append([]*item.Version(nil), chain[:anchor+1]...)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// Keys returns the number of keys with at least one version.
+func (s *Store) Keys() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.chains)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Versions returns the total number of stored versions across all chains.
+func (s *Store) Versions() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, chain := range sh.chains {
+			total += len(chain)
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// ForEachHead calls fn with every key's chain head. Used by convergence
+// checks in tests; fn must not call back into the store.
+func (s *Store) ForEachHead(fn func(key string, head *item.Version)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for key, chain := range sh.chains {
+			if len(chain) > 0 {
+				fn(key, chain[0])
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}

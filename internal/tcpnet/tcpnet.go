@@ -1,0 +1,272 @@
+// Package tcpnet carries the protocol over real TCP connections, proving
+// the engine is transport-agnostic: each node owns a listener, keeps one
+// persistent outbound connection per destination (TCP ordering gives the
+// lossless FIFO channel the system model assumes), and gob-encodes messages
+// with internal/wire. Intended for single-host/loopback deployments and
+// demos; the emulated transport (internal/netemu) remains the tool for
+// latency and partition injection.
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netemu"
+	"repro/internal/wire"
+)
+
+// Node is a TCP-backed core.Transport.
+type Node struct {
+	id       netemu.NodeID
+	listener net.Listener
+	handler  atomic.Pointer[netemu.Handler]
+
+	mu     sync.Mutex
+	peers  map[netemu.NodeID]string // node -> address (set by Connect)
+	outs   map[netemu.NodeID]*outLink
+	ins    map[net.Conn]struct{} // accepted connections, closed on shutdown
+	closed bool
+
+	sent atomic.Uint64
+	wg   sync.WaitGroup
+}
+
+// Listen binds a node on addr ("127.0.0.1:0" for an ephemeral port).
+func Listen(id netemu.NodeID, addr string) (*Node, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		id:       id,
+		listener: l,
+		peers:    make(map[netemu.NodeID]string),
+		outs:     make(map[netemu.NodeID]*outLink),
+		ins:      make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.listener.Addr().String() }
+
+// ID implements core.Transport.
+func (n *Node) ID() netemu.NodeID { return n.id }
+
+// SetHandler implements core.Transport.
+func (n *Node) SetHandler(h netemu.Handler) { n.handler.Store(&h) }
+
+// Connect installs the directory of peer addresses. It must be called before
+// the first Send; connections are dialed lazily.
+func (n *Node) Connect(directory map[netemu.NodeID]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id, addr := range directory {
+		n.peers[id] = addr
+	}
+}
+
+// Sent returns the number of messages handed to the transport.
+func (n *Node) Sent() uint64 { return n.sent.Load() }
+
+// Send implements core.Transport: it enqueues m on the persistent ordered
+// connection to dst and never blocks on the network.
+func (n *Node) Send(dst netemu.NodeID, m any) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	link, ok := n.outs[dst]
+	if !ok {
+		addr, known := n.peers[dst]
+		if !known {
+			n.mu.Unlock()
+			panic(fmt.Sprintf("tcpnet: send to unknown node %v", dst))
+		}
+		link = newOutLink(n, addr)
+		n.outs[dst] = link
+	}
+	n.mu.Unlock()
+	n.sent.Add(1)
+	link.enqueue(m)
+}
+
+// Close shuts the node down: the listener stops, outbound links flush their
+// queues best-effort and close, and all goroutines are joined.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	outs := make([]*outLink, 0, len(n.outs))
+	for _, l := range n.outs {
+		outs = append(outs, l)
+	}
+	ins := make([]net.Conn, 0, len(n.ins))
+	for c := range n.ins {
+		ins = append(ins, c)
+	}
+	n.mu.Unlock()
+
+	for _, l := range outs {
+		l.close()
+	}
+	_ = n.listener.Close()
+	// Unblock inbound readers: their Decode calls return once the
+	// connections are closed.
+	for _, c := range ins {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.ins[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.readLoop(conn)
+		}()
+	}
+}
+
+// readLoop decodes envelopes from one inbound connection and dispatches them
+// sequentially, preserving the sender's FIFO order.
+func (n *Node) readLoop(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.ins, conn)
+		n.mu.Unlock()
+	}()
+	dec := wire.NewDecoder(conn)
+	for {
+		env, err := dec.Decode()
+		if err != nil {
+			return
+		}
+		if hp := n.handler.Load(); hp != nil {
+			(*hp)(env.Src, env.Msg)
+		}
+	}
+}
+
+// outLink is a persistent ordered connection to one destination with an
+// unbounded send queue (the lossless-channel model). A dedicated writer
+// goroutine drains the queue; dial failures are retried with backoff so
+// no message is ever dropped while the node is up.
+type outLink struct {
+	node *Node
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []any
+	closed bool
+}
+
+func newOutLink(n *Node, addr string) *outLink {
+	l := &outLink{node: n, addr: addr}
+	l.cond = sync.NewCond(&l.mu)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		l.run()
+	}()
+	return l
+}
+
+func (l *outLink) enqueue(m any) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.q = append(l.q, m)
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+func (l *outLink) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+func (l *outLink) run() {
+	var conn net.Conn
+	var enc *wire.Encoder
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	backoff := time.Millisecond
+	for {
+		l.mu.Lock()
+		for len(l.q) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if l.closed && len(l.q) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		m := l.q[0]
+		l.mu.Unlock()
+
+		if conn == nil {
+			c, err := net.Dial("tcp", l.addr)
+			if err != nil {
+				if l.isClosed() {
+					return // give up on the backlog at shutdown
+				}
+				time.Sleep(backoff)
+				if backoff < 100*time.Millisecond {
+					backoff *= 2
+				}
+				continue
+			}
+			conn = c
+			enc = wire.NewEncoder(conn)
+			backoff = time.Millisecond
+		}
+		if err := enc.Encode(wire.Envelope{Src: l.node.id, Msg: m}); err != nil {
+			// Connection broke: drop it and retry the same message on a
+			// fresh connection (gob streams cannot resume mid-stream).
+			_ = conn.Close()
+			conn, enc = nil, nil
+			continue
+		}
+		l.mu.Lock()
+		l.q = l.q[1:]
+		l.mu.Unlock()
+	}
+}
+
+func (l *outLink) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}

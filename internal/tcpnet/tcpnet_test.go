@@ -1,0 +1,256 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/netemu"
+	"repro/internal/vclock"
+)
+
+func pair(t *testing.T) (*Node, *Node) {
+	t.Helper()
+	a, err := Listen(netemu.NodeID{DC: 0, Partition: 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen(netemu.NodeID{DC: 1, Partition: 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := map[netemu.NodeID]string{a.ID(): a.Addr(), b.ID(): b.Addr()}
+	a.Connect(dir)
+	b.Connect(dir)
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func waitCond(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return false
+}
+
+func TestSendReceive(t *testing.T) {
+	a, b := pair(t)
+	var mu sync.Mutex
+	var got []msg.Heartbeat
+	var srcs []netemu.NodeID
+	b.SetHandler(func(src netemu.NodeID, m any) {
+		mu.Lock()
+		got = append(got, m.(msg.Heartbeat))
+		srcs = append(srcs, src)
+		mu.Unlock()
+	})
+	a.Send(b.ID(), msg.Heartbeat{Time: 42})
+	if !waitCond(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	}) {
+		t.Fatal("message never delivered over TCP")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Time != 42 || srcs[0] != a.ID() {
+		t.Fatalf("got %+v from %v", got[0], srcs[0])
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	a, b := pair(t)
+	const count = 500
+	var mu sync.Mutex
+	var got []vclock.Timestamp
+	b.SetHandler(func(_ netemu.NodeID, m any) {
+		mu.Lock()
+		got = append(got, m.(msg.Heartbeat).Time)
+		mu.Unlock()
+	})
+	for i := 1; i <= count; i++ {
+		a.Send(b.ID(), msg.Heartbeat{Time: vclock.Timestamp(i)})
+	}
+	if !waitCond(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == count
+	}) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("delivered %d of %d", len(got), count)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, ts := range got {
+		if ts != vclock.Timestamp(i+1) {
+			t.Fatalf("position %d holds %d: FIFO violated", i, ts)
+		}
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b := pair(t)
+	gotA := make(chan vclock.Timestamp, 1)
+	gotB := make(chan vclock.Timestamp, 1)
+	a.SetHandler(func(_ netemu.NodeID, m any) { gotA <- m.(msg.Heartbeat).Time })
+	b.SetHandler(func(_ netemu.NodeID, m any) { gotB <- m.(msg.Heartbeat).Time })
+	a.Send(b.ID(), msg.Heartbeat{Time: 1})
+	b.Send(a.ID(), msg.Heartbeat{Time: 2})
+	select {
+	case ts := <-gotB:
+		if ts != 1 {
+			t.Fatalf("b got %d", ts)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("b never received")
+	}
+	select {
+	case ts := <-gotA:
+		if ts != 2 {
+			t.Fatalf("a got %d", ts)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("a never received")
+	}
+}
+
+func TestSendBeforePeerListensRetries(t *testing.T) {
+	a, err := Listen(netemu.NodeID{DC: 0, Partition: 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Reserve an address, close it, and point a's directory at it before the
+	// real peer binds — the outbound link must retry until the peer is up.
+	probe, err := Listen(netemu.NodeID{DC: 9, Partition: 9}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	probe.Close()
+
+	bID := netemu.NodeID{DC: 1, Partition: 0}
+	a.Connect(map[netemu.NodeID]string{bID: addr})
+	a.Send(bID, msg.Heartbeat{Time: 99})
+
+	time.Sleep(20 * time.Millisecond) // let a few dial attempts fail
+	got := make(chan vclock.Timestamp, 1)
+	bl, err := net0Listen(addr)
+	if err != nil {
+		t.Skipf("could not rebind reserved address %s: %v", addr, err)
+	}
+	b := bl
+	defer b.Close()
+	b.SetHandler(func(_ netemu.NodeID, m any) { got <- m.(msg.Heartbeat).Time })
+	select {
+	case ts := <-got:
+		if ts != 99 {
+			t.Fatalf("got %d", ts)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued message never delivered after peer came up")
+	}
+}
+
+// net0Listen binds the real peer of TestSendBeforePeerListensRetries.
+func net0Listen(addr string) (*Node, error) {
+	return Listen(netemu.NodeID{DC: 1, Partition: 0}, addr)
+}
+
+func TestSendToUnknownPanics(t *testing.T) {
+	a, _ := pair(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to unknown node must panic")
+		}
+	}()
+	a.Send(netemu.NodeID{DC: 9, Partition: 9}, msg.Heartbeat{})
+}
+
+func TestSentCounterAndCloseIdempotent(t *testing.T) {
+	a, b := pair(t)
+	b.SetHandler(func(netemu.NodeID, any) {})
+	for i := 0; i < 5; i++ {
+		a.Send(b.ID(), msg.Heartbeat{Time: vclock.Timestamp(i + 1)})
+	}
+	if got := a.Sent(); got != 5 {
+		t.Fatalf("Sent = %d", got)
+	}
+	a.Close()
+	a.Close() // must not panic or deadlock
+	a.Send(b.ID(), msg.Heartbeat{Time: 6})
+	if got := a.Sent(); got != 5 {
+		t.Fatalf("send after close must be dropped, Sent = %d", got)
+	}
+}
+
+func TestManySendersOneReceiver(t *testing.T) {
+	recv, err := Listen(netemu.NodeID{DC: 2, Partition: 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	var mu sync.Mutex
+	perSrc := map[netemu.NodeID][]vclock.Timestamp{}
+	recv.SetHandler(func(src netemu.NodeID, m any) {
+		mu.Lock()
+		perSrc[src] = append(perSrc[src], m.(msg.Heartbeat).Time)
+		mu.Unlock()
+	})
+
+	const senders = 4
+	const per = 100
+	nodes := make([]*Node, senders)
+	for i := range nodes {
+		n, errL := Listen(netemu.NodeID{DC: 0, Partition: i}, "127.0.0.1:0")
+		if errL != nil {
+			t.Fatal(errL)
+		}
+		n.Connect(map[netemu.NodeID]string{recv.ID(): recv.Addr()})
+		nodes[i] = n
+		defer n.Close()
+	}
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			for j := 1; j <= per; j++ {
+				n.Send(recv.ID(), msg.Heartbeat{Time: vclock.Timestamp(j)})
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	if !waitCond(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		total := 0
+		for _, v := range perSrc {
+			total += len(v)
+		}
+		return total == senders*per
+	}) {
+		t.Fatal("not all messages delivered")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for src, seq := range perSrc {
+		for j, ts := range seq {
+			if ts != vclock.Timestamp(j+1) {
+				t.Fatalf("src %v: FIFO violated at %d", src, j)
+			}
+		}
+	}
+}

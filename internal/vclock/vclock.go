@@ -1,0 +1,211 @@
+// Package vclock implements the vector-clock metadata used throughout the
+// POCC/Cure protocols: dependency vectors (DV), read-dependency vectors
+// (RDV), server version vectors (VV), globally-stable snapshots (GSS) and
+// garbage-collection vectors (GV).
+//
+// A vector has one entry per data center. Entries are physical timestamps
+// (nanoseconds). The zero vector depends on nothing and is the identity of
+// Max; it is ≤ every vector of the same length.
+package vclock
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Timestamp is a physical-clock timestamp in nanoseconds since an arbitrary
+// per-process epoch. Timestamps from different nodes are comparable because
+// node clocks are (loosely) synchronized; protocol correctness does not
+// depend on the synchronization precision.
+type Timestamp uint64
+
+// VC is a vector clock with one Timestamp entry per data center.
+type VC []Timestamp
+
+// New returns a zero vector with n entries.
+func New(n int) VC { return make(VC, n) }
+
+// Len returns the number of entries.
+func (v VC) Len() int { return len(v) }
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	if v == nil {
+		return nil
+	}
+	out := make(VC, len(v))
+	copy(out, v)
+	return out
+}
+
+// Get returns entry i, or 0 if v is nil (a nil vector is the zero vector).
+func (v VC) Get(i int) Timestamp {
+	if v == nil {
+		return 0
+	}
+	return v[i]
+}
+
+// Set assigns entry i.
+func (v VC) Set(i int, t Timestamp) { v[i] = t }
+
+// MaxInPlace raises every entry of v to at least the corresponding entry of
+// o. A nil o is treated as the zero vector.
+func (v VC) MaxInPlace(o VC) {
+	for i := range o {
+		if o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// MinInPlace lowers every entry of v to at most the corresponding entry of o.
+func (v VC) MinInPlace(o VC) {
+	for i := range o {
+		if o[i] < v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// Max returns the entry-wise maximum of a and b as a fresh vector.
+func Max(a, b VC) VC {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(VC, n)
+	copy(out, a)
+	out.MaxInPlace(b)
+	return out
+}
+
+// Min returns the entry-wise minimum of a and b as a fresh vector. Both
+// vectors must have the same length.
+func Min(a, b VC) VC {
+	out := a.Clone()
+	out.MinInPlace(b)
+	return out
+}
+
+// LessEq reports whether v ≤ o entry-wise. A nil vector is the zero vector,
+// so nil ≤ anything. Entries beyond o's length are compared against zero.
+func (v VC) LessEq(o VC) bool {
+	for i := range v {
+		var oi Timestamp
+		if i < len(o) {
+			oi = o[i]
+		}
+		if v[i] > oi {
+			return false
+		}
+	}
+	return true
+}
+
+// LessEqExcept reports whether v[i] ≤ o[i] for every entry i != skip. This is
+// the POCC GET wait condition: dependencies on the local DC are trivially
+// satisfied (Algorithm 2, line 2).
+func (v VC) LessEqExcept(o VC, skip int) bool {
+	for i := range v {
+		if i == skip {
+			continue
+		}
+		var oi Timestamp
+		if i < len(o) {
+			oi = o[i]
+		}
+		if v[i] > oi {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and o have identical entries (and lengths).
+func (v VC) Equal(o VC) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxEntry returns the largest entry of v (0 for an empty or nil vector).
+// Used by the PUT clock-wait condition (Algorithm 2, line 7).
+func (v VC) MaxEntry() Timestamp {
+	var m Timestamp
+	for _, t := range v {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// MinEntry returns the smallest entry of v (0 for an empty or nil vector).
+func (v VC) MinEntry() Timestamp {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, t := range v[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// String renders the vector as "[t0 t1 ...]" for logs and test failures.
+func (v VC) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, t := range v {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.FormatUint(uint64(t), 10))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// AggregateMin returns the entry-wise minimum across vs. It panics if vs is
+// empty; callers aggregate at least their own vector.
+func AggregateMin(vs []VC) VC {
+	if len(vs) == 0 {
+		panic("vclock: AggregateMin of empty set")
+	}
+	out := vs[0].Clone()
+	for _, v := range vs[1:] {
+		out.MinInPlace(v)
+	}
+	return out
+}
+
+// AggregateMax returns the entry-wise maximum across vs, or nil if vs is
+// empty.
+func AggregateMax(vs []VC) VC {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := vs[0].Clone()
+	for _, v := range vs[1:] {
+		out.MaxInPlace(v)
+	}
+	return out
+}
+
+// Validate returns an error if v does not have exactly n entries.
+func (v VC) Validate(n int) error {
+	if len(v) != n {
+		return fmt.Errorf("vclock: vector has %d entries, want %d", len(v), n)
+	}
+	return nil
+}

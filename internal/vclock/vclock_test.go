@@ -1,0 +1,235 @@
+package vclock
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(3)
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if v.Get(i) != 0 {
+			t.Fatalf("entry %d = %d, want 0", i, v.Get(i))
+		}
+	}
+}
+
+func TestNilVectorIsZero(t *testing.T) {
+	var v VC
+	if v.Get(0) != 0 || v.Get(5) != 0 {
+		t.Fatal("nil vector entries must read as 0")
+	}
+	if !v.LessEq(New(3)) {
+		t.Fatal("nil vector must be <= any vector")
+	}
+	if v.Clone() != nil {
+		t.Fatal("Clone of nil must be nil")
+	}
+	if v.MaxEntry() != 0 || v.MinEntry() != 0 {
+		t.Fatal("nil vector MaxEntry/MinEntry must be 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := VC{1, 2, 3}
+	b := a.Clone()
+	b.Set(0, 99)
+	if a[0] != 1 {
+		t.Fatal("Clone must not alias the original")
+	}
+}
+
+func TestMaxInPlace(t *testing.T) {
+	tests := []struct {
+		name    string
+		v, o, w VC
+	}{
+		{"disjoint", VC{5, 0, 3}, VC{1, 7, 3}, VC{5, 7, 3}},
+		{"identity", VC{5, 6, 7}, New(3), VC{5, 6, 7}},
+		{"shorter other", VC{5, 6, 7}, VC{9}, VC{9, 6, 7}},
+		{"nil other", VC{5, 6, 7}, nil, VC{5, 6, 7}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := tt.v.Clone()
+			v.MaxInPlace(tt.o)
+			if !v.Equal(tt.w) {
+				t.Fatalf("MaxInPlace(%v, %v) = %v, want %v", tt.v, tt.o, v, tt.w)
+			}
+		})
+	}
+}
+
+func TestMinInPlace(t *testing.T) {
+	v := VC{5, 2, 9}
+	v.MinInPlace(VC{3, 4, 9})
+	if !v.Equal(VC{3, 2, 9}) {
+		t.Fatalf("MinInPlace = %v", v)
+	}
+}
+
+func TestLessEq(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VC
+		want bool
+	}{
+		{"equal", VC{1, 2}, VC{1, 2}, true},
+		{"strictly less", VC{1, 2}, VC{2, 3}, true},
+		{"incomparable", VC{1, 5}, VC{2, 3}, false},
+		{"greater", VC{3, 3}, VC{2, 3}, false},
+		{"zero below all", New(2), VC{0, 0}, true},
+		{"longer a against implicit zeros", VC{0, 0, 1}, VC{5, 5}, false},
+		{"longer a all zero", VC{0, 0, 0}, VC{5, 5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.LessEq(tt.b); got != tt.want {
+				t.Fatalf("%v.LessEq(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLessEqExcept(t *testing.T) {
+	a := VC{9, 2, 3}
+	b := VC{1, 5, 5}
+	if !a.LessEqExcept(b, 0) {
+		t.Fatal("entry 0 must be skipped")
+	}
+	if a.LessEqExcept(b, 1) {
+		t.Fatal("entry 0 violates when not skipped")
+	}
+}
+
+func TestMaxMinEntry(t *testing.T) {
+	v := VC{4, 9, 1}
+	if v.MaxEntry() != 9 {
+		t.Fatalf("MaxEntry = %d", v.MaxEntry())
+	}
+	if v.MinEntry() != 1 {
+		t.Fatalf("MinEntry = %d", v.MinEntry())
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	vs := []VC{{5, 1}, {3, 4}, {4, 2}}
+	if got := AggregateMin(vs); !got.Equal(VC{3, 1}) {
+		t.Fatalf("AggregateMin = %v", got)
+	}
+	if got := AggregateMax(vs); !got.Equal(VC{5, 4}) {
+		t.Fatalf("AggregateMax = %v", got)
+	}
+	if AggregateMax(nil) != nil {
+		t.Fatal("AggregateMax(nil) must be nil")
+	}
+}
+
+func TestAggregateMinEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AggregateMin(empty) must panic")
+		}
+	}()
+	AggregateMin(nil)
+}
+
+func TestValidate(t *testing.T) {
+	if err := (VC{1, 2}).Validate(2); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := (VC{1, 2}).Validate(3); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 22, 3}).String(); got != "[1 22 3]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randVC generates a bounded random vector for property tests.
+func randVC(r *rand.Rand, n int) VC {
+	v := New(n)
+	for i := range v {
+		v[i] = Timestamp(r.Uint64N(1 << 20))
+	}
+	return v
+}
+
+func TestQuickLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + int(rr.Uint64N(8))
+		a, b, c := randVC(rr, n), randVC(rr, n), randVC(rr, n)
+
+		// Commutativity.
+		if !Max(a, b).Equal(Max(b, a)) || !Min(a, b).Equal(Min(b, a)) {
+			return false
+		}
+		// Associativity.
+		if !Max(Max(a, b), c).Equal(Max(a, Max(b, c))) {
+			return false
+		}
+		if !Min(Min(a, b), c).Equal(Min(a, Min(b, c))) {
+			return false
+		}
+		// Idempotence.
+		if !Max(a, a).Equal(a) || !Min(a, a).Equal(a) {
+			return false
+		}
+		// Absorption: a ∨ (a ∧ b) == a.
+		if !Max(a, Min(a, b)).Equal(a) {
+			return false
+		}
+		// Order embedding: a <= Max(a,b), Min(a,b) <= a.
+		if !a.LessEq(Max(a, b)) || !Min(a, b).LessEq(a) {
+			return false
+		}
+		// LessEq is a partial order: antisymmetry on (a<=b && b<=a) => equal.
+		if a.LessEq(b) && b.LessEq(a) && !a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: nil}
+	_ = r
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaxIsLUB(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + int(rr.Uint64N(6))
+		a, b := randVC(rr, n), randVC(rr, n)
+		m := Max(a, b)
+		// m is an upper bound.
+		if !a.LessEq(m) || !b.LessEq(m) {
+			return false
+		}
+		// m is the LEAST upper bound: every entry equals one of the inputs.
+		for i := range m {
+			if m[i] != a[i] && m[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualLengthMismatch(t *testing.T) {
+	if (VC{1, 2}).Equal(VC{1, 2, 0}) {
+		t.Fatal("different lengths must not be Equal")
+	}
+}

@@ -1,0 +1,76 @@
+// Package wire serializes protocol messages for transports that cross a
+// real network (internal/tcpnet). Messages are framed as gob-encoded
+// envelopes carrying the source node and one protocol message.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/item"
+	"repro/internal/msg"
+	"repro/internal/netemu"
+)
+
+// Envelope frames one protocol message on the wire.
+type Envelope struct {
+	Src netemu.NodeID
+	Msg any
+}
+
+// registerTypes teaches gob every concrete message type carried in the Msg
+// interface field. Called by the Encoder/Decoder constructors; gob.Register
+// is idempotent for identical type/name pairs.
+func registerTypes() {
+	gob.Register(msg.Replicate{})
+	gob.Register(msg.Heartbeat{})
+	gob.Register(msg.SliceReq{})
+	gob.Register(msg.SliceResp{})
+	gob.Register(msg.VVExchange{})
+	gob.Register(msg.GCExchange{})
+	gob.Register(&item.Version{})
+}
+
+// Encoder writes envelopes to a stream.
+type Encoder struct {
+	enc *gob.Encoder
+}
+
+// NewEncoder wraps w.
+func NewEncoder(w io.Writer) *Encoder {
+	registerTypes()
+	return &Encoder{enc: gob.NewEncoder(w)}
+}
+
+// Encode writes one envelope.
+func (e *Encoder) Encode(env Envelope) error {
+	if err := e.enc.Encode(env); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads envelopes from a stream.
+type Decoder struct {
+	dec *gob.Decoder
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	registerTypes()
+	return &Decoder{dec: gob.NewDecoder(r)}
+}
+
+// Decode reads one envelope. It returns io.EOF unwrapped so callers can end
+// their read loops cleanly.
+func (d *Decoder) Decode() (Envelope, error) {
+	var env Envelope
+	if err := d.dec.Decode(&env); err != nil {
+		if err == io.EOF {
+			return env, io.EOF
+		}
+		return env, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env, nil
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/item"
+	"repro/internal/msg"
+	"repro/internal/netemu"
+	"repro/internal/vclock"
+)
+
+func roundTrip(t *testing.T, m any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	src := netemu.NodeID{DC: 1, Partition: 3}
+	if err := enc.Encode(Envelope{Src: src, Msg: m}); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	env, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Src != src {
+		t.Fatalf("src = %v", env.Src)
+	}
+	return env.Msg
+}
+
+func TestRoundTripReplicate(t *testing.T) {
+	in := msg.Replicate{V: &item.Version{
+		Key: "k", Value: []byte("v"), SrcReplica: 2, UpdateTime: 42,
+		Deps: vclock.VC{1, 2, 3}, Optimistic: true,
+	}}
+	out, ok := roundTrip(t, in).(msg.Replicate)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if !reflect.DeepEqual(in.V, out.V) {
+		t.Fatalf("version mangled: %+v vs %+v", in.V, out.V)
+	}
+}
+
+func TestRoundTripHeartbeat(t *testing.T) {
+	out, ok := roundTrip(t, msg.Heartbeat{Time: 7}).(msg.Heartbeat)
+	if !ok || out.Time != 7 {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestRoundTripSliceReq(t *testing.T) {
+	in := msg.SliceReq{
+		TxID: 9, Coordinator: netemu.NodeID{DC: 2, Partition: 1},
+		Keys: []string{"a", "b"}, TV: vclock.VC{4, 5, 6}, Pessimistic: true,
+	}
+	out, ok := roundTrip(t, in).(msg.SliceReq)
+	if !ok || !reflect.DeepEqual(in, out) {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestRoundTripSliceResp(t *testing.T) {
+	in := msg.SliceResp{
+		TxID: 9,
+		Items: []msg.ItemReply{{
+			Key: "a", Exists: true, Value: []byte("x"), SrcReplica: 1,
+			UpdateTime: 11, Deps: vclock.VC{1, 0, 0}, Fresher: 2, Invisible: 1,
+		}},
+		Err: "boom",
+	}
+	out, ok := roundTrip(t, in).(msg.SliceResp)
+	if !ok || !reflect.DeepEqual(in, out) {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestRoundTripExchanges(t *testing.T) {
+	vv, ok := roundTrip(t, msg.VVExchange{Partition: 3, VV: vclock.VC{9, 9}}).(msg.VVExchange)
+	if !ok || vv.Partition != 3 || !vv.VV.Equal(vclock.VC{9, 9}) {
+		t.Fatalf("decoded %+v", vv)
+	}
+	gc, ok := roundTrip(t, msg.GCExchange{Partition: 1, TV: vclock.VC{5}}).(msg.GCExchange)
+	if !ok || gc.Partition != 1 || !gc.TV.Equal(vclock.VC{5}) {
+		t.Fatalf("decoded %+v", gc)
+	}
+}
+
+func TestStreamMultipleEnvelopes(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for i := 0; i < 10; i++ {
+		if err := enc.Encode(Envelope{
+			Src: netemu.NodeID{DC: 0, Partition: i},
+			Msg: msg.Heartbeat{Time: vclock.Timestamp(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i := 0; i < 10; i++ {
+		env, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("envelope %d: %v", i, err)
+		}
+		if env.Src.Partition != i {
+			t.Fatalf("envelope %d out of order: %+v", i, env)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	dec := NewDecoder(bytes.NewReader([]byte("not gob at all")))
+	if _, err := dec.Decode(); err == nil || err == io.EOF {
+		t.Fatalf("garbage must fail with a real error, got %v", err)
+	}
+}

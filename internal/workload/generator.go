@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/keyspace"
+)
+
+// OpKind enumerates client operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpGet OpKind = iota + 1
+	OpPut
+	OpROTx
+)
+
+// Op is one operation a client should issue.
+type Op struct {
+	Kind  OpKind
+	Keys  []string // one key for Get/Put, the read set for ROTx
+	Value []byte   // payload for Put
+}
+
+// Generator produces the next operation for a closed-loop client. Generators
+// are stateful and owned by exactly one client goroutine.
+type Generator interface {
+	Next(r *rand.Rand) Op
+}
+
+// GetPutMix reproduces the paper's GET:PUT workload (§V-B): a GET:PUT ratio
+// of N:1 means each client issues N consecutive GETs followed by one PUT.
+// Each GET targets a different partition (a random selection of distinct
+// partitions per round); the PUT goes to a uniformly random partition. Keys
+// within a partition follow the zipf distribution.
+type GetPutMix struct {
+	Table      *keyspace.Table
+	Zipf       *Zipf
+	GetsPerPut int
+	ValueSize  int
+
+	step  int
+	order []int // partitions of the current GET round
+}
+
+// NewGetPutMix builds the generator. The minimum mix is 1:1.
+func NewGetPutMix(table *keyspace.Table, zipf *Zipf, getsPerPut, valueSize int) *GetPutMix {
+	if getsPerPut < 1 {
+		getsPerPut = 1
+	}
+	return &GetPutMix{Table: table, Zipf: zipf, GetsPerPut: getsPerPut, ValueSize: valueSize}
+}
+
+// Next returns the next operation in the N-GETs-then-one-PUT cycle.
+func (g *GetPutMix) Next(r *rand.Rand) Op {
+	i := g.step % (g.GetsPerPut + 1)
+	g.step++
+	if i == g.GetsPerPut {
+		p := int(r.Uint64N(uint64(g.Table.Partitions())))
+		key := g.Table.Key(p, g.Zipf.Sample(r))
+		return Op{Kind: OpPut, Keys: []string{key}, Value: randValue(r, g.ValueSize)}
+	}
+	if i == 0 {
+		g.order = distinctPartitions(r, g.Table.Partitions(), g.GetsPerPut, g.order[:0])
+	}
+	// If the ratio exceeds the partition count, partitions repeat round-robin.
+	p := g.order[i%len(g.order)]
+	key := g.Table.Key(p, g.Zipf.Sample(r))
+	return Op{Kind: OpGet, Keys: []string{key}}
+}
+
+// ROTxMix reproduces the paper's transactional workload (§V-C): each client
+// first issues a RO-TX reading p items from p distinct partitions, then a
+// PUT against a uniformly random partition.
+type ROTxMix struct {
+	Table        *keyspace.Table
+	Zipf         *Zipf
+	TxPartitions int
+	ValueSize    int
+
+	putNext bool
+	scratch []int
+}
+
+// NewROTxMix builds the generator; txPartitions is clamped to the number of
+// partitions.
+func NewROTxMix(table *keyspace.Table, zipf *Zipf, txPartitions, valueSize int) *ROTxMix {
+	if txPartitions < 1 {
+		txPartitions = 1
+	}
+	if txPartitions > table.Partitions() {
+		txPartitions = table.Partitions()
+	}
+	return &ROTxMix{Table: table, Zipf: zipf, TxPartitions: txPartitions, ValueSize: valueSize}
+}
+
+// Next alternates RO-TX and PUT.
+func (g *ROTxMix) Next(r *rand.Rand) Op {
+	if g.putNext {
+		g.putNext = false
+		p := int(r.Uint64N(uint64(g.Table.Partitions())))
+		key := g.Table.Key(p, g.Zipf.Sample(r))
+		return Op{Kind: OpPut, Keys: []string{key}, Value: randValue(r, g.ValueSize)}
+	}
+	g.putNext = true
+	g.scratch = distinctPartitions(r, g.Table.Partitions(), g.TxPartitions, g.scratch[:0])
+	keys := make([]string, len(g.scratch))
+	for i, p := range g.scratch {
+		keys[i] = g.Table.Key(p, g.Zipf.Sample(r))
+	}
+	return Op{Kind: OpROTx, Keys: keys}
+}
+
+// distinctPartitions appends k distinct partitions drawn from [0, n) to dst
+// via a partial Fisher-Yates shuffle.
+func distinctPartitions(r *rand.Rand, n, k int, dst []int) []int {
+	if k > n {
+		k = n
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + int(r.Uint64N(uint64(n-i)))
+		perm[i], perm[j] = perm[j], perm[i]
+		dst = append(dst, perm[i])
+	}
+	return dst
+}
+
+// randValue generates a payload of the given size (8 bytes in the paper).
+func randValue(r *rand.Rand, size int) []byte {
+	if size <= 0 {
+		size = 8
+	}
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte('a' + r.Uint64N(26))
+	}
+	return b
+}

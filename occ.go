@@ -1,0 +1,277 @@
+package occ
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/keyspace"
+	"repro/internal/netemu"
+)
+
+// Engine selects the consistency protocol of a Store.
+type Engine int
+
+// Engines.
+const (
+	// POCC is Optimistic Causal Consistency: maximum freshness, blocking
+	// lazy dependency resolution.
+	POCC Engine = iota + 1
+	// CureStar is the pessimistic baseline (a Cure re-implementation with
+	// GET/PUT support): stable-visibility reads via a stabilization protocol.
+	CureStar
+	// HAPOCC is highly available POCC: optimistic with pessimistic fallback
+	// during network partitions.
+	HAPOCC
+)
+
+func (e Engine) String() string {
+	switch e {
+	case POCC:
+		return "POCC"
+	case CureStar:
+		return "Cure*"
+	case HAPOCC:
+		return "HA-POCC"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ErrSessionClosed is returned by HA-POCC sessions without auto-fallback
+// when the server suspects a network partition.
+var ErrSessionClosed = core.ErrSessionClosed
+
+// LatencyProfile gives the one-way network delay between two data centers;
+// src == dst is the intra-DC delay.
+type LatencyProfile func(srcDC, dstDC int) time.Duration
+
+// AWSProfile emulates the paper's testbed (Oregon, Virginia, Ireland RTTs of
+// roughly 70/140/80 ms), scaled by the given factor. Scale 1.0 is the real
+// thing; small scales (e.g. 0.02) keep experiments fast.
+func AWSProfile(scale float64) LatencyProfile {
+	inner := cluster.AWSLatency(scale)
+	return func(src, dst int) time.Duration {
+		return inner(netemu.NodeID{DC: src}, netemu.NodeID{DC: dst})
+	}
+}
+
+// UniformProfile applies fixed intra- and inter-DC delays.
+func UniformProfile(intra, inter time.Duration) LatencyProfile {
+	return func(src, dst int) time.Duration {
+		if src == dst {
+			return intra
+		}
+		return inter
+	}
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// DataCenters (M) and Partitions (N) shape the deployment. A full copy
+	// of the data lives in every data center, sharded over N partitions.
+	DataCenters int
+	Partitions  int
+	// Engine selects the consistency protocol. Required.
+	Engine Engine
+	// Latency is the emulated network profile. Nil means near-zero latency.
+	Latency LatencyProfile
+	// JitterFrac adds uniform jitter in [0, JitterFrac·delay) per message.
+	JitterFrac float64
+	// ClockSkew bounds the per-node physical-clock offset (emulated NTP).
+	ClockSkew time.Duration
+	// HeartbeatInterval is Δ of the protocol; defaults to 1 ms.
+	HeartbeatInterval time.Duration
+	// StabilizationInterval is the GSS exchange period; defaults to 5 ms for
+	// CureStar and 500 ms for HAPOCC.
+	StabilizationInterval time.Duration
+	// GCInterval enables transaction-aware garbage collection (0 disables).
+	GCInterval time.Duration
+	// BlockTimeout is HA-POCC's partition-suspicion threshold; defaults to
+	// 250 ms for HAPOCC.
+	BlockTimeout time.Duration
+	// Seed makes the emulation reproducible.
+	Seed uint64
+	// TCP carries inter-node traffic over real loopback TCP connections
+	// instead of the emulated network. Latency, jitter and partition
+	// injection are unavailable in this mode (PartitionNetwork and
+	// PartitionReplication become no-ops).
+	TCP bool
+}
+
+// Store is a running geo-replicated deployment.
+type Store struct {
+	inner  *cluster.Cluster
+	engine Engine
+}
+
+// Open builds and starts a Store.
+func Open(cfg Config) (*Store, error) {
+	var eng cluster.Engine
+	switch cfg.Engine {
+	case POCC:
+		eng = cluster.POCC
+	case CureStar:
+		eng = cluster.Cure
+	case HAPOCC:
+		eng = cluster.HAPOCC
+	default:
+		return nil, errors.New("occ: Config.Engine must be POCC, CureStar or HAPOCC")
+	}
+	var lat netemu.LatencyFunc
+	if cfg.Latency != nil {
+		profile := cfg.Latency
+		lat = func(src, dst netemu.NodeID) time.Duration {
+			return profile(src.DC, dst.DC)
+		}
+	}
+	inner, err := cluster.New(cluster.Config{
+		NumDCs:                cfg.DataCenters,
+		NumPartitions:         cfg.Partitions,
+		Engine:                eng,
+		HeartbeatInterval:     cfg.HeartbeatInterval,
+		StabilizationInterval: cfg.StabilizationInterval,
+		GCInterval:            cfg.GCInterval,
+		PutDepWait:            true,
+		BlockTimeout:          cfg.BlockTimeout,
+		ClockSkew:             cfg.ClockSkew,
+		Latency:               lat,
+		JitterFrac:            cfg.JitterFrac,
+		Seed:                  cfg.Seed,
+		TCP:                   cfg.TCP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("occ: %w", err)
+	}
+	return &Store{inner: inner, engine: cfg.Engine}, nil
+}
+
+// Close shuts the deployment down.
+func (s *Store) Close() { s.inner.Close() }
+
+// Engine returns the store's protocol.
+func (s *Store) Engine() Engine { return s.engine }
+
+// DataCenters returns the number of data centers.
+func (s *Store) DataCenters() int { return s.inner.Config().NumDCs }
+
+// Partitions returns the number of partitions per data center.
+func (s *Store) Partitions() int { return s.inner.Config().NumPartitions }
+
+// PartitionOf returns the partition responsible for key.
+func (s *Store) PartitionOf(key string) int {
+	return keyspace.PartitionOf(key, s.inner.Config().NumPartitions)
+}
+
+// Seed loads an initial value for key into every data center, immediately
+// visible and stable (used to populate a store before a workload).
+func (s *Store) Seed(key string, value []byte) { s.inner.Seed(key, value) }
+
+// PartitionNetwork cuts (down=true) or heals (down=false) every network link
+// between two data centers, emulating an inter-DC network partition.
+func (s *Store) PartitionNetwork(dcA, dcB int, down bool) {
+	if net := s.inner.Network(); net != nil {
+		net.PartitionDCs(dcA, dcB, down)
+	}
+}
+
+// PartitionReplication cuts (or heals) the replication path of a single
+// partition between two data centers, in both directions — the asymmetric
+// failure that delays one partition's updates while others flow normally.
+func (s *Store) PartitionReplication(dcA, dcB, partition int, down bool) {
+	net := s.inner.Network()
+	if net == nil {
+		return
+	}
+	a := netemu.NodeID{DC: dcA, Partition: partition}
+	b := netemu.NodeID{DC: dcB, Partition: partition}
+	net.SetLinkDown(a, b, down)
+	net.SetLinkDown(b, a, down)
+}
+
+// Messages returns the total number of protocol messages sent so far, a
+// proxy for communication overhead.
+func (s *Store) Messages() uint64 { return s.inner.Messages() }
+
+// Stats summarizes the server-side statistics of the deployment.
+type Stats struct {
+	// Operations counts server-side operations (GETs, PUTs, slice reads).
+	Operations uint64
+	// BlockedOperations counts operations that stalled waiting for a missing
+	// dependency.
+	BlockedOperations uint64
+	// BlockingProbability is BlockedOperations / Operations.
+	BlockingProbability float64
+	// MeanBlockingTime is the average stall duration of blocked operations.
+	MeanBlockingTime time.Duration
+	// PercentOldReads is the share of reads that returned an item with a
+	// fresher version hidden in its chain.
+	PercentOldReads float64
+	// PercentUnmergedReads is the share of reads whose chain held versions
+	// not yet visible under the engine's visibility rule.
+	PercentUnmergedReads float64
+}
+
+// Stats aggregates the current server-side statistics.
+func (s *Store) Stats() Stats {
+	agg := s.inner.Metrics()
+	blocking := agg.Blocking()
+	stale := agg.GetStale
+	stale.Add(agg.TxStale)
+	return Stats{
+		Operations:           blocking.Ops,
+		BlockedOperations:    blocking.Blocked,
+		BlockingProbability:  blocking.Probability(),
+		MeanBlockingTime:     blocking.MeanBlockTime(),
+		PercentOldReads:      stale.PercentOld(),
+		PercentUnmergedReads: stale.PercentUnmerged(),
+	}
+}
+
+// Session is a client session pinned to one data center. Use one session per
+// goroutine; its operations form a single thread of execution in the
+// causality order.
+type Session struct {
+	inner *client.Session
+	dc    int
+}
+
+// Session opens a client session against data center dc.
+func (s *Store) Session(dc int) (*Session, error) {
+	inner, err := s.inner.NewSession(dc)
+	if err != nil {
+		return nil, fmt.Errorf("occ: %w", err)
+	}
+	return &Session{inner: inner, dc: dc}, nil
+}
+
+// DC returns the data center the session is attached to.
+func (s *Session) DC() int { return s.dc }
+
+// Get returns the value of key, or nil if the key has no visible version.
+// Under POCC this is the freshest version the local data center has
+// received whose dependencies are compatible with the session's history.
+func (s *Session) Get(key string) ([]byte, error) { return s.inner.Get(key) }
+
+// Put assigns value to key, creating a new version that causally depends on
+// everything the session has read and written.
+func (s *Session) Put(key string, value []byte) error { return s.inner.Put(key, value) }
+
+// ROTx reads keys atomically from a causally consistent snapshot. Missing
+// keys map to nil values.
+func (s *Session) ROTx(keys []string) (map[string][]byte, error) { return s.inner.ROTx(keys) }
+
+// Pessimistic reports whether the session currently runs the pessimistic
+// fallback protocol (HA-POCC during a suspected partition).
+func (s *Session) Pessimistic() bool { return s.inner.Mode() == core.Pessimistic }
+
+// Fallbacks returns how many times the session fell back to the pessimistic
+// protocol.
+func (s *Session) Fallbacks() uint64 { return s.inner.Fallbacks() }
+
+// Promotions returns how many times the session was promoted back to the
+// optimistic protocol.
+func (s *Session) Promotions() uint64 { return s.inner.Promotions() }

@@ -1,0 +1,150 @@
+package occ_test
+
+import (
+	"testing"
+	"time"
+
+	occ "repro"
+)
+
+func TestTCPModePublicAPI(t *testing.T) {
+	s, err := occ.Open(occ.Config{
+		DataCenters: 2, Partitions: 2, Engine: occ.POCC,
+		TCP:  true,
+		Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	w, err := s.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("wire", []byte("tcp")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		v, errGet := r.Get("wire")
+		return errGet == nil && string(v) == "tcp"
+	}) {
+		t.Fatal("write never replicated over TCP")
+	}
+	if s.Messages() == 0 {
+		t.Fatal("TCP messages must be counted")
+	}
+	// Fault injection is a no-op in TCP mode, not a panic.
+	s.PartitionNetwork(0, 1, true)
+	s.PartitionReplication(0, 1, 0, true)
+	if _, err := w.Get("wire"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAWSProfileShape(t *testing.T) {
+	p := occ.AWSProfile(1.0)
+	intra := p(0, 0)
+	if intra <= 0 || intra > time.Millisecond {
+		t.Fatalf("intra-DC latency = %v", intra)
+	}
+	orVA := p(0, 1)
+	orIE := p(0, 2)
+	if orVA < 30*time.Millisecond || orVA > 40*time.Millisecond {
+		t.Fatalf("Oregon-Virginia one-way = %v, want ~35ms", orVA)
+	}
+	if orIE < 60*time.Millisecond || orIE > 80*time.Millisecond {
+		t.Fatalf("Oregon-Ireland one-way = %v, want ~70ms", orIE)
+	}
+	if orIE <= orVA {
+		t.Fatal("Ireland must be farther from Oregon than Virginia")
+	}
+	// Scaling.
+	half := occ.AWSProfile(0.5)(0, 1)
+	if half >= orVA {
+		t.Fatalf("scaled latency %v must be below full %v", half, orVA)
+	}
+}
+
+func TestUniformProfile(t *testing.T) {
+	p := occ.UniformProfile(time.Millisecond, 10*time.Millisecond)
+	if p(1, 1) != time.Millisecond {
+		t.Fatal("intra-DC delay wrong")
+	}
+	if p(0, 2) != 10*time.Millisecond {
+		t.Fatal("inter-DC delay wrong")
+	}
+}
+
+func TestHAPOCCSessionFallbackCounters(t *testing.T) {
+	s := open(t, occ.Config{
+		DataCenters: 2, Partitions: 2, Engine: occ.HAPOCC,
+		StabilizationInterval: 5 * time.Millisecond,
+		BlockTimeout:          30 * time.Millisecond,
+		Seed:                  22,
+	})
+	// Find two keys on distinct partitions.
+	keyA, keyB := "", ""
+	for i := 0; keyA == "" || keyB == ""; i++ {
+		k := "k" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		switch s.PartitionOf(k) {
+		case 0:
+			if keyA == "" {
+				keyA = k
+			}
+		case 1:
+			if keyB == "" {
+				keyB = k
+			}
+		}
+	}
+	s.Seed(keyA, []byte("a0"))
+	s.Seed(keyB, []byte("b0"))
+
+	s.PartitionReplication(0, 1, 0, true)
+	w, err := s.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(keyA, []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(keyB, []byte("b1")); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := s.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		v, errGet := r.Get(keyB)
+		return errGet == nil && string(v) == "b1"
+	}) {
+		t.Fatal("b1 never replicated")
+	}
+	// Blocks on the missing a1, times out, falls back.
+	v, err := r.Get(keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "a0" {
+		t.Fatalf("fallback read %q", v)
+	}
+	if !r.Pessimistic() || r.Fallbacks() != 1 {
+		t.Fatalf("pessimistic=%v fallbacks=%d", r.Pessimistic(), r.Fallbacks())
+	}
+	s.PartitionReplication(0, 1, 0, false)
+	if !waitFor(t, 5*time.Second, func() bool {
+		if _, errGet := r.Get(keyA); errGet != nil {
+			t.Fatal(errGet)
+		}
+		return !r.Pessimistic() && r.Promotions() == 1
+	}) {
+		t.Fatal("session never promoted")
+	}
+}
