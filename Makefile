@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all vet build test race check bench
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Guards the fine-grained server locking: the packages that own or exercise
+# the lock-free hot path must stay race-clean.
+race:
+	$(GO) test -race -count=1 ./internal/core/... ./internal/storage/... ./internal/tcpnet/...
+
+check: vet build test race
+
+# Hot-path microbenchmarks (the numbers tracked across PRs).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkWireCodec' -benchmem ./internal/wire/
+	$(GO) test -run '^$$' -bench 'BenchmarkVClockOps|BenchmarkStorage' -benchmem ./internal/vclock/ ./internal/storage/

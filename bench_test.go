@@ -225,7 +225,7 @@ func BenchmarkPartitionRecovery(b *testing.B) {
 // Operation microbenchmarks
 // ---------------------------------------------------------------------------
 
-func benchStore(b *testing.B, engine occ.Engine) (*occ.Store, *occ.Session) {
+func benchStore(b *testing.B, engine occ.Engine) (*occ.Store, *occ.Session, []string) {
 	b.Helper()
 	s, err := occ.Open(occ.Config{
 		DataCenters: 3, Partitions: 4, Engine: engine,
@@ -236,50 +236,58 @@ func benchStore(b *testing.B, engine occ.Engine) (*occ.Store, *occ.Session) {
 		b.Fatal(err)
 	}
 	b.Cleanup(s.Close)
-	for i := 0; i < 64; i++ {
-		s.Seed("bench-k"+strconv.Itoa(i), []byte("00000000"))
+	// Pre-built key set: the loops below must measure the store's hot path,
+	// not strconv/concat garbage.
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = "bench-k" + strconv.Itoa(i)
+		s.Seed(keys[i], []byte("00000000"))
 	}
 	sess, err := s.Session(0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return s, sess
+	return s, sess, keys
 }
 
 func BenchmarkGetPOCC(b *testing.B) {
-	_, sess := benchStore(b, occ.POCC)
+	_, sess, keys := benchStore(b, occ.POCC)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sess.Get("bench-k" + strconv.Itoa(i%64)); err != nil {
+		if _, err := sess.Get(keys[i%64]); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkGetCureStar(b *testing.B) {
-	_, sess := benchStore(b, occ.CureStar)
+	_, sess, keys := benchStore(b, occ.CureStar)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sess.Get("bench-k" + strconv.Itoa(i%64)); err != nil {
+		if _, err := sess.Get(keys[i%64]); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkPutPOCC(b *testing.B) {
-	_, sess := benchStore(b, occ.POCC)
+	_, sess, keys := benchStore(b, occ.POCC)
 	val := []byte("abcdefgh")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := sess.Put("bench-k"+strconv.Itoa(i%64), val); err != nil {
+		if err := sess.Put(keys[i%64], val); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkROTxPOCC(b *testing.B) {
-	_, sess := benchStore(b, occ.POCC)
+	_, sess, _ := benchStore(b, occ.POCC)
 	keys := []string{"bench-k1", "bench-k2", "bench-k3", "bench-k4"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sess.ROTx(keys); err != nil {

@@ -7,7 +7,20 @@
 // partition servers, per-link latency-injected networking, loosely
 // synchronized physical clocks, update replication, heartbeats, Cure-style
 // stabilization, transaction-aware garbage collection and client sessions.
-// Three engines are provided:
+//
+// The data path is built for throughput. Partition servers keep no global
+// lock: version vectors and stable snapshots are atomic vectors read
+// lock-free by the GET/RO-TX hot path, while independent locks cover the
+// local write path, stabilization, garbage collection and transaction
+// coordination — an optimistic read is a wait-free vector check plus an
+// O(1) chain-head lookup, exactly the cheap path the paper argues for.
+// Outgoing replication is batched per destination data center and flushed
+// on the heartbeat tick Δ (or a size threshold), with the receive side
+// applying each batch in a single pass over the storage shards. Deployments
+// that cross a real network (internal/tcpnet) frame messages with a
+// hand-rolled length-prefixed binary codec whose encode path performs zero
+// allocations; the reflection-based gob codec remains available as a
+// compatibility fallback. Three engines are provided:
 //
 //   - POCC — the paper's system: reads return the freshest received version;
 //     requests with unresolved dependencies block until the dependency

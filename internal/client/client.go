@@ -61,6 +61,12 @@ type Session struct {
 	dv   vclock.VC // DV_c: dependencies of the client's writes
 	rdv  vclock.VC // RDV_c: dependencies of the client's reads
 
+	// opScratch is the RDV copy handed to the server for one operation.
+	// Servers only read it (and never retain it past the call), and a
+	// session runs one operation at a time, so the buffer is reused across
+	// operations instead of cloning the RDV per request.
+	opScratch vclock.VC
+
 	fallbacks  uint64 // times the session fell back to pessimistic
 	promotions uint64 // times it was promoted back to optimistic
 }
@@ -167,8 +173,10 @@ func (s *Session) Put(key string, value []byte) error {
 func (s *Session) PutMeta(key string, value []byte) (vclock.Timestamp, int, error) {
 	srv := s.cfg.Router.ServerFor(key)
 	for {
-		mode, _ := s.opContext()
 		s.mu.Lock()
+		mode := s.mode
+		// Cloned, not scratch: the server takes ownership of dv (it becomes
+		// the new version's dependency vector).
 		dv := s.dv.Clone()
 		s.mu.Unlock()
 		s.injectLatency()
@@ -218,9 +226,10 @@ func (s *Session) ROTxReplies(keys []string) ([]msg.ItemReply, error) {
 		// written (Proposition 4 of the paper assumes the client's writes are
 		// in the snapshot): send max(RDV, DV), which covers the writes the
 		// plain RDV of Algorithm 1 line 15 would miss. See DESIGN.md §3.
-		mode, rdv := s.opContext()
 		s.mu.Lock()
-		rdv.MaxInPlace(s.dv)
+		mode := s.mode
+		s.opScratch = vclock.MaxInto(s.opScratch, s.rdv, s.dv)
+		rdv := s.opScratch
 		s.mu.Unlock()
 		s.injectLatency()
 		replies, err := coord.ROTx(keys, rdv, mode, s.cfg.Router.PartitionOf)
@@ -241,11 +250,14 @@ func (s *Session) ROTxReplies(keys []string) ([]msg.ItemReply, error) {
 	}
 }
 
-// opContext snapshots the mode and RDV for one operation.
+// opContext snapshots the mode and RDV for one operation. The returned
+// vector is the session's reusable scratch buffer: valid until the next
+// operation starts.
 func (s *Session) opContext() (core.Mode, vclock.VC) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.mode, s.rdv.Clone()
+	s.opScratch = s.opScratch.CopyFrom(s.rdv)
+	return s.mode, s.opScratch
 }
 
 // trackRead applies Algorithm 1 lines 4-6: merge the returned item's

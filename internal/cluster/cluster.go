@@ -68,6 +68,12 @@ type Config struct {
 	GCInterval time.Duration
 	// PutDepWait enables Algorithm 2 line 6 (the evaluation enables it).
 	PutDepWait bool
+	// ReplicationBatchSize caps the per-DC replication buffer before an
+	// inline flush (0 = core default, 1 = unbatched).
+	ReplicationBatchSize int
+	// ReplicationFlushInterval is the replication buffer flush cadence
+	// (0 defaults to the heartbeat interval Δ; negative disables batching).
+	ReplicationFlushInterval time.Duration
 	// BlockTimeout enables HA-POCC partition suspicion (HAPOCC only).
 	BlockTimeout time.Duration
 	// ClockSkew bounds the per-node clock offset: each node's skew is drawn
@@ -175,18 +181,20 @@ func New(cfg Config) (*Cluster, error) {
 				transport = c.net.Register(id, nil)
 			}
 			srv, err := core.NewServer(core.Config{
-				ID:                    id,
-				NumDCs:                cfg.NumDCs,
-				NumPartitions:         cfg.NumPartitions,
-				Clock:                 clock.New(skew),
-				Endpoint:              transport,
-				DefaultMode:           mode,
-				HeartbeatInterval:     cfg.HeartbeatInterval,
-				StabilizationInterval: stab,
-				GCInterval:            cfg.GCInterval,
-				PutDepWait:            cfg.PutDepWait,
-				BlockTimeout:          blockTimeout,
-				Metrics:               mxs,
+				ID:                       id,
+				NumDCs:                   cfg.NumDCs,
+				NumPartitions:            cfg.NumPartitions,
+				Clock:                    clock.New(skew),
+				Endpoint:                 transport,
+				DefaultMode:              mode,
+				HeartbeatInterval:        cfg.HeartbeatInterval,
+				StabilizationInterval:    stab,
+				GCInterval:               cfg.GCInterval,
+				PutDepWait:               cfg.PutDepWait,
+				BlockTimeout:             blockTimeout,
+				ReplicationBatchSize:     cfg.ReplicationBatchSize,
+				ReplicationFlushInterval: cfg.ReplicationFlushInterval,
+				Metrics:                  mxs,
 			})
 			if err != nil {
 				c.Close()

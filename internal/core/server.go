@@ -7,6 +7,27 @@
 // dependencies. HA-POCC is the optimistic engine with infrequent
 // stabilization plus a block-timeout that closes sessions so clients can fall
 // back to the pessimistic protocol (§III-B, §IV-C).
+//
+// # Hot-path locking
+//
+// The server has no global lock. State is split into independently
+// synchronized regions so the optimistic read path never contends with
+// replication apply:
+//
+//   - VV and GSS are atomic vectors ([]atomic.Uint64). Readers (Get, ROTx
+//     snapshots, waiter checks) load entries lock-free. Each remote VV entry
+//     has a single writer — the link handler of that DC's sibling (FIFO
+//     delivery serializes per source) — and the local entry is written under
+//     putMu; writes use CAS-max so they stay monotone under any interleaving.
+//   - putMu serializes local-write state: the local VV entry, the outgoing
+//     replication buffer, and every send to sibling DCs (so per-link FIFO
+//     order matches update-timestamp order, which VV advancement relies on).
+//   - gssMu guards the stabilization inputs (peer VVs) and GSS recomputation.
+//   - gcMu guards the garbage-collection contributions.
+//   - txMu guards RO-TX coordinator state (active snapshots, pending fan-in).
+//   - Blocked requests live on per-vector wait lists (one for VV, one for
+//     GSS) with their own locks and a fast lock-free empty check, so writers
+//     that advance a vector pay nothing when nobody is blocked.
 package core
 
 import (
@@ -72,6 +93,10 @@ type Metrics struct {
 	TxStale     metrics.Staleness
 }
 
+// defaultReplicationBatchSize is the buffered-update threshold that forces
+// a flush between heartbeat ticks.
+const defaultReplicationBatchSize = 128
+
 // Config parameterizes a Server.
 type Config struct {
 	// ID is the server's (data center, partition) coordinate.
@@ -102,6 +127,19 @@ type Config struct {
 	// requests blocked longer than this return ErrSessionClosed. 0 waits
 	// forever (the paper's POCC, evaluated without partitions).
 	BlockTimeout time.Duration
+	// ReplicationBatchSize caps how many outgoing updates may accumulate in
+	// the per-DC replication buffer before an inline flush. 0 selects the
+	// default (128); 1 flushes after every PUT (no batching, as the original
+	// one-message-per-update protocol).
+	ReplicationBatchSize int
+	// ReplicationFlushInterval is the periodic flush cadence of the
+	// replication buffer. 0 defaults to HeartbeatInterval, preserving the
+	// paper's Δ semantics: a buffered update is delayed at most one
+	// heartbeat period. A negative value disables timed batching entirely
+	// (every PUT flushes inline). An interval above Δ trades remote
+	// freshness for batch size; heartbeats are suppressed while updates
+	// are buffered so they never overtake the batch.
+	ReplicationFlushInterval time.Duration
 	// Metrics receives the server's statistics; required.
 	Metrics *Metrics
 }
@@ -122,7 +160,135 @@ func (c *Config) validate() error {
 	if c.DefaultMode == Pessimistic && c.StabilizationInterval <= 0 {
 		return errors.New("core: pessimistic mode requires a stabilization interval")
 	}
+	if c.ReplicationBatchSize < 0 {
+		return errors.New("core: ReplicationBatchSize must be >= 0")
+	}
 	return nil
+}
+
+// atomicVC is a vector clock whose entries are read and written atomically,
+// giving readers lock-free monotone snapshots. Cross-entry consistency is
+// not required by the protocol: every entry only grows, so any interleaved
+// load yields a vector that was a valid lower bound of the true state.
+type atomicVC struct {
+	e []atomic.Uint64
+}
+
+func newAtomicVC(n int) *atomicVC { return &atomicVC{e: make([]atomic.Uint64, n)} }
+
+func (a *atomicVC) get(i int) vclock.Timestamp { return vclock.Timestamp(a.e[i].Load()) }
+
+// raiseTo lifts entry i to at least t, reporting whether it advanced. The
+// CAS loop keeps the entry monotone even with racing writers (e.g. a TCP
+// reconnect briefly running two reader goroutines for one link).
+func (a *atomicVC) raiseTo(i int, t vclock.Timestamp) bool {
+	for {
+		cur := a.e[i].Load()
+		if uint64(t) <= cur {
+			return false
+		}
+		if a.e[i].CompareAndSwap(cur, uint64(t)) {
+			return true
+		}
+	}
+}
+
+// load fills dst (reallocating only on length mismatch) with an atomic
+// snapshot of the vector and returns it.
+func (a *atomicVC) load(dst vclock.VC) vclock.VC {
+	if len(dst) != len(a.e) {
+		dst = make(vclock.VC, len(a.e))
+	}
+	for i := range a.e {
+		dst[i] = vclock.Timestamp(a.e[i].Load())
+	}
+	return dst
+}
+
+// snapshot returns a fresh copy of the vector.
+func (a *atomicVC) snapshot() vclock.VC { return a.load(nil) }
+
+// covers reports whether the vector satisfies need on every entry except
+// skip (-1 checks all entries), the lock-free form of vclock.LessEqExcept.
+func (a *atomicVC) covers(need vclock.VC, skip int) bool {
+	for i, t := range need {
+		if i == skip {
+			continue
+		}
+		if i >= len(a.e) {
+			if t > 0 {
+				return false
+			}
+			continue
+		}
+		if uint64(t) > a.e[i].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// waiter represents one blocked request: it is released when the watched
+// vector covers need on every entry except skip (-1 to check all entries).
+type waiter struct {
+	need vclock.VC
+	skip int
+	done chan struct{}
+}
+
+// waitList is the per-vector condition structure: blocked requests register
+// here and writers that advance the vector wake the satisfied ones. The
+// active counter lets writers skip the lock entirely when nobody waits —
+// the common case on the optimistic hot path.
+type waitList struct {
+	vec    *atomicVC
+	mu     sync.Mutex
+	active atomic.Int32
+	ws     []*waiter
+}
+
+func (l *waitList) add(w *waiter) {
+	l.mu.Lock()
+	l.ws = append(l.ws, w)
+	l.active.Store(int32(len(l.ws)))
+	l.mu.Unlock()
+}
+
+func (l *waitList) remove(w *waiter) {
+	l.mu.Lock()
+	for i, x := range l.ws {
+		if x == w {
+			l.ws[i] = l.ws[len(l.ws)-1]
+			l.ws[len(l.ws)-1] = nil
+			l.ws = l.ws[:len(l.ws)-1]
+			break
+		}
+	}
+	l.active.Store(int32(len(l.ws)))
+	l.mu.Unlock()
+}
+
+// wake releases every waiter the vector now satisfies.
+func (l *waitList) wake() {
+	if l.active.Load() == 0 {
+		return
+	}
+	l.mu.Lock()
+	out := l.ws[:0]
+	for _, w := range l.ws {
+		if l.vec.covers(w.need, w.skip) {
+			close(w.done)
+		} else {
+			out = append(out, w)
+		}
+	}
+	// Clear the tail so released waiters are not retained.
+	for i := len(out); i < len(l.ws); i++ {
+		l.ws[i] = nil
+	}
+	l.ws = out
+	l.active.Store(int32(len(out)))
+	l.mu.Unlock()
 }
 
 // Server is one partition replica p_n^m.
@@ -135,21 +301,41 @@ type Server struct {
 	store *storage.Store
 	mx    *Metrics
 
-	mu         sync.Mutex
-	vv         vclock.VC             // version vector VV_n^m
-	gss        vclock.VC             // globally stable snapshot (pessimistic/HA)
-	peerVV     []vclock.VC           // last VV heard from each same-DC partition
-	gcContrib  []vclock.VC           // last GC contribution per same-DC partition
-	waiters    []*waiter             // requests blocked on VV advances
-	gssWaiters []*waiter             // requests blocked on GSS advances
-	activeTx   map[uint64]vclock.VC  // snapshot vectors of in-flight RO-TXs
-	pendingTx  map[uint64]*txPending // coordinator fan-in state
+	vv  *atomicVC // version vector VV_n^m; lock-free reads
+	gss *atomicVC // globally stable snapshot (pessimistic/HA); lock-free reads
+
+	// putMu serializes the local write path: the local VV entry, the
+	// replication buffer, and all sends to sibling DCs (per-link FIFO order
+	// must match timestamp order).
+	putMu         sync.Mutex
+	repBuf        []*item.Version // buffered outgoing updates, timestamp order
+	batchSize     int             // effective ReplicationBatchSize
+	syncFlush     bool            // flush inline on every PUT (no timed batching)
+	hbDrivesFlush bool            // the heartbeat tick is the flush cadence
+
+	// gssMu guards GSS recomputation and its inputs.
+	gssMu      sync.Mutex
+	peerVV     []vclock.VC // last VV heard from each same-DC partition
+	gssScratch vclock.VC   // reused aggregate-min workspace
+
+	// gcMu guards the garbage-collection exchange state.
+	gcMu      sync.Mutex
+	gcContrib []vclock.VC // last GC contribution per same-DC partition
+
+	// txMu guards RO-TX coordinator state.
+	txMu      sync.Mutex
+	activeTx  map[uint64]vclock.VC  // snapshot vectors of in-flight RO-TXs
+	pendingTx map[uint64]*txPending // coordinator fan-in state
+
+	vvWaiters  waitList // requests blocked on VV advances
+	gssWaiters waitList // requests blocked on GSS advances
 
 	txSeq       atomic.Uint64
 	suspectedAt atomic.Int64 // unix nanos of the last block timeout; 0 = never
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stopped atomic.Bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
 }
 
 // txPending tracks a coordinator's outstanding slice requests.
@@ -158,21 +344,6 @@ type txPending struct {
 	items     []msg.ItemReply
 	err       string
 	done      chan struct{}
-}
-
-// waiter represents one blocked request: it is released when the watched
-// vector covers need on every entry except skip (-1 to check all entries).
-type waiter struct {
-	need vclock.VC
-	skip int
-	done chan struct{}
-}
-
-func (w *waiter) satisfiedBy(v vclock.VC) bool {
-	if w.skip < 0 {
-		return w.need.LessEq(v)
-	}
-	return w.need.LessEqExcept(v, w.skip)
 }
 
 // NewServer builds and starts a partition server: its network handler is
@@ -190,23 +361,42 @@ func NewServer(cfg Config) (*Server, error) {
 		ep:        cfg.Endpoint,
 		store:     storage.New(),
 		mx:        cfg.Metrics,
-		vv:        vclock.New(cfg.NumDCs),
-		gss:       vclock.New(cfg.NumDCs),
+		vv:        newAtomicVC(cfg.NumDCs),
+		gss:       newAtomicVC(cfg.NumDCs),
 		peerVV:    make([]vclock.VC, cfg.NumPartitions),
 		gcContrib: make([]vclock.VC, cfg.NumPartitions),
 		activeTx:  make(map[uint64]vclock.VC),
 		pendingTx: make(map[uint64]*txPending),
 		stop:      make(chan struct{}),
 	}
+	s.vvWaiters.vec = s.vv
+	s.gssWaiters.vec = s.gss
 	for i := range s.peerVV {
 		s.peerVV[i] = vclock.New(cfg.NumDCs)
 		s.gcContrib[i] = nil // unknown until first exchange
 	}
+	s.batchSize = cfg.ReplicationBatchSize
+	if s.batchSize == 0 {
+		s.batchSize = defaultReplicationBatchSize
+	}
+	flushInterval := cfg.ReplicationFlushInterval
+	if flushInterval == 0 {
+		flushInterval = cfg.HeartbeatInterval
+	}
+	s.syncFlush = s.batchSize == 1 || flushInterval <= 0
+	s.hbDrivesFlush = !s.syncFlush && flushInterval == cfg.HeartbeatInterval
 	s.ep.SetHandler(s.handle)
 
 	if cfg.HeartbeatInterval > 0 && cfg.NumDCs > 1 {
 		s.wg.Add(1)
 		go s.heartbeatLoop()
+	}
+	if !s.syncFlush && cfg.NumDCs > 1 && !s.hbDrivesFlush {
+		// A flush cadence distinct from Δ gets a dedicated flusher; the
+		// heartbeat loop then leaves the buffer alone (and stays silent
+		// while updates are buffered, so heartbeats cannot overtake them).
+		s.wg.Add(1)
+		go s.flushLoop(flushInterval)
 	}
 	if cfg.StabilizationInterval > 0 {
 		s.wg.Add(1)
@@ -219,19 +409,15 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the background loops and releases every blocked request with
-// ErrStopped. It does not close the shared network.
+// Close stops the background loops, releases every blocked request with
+// ErrStopped and flushes any buffered replication. It does not close the
+// shared network.
 func (s *Server) Close() {
-	s.mu.Lock()
-	select {
-	case <-s.stop:
-		s.mu.Unlock()
+	if !s.stopped.CompareAndSwap(false, true) {
 		return
-	default:
 	}
 	close(s.stop)
-	s.waiters = nil
-	s.gssWaiters = nil
+	s.txMu.Lock()
 	for _, p := range s.pendingTx {
 		if p.err == "" {
 			p.err = ErrStopped.Error()
@@ -239,8 +425,13 @@ func (s *Server) Close() {
 		close(p.done)
 	}
 	s.pendingTx = make(map[uint64]*txPending)
-	s.mu.Unlock()
+	s.txMu.Unlock()
 	s.wg.Wait()
+	// Hand buffered updates to the transport so siblings do not lose the
+	// tail of the update stream.
+	s.putMu.Lock()
+	s.flushRepBufLocked()
+	s.putMu.Unlock()
 }
 
 // ID returns the server's coordinate.
@@ -250,18 +441,10 @@ func (s *Server) ID() netemu.NodeID { return s.cfg.ID }
 func (s *Server) Store() *storage.Store { return s.store }
 
 // VV returns a copy of the current version vector.
-func (s *Server) VV() vclock.VC {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.vv.Clone()
-}
+func (s *Server) VV() vclock.VC { return s.vv.snapshot() }
 
 // GSS returns a copy of the current globally stable snapshot.
-func (s *Server) GSS() vclock.VC {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.gss.Clone()
-}
+func (s *Server) GSS() vclock.VC { return s.gss.snapshot() }
 
 // Suspected reports whether the server recently suspected a network
 // partition (a blocked request hit the block timeout). HA-POCC clients use
@@ -295,7 +478,7 @@ func (s *Server) Get(key string, rdv vclock.VC, mode Mode) (msg.ItemReply, error
 			if err != nil {
 				return blocked, err
 			}
-			gss := s.GSS()
+			gss := s.gss.snapshot()
 			res = s.store.ReadVisible(key, s.pessimisticVisible(gss))
 			return blocked, nil
 		}
@@ -318,7 +501,10 @@ func (s *Server) Get(key string, rdv vclock.VC, mode Mode) (msg.ItemReply, error
 // lines 5-15): optionally wait until the server's state covers the client's
 // dependencies, wait until the local clock exceeds every dependency, assign
 // the update timestamp, store the version, and replicate it asynchronously
-// in timestamp order.
+// in timestamp order (buffered; see flushRepBufLocked).
+//
+// The server takes ownership of dv — it becomes the new version's dependency
+// vector — so callers must not mutate it after the call.
 func (s *Server) Put(key string, value []byte, dv vclock.VC, mode Mode) (vclock.Timestamp, error) {
 	var blocked time.Duration
 	if s.cfg.PutDepWait {
@@ -336,36 +522,64 @@ func (s *Server) Put(key string, value []byte, dv vclock.VC, mode Mode) (vclock.
 
 	val := make([]byte, len(value))
 	copy(val, value)
-
-	s.mu.Lock()
-	if s.isStopped() {
-		s.mu.Unlock()
-		return 0, ErrStopped
-	}
-	ut := s.clk.Now()
-	s.vv[s.m] = ut
 	d := &item.Version{
 		Key:        key,
 		Value:      val,
 		SrcReplica: s.m,
-		UpdateTime: ut,
-		Deps:       dv.Clone(),
+		Deps:       dv,
 		Optimistic: mode == Optimistic,
 	}
 	if d.Deps == nil {
 		d.Deps = vclock.New(s.cfg.NumDCs)
 	}
+
+	s.putMu.Lock()
+	if s.stopped.Load() {
+		s.putMu.Unlock()
+		return 0, ErrStopped
+	}
+	ut := s.clk.Now()
+	d.UpdateTime = ut
+	// Insert before advancing VV so a reader at the new VV finds the version.
 	s.store.Insert(d)
-	// Replicate while holding the lock so per-link FIFO order matches
-	// timestamp order (the correctness of VV advancement relies on it).
-	for dc := 0; dc < s.cfg.NumDCs; dc++ {
-		if dc != s.m {
-			s.ep.Send(netemu.NodeID{DC: dc, Partition: s.n}, msg.Replicate{V: d})
+	s.vv.raiseTo(s.m, ut)
+	if s.cfg.NumDCs > 1 {
+		s.repBuf = append(s.repBuf, d)
+		if s.syncFlush || len(s.repBuf) >= s.batchSize {
+			s.flushRepBufLocked()
 		}
 	}
-	s.notifyVVWaitersLocked()
-	s.mu.Unlock()
+	s.putMu.Unlock()
+	s.vvWaiters.wake()
 	return ut, nil
+}
+
+// flushRepBufLocked sends the buffered updates to every sibling DC. Called
+// with putMu held so batches (and heartbeats) leave each link in timestamp
+// order. A single buffered update goes out as a plain msg.Replicate and the
+// buffer is reused; a real batch hands its slice to the message (versions
+// are immutable and shared across DCs).
+func (s *Server) flushRepBufLocked() {
+	if len(s.repBuf) == 0 {
+		return
+	}
+	var m any
+	if len(s.repBuf) == 1 {
+		m = msg.Replicate{V: s.repBuf[0]}
+		s.repBuf[0] = nil
+		s.repBuf = s.repBuf[:0]
+	} else {
+		m = msg.ReplicateBatch{
+			Versions: s.repBuf,
+			HBTime:   s.repBuf[len(s.repBuf)-1].UpdateTime,
+		}
+		s.repBuf = nil
+	}
+	for dc := 0; dc < s.cfg.NumDCs; dc++ {
+		if dc != s.m {
+			s.ep.Send(netemu.NodeID{DC: dc, Partition: s.n}, m)
+		}
+	}
 }
 
 // ROTx coordinates a causally consistent read-only transaction (Algorithm 2,
@@ -381,31 +595,38 @@ func (s *Server) ROTx(keys []string, rdv vclock.VC, mode Mode, partitionOf func(
 		byPartition[p] = append(byPartition[p], k)
 	}
 
-	s.mu.Lock()
-	if s.isStopped() {
-		s.mu.Unlock()
-		return nil, ErrStopped
-	}
 	// Snapshot boundary: the optimistic protocol snapshots what the
 	// coordinator has *received* (VV); the pessimistic one snapshots what is
 	// *stable* (GSS). Both include the client's history (rdv).
-	var tv vclock.VC
-	if mode == Pessimistic {
-		tv = vclock.Max(s.gss, rdv)
-	} else {
-		tv = vclock.Max(s.vv, rdv)
-	}
+	//
+	// tv is computed and registered under txMu so it serializes against
+	// localGCContribution: either the GC pass sees this transaction in
+	// activeTx, or it snapshotted the visibility vector before we did — in
+	// which case tv covers the GC base and no version inside the snapshot
+	// can be pruned.
 	txID := s.txSeq.Add(1)
-	s.activeTx[txID] = tv
 	pending := &txPending{remaining: len(byPartition), done: make(chan struct{})}
+	var tv vclock.VC
+	s.txMu.Lock()
+	if s.stopped.Load() {
+		s.txMu.Unlock()
+		return nil, ErrStopped
+	}
+	if mode == Pessimistic {
+		tv = s.gss.snapshot()
+	} else {
+		tv = s.vv.snapshot()
+	}
+	tv.MaxInPlace(rdv)
+	s.activeTx[txID] = tv
 	s.pendingTx[txID] = pending
-	s.mu.Unlock()
+	s.txMu.Unlock()
 
 	defer func() {
-		s.mu.Lock()
+		s.txMu.Lock()
 		delete(s.activeTx, txID)
 		delete(s.pendingTx, txID)
-		s.mu.Unlock()
+		s.txMu.Unlock()
 	}()
 
 	for p, ks := range byPartition {
@@ -430,9 +651,9 @@ func (s *Server) ROTx(keys []string, rdv vclock.VC, mode Mode, partitionOf func(
 	case <-s.stop:
 		return nil, ErrStopped
 	}
-	s.mu.Lock()
+	s.txMu.Lock()
 	items, errStr := pending.items, pending.err
-	s.mu.Unlock()
+	s.txMu.Unlock()
 	if errStr != "" {
 		if errStr == ErrSessionClosed.Error() {
 			return nil, ErrSessionClosed
@@ -450,6 +671,8 @@ func (s *Server) handle(src netemu.NodeID, m any) {
 	switch mm := m.(type) {
 	case msg.Replicate:
 		s.applyReplicate(src, mm)
+	case msg.ReplicateBatch:
+		s.applyReplicateBatch(src, mm)
 	case msg.Heartbeat:
 		s.applyHeartbeat(src, mm)
 	case msg.VVExchange:
@@ -468,60 +691,81 @@ func (s *Server) handle(src netemu.NodeID, m any) {
 // (Algorithm 2, lines 16-18). Messages arrive in timestamp order per link.
 func (s *Server) applyReplicate(src netemu.NodeID, m msg.Replicate) {
 	s.store.Insert(m.V)
-	s.mu.Lock()
-	if m.V.UpdateTime > s.vv[src.DC] {
-		s.vv[src.DC] = m.V.UpdateTime
+	if s.vv.raiseTo(src.DC, m.V.UpdateTime) {
+		s.vvWaiters.wake()
 	}
-	s.notifyVVWaitersLocked()
-	s.mu.Unlock()
+}
+
+// applyReplicateBatch installs a batch of remote versions under one shard
+// pass and advances the version vector once, to the covering heartbeat
+// timestamp (or the last version's update time, whichever is larger).
+func (s *Server) applyReplicateBatch(src netemu.NodeID, m msg.ReplicateBatch) {
+	s.store.InsertBatch(m.Versions)
+	adv := m.HBTime
+	if n := len(m.Versions); n > 0 {
+		if last := m.Versions[n-1].UpdateTime; last > adv {
+			adv = last
+		}
+	}
+	if s.vv.raiseTo(src.DC, adv) {
+		s.vvWaiters.wake()
+	}
 }
 
 // applyHeartbeat advances the sender DC's version-vector entry (lines 27-28).
 func (s *Server) applyHeartbeat(src netemu.NodeID, m msg.Heartbeat) {
-	s.mu.Lock()
-	if m.Time > s.vv[src.DC] {
-		s.vv[src.DC] = m.Time
+	if s.vv.raiseTo(src.DC, m.Time) {
+		s.vvWaiters.wake()
 	}
-	s.notifyVVWaitersLocked()
-	s.mu.Unlock()
 }
 
 // applyVVExchange records a same-DC peer's version vector and recomputes the
 // GSS as the aggregate minimum (§IV-C).
 func (s *Server) applyVVExchange(m msg.VVExchange) {
-	s.mu.Lock()
+	s.gssMu.Lock()
 	s.peerVV[m.Partition] = m.VV
 	s.recomputeGSSLocked()
-	s.mu.Unlock()
+	s.gssMu.Unlock()
 }
 
 // recomputeGSSLocked folds the freshest known VV of every partition in the
-// DC (including this node's own) into the GSS.
+// DC (including this node's own) into the GSS. Entries are raised
+// individually: every input only grows, so the aggregate minimum is monotone
+// per entry. Called with gssMu held.
 func (s *Server) recomputeGSSLocked() {
-	s.peerVV[s.n] = s.vv.Clone()
-	gss := vclock.AggregateMin(s.peerVV)
-	if s.gss.LessEq(gss) && !s.gss.Equal(gss) {
-		s.gss = gss
-		s.notifyGSSWaitersLocked()
+	s.peerVV[s.n] = s.vv.load(s.peerVV[s.n])
+	min := s.gssScratch.CopyFrom(s.peerVV[0])
+	for _, v := range s.peerVV[1:] {
+		min.MinInPlace(v)
+	}
+	s.gssScratch = min
+	advanced := false
+	for i, t := range min {
+		if s.gss.raiseTo(i, t) {
+			advanced = true
+		}
+	}
+	if advanced {
+		s.gssWaiters.wake()
 	}
 }
 
 // applyGCExchange records a peer's GC contribution; when contributions from
 // every partition are known, prune with their aggregate minimum.
 func (s *Server) applyGCExchange(m msg.GCExchange) {
-	s.mu.Lock()
+	s.gcMu.Lock()
 	s.gcContrib[m.Partition] = m.TV
 	gv := s.gcVectorLocked()
-	s.mu.Unlock()
+	s.gcMu.Unlock()
 	if gv != nil {
 		s.store.CollectGarbage(gv)
 	}
 }
 
 // gcVectorLocked returns the DC-wide GC vector, or nil if some partition has
-// not contributed yet.
+// not contributed yet. Called with gcMu held.
 func (s *Server) gcVectorLocked() vclock.VC {
-	s.gcContrib[s.n] = s.localGCContributionLocked()
+	s.gcContrib[s.n] = s.localGCContribution()
 	vs := make([]vclock.VC, 0, len(s.gcContrib))
 	for _, c := range s.gcContrib {
 		if c == nil {
@@ -532,28 +776,41 @@ func (s *Server) gcVectorLocked() vclock.VC {
 	return vclock.AggregateMin(vs)
 }
 
-// localGCContributionLocked is the node's GC input: the minimum of its
+// localGCContribution is the node's GC input: the minimum of its
 // visibility vector (VV for optimistic deployments, GSS when stabilization
 // runs) and the snapshot vectors of its active transactions. Taking the
 // minimum (rather than the paper's "aggregate maximum" wording) is the
 // conservative-safe choice: the GC vector never overtakes a snapshot an
 // active transaction may still read (see DESIGN.md §3).
-func (s *Server) localGCContributionLocked() vclock.VC {
+func (s *Server) localGCContribution() vclock.VC {
+	// The base snapshot is taken under txMu (see ROTx): a transaction not
+	// yet in activeTx is guaranteed to compute a tv covering this base.
+	s.txMu.Lock()
 	var base vclock.VC
 	if s.cfg.StabilizationInterval > 0 {
-		base = s.gss.Clone()
+		base = s.gss.snapshot()
 	} else {
-		base = s.vv.Clone()
+		base = s.vv.snapshot()
 	}
 	for _, tv := range s.activeTx {
 		base.MinInPlace(tv)
 	}
+	s.txMu.Unlock()
 	return base
 }
 
 // serveSlice executes a transactional slice read (Algorithm 2, lines 39-47):
 // wait until this node has installed every update in the snapshot, then read
 // the freshest version of each key within TV.
+//
+// Visibility within a slice is exactly Deps ≤ TV for both protocols: the
+// snapshot vector already encodes the protocol's visibility rule (the
+// coordinator builds it from its VV for optimistic transactions and from
+// its GSS for pessimistic ones, plus the client's history either way).
+// Re-checking stability against this server's own GSS — which may lag the
+// coordinator's — would hide versions that are inside the snapshot and
+// break the transaction's causal cut (the seed's flaky Cure* stress
+// failure).
 func (s *Server) serveSlice(src netemu.NodeID, req msg.SliceReq) {
 	blocked, err := s.waitVV(req.TV, -1)
 	s.mx.TxBlocking.Record(blocked)
@@ -561,22 +818,9 @@ func (s *Server) serveSlice(src netemu.NodeID, req msg.SliceReq) {
 	if err != nil {
 		resp.Err = err.Error()
 	} else {
-		var visible func(*item.Version) bool
-		if req.Pessimistic {
-			gss := s.GSS()
-			stable := s.pessimisticVisible(gss)
-			visible = func(v *item.Version) bool {
-				return v.Deps.LessEq(req.TV) && stable(v)
-			}
-		}
 		resp.Items = make([]msg.ItemReply, 0, len(req.Keys))
 		for _, k := range req.Keys {
-			var res storage.ReadResult
-			if visible != nil {
-				res = s.store.ReadVisible(k, visible)
-			} else {
-				res = s.store.ReadWithin(k, req.TV)
-			}
+			res := s.store.ReadWithin(k, req.TV)
 			s.mx.TxStale.Record(res.Fresher, res.Invisible)
 			resp.Items = append(resp.Items, msg.FromVersion(k, res.V, res.Fresher, res.Invisible))
 		}
@@ -590,8 +834,8 @@ func (s *Server) serveSlice(src netemu.NodeID, req msg.SliceReq) {
 
 // applySliceResp folds a slice reply into the coordinator's pending state.
 func (s *Server) applySliceResp(m msg.SliceResp) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
 	p, ok := s.pendingTx[m.TxID]
 	if !ok || p.remaining <= 0 {
 		// Transaction already completed, failed, or the transport delivered
@@ -612,8 +856,10 @@ func (s *Server) applySliceResp(m msg.SliceResp) {
 // Background loops
 // ---------------------------------------------------------------------------
 
-// heartbeatLoop broadcasts the local clock when no PUT has advanced the local
-// version-vector entry for a heartbeat interval (Algorithm 2, lines 19-26).
+// heartbeatLoop flushes the replication buffer every Δ and broadcasts the
+// local clock when no PUT has advanced the local version-vector entry for a
+// heartbeat interval (Algorithm 2, lines 19-26). A flushed batch carries its
+// own covering timestamp, so it subsumes the heartbeat while updates flow.
 func (s *Server) heartbeatLoop() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.cfg.HeartbeatInterval)
@@ -624,18 +870,46 @@ func (s *Server) heartbeatLoop() {
 			return
 		case <-t.C:
 		}
-		s.mu.Lock()
+		s.putMu.Lock()
+		if s.hbDrivesFlush {
+			s.flushRepBufLocked()
+		}
 		ct := s.clk.Now()
-		if ct >= s.vv[s.m]+vclock.Timestamp(s.cfg.HeartbeatInterval) {
-			s.vv[s.m] = ct
+		// Heartbeats are suppressed while updates sit in the buffer (a
+		// slower dedicated flush cadence): a heartbeat carrying ct would
+		// otherwise overtake buffered versions with smaller timestamps.
+		idle := len(s.repBuf) == 0 &&
+			ct >= s.vv.get(s.m)+vclock.Timestamp(s.cfg.HeartbeatInterval)
+		if idle {
+			s.vv.raiseTo(s.m, ct)
 			for dc := 0; dc < s.cfg.NumDCs; dc++ {
 				if dc != s.m {
 					s.ep.Send(netemu.NodeID{DC: dc, Partition: s.n}, msg.Heartbeat{Time: ct})
 				}
 			}
-			s.notifyVVWaitersLocked()
 		}
-		s.mu.Unlock()
+		s.putMu.Unlock()
+		if idle {
+			s.vvWaiters.wake()
+		}
+	}
+}
+
+// flushLoop drains the replication buffer on a cadence distinct from the
+// heartbeat interval (ReplicationFlushInterval ≠ Δ).
+func (s *Server) flushLoop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.putMu.Lock()
+		s.flushRepBufLocked()
+		s.putMu.Unlock()
 	}
 }
 
@@ -651,10 +925,10 @@ func (s *Server) stabilizationLoop() {
 			return
 		case <-t.C:
 		}
-		s.mu.Lock()
-		vv := s.vv.Clone()
+		vv := s.vv.snapshot()
+		s.gssMu.Lock()
 		s.recomputeGSSLocked()
-		s.mu.Unlock()
+		s.gssMu.Unlock()
 		for p := 0; p < s.cfg.NumPartitions; p++ {
 			if p != s.n {
 				s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, msg.VVExchange{Partition: s.n, VV: vv})
@@ -675,10 +949,10 @@ func (s *Server) gcLoop() {
 			return
 		case <-t.C:
 		}
-		s.mu.Lock()
-		contrib := s.localGCContributionLocked()
+		s.gcMu.Lock()
+		contrib := s.localGCContribution()
 		gv := s.gcVectorLocked()
-		s.mu.Unlock()
+		s.gcMu.Unlock()
 		for p := 0; p < s.cfg.NumPartitions; p++ {
 			if p != s.n {
 				s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, msg.GCExchange{Partition: s.n, TV: contrib})
@@ -694,41 +968,33 @@ func (s *Server) gcLoop() {
 // Blocking machinery
 // ---------------------------------------------------------------------------
 
-func (s *Server) isStopped() bool {
-	select {
-	case <-s.stop:
-		return true
-	default:
-		return false
-	}
-}
-
 // waitVV blocks until the version vector covers need on every entry except
 // skip. It returns how long the caller was blocked. With a BlockTimeout
 // configured, a wait that exceeds it marks the server suspected and returns
 // ErrSessionClosed (the HA-POCC recovery trigger).
 func (s *Server) waitVV(need vclock.VC, skip int) (time.Duration, error) {
-	return s.waitOn(&s.waiters, func() vclock.VC { return s.vv }, need, skip)
+	return s.waitOn(&s.vvWaiters, need, skip)
 }
 
 // waitGSS blocks until the GSS covers need on every entry except skip.
 func (s *Server) waitGSS(need vclock.VC, skip int) (time.Duration, error) {
-	return s.waitOn(&s.gssWaiters, func() vclock.VC { return s.gss }, need, skip)
+	return s.waitOn(&s.gssWaiters, need, skip)
 }
 
-func (s *Server) waitOn(list *[]*waiter, vec func() vclock.VC, need vclock.VC, skip int) (time.Duration, error) {
-	w := waiter{need: need, skip: skip, done: make(chan struct{})}
-	s.mu.Lock()
-	if s.isStopped() {
-		s.mu.Unlock()
+func (s *Server) waitOn(l *waitList, need vclock.VC, skip int) (time.Duration, error) {
+	if s.stopped.Load() {
 		return 0, ErrStopped
 	}
-	if w.satisfiedBy(vec()) {
-		s.mu.Unlock()
+	// Lock-free fast path: the vector already covers the dependencies.
+	if l.vec.covers(need, skip) {
 		return 0, nil
 	}
-	*list = append(*list, &w)
-	s.mu.Unlock()
+	w := &waiter{need: need, skip: skip, done: make(chan struct{})}
+	l.add(w)
+	// Re-check after registration: a writer that advanced the vector between
+	// the fast-path check and add would have seen an empty wait list. wake
+	// also releases any other now-satisfied waiter, which is harmless.
+	l.wake()
 
 	start := time.Now()
 	var timeout <-chan time.Time
@@ -741,7 +1007,7 @@ func (s *Server) waitOn(list *[]*waiter, vec func() vclock.VC, need vclock.VC, s
 	case <-w.done:
 		return time.Since(start), nil
 	case <-s.stop:
-		s.removeWaiter(list, &w)
+		l.remove(w)
 		return time.Since(start), ErrStopped
 	case <-timeout:
 		// The waiter may have been released concurrently with the timer
@@ -751,47 +1017,10 @@ func (s *Server) waitOn(list *[]*waiter, vec func() vclock.VC, need vclock.VC, s
 			return time.Since(start), nil
 		default:
 		}
-		s.removeWaiter(list, &w)
+		l.remove(w)
 		s.suspectedAt.Store(time.Now().UnixNano())
 		return time.Since(start), ErrSessionClosed
 	}
-}
-
-func (s *Server) removeWaiter(list *[]*waiter, w *waiter) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ws := *list
-	for i, x := range ws {
-		if x == w {
-			ws[i] = ws[len(ws)-1]
-			*list = ws[:len(ws)-1]
-			return
-		}
-	}
-}
-
-func (s *Server) notifyVVWaitersLocked() {
-	s.waiters = releaseSatisfied(s.waiters, s.vv)
-}
-
-func (s *Server) notifyGSSWaitersLocked() {
-	s.gssWaiters = releaseSatisfied(s.gssWaiters, s.gss)
-}
-
-func releaseSatisfied(ws []*waiter, v vclock.VC) []*waiter {
-	out := ws[:0]
-	for _, w := range ws {
-		if w.satisfiedBy(v) {
-			close(w.done)
-		} else {
-			out = append(out, w)
-		}
-	}
-	// Clear the tail so released waiters are not retained.
-	for i := len(out); i < len(ws); i++ {
-		ws[i] = nil
-	}
-	return out
 }
 
 // pessimisticVisible returns the Cure* visibility predicate for the given

@@ -104,11 +104,13 @@ func TestHeartbeatSuppressedByPuts(t *testing.T) {
 
 	hb, repl := 0, 0
 	for _, m := range r.received(netemu.NodeID{DC: 1, Partition: 0}) {
-		switch m.(type) {
+		switch mm := m.(type) {
 		case msg.Heartbeat:
 			hb++
 		case msg.Replicate:
 			repl++
+		case msg.ReplicateBatch:
+			repl += len(mm.Versions)
 		}
 	}
 	if repl == 0 {

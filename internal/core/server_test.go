@@ -168,7 +168,9 @@ func TestPutTimestampExceedsDependencies(t *testing.T) {
 }
 
 func TestPutReplicatesToSiblingsInOrder(t *testing.T) {
-	r := newRig(t, Config{HeartbeatInterval: time.Hour})
+	// BatchSize 1 disables batching: every PUT flushes inline as a plain
+	// Replicate (the original one-message-per-update protocol).
+	r := newRig(t, Config{HeartbeatInterval: time.Hour, ReplicationBatchSize: 1})
 	const puts = 20
 	for i := 0; i < puts; i++ {
 		if _, err := r.srv.Put("k0", []byte{byte(i)}, vclock.New(3), Optimistic); err != nil {

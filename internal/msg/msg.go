@@ -17,6 +17,17 @@ type Replicate struct {
 	V *item.Version
 }
 
+// ReplicateBatch carries a batch of freshly created versions, in update-
+// timestamp order, to the sibling replicas. Senders accumulate updates and
+// flush on the heartbeat tick (Δ) or when a size threshold is reached;
+// HBTime is the covering heartbeat timestamp — receivers advance the sender
+// DC's version-vector entry to max(HBTime, last version's update time), so a
+// batch subsumes a separate heartbeat while updates flow.
+type ReplicateBatch struct {
+	Versions []*item.Version
+	HBTime   vclock.Timestamp
+}
+
 // Heartbeat advertises the sender's current clock so idle replicas keep the
 // receivers' version vectors moving (Algorithm 2, lines 19-28).
 type Heartbeat struct {
@@ -31,7 +42,10 @@ type SliceReq struct {
 	Keys        []string
 	TV          vclock.VC
 	// Pessimistic marks slices of transactions issued by pessimistic
-	// (fallback) sessions; they only see stable versions.
+	// (fallback) sessions. Visibility is fully encoded in TV (the
+	// coordinator builds it from its GSS for pessimistic transactions), so
+	// responders do not branch on this flag; it is kept for diagnostics and
+	// wire-format stability.
 	Pessimistic bool
 }
 

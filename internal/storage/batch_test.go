@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/item"
+	"repro/internal/vclock"
+)
+
+// TestInsertBatchMatchesInsert: a batched apply yields exactly the state of
+// one-at-a-time inserts — same chains, same LWW order, same idempotency.
+func TestInsertBatchMatchesInsert(t *testing.T) {
+	var vs []*item.Version
+	for i := 0; i < 100; i++ {
+		vs = append(vs, &item.Version{
+			Key:        "k" + strconv.Itoa(i%7),
+			Value:      []byte{byte(i)},
+			SrcReplica: i % 3,
+			UpdateTime: vclock.Timestamp(100 - i), // reverse order stresses insertion
+			Deps:       vclock.New(3),
+		})
+	}
+	one, batch := New(), New()
+	for _, v := range vs {
+		one.Insert(v)
+	}
+	batch.InsertBatch(vs)
+	batch.InsertBatch(vs) // replay must be idempotent
+
+	if one.Versions() != batch.Versions() {
+		t.Fatalf("versions: %d vs %d", one.Versions(), batch.Versions())
+	}
+	for i := 0; i < 7; i++ {
+		k := "k" + strconv.Itoa(i)
+		a, b := one.Head(k), batch.Head(k)
+		if a == nil || b == nil || !a.Same(b) {
+			t.Fatalf("key %s heads differ: %+v vs %+v", k, a, b)
+		}
+	}
+}
+
+func TestInsertBatchEmptyAndSingle(t *testing.T) {
+	s := New()
+	s.InsertBatch(nil)
+	s.InsertBatch([]*item.Version{})
+	if s.Versions() != 0 {
+		t.Fatal("empty batches must be no-ops")
+	}
+	s.InsertBatch([]*item.Version{{Key: "a", UpdateTime: 1, Deps: vclock.New(3)}})
+	if s.Versions() != 1 || s.Head("a") == nil {
+		t.Fatal("single-version batch not applied")
+	}
+}
+
+// TestStatsSinglePass: Stats agrees with Keys and Versions.
+func TestStatsSinglePass(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Insert(&item.Version{
+			Key: "k" + strconv.Itoa(i%4), UpdateTime: vclock.Timestamp(i + 1),
+			Deps: vclock.New(3),
+		})
+	}
+	st := s.Stats()
+	if st.Keys != 4 || st.Versions != 10 {
+		t.Fatalf("stats = %+v, want 4 keys / 10 versions", st)
+	}
+	if s.Keys() != st.Keys || s.Versions() != st.Versions {
+		t.Fatal("Keys/Versions disagree with Stats")
+	}
+}

@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/item"
+	"repro/internal/vclock"
+)
+
+func benchVersions(n int) []*item.Version {
+	vs := make([]*item.Version, n)
+	for i := range vs {
+		vs[i] = &item.Version{
+			Key:        "bench-k" + strconv.Itoa(i%64),
+			Value:      []byte("00000000"),
+			SrcReplica: 1,
+			UpdateTime: vclock.Timestamp(i + 1),
+			Deps:       vclock.VC{0, uint64ToTS(i), 0},
+		}
+	}
+	return vs
+}
+
+func uint64ToTS(i int) vclock.Timestamp { return vclock.Timestamp(i) }
+
+// BenchmarkStorageInsert measures the one-at-a-time insert path (one shard
+// lock acquisition per version).
+func BenchmarkStorageInsert(b *testing.B) {
+	vs := benchVersions(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, v := range vs {
+			s.Insert(v)
+		}
+	}
+}
+
+// BenchmarkStorageInsertBatch measures the batched apply path (one shard
+// pass per batch) at the default replication batch size.
+func BenchmarkStorageInsertBatch(b *testing.B) {
+	vs := benchVersions(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for off := 0; off < len(vs); off += 128 {
+			s.InsertBatch(vs[off : off+128])
+		}
+	}
+}
+
+// BenchmarkStorageStats measures the single-pass key/version sampler.
+func BenchmarkStorageStats(b *testing.B) {
+	s := New()
+	for _, v := range benchVersions(1024) {
+		s.Insert(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Stats()
+	}
+}
+
+// BenchmarkCollectGarbageNoPrune measures a GC sweep over chains that need
+// no pruning (the steady state between update bursts).
+func BenchmarkCollectGarbageNoPrune(b *testing.B) {
+	s := New()
+	for _, v := range benchVersions(64) { // one version per key
+		s.Insert(v)
+	}
+	gv := vclock.VC{1 << 40, 1 << 40, 1 << 40}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if removed := s.CollectGarbage(gv); removed != 0 {
+			b.Fatalf("unexpected pruning: %d", removed)
+		}
+	}
+}

@@ -43,8 +43,12 @@ func New() *Store {
 	return s
 }
 
+func (s *Store) shardIndex(key string) int {
+	return int(maphash.String(s.seed, key) % numShards)
+}
+
 func (s *Store) shardOf(key string) *shard {
-	return &s.shards[maphash.String(s.seed, key)%numShards]
+	return &s.shards[s.shardIndex(key)]
 }
 
 // Insert adds a version to its key's chain, keeping the chain in LWW order.
@@ -53,7 +57,49 @@ func (s *Store) shardOf(key string) *shard {
 func (s *Store) Insert(v *item.Version) {
 	sh := s.shardOf(v.Key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.insertLocked(v)
+	sh.mu.Unlock()
+}
+
+// InsertBatch adds many versions, grouping them by shard so each shard lock
+// is taken at most once per call — the apply path of batched replication.
+// The batch slice is not mutated (it may be shared with other receivers);
+// grouping uses an index chain, costing one small allocation per call.
+func (s *Store) InsertBatch(vs []*item.Version) {
+	if len(vs) == 0 {
+		return
+	}
+	if len(vs) == 1 {
+		s.Insert(vs[0])
+		return
+	}
+	// head[sh] is the first batch index in shard sh, next[i] the following
+	// index in the same shard; building in reverse keeps original order.
+	var head [numShards]int32
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int32, len(vs))
+	for i := len(vs) - 1; i >= 0; i-- {
+		sh := s.shardIndex(vs[i].Key)
+		next[i] = head[sh]
+		head[sh] = int32(i)
+	}
+	for i := range head {
+		j := head[i]
+		if j < 0 {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for ; j >= 0; j = next[j] {
+			sh.insertLocked(vs[j])
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (sh *shard) insertLocked(v *item.Version) {
 	chain := sh.chains[v.Key]
 	// Common case: the new version is the freshest (updates replicate in
 	// timestamp order), so it lands at the head.
@@ -140,12 +186,20 @@ func (s *Store) ReadWithin(key string, tv vclock.VC) ReadResult {
 // the first one whose dependency vector is covered by gv. If no version
 // qualifies, the whole chain is kept (there is no safe version to anchor on).
 // It returns the number of versions removed.
+//
+// Chains that need no pruning (single-version chains, or chains whose anchor
+// is already the tail) are left untouched; pruned chains are truncated in
+// place with the dropped tail nilled out so the versions are released
+// without reallocating the chain slice.
 func (s *Store) CollectGarbage(gv vclock.VC) int {
 	removed := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for key, chain := range sh.chains {
+			if len(chain) < 2 {
+				continue
+			}
 			anchor := -1
 			for j, v := range chain {
 				if v.Deps.LessEq(gv) {
@@ -153,41 +207,50 @@ func (s *Store) CollectGarbage(gv vclock.VC) int {
 					break
 				}
 			}
-			if anchor >= 0 && anchor+1 < len(chain) {
-				removed += len(chain) - anchor - 1
-				sh.chains[key] = append([]*item.Version(nil), chain[:anchor+1]...)
+			if anchor < 0 || anchor+1 >= len(chain) {
+				continue
 			}
+			removed += len(chain) - anchor - 1
+			for j := anchor + 1; j < len(chain); j++ {
+				chain[j] = nil // release the pruned versions
+			}
+			sh.chains[key] = chain[:anchor+1]
 		}
 		sh.mu.Unlock()
 	}
 	return removed
 }
 
-// Keys returns the number of keys with at least one version.
-func (s *Store) Keys() int {
-	total := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		total += len(sh.chains)
-		sh.mu.RUnlock()
-	}
-	return total
+// StoreStats summarizes the store's contents.
+type StoreStats struct {
+	// Keys is the number of keys with at least one version.
+	Keys int
+	// Versions is the total number of stored versions across all chains.
+	Versions int
 }
 
-// Versions returns the total number of stored versions across all chains.
-func (s *Store) Versions() int {
-	total := 0
+// Stats counts keys and versions in a single pass, taking every shard lock
+// exactly once. Metrics samplers should prefer it over separate Keys and
+// Versions calls.
+func (s *Store) Stats() StoreStats {
+	var st StoreStats
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
+		st.Keys += len(sh.chains)
 		for _, chain := range sh.chains {
-			total += len(chain)
+			st.Versions += len(chain)
 		}
 		sh.mu.RUnlock()
 	}
-	return total
+	return st
 }
+
+// Keys returns the number of keys with at least one version.
+func (s *Store) Keys() int { return s.Stats().Keys }
+
+// Versions returns the total number of stored versions across all chains.
+func (s *Store) Versions() int { return s.Stats().Versions }
 
 // ForEachHead calls fn with every key's chain head. Used by convergence
 // checks in tests; fn must not call back into the store.

@@ -1,10 +1,11 @@
 // Package tcpnet carries the protocol over real TCP connections, proving
 // the engine is transport-agnostic: each node owns a listener, keeps one
 // persistent outbound connection per destination (TCP ordering gives the
-// lossless FIFO channel the system model assumes), and gob-encodes messages
-// with internal/wire. Intended for single-host/loopback deployments and
-// demos; the emulated transport (internal/netemu) remains the tool for
-// latency and partition injection.
+// lossless FIFO channel the system model assumes), and encodes messages
+// with internal/wire — the zero-allocation binary codec by default, with
+// gob available as a compatibility fallback (ListenCodec). Intended for
+// single-host/loopback deployments and demos; the emulated transport
+// (internal/netemu) remains the tool for latency and partition injection.
 package tcpnet
 
 import (
@@ -21,6 +22,7 @@ import (
 // Node is a TCP-backed core.Transport.
 type Node struct {
 	id       netemu.NodeID
+	codec    wire.Codec
 	listener net.Listener
 	handler  atomic.Pointer[netemu.Handler]
 
@@ -34,14 +36,23 @@ type Node struct {
 	wg   sync.WaitGroup
 }
 
-// Listen binds a node on addr ("127.0.0.1:0" for an ephemeral port).
+// Listen binds a node on addr ("127.0.0.1:0" for an ephemeral port) using
+// the default binary wire codec.
 func Listen(id netemu.NodeID, addr string) (*Node, error) {
+	return ListenCodec(id, addr, wire.Binary)
+}
+
+// ListenCodec binds a node with an explicit wire codec. All nodes of one
+// deployment must use the same codec; wire.Gob is the compatibility
+// fallback for peers running the reflection-based codec.
+func ListenCodec(id netemu.NodeID, addr string, codec wire.Codec) (*Node, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
 	}
 	n := &Node{
 		id:       id,
+		codec:    codec,
 		listener: l,
 		peers:    make(map[netemu.NodeID]string),
 		outs:     make(map[netemu.NodeID]*outLink),
@@ -160,7 +171,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		delete(n.ins, conn)
 		n.mu.Unlock()
 	}()
-	dec := wire.NewDecoder(conn)
+	dec := n.codec.NewDecoder(conn)
 	for {
 		env, err := dec.Decode()
 		if err != nil {
@@ -217,7 +228,7 @@ func (l *outLink) close() {
 
 func (l *outLink) run() {
 	var conn net.Conn
-	var enc *wire.Encoder
+	var enc wire.Encoder
 	defer func() {
 		if conn != nil {
 			_ = conn.Close()
@@ -249,12 +260,12 @@ func (l *outLink) run() {
 				continue
 			}
 			conn = c
-			enc = wire.NewEncoder(conn)
+			enc = l.node.codec.NewEncoder(conn)
 			backoff = time.Millisecond
 		}
 		if err := enc.Encode(wire.Envelope{Src: l.node.id, Msg: m}); err != nil {
 			// Connection broke: drop it and retry the same message on a
-			// fresh connection (gob streams cannot resume mid-stream).
+			// fresh connection (neither codec can resume mid-stream).
 			_ = conn.Close()
 			conn, enc = nil, nil
 			continue

@@ -1,0 +1,50 @@
+package vclock
+
+import "testing"
+
+// BenchmarkVClockOps compares the allocating vector operations against
+// their in-place variants used on the hot path.
+func BenchmarkVClockOps(b *testing.B) {
+	a := VC{100, 200, 300}
+	c := VC{300, 100, 200}
+
+	b.Run("Max", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Max(a, c)
+		}
+	})
+	b.Run("MaxInto", func(b *testing.B) {
+		dst := New(3)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = MaxInto(dst, a, c)
+		}
+	})
+	b.Run("Clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.Clone()
+		}
+	})
+	b.Run("CopyFrom", func(b *testing.B) {
+		dst := New(3)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = dst.CopyFrom(a)
+		}
+	})
+	b.Run("LessEq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.LessEq(c)
+		}
+	})
+	b.Run("MaxInPlace", func(b *testing.B) {
+		dst := New(3)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.MaxInPlace(a)
+		}
+	})
+}

@@ -60,6 +60,49 @@ func (v VC) MaxInPlace(o VC) {
 	}
 }
 
+// CopyFrom overwrites v with the entries of o, reusing v's storage when the
+// lengths match, and returns the destination vector (reallocated only when
+// the lengths differ, or nil when o is nil). It is the in-place counterpart
+// of Clone for hot paths that snapshot a vector per operation.
+func (v VC) CopyFrom(o VC) VC {
+	if o == nil {
+		return nil
+	}
+	if len(v) != len(o) {
+		v = make(VC, len(o))
+	}
+	copy(v, o)
+	return v
+}
+
+// MaxInto sets dst to the entry-wise maximum of a and b, reusing dst's
+// storage when possible, and returns dst. dst may alias a or b. It is the
+// in-place counterpart of Max for paths that would otherwise allocate a
+// fresh vector per operation.
+func MaxInto(dst, a, b VC) VC {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if len(dst) != n {
+		dst = make(VC, n)
+	}
+	for i := range dst {
+		var av, bv Timestamp
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		if bv > av {
+			av = bv
+		}
+		dst[i] = av
+	}
+	return dst
+}
+
 // MinInPlace lowers every entry of v to at most the corresponding entry of o.
 func (v VC) MinInPlace(o VC) {
 	for i := range o {

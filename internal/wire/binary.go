@@ -1,0 +1,459 @@
+// The binary codec: a hand-rolled, length-prefixed wire format for the
+// protocol message set. Each envelope is framed as
+//
+//	uvarint(payload length) || payload
+//
+// and the payload is
+//
+//	byte(message tag) || uvarint(src.DC) || uvarint(src.Partition) || fields
+//
+// Integers (timestamps, replica ids, counters) are unsigned varints — the
+// protocol only carries non-negative values. Variable-length fields
+// (strings, byte slices, vectors, version lists) carry a length marker that
+// distinguishes nil from empty (0 = nil, n+1 = n elements), so a decoded
+// message is structurally identical to the encoded one.
+//
+// The encoder reuses two scratch buffers across calls, so a steady-state
+// Encode performs zero allocations and exactly one Write (one frame). The
+// decoder reuses its frame buffer; only the decoded values themselves
+// (strings, payloads, vectors) are allocated.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/item"
+	"repro/internal/msg"
+	"repro/internal/vclock"
+)
+
+// Message tags.
+const (
+	tagReplicate = iota + 1
+	tagReplicateBatch
+	tagHeartbeat
+	tagSliceReq
+	tagSliceResp
+	tagVVExchange
+	tagGCExchange
+)
+
+// maxFrame bounds a frame's payload so a corrupted length prefix cannot ask
+// the decoder to allocate gigabytes.
+const maxFrame = 1 << 28
+
+// BinaryEncoder writes binary-encoded envelopes to a stream.
+type BinaryEncoder struct {
+	w   io.Writer
+	pay []byte // payload scratch, reused across Encode calls
+	out []byte // frame scratch (length prefix + payload)
+}
+
+// NewBinaryEncoder wraps w.
+func NewBinaryEncoder(w io.Writer) *BinaryEncoder {
+	return &BinaryEncoder{w: w}
+}
+
+// Encode writes one envelope as a single frame (one Write call).
+func (e *BinaryEncoder) Encode(env Envelope) error {
+	pay, err := appendPayload(e.pay[:0], env)
+	if err != nil {
+		return err
+	}
+	e.pay = pay
+	e.out = binary.AppendUvarint(e.out[:0], uint64(len(pay)))
+	e.out = append(e.out, pay...)
+	if _, err := e.w.Write(e.out); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	return nil
+}
+
+// BinaryDecoder reads binary-encoded envelopes from a stream.
+type BinaryDecoder struct {
+	r   *bufio.Reader
+	buf []byte // frame buffer, reused across Decode calls
+}
+
+// NewBinaryDecoder wraps r.
+func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &BinaryDecoder{r: br}
+}
+
+// Decode reads one envelope. It returns io.EOF unwrapped at a clean stream
+// end so callers can end their read loops.
+func (d *BinaryDecoder) Decode() (Envelope, error) {
+	var env Envelope
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if err == io.EOF {
+			return env, io.EOF
+		}
+		return env, fmt.Errorf("wire: decode: %w", err)
+	}
+	if n > maxFrame {
+		return env, fmt.Errorf("wire: decode: frame of %d bytes exceeds limit", n)
+	}
+	if uint64(cap(d.buf)) < n {
+		d.buf = make([]byte, n)
+	}
+	frame := d.buf[:n]
+	if _, err := io.ReadFull(d.r, frame); err != nil {
+		return env, fmt.Errorf("wire: decode: truncated frame: %w", err)
+	}
+	env, err = parsePayload(frame)
+	if err != nil {
+		return env, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env, nil
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+func appendPayload(b []byte, env Envelope) ([]byte, error) {
+	var tag byte
+	switch env.Msg.(type) {
+	case msg.Replicate:
+		tag = tagReplicate
+	case msg.ReplicateBatch:
+		tag = tagReplicateBatch
+	case msg.Heartbeat:
+		tag = tagHeartbeat
+	case msg.SliceReq:
+		tag = tagSliceReq
+	case msg.SliceResp:
+		tag = tagSliceResp
+	case msg.VVExchange:
+		tag = tagVVExchange
+	case msg.GCExchange:
+		tag = tagGCExchange
+	default:
+		return b, fmt.Errorf("wire: encode: unsupported message type %T", env.Msg)
+	}
+	b = append(b, tag)
+	b = appendUint(b, uint64(env.Src.DC))
+	b = appendUint(b, uint64(env.Src.Partition))
+	switch m := env.Msg.(type) {
+	case msg.Replicate:
+		b = appendVersion(b, m.V)
+	case msg.ReplicateBatch:
+		if m.Versions == nil {
+			b = appendUint(b, 0)
+		} else {
+			b = appendUint(b, uint64(len(m.Versions))+1)
+			for _, v := range m.Versions {
+				b = appendVersion(b, v)
+			}
+		}
+		b = appendUint(b, uint64(m.HBTime))
+	case msg.Heartbeat:
+		b = appendUint(b, uint64(m.Time))
+	case msg.SliceReq:
+		b = appendUint(b, m.TxID)
+		b = appendUint(b, uint64(m.Coordinator.DC))
+		b = appendUint(b, uint64(m.Coordinator.Partition))
+		if m.Keys == nil {
+			b = appendUint(b, 0)
+		} else {
+			b = appendUint(b, uint64(len(m.Keys))+1)
+			for _, k := range m.Keys {
+				b = appendString(b, k)
+			}
+		}
+		b = appendVC(b, m.TV)
+		b = appendBool(b, m.Pessimistic)
+	case msg.SliceResp:
+		b = appendUint(b, m.TxID)
+		if m.Items == nil {
+			b = appendUint(b, 0)
+		} else {
+			b = appendUint(b, uint64(len(m.Items))+1)
+			for i := range m.Items {
+				b = appendItemReply(b, &m.Items[i])
+			}
+		}
+		b = appendString(b, m.Err)
+	case msg.VVExchange:
+		b = appendUint(b, uint64(m.Partition))
+		b = appendVC(b, m.VV)
+	case msg.GCExchange:
+		b = appendUint(b, uint64(m.Partition))
+		b = appendVC(b, m.TV)
+	}
+	return b, nil
+}
+
+func appendUint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBytes encodes a byte slice with a nil-preserving length marker.
+func appendBytes(b, p []byte) []byte {
+	if p == nil {
+		return appendUint(b, 0)
+	}
+	b = appendUint(b, uint64(len(p))+1)
+	return append(b, p...)
+}
+
+// appendVC encodes a vector clock with a nil-preserving length marker and
+// varint entries (small timestamps — the common case after the per-process
+// epoch anchoring — take few bytes).
+func appendVC(b []byte, v vclock.VC) []byte {
+	if v == nil {
+		return appendUint(b, 0)
+	}
+	b = appendUint(b, uint64(len(v))+1)
+	for _, t := range v {
+		b = appendUint(b, uint64(t))
+	}
+	return b
+}
+
+func appendVersion(b []byte, v *item.Version) []byte {
+	if v == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendString(b, v.Key)
+	b = appendBytes(b, v.Value)
+	b = appendUint(b, uint64(v.SrcReplica))
+	b = appendUint(b, uint64(v.UpdateTime))
+	b = appendVC(b, v.Deps)
+	b = appendBool(b, v.Optimistic)
+	return b
+}
+
+func appendItemReply(b []byte, r *msg.ItemReply) []byte {
+	b = appendString(b, r.Key)
+	b = appendBool(b, r.Exists)
+	b = appendBytes(b, r.Value)
+	b = appendUint(b, uint64(r.SrcReplica))
+	b = appendUint(b, uint64(r.UpdateTime))
+	b = appendVC(b, r.Deps)
+	b = appendUint(b, uint64(r.Fresher))
+	b = appendUint(b, uint64(r.Invisible))
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+var errShortFrame = fmt.Errorf("wire: short frame")
+
+// frameReader walks one decoded frame. Methods record the first error; the
+// caller checks err once at the end.
+type frameReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (f *frameReader) fail() {
+	if f.err == nil {
+		f.err = errShortFrame
+	}
+}
+
+func (f *frameReader) byteVal() byte {
+	if f.err != nil || f.pos >= len(f.b) {
+		f.fail()
+		return 0
+	}
+	v := f.b[f.pos]
+	f.pos++
+	return v
+}
+
+func (f *frameReader) uint() uint64 {
+	if f.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(f.b[f.pos:])
+	if n <= 0 {
+		f.fail()
+		return 0
+	}
+	f.pos += n
+	return v
+}
+
+func (f *frameReader) bool() bool { return f.byteVal() != 0 }
+
+func (f *frameReader) take(n uint64) []byte {
+	if f.err != nil {
+		return nil
+	}
+	if uint64(len(f.b)-f.pos) < n {
+		f.fail()
+		return nil
+	}
+	out := f.b[f.pos : f.pos+int(n)]
+	f.pos += int(n)
+	return out
+}
+
+func (f *frameReader) string() string {
+	n := f.uint()
+	return string(f.take(n))
+}
+
+func (f *frameReader) bytes() []byte {
+	marker := f.uint()
+	if marker == 0 || f.err != nil {
+		return nil
+	}
+	raw := f.take(marker - 1)
+	if f.err != nil {
+		return nil
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+func (f *frameReader) vc() vclock.VC {
+	marker := f.uint()
+	if marker == 0 || f.err != nil {
+		return nil
+	}
+	n := marker - 1
+	// Each entry takes at least one byte; reject absurd counts before
+	// allocating.
+	if uint64(len(f.b)-f.pos) < n {
+		f.fail()
+		return nil
+	}
+	out := make(vclock.VC, n)
+	for i := range out {
+		out[i] = vclock.Timestamp(f.uint())
+	}
+	return out
+}
+
+func (f *frameReader) version() *item.Version {
+	if f.byteVal() == 0 {
+		return nil
+	}
+	v := &item.Version{}
+	v.Key = f.string()
+	v.Value = f.bytes()
+	v.SrcReplica = int(f.uint())
+	v.UpdateTime = vclock.Timestamp(f.uint())
+	v.Deps = f.vc()
+	v.Optimistic = f.bool()
+	if f.err != nil {
+		return nil
+	}
+	return v
+}
+
+func (f *frameReader) itemReply() msg.ItemReply {
+	var r msg.ItemReply
+	r.Key = f.string()
+	r.Exists = f.bool()
+	r.Value = f.bytes()
+	r.SrcReplica = int(f.uint())
+	r.UpdateTime = vclock.Timestamp(f.uint())
+	r.Deps = f.vc()
+	r.Fresher = int(f.uint())
+	r.Invisible = int(f.uint())
+	return r
+}
+
+func parsePayload(frame []byte) (Envelope, error) {
+	var env Envelope
+	f := &frameReader{b: frame}
+	tag := f.byteVal()
+	env.Src.DC = int(f.uint())
+	env.Src.Partition = int(f.uint())
+	switch tag {
+	case tagReplicate:
+		env.Msg = msg.Replicate{V: f.version()}
+	case tagReplicateBatch:
+		var m msg.ReplicateBatch
+		if marker := f.uint(); marker > 0 && f.err == nil {
+			n := marker - 1
+			if uint64(len(f.b)-f.pos) < n {
+				f.fail()
+			} else {
+				m.Versions = make([]*item.Version, 0, n)
+				for i := uint64(0); i < n && f.err == nil; i++ {
+					m.Versions = append(m.Versions, f.version())
+				}
+			}
+		}
+		m.HBTime = vclock.Timestamp(f.uint())
+		env.Msg = m
+	case tagHeartbeat:
+		env.Msg = msg.Heartbeat{Time: vclock.Timestamp(f.uint())}
+	case tagSliceReq:
+		var m msg.SliceReq
+		m.TxID = f.uint()
+		m.Coordinator.DC = int(f.uint())
+		m.Coordinator.Partition = int(f.uint())
+		if marker := f.uint(); marker > 0 && f.err == nil {
+			n := marker - 1
+			if uint64(len(f.b)-f.pos) < n {
+				f.fail()
+			} else {
+				m.Keys = make([]string, 0, n)
+				for i := uint64(0); i < n && f.err == nil; i++ {
+					m.Keys = append(m.Keys, f.string())
+				}
+			}
+		}
+		m.TV = f.vc()
+		m.Pessimistic = f.bool()
+		env.Msg = m
+	case tagSliceResp:
+		var m msg.SliceResp
+		m.TxID = f.uint()
+		if marker := f.uint(); marker > 0 && f.err == nil {
+			n := marker - 1
+			if uint64(len(f.b)-f.pos) < n {
+				f.fail()
+			} else {
+				m.Items = make([]msg.ItemReply, 0, n)
+				for i := uint64(0); i < n && f.err == nil; i++ {
+					m.Items = append(m.Items, f.itemReply())
+				}
+			}
+		}
+		m.Err = f.string()
+		env.Msg = m
+	case tagVVExchange:
+		env.Msg = msg.VVExchange{Partition: int(f.uint()), VV: f.vc()}
+	case tagGCExchange:
+		env.Msg = msg.GCExchange{Partition: int(f.uint()), TV: f.vc()}
+	default:
+		return env, fmt.Errorf("wire: unknown message tag %d", tag)
+	}
+	if f.err != nil {
+		return env, f.err
+	}
+	if f.pos != len(f.b) {
+		return env, fmt.Errorf("wire: %d trailing bytes in frame", len(f.b)-f.pos)
+	}
+	return env, nil
+}

@@ -156,6 +156,12 @@ func TestStatsAccumulate(t *testing.T) {
 	if st.Operations < 20 {
 		t.Fatalf("stats = %+v", st)
 	}
+	// Replication is batched: updates leave on the next Δ flush, so give
+	// the transport a moment before asserting the message counter moved.
+	deadline := time.Now().Add(time.Second)
+	for s.Messages() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 	if s.Messages() == 0 {
 		t.Fatal("replication messages must be counted")
 	}
