@@ -16,9 +16,14 @@ test:
 # Guards the fine-grained server locking: the packages that own or exercise
 # the lock-free hot path must stay race-clean.
 race:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/storage/... ./internal/tcpnet/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/storage/... ./internal/wal/... ./internal/tcpnet/...
 
-check: vet build test race
+# Guards durability: the crash-recovery scenarios (mid-workload server
+# restarts, cold restarts, the recovery drill) must stay race-clean too.
+race-recovery:
+	$(GO) test -race -count=1 -run 'Recovery|Durable' ./internal/cluster/... ./internal/harness/... .
+
+check: vet build test race race-recovery
 
 # Hot-path microbenchmarks (the numbers tracked across PRs).
 bench:

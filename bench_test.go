@@ -6,12 +6,19 @@ package occ_test
 
 import (
 	"context"
+	"fmt"
+	"math/rand/v2"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	occ "repro"
+	"repro/internal/cluster"
 	"repro/internal/harness"
+	"repro/internal/keyspace"
+	"repro/internal/workload"
 )
 
 // benchScale is CIScale with windows small enough for the bench suite to
@@ -280,6 +287,72 @@ func BenchmarkPutPOCC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := sess.Put(keys[i%64], val); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterContended measures raw multi-client throughput against a
+// zero-latency POCC cluster, sweeping concurrent sessions × partitions, to
+// quantify the fine-grained server locking (PR 1's lock split) under real
+// contention: many sessions per DC hammering zipf(0.99) hot keys with a 4:1
+// GET:PUT mix and no think time. More sessions than cores on few partitions
+// maximizes lock pressure; more partitions spreads it.
+func BenchmarkClusterContended(b *testing.B) {
+	const keysPerPart = 64
+	for _, partitions := range []int{2, 8} {
+		for _, sessions := range []int{8, 64} {
+			b.Run(fmt.Sprintf("parts=%d/sessions=%d", partitions, sessions), func(b *testing.B) {
+				c, err := cluster.New(cluster.Config{
+					NumDCs: 3, NumPartitions: partitions, Engine: cluster.POCC,
+					HeartbeatInterval: time.Millisecond,
+					PutDepWait:        true,
+					Seed:              42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(c.Close)
+				tbl := keyspace.Build(partitions, keysPerPart)
+				c.SeedTable(tbl)
+				zipf := workload.NewZipf(keysPerPart, 0.99)
+
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				for s := 0; s < sessions; s++ {
+					sess, err := c.NewSession(s % 3)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewPCG(42, uint64(s)))
+						val := []byte("abcdefgh")
+						for {
+							i := next.Add(1)
+							if i > int64(b.N) {
+								return
+							}
+							key := tbl.Key(int(rng.Uint64N(uint64(partitions))), zipf.Sample(rng))
+							if i%5 == 0 {
+								if err := sess.Put(key, val); err != nil {
+									b.Error(err)
+									return
+								}
+							} else if _, err := sess.Get(key); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+			})
 		}
 	}
 }

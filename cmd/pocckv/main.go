@@ -34,6 +34,7 @@ func run() int {
 		port       = flag.Int("port", 7070, "base port (one per DC)")
 		latency    = flag.Float64("latency", 1.0, "AWS latency scale (1.0 = real geo delays)")
 		tcp        = flag.Bool("internal-tcp", false, "run inter-node traffic over loopback TCP too")
+		dataDir    = flag.String("data-dir", "", "enable durable WAL-backed storage rooted at this directory (empty = in-memory)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func run() int {
 		Engine:      engine,
 		Seed:        uint64(time.Now().UnixNano()),
 		TCP:         *tcp,
+		DataDir:     *dataDir,
 	}
 	if !*tcp {
 		cfg.Latency = occ.AWSProfile(*latency)
@@ -76,6 +78,9 @@ func run() int {
 
 	for dc := 0; dc < *dcs; dc++ {
 		fmt.Printf("dc%d listening on %s\n", dc, srv.Addr(dc))
+	}
+	if *dataDir != "" {
+		fmt.Printf("durable storage under %s\n", *dataDir)
 	}
 	fmt.Printf("engine=%s partitions=%d (Ctrl-C to stop)\n", engine, *partitions)
 

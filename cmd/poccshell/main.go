@@ -244,8 +244,8 @@ func (sh *shell) cmdStats(out io.Writer) {
 	st := sh.store.Stats()
 	fmt.Fprintf(out, "ops=%d blocked=%d (prob %.2e, mean %v)\n",
 		st.Operations, st.BlockedOperations, st.BlockingProbability, st.MeanBlockingTime)
-	fmt.Fprintf(out, "old reads=%.3f%% unmerged=%.3f%% messages=%d\n",
-		st.PercentOldReads, st.PercentUnmergedReads, sh.store.Messages())
+	fmt.Fprintf(out, "old reads=%.3f%% unmerged=%.3f%% keys=%d versions=%d messages=%d\n",
+		st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, sh.store.Messages())
 	for i, s := range sh.sessions {
 		mode := "optimistic"
 		if s.Pessimistic() {

@@ -32,6 +32,33 @@
 //     pessimistic protocol during network partitions and are promoted back
 //     once the partition heals.
 //
+// # Storage engines and durability
+//
+// Each partition server stores its version chains behind a pluggable
+// storage engine (internal/storage.Engine). The default is the sharded
+// in-memory engine — fastest, but a killed server loses its partition.
+// Setting Config.DataDir selects the durable engine: the in-memory store
+// fronted by a segmented write-ahead log (internal/wal) that journals every
+// version in the binary wire encoding before it becomes readable. Local
+// PUTs commit individually; replicated batches commit with a single
+// write+fsync on the replication-batch boundary (group commit). Snapshot
+// checkpoints ride the garbage-collection exchange (Config.GCInterval):
+// after a GC pass prunes the chains, the engine serializes the surviving
+// versions and truncates the log's segments, bounding recovery time and
+// disk use.
+//
+// Recovery reopens the data directory, replays the snapshot plus the log
+// tail — tolerating a torn final record from a mid-commit crash — and
+// rebuilds both the version chains and the server's version-vector floor,
+// so a recovered replica never serves reads that miss its own replayed
+// state. Store.RestartServer kills and recovers a single partition server
+// in place (sessions keep working; operations racing the restart fail with
+// a retriable error), and re-Opening a Store over the same DataDir
+// cold-starts the whole deployment from disk. The causal guarantees —
+// session guarantees and convergence — hold across both, which
+// internal/harness.RecoveryDrill and the cluster recovery tests verify by
+// killing servers mid-workload.
+//
 // Quick start:
 //
 //	store, err := occ.Open(occ.Config{DataCenters: 3, Partitions: 4, Engine: occ.POCC})

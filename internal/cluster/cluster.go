@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/netemu"
+	"repro/internal/storage"
 	"repro/internal/tcpnet"
 	"repro/internal/vclock"
 )
@@ -92,6 +95,11 @@ type Config struct {
 	// (internal/tcpnet) instead of the emulated network. Latency, jitter and
 	// partition injection are unavailable in this mode.
 	TCP bool
+	// DataDir enables durable per-server storage: every partition server
+	// opens a WAL-backed storage.Durable engine under
+	// DataDir/dc<m>-p<n> and can be crash-restarted from it (see
+	// RestartServer). Empty keeps the default in-memory engines.
+	DataDir string
 }
 
 func (c *Config) withDefaults() Config {
@@ -116,13 +124,47 @@ func (c *Config) withDefaults() Config {
 // Cluster is a running deployment.
 type Cluster struct {
 	cfg      Config
-	net      *netemu.Network   // nil in TCP mode
-	tcpNodes []*tcpnet.Node    // nil in emulated mode
-	servers  [][]*core.Server  // [dc][partition]
-	mx       [][]*core.Metrics // [dc][partition]
-	seedSeq  atomic.Uint64     // timestamps for pre-loaded data
-	rr       atomic.Uint64     // round-robin coordinator placement
+	net      *netemu.Network // nil in TCP mode
+	tcpNodes []*tcpnet.Node  // nil in emulated mode
+
+	// servers is the [dc][partition] matrix; entries are atomic pointers so
+	// sessions resolve the current server lock-free per operation while
+	// RestartServer swaps one underneath them.
+	servers    [][]atomic.Pointer[core.Server]
+	transports [][]core.Transport
+	relays     [][]*relay // non-nil only for durable (restartable) clusters
+	skews      [][]time.Duration
+	mx         [][]*core.Metrics // [dc][partition]
+	seedSeq    atomic.Uint64     // timestamps for pre-loaded data
+	rr         atomic.Uint64     // round-robin coordinator placement
 }
+
+// relay sits between the network endpoint and a restartable server. The
+// endpoint's handler is installed exactly once and forwards to the current
+// server's handler; RestartServer holds the gate exclusively while swapping
+// servers, so deliveries pause (preserving per-link FIFO order through the
+// restart) instead of reaching a half-closed server.
+type relay struct {
+	inner core.Transport
+	gate  sync.RWMutex
+	h     atomic.Pointer[netemu.Handler]
+}
+
+func newRelay(inner core.Transport) *relay {
+	r := &relay{inner: inner}
+	inner.SetHandler(func(src netemu.NodeID, m any) {
+		r.gate.RLock()
+		defer r.gate.RUnlock()
+		if h := r.h.Load(); h != nil {
+			(*h)(src, m)
+		}
+	})
+	return r
+}
+
+func (r *relay) ID() netemu.NodeID             { return r.inner.ID() }
+func (r *relay) Send(dst netemu.NodeID, m any) { r.inner.Send(dst, m) }
+func (r *relay) SetHandler(h netemu.Handler)   { r.h.Store(&h) }
 
 // New builds and starts a cluster.
 func New(cfg Config) (*Cluster, error) {
@@ -149,62 +191,159 @@ func New(cfg Config) (*Cluster, error) {
 		})
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xc105))
-	c.servers = make([][]*core.Server, cfg.NumDCs)
+	c.servers = make([][]atomic.Pointer[core.Server], cfg.NumDCs)
+	c.transports = make([][]core.Transport, cfg.NumDCs)
+	c.skews = make([][]time.Duration, cfg.NumDCs)
 	c.mx = make([][]*core.Metrics, cfg.NumDCs)
-
-	mode := core.Optimistic
-	stab := cfg.StabilizationInterval
-	blockTimeout := time.Duration(0)
-	switch cfg.Engine {
-	case Cure:
-		mode = core.Pessimistic
-	case HAPOCC:
-		blockTimeout = cfg.BlockTimeout
-	case POCC:
-		stab = 0
+	if cfg.DataDir != "" {
+		c.relays = make([][]*relay, cfg.NumDCs)
 	}
 
+	// First pass: register every node's transport (and relay) before any
+	// server starts. A started server heartbeats its siblings immediately,
+	// so every endpoint must exist before the first server comes up.
 	for dc := 0; dc < cfg.NumDCs; dc++ {
-		c.servers[dc] = make([]*core.Server, cfg.NumPartitions)
+		c.servers[dc] = make([]atomic.Pointer[core.Server], cfg.NumPartitions)
+		c.transports[dc] = make([]core.Transport, cfg.NumPartitions)
+		c.skews[dc] = make([]time.Duration, cfg.NumPartitions)
 		c.mx[dc] = make([]*core.Metrics, cfg.NumPartitions)
+		if c.relays != nil {
+			c.relays[dc] = make([]*relay, cfg.NumPartitions)
+		}
 		for p := 0; p < cfg.NumPartitions; p++ {
 			id := netemu.NodeID{DC: dc, Partition: p}
-			var skew time.Duration
 			if cfg.ClockSkew > 0 {
-				skew = time.Duration(rng.Int64N(int64(2*cfg.ClockSkew))) - cfg.ClockSkew
+				c.skews[dc][p] = time.Duration(rng.Int64N(int64(2*cfg.ClockSkew))) - cfg.ClockSkew
 			}
-			mxs := &core.Metrics{}
 			var transport core.Transport
 			if cfg.TCP {
 				transport = transports[id]
 			} else {
 				transport = c.net.Register(id, nil)
 			}
-			srv, err := core.NewServer(core.Config{
-				ID:                       id,
-				NumDCs:                   cfg.NumDCs,
-				NumPartitions:            cfg.NumPartitions,
-				Clock:                    clock.New(skew),
-				Endpoint:                 transport,
-				DefaultMode:              mode,
-				HeartbeatInterval:        cfg.HeartbeatInterval,
-				StabilizationInterval:    stab,
-				GCInterval:               cfg.GCInterval,
-				PutDepWait:               cfg.PutDepWait,
-				BlockTimeout:             blockTimeout,
-				ReplicationBatchSize:     cfg.ReplicationBatchSize,
-				ReplicationFlushInterval: cfg.ReplicationFlushInterval,
-				Metrics:                  mxs,
-			})
+			if c.relays != nil {
+				// Durable deployments interpose a relay so RestartServer can
+				// pause delivery while it swaps the server behind it.
+				rl := newRelay(transport)
+				c.relays[dc][p] = rl
+				transport = rl
+			}
+			c.transports[dc][p] = transport
+			c.mx[dc][p] = &core.Metrics{}
+		}
+	}
+	// Second pass: start the servers.
+	for dc := 0; dc < cfg.NumDCs; dc++ {
+		for p := 0; p < cfg.NumPartitions; p++ {
+			srv, err := core.NewServer(c.serverConfig(dc, p))
 			if err != nil {
 				c.Close()
 				return nil, err
 			}
-			c.servers[dc][p] = srv
-			c.mx[dc][p] = mxs
+			c.servers[dc][p].Store(srv)
 		}
 	}
 	return c, nil
+}
+
+// serverConfig assembles the core.Config of partition server (dc, p),
+// reusing the node's transport, clock skew and metrics — the pieces that
+// survive a RestartServer.
+func (c *Cluster) serverConfig(dc, p int) core.Config {
+	mode := core.Optimistic
+	stab := c.cfg.StabilizationInterval
+	blockTimeout := time.Duration(0)
+	switch c.cfg.Engine {
+	case Cure:
+		mode = core.Pessimistic
+	case HAPOCC:
+		blockTimeout = c.cfg.BlockTimeout
+	case POCC:
+		stab = 0
+	}
+	var dataDir string
+	if c.cfg.DataDir != "" {
+		dataDir = filepath.Join(c.cfg.DataDir, fmt.Sprintf("dc%d-p%d", dc, p))
+	}
+	return core.Config{
+		ID:                       netemu.NodeID{DC: dc, Partition: p},
+		NumDCs:                   c.cfg.NumDCs,
+		NumPartitions:            c.cfg.NumPartitions,
+		Clock:                    clock.New(c.skews[dc][p]),
+		Endpoint:                 c.transports[dc][p],
+		DefaultMode:              mode,
+		HeartbeatInterval:        c.cfg.HeartbeatInterval,
+		StabilizationInterval:    stab,
+		GCInterval:               c.cfg.GCInterval,
+		PutDepWait:               c.cfg.PutDepWait,
+		BlockTimeout:             blockTimeout,
+		ReplicationBatchSize:     c.cfg.ReplicationBatchSize,
+		ReplicationFlushInterval: c.cfg.ReplicationFlushInterval,
+		DataDir:                  dataDir,
+		Metrics:                  c.mx[dc][p],
+	}
+}
+
+// RestartServer simulates a partition-server crash and recovery: the server
+// is stopped, a fresh one reopens the same durable data directory — its
+// version chains and VV floor rebuilt from the snapshot and log tail — and
+// takes over the node's network endpoint. Message delivery to the node is
+// paused (not dropped) during the swap, so per-link FIFO order is preserved.
+// Client operations racing the restart fail with core.ErrStopped and may be
+// retried.
+//
+// It requires Config.DataDir: an in-memory server would restart empty, which
+// is a data loss, not a recovery.
+//
+// The shutdown half is graceful: the outgoing replication buffer is flushed
+// to sibling DCs and the log closes cleanly, so this exercises storage
+// recovery, not replication loss (a machine crash would also drop the ≤Δ of
+// buffered updates; re-shipping those from the WAL is a tracked follow-up).
+// The torn-log recovery paths are covered separately by tests that truncate
+// segment files on disk between a close and a reopen.
+func (c *Cluster) RestartServer(dc, p int) error {
+	if c.relays == nil {
+		return errors.New("cluster: RestartServer requires Config.DataDir (durable engines)")
+	}
+	rl := c.relays[dc][p]
+	rl.gate.Lock() // drain in-flight deliveries, pause new ones
+	defer rl.gate.Unlock()
+	c.Server(dc, p).Close()
+	srv, err := core.NewServer(c.serverConfig(dc, p))
+	if err != nil {
+		return fmt.Errorf("cluster: restart dc%d-p%d: %w", dc, p, err)
+	}
+	c.servers[dc][p].Store(srv)
+	return nil
+}
+
+// StorageErr returns the first sticky persistence error reported by any
+// server's engine, or nil. Durable deployments should poll it: a failed
+// engine keeps serving from memory but no longer survives a crash.
+func (c *Cluster) StorageErr() error {
+	for dc := 0; dc < c.cfg.NumDCs; dc++ {
+		for p := 0; p < c.cfg.NumPartitions; p++ {
+			if err := c.Server(dc, p).StorageErr(); err != nil {
+				return fmt.Errorf("cluster: dc%d-p%d storage: %w", dc, p, err)
+			}
+		}
+	}
+	return nil
+}
+
+// StorageStats aggregates every server's storage statistics, sampled with
+// the engines' single-pass Stats so each server's keys/versions pair is
+// consistent per shard.
+func (c *Cluster) StorageStats() storage.StoreStats {
+	var st storage.StoreStats
+	for dc := 0; dc < c.cfg.NumDCs; dc++ {
+		for p := 0; p < c.cfg.NumPartitions; p++ {
+			es := c.Server(dc, p).Store().Stats()
+			st.Keys += es.Keys
+			st.Versions += es.Versions
+		}
+	}
+	return st
 }
 
 // buildTCPTransports binds a loopback TCP node for every server and
@@ -233,11 +372,12 @@ func (c *Cluster) buildTCPTransports() (map[netemu.NodeID]core.Transport, error)
 	return out, nil
 }
 
-// Close stops every server and the network.
+// Close stops every server and the network. Close must not race an
+// in-flight RestartServer (tests restart, then clean up).
 func (c *Cluster) Close() {
-	for _, dcServers := range c.servers {
-		for _, s := range dcServers {
-			if s != nil {
+	for dc := range c.servers {
+		for p := range c.servers[dc] {
+			if s := c.servers[dc][p].Load(); s != nil {
 				s.Close()
 			}
 		}
@@ -270,27 +410,32 @@ func (c *Cluster) Messages() uint64 {
 	return total
 }
 
-// Server returns the partition server p of data center dc.
-func (c *Cluster) Server(dc, p int) *core.Server { return c.servers[dc][p] }
+// Server returns the partition server p of data center dc (the current one,
+// if the node has been restarted). The lookup is a lock-free atomic load, so
+// the per-operation routing of sessions costs nothing extra.
+func (c *Cluster) Server(dc, p int) *core.Server {
+	return c.servers[dc][p].Load()
+}
 
 // PartitionOf returns the partition responsible for key.
 func (c *Cluster) PartitionOf(key string) int {
 	return keyspace.PartitionOf(key, c.cfg.NumPartitions)
 }
 
-// dcRouter routes a session's requests within one data center.
+// dcRouter routes a session's requests within one data center, resolving
+// servers per operation so sessions transparently follow a RestartServer.
 type dcRouter struct {
-	servers []*core.Server
-	coord   *core.Server
-	n       int
+	c     *Cluster
+	dc    int
+	coord int
 }
 
 func (r *dcRouter) ServerFor(key string) *core.Server {
-	return r.servers[keyspace.PartitionOf(key, r.n)]
+	return r.c.Server(r.dc, keyspace.PartitionOf(key, r.c.cfg.NumPartitions))
 }
-func (r *dcRouter) Coordinator() *core.Server { return r.coord }
+func (r *dcRouter) Coordinator() *core.Server { return r.c.Server(r.dc, r.coord) }
 func (r *dcRouter) PartitionOf(key string) int {
-	return keyspace.PartitionOf(key, r.n)
+	return keyspace.PartitionOf(key, r.c.cfg.NumPartitions)
 }
 
 // NewSession opens a client session against data center dc. The session's
@@ -300,13 +445,13 @@ func (c *Cluster) NewSession(dc int) (*client.Session, error) {
 	if dc < 0 || dc >= c.cfg.NumDCs {
 		return nil, fmt.Errorf("cluster: no data center %d", dc)
 	}
-	coord := c.servers[dc][c.rr.Add(1)%uint64(c.cfg.NumPartitions)]
+	coord := int(c.rr.Add(1) % uint64(c.cfg.NumPartitions))
 	mode := core.Optimistic
 	if c.cfg.Engine == Cure {
 		mode = core.Pessimistic
 	}
 	return client.NewSession(client.Config{
-		Router:         &dcRouter{servers: c.servers[dc], coord: coord, n: c.cfg.NumPartitions},
+		Router:         &dcRouter{c: c, dc: dc, coord: coord},
 		NumDCs:         c.cfg.NumDCs,
 		Mode:           mode,
 		RequestLatency: c.cfg.SessionLatency,
@@ -329,7 +474,7 @@ func (c *Cluster) Seed(key string, value []byte) {
 			UpdateTime: ut,
 			Deps:       vclock.New(c.cfg.NumDCs),
 		}
-		c.servers[dc][p].Store().Insert(v)
+		c.Server(dc, p).Store().Insert(v)
 	}
 }
 
@@ -378,6 +523,6 @@ func (c *Cluster) Metrics() Aggregate {
 // ReadAt performs a raw GET against a specific DC with an empty dependency
 // vector (monitoring helper for tests and examples).
 func (c *Cluster) ReadAt(dc int, key string) (msg.ItemReply, error) {
-	srv := c.servers[dc][c.PartitionOf(key)]
+	srv := c.Server(dc, c.PartitionOf(key))
 	return srv.Get(key, vclock.New(c.cfg.NumDCs), core.Optimistic)
 }

@@ -525,13 +525,13 @@ func TestGarbageCollectionAcrossCluster(t *testing.T) {
 	if !waitUntil(t, 5*time.Second, func() bool {
 		for dc := 0; dc < 2; dc++ {
 			chain := c.Server(dc, p).Store()
-			if chain.Versions() > 2 {
+			if chain.Stats().Versions > 2 {
 				return false
 			}
 		}
 		return true
 	}) {
-		t.Fatalf("GC never pruned the chains: dc0=%d versions", c.Server(0, p).Store().Versions())
+		t.Fatalf("GC never pruned the chains: dc0=%d versions", c.Server(0, p).Store().Stats().Versions)
 	}
 	head := c.Server(0, p).Store().Head("gckey")
 	if head == nil || head.Value[0] != 19 {

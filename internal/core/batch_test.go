@@ -120,8 +120,8 @@ func TestApplyReplicateBatchAdvancesVVAndServesVersions(t *testing.T) {
 	if string(got.Value) != "v3" {
 		t.Fatalf("read %q, want the freshest batched version", got.Value)
 	}
-	if r.srv.Store().Versions() != 3 {
-		t.Fatalf("stored %d versions, want 3", r.srv.Store().Versions())
+	if r.srv.Store().Stats().Versions != 3 {
+		t.Fatalf("stored %d versions, want 3", r.srv.Store().Stats().Versions)
 	}
 }
 

@@ -140,6 +140,17 @@ type Config struct {
 	// freshness for batch size; heartbeats are suppressed while updates
 	// are buffered so they never overtake the batch.
 	ReplicationFlushInterval time.Duration
+	// Engine is the storage engine backing this server. Nil selects a
+	// default: a fresh in-memory engine (storage.New), or — when DataDir is
+	// set — a durable WAL-backed engine opened (and crash-recovered) from
+	// DataDir. The server owns its engine and closes it on Close. When the
+	// engine reports a recovered version-vector floor (storage.Recovered),
+	// the server's VV starts from that floor, so reads never miss versions
+	// the replayed state already contains.
+	Engine storage.Engine
+	// DataDir, when non-empty and Engine is nil, selects a storage.Durable
+	// engine rooted at this directory (with default DurableOptions).
+	DataDir string
 	// Metrics receives the server's statistics; required.
 	Metrics *Metrics
 }
@@ -298,7 +309,7 @@ type Server struct {
 	n     int // partition id
 	clk   *clock.Clock
 	ep    Transport
-	store *storage.Store
+	store storage.Engine
 	mx    *Metrics
 
 	vv  *atomicVC // version vector VV_n^m; lock-free reads
@@ -338,9 +349,13 @@ type Server struct {
 	wg      sync.WaitGroup
 }
 
-// txPending tracks a coordinator's outstanding slice requests.
+// txPending tracks a coordinator's outstanding slice requests. seen marks
+// the partitions that already responded: transports are at-least-once (TCP
+// reconnects redeliver), and a duplicate reply must not decrement remaining
+// or the fan-in would complete with another partition's items missing.
 type txPending struct {
 	remaining int
+	seen      []bool // by responder partition
 	items     []msg.ItemReply
 	err       string
 	done      chan struct{}
@@ -353,13 +368,25 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		if cfg.DataDir != "" {
+			var err error
+			eng, err = storage.OpenDurable(cfg.DataDir, storage.DurableOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		} else {
+			eng = storage.New()
+		}
+	}
 	s := &Server{
 		cfg:       cfg,
 		m:         cfg.ID.DC,
 		n:         cfg.ID.Partition,
 		clk:       cfg.Clock,
 		ep:        cfg.Endpoint,
-		store:     storage.New(),
+		store:     eng,
 		mx:        cfg.Metrics,
 		vv:        newAtomicVC(cfg.NumDCs),
 		gss:       newAtomicVC(cfg.NumDCs),
@@ -375,6 +402,23 @@ func NewServer(cfg Config) (*Server, error) {
 		s.peerVV[i] = vclock.New(cfg.NumDCs)
 		s.gcContrib[i] = nil // unknown until first exchange
 	}
+	// A recovered engine replays a version-vector floor: every entry must be
+	// restored before the server goes on the network, or a read at the old
+	// VV could miss versions the replayed chains already contain.
+	if rec, ok := eng.(storage.Recovered); ok {
+		for i, t := range rec.RecoveredVV() {
+			if i < cfg.NumDCs {
+				s.vv.raiseTo(i, t)
+			}
+		}
+	}
+	// Seed transaction IDs from the clock so a restarted server never reuses
+	// a prior incarnation's TxIDs: a stale pre-restart slice reply must not
+	// fold into a new transaction that happens to share its ID (the
+	// duplicate-partition guard cannot tell incarnations apart). Clocks are
+	// monotone across in-process restarts, and transactions take far longer
+	// than a nanosecond, so the new floor always clears the old range.
+	s.txSeq.Store(uint64(cfg.Clock.Now()))
 	s.batchSize = cfg.ReplicationBatchSize
 	if s.batchSize == 0 {
 		s.batchSize = defaultReplicationBatchSize
@@ -410,8 +454,8 @@ func NewServer(cfg Config) (*Server, error) {
 }
 
 // Close stops the background loops, releases every blocked request with
-// ErrStopped and flushes any buffered replication. It does not close the
-// shared network.
+// ErrStopped, flushes any buffered replication and closes the storage
+// engine. It does not close the shared network.
 func (s *Server) Close() {
 	if !s.stopped.CompareAndSwap(false, true) {
 		return
@@ -432,13 +476,28 @@ func (s *Server) Close() {
 	s.putMu.Lock()
 	s.flushRepBufLocked()
 	s.putMu.Unlock()
+	// The flushed versions were persisted at Insert time, so the engine can
+	// close last; a durable engine syncs its log here.
+	_ = s.store.Close()
 }
 
 // ID returns the server's coordinate.
 func (s *Server) ID() netemu.NodeID { return s.cfg.ID }
 
-// Store exposes the underlying multiversion store for tests and seeding.
-func (s *Server) Store() *storage.Store { return s.store }
+// Store exposes the underlying storage engine for tests and seeding.
+func (s *Server) Store() storage.Engine { return s.store }
+
+// StorageErr reports the engine's sticky persistence error, if the engine
+// tracks one (storage.Durable does; the in-memory engine never fails). A
+// non-nil error means acknowledged writes may not be durable: the server
+// keeps serving from memory, but monitoring should treat the node as having
+// lost its crash tolerance.
+func (s *Server) StorageErr() error {
+	if e, ok := s.store.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
 
 // VV returns a copy of the current version vector.
 func (s *Server) VV() vclock.VC { return s.vv.snapshot() }
@@ -605,7 +664,11 @@ func (s *Server) ROTx(keys []string, rdv vclock.VC, mode Mode, partitionOf func(
 	// which case tv covers the GC base and no version inside the snapshot
 	// can be pruned.
 	txID := s.txSeq.Add(1)
-	pending := &txPending{remaining: len(byPartition), done: make(chan struct{})}
+	pending := &txPending{
+		remaining: len(byPartition),
+		seen:      make([]bool, s.cfg.NumPartitions),
+		done:      make(chan struct{}),
+	}
 	var tv vclock.VC
 	s.txMu.Lock()
 	if s.stopped.Load() {
@@ -655,8 +718,13 @@ func (s *Server) ROTx(keys []string, rdv vclock.VC, mode Mode, partitionOf func(
 	items, errStr := pending.items, pending.err
 	s.txMu.Unlock()
 	if errStr != "" {
-		if errStr == ErrSessionClosed.Error() {
+		// Slice errors travel as strings (they cross the wire); map the
+		// sentinels back so callers can errors.Is them.
+		switch errStr {
+		case ErrSessionClosed.Error():
 			return nil, ErrSessionClosed
+		case ErrStopped.Error():
+			return nil, ErrStopped
 		}
 		return nil, errors.New(errStr)
 	}
@@ -683,7 +751,7 @@ func (s *Server) handle(src netemu.NodeID, m any) {
 		// Slice reads may block on VV/GSS; never stall the link goroutine.
 		go s.serveSlice(src, mm)
 	case msg.SliceResp:
-		s.applySliceResp(mm)
+		s.applySliceResp(src.Partition, mm)
 	}
 }
 
@@ -826,29 +894,39 @@ func (s *Server) serveSlice(src netemu.NodeID, req msg.SliceReq) {
 		}
 	}
 	if src == s.cfg.ID {
-		s.applySliceResp(resp)
+		s.applySliceResp(s.n, resp)
 		return
 	}
 	s.ep.Send(src, resp)
 }
 
-// applySliceResp folds a slice reply into the coordinator's pending state.
-func (s *Server) applySliceResp(m msg.SliceResp) {
+// applySliceResp folds partition from's slice reply into the coordinator's
+// pending state.
+func (s *Server) applySliceResp(from int, m msg.SliceResp) {
 	s.txMu.Lock()
 	defer s.txMu.Unlock()
 	p, ok := s.pendingTx[m.TxID]
-	if !ok || p.remaining <= 0 {
-		// Transaction already completed, failed, or the transport delivered
-		// a duplicate (TCP reconnects are at-least-once).
+	if !ok {
+		// Transaction already completed or failed.
 		return
 	}
+	if from < 0 || from >= len(p.seen) || p.seen[from] {
+		// Duplicate delivery (TCP reconnects are at-least-once): this
+		// partition's items are already folded in.
+		return
+	}
+	p.seen[from] = true
 	if m.Err != "" && p.err == "" {
 		p.err = m.Err
 	}
 	p.items = append(p.items, m.Items...)
 	p.remaining--
 	if p.remaining == 0 {
+		// Drop the entry as the channel closes (still under txMu), so Close
+		// — which closes every channel left in the map — can never close a
+		// completed transaction's channel a second time.
 		close(p.done)
+		delete(s.pendingTx, m.TxID)
 	}
 }
 

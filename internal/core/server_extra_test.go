@@ -66,9 +66,20 @@ func TestGCSparesActiveTransactionSnapshot(t *testing.T) {
 		t.Fatalf("GC pruned a version an active transaction still needs: %+v", res)
 	}
 
-	// Unblock the transaction and let GC finish its work.
+	// Unblock the transaction and let GC finish its work. The TxID comes
+	// from the SliceReq the fake peer captured (IDs are clock-seeded per
+	// server incarnation, not 1-based).
+	var txID uint64
+	for _, m := range r.received(netemu.NodeID{DC: 0, Partition: 1}) {
+		if req, ok := m.(msg.SliceReq); ok {
+			txID = req.TxID
+		}
+	}
+	if txID == 0 {
+		t.Fatal("fake peer never received the SliceReq")
+	}
 	r.inject(netemu.NodeID{DC: 0, Partition: 1},
-		msg.SliceResp{TxID: 1, Items: []msg.ItemReply{{Key: "peer-key"}}})
+		msg.SliceResp{TxID: txID, Items: []msg.ItemReply{{Key: "peer-key"}}})
 	if err := <-txDone; err != nil {
 		t.Fatal(err)
 	}

@@ -576,14 +576,14 @@ func TestGCPrunesOldVersions(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := r.srv.Store().Versions(); got != 5 {
+	if got := r.srv.Store().Stats().Versions; got != 5 {
 		t.Fatalf("Versions = %d before GC", got)
 	}
 	// GC needs contributions from partition 1 (the fake peer).
 	r.inject(netemu.NodeID{DC: 0, Partition: 1},
 		msg.GCExchange{Partition: 1, TV: vclock.VC{1 << 40, 1 << 40, 1 << 40}})
-	if !waitUntil(t, 2*time.Second, func() bool { return r.srv.Store().Versions() == 1 }) {
-		t.Fatalf("Versions = %d after GC, want 1", r.srv.Store().Versions())
+	if !waitUntil(t, 2*time.Second, func() bool { return r.srv.Store().Stats().Versions == 1 }) {
+		t.Fatalf("Versions = %d after GC, want 1", r.srv.Store().Stats().Versions)
 	}
 	head := r.srv.Store().Head("k0")
 	if head == nil || head.Value[0] != 4 {

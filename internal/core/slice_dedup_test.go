@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+)
+
+// TestApplySliceRespDeduplicatesPartitions pins the at-least-once guard: a
+// redelivered slice reply (TCP reconnects duplicate messages) must not
+// decrement the fan-in counter, or the transaction would complete with
+// another partition's items missing.
+func TestApplySliceRespDeduplicatesPartitions(t *testing.T) {
+	r := newRig(t, Config{})
+	s := r.srv
+
+	p := &txPending{remaining: 2, seen: make([]bool, 2), done: make(chan struct{})}
+	s.txMu.Lock()
+	s.pendingTx[99] = p
+	s.txMu.Unlock()
+
+	reply := func(from int, key string) {
+		s.applySliceResp(from, msg.SliceResp{TxID: 99, Items: []msg.ItemReply{{Key: key}}})
+	}
+	reply(0, "a")
+	reply(0, "a") // duplicate delivery from partition 0
+	select {
+	case <-p.done:
+		t.Fatal("duplicate reply completed the fan-in early")
+	default:
+	}
+	if p.remaining != 1 || len(p.items) != 1 {
+		t.Fatalf("after duplicate: remaining=%d items=%d, want 1 and 1", p.remaining, len(p.items))
+	}
+
+	reply(1, "b")
+	select {
+	case <-p.done:
+	default:
+		t.Fatal("fan-in did not complete after both partitions replied")
+	}
+	if len(p.items) != 2 {
+		t.Fatalf("items=%d, want 2", len(p.items))
+	}
+	// Completion removed the entry, so a late duplicate is a no-op and Close
+	// cannot double-close the channel.
+	s.txMu.Lock()
+	_, live := s.pendingTx[99]
+	s.txMu.Unlock()
+	if live {
+		t.Fatal("completed transaction still pending")
+	}
+	reply(1, "late")
+}

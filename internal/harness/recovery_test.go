@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRecoveryDrill runs the crash-recovery scenario at CI scale: the table
+// must carry both phases, the restarted server must have replayed versions,
+// and the drill's own convergence check must have passed (it errors
+// otherwise).
+func TestRecoveryDrill(t *testing.T) {
+	sc := CIScale()
+	sc.Partitions = 2
+	sc.KeysPerPartition = 16
+	sc.ClientsPerPart = 4
+	tab, err := RecoveryDrill(context.Background(), sc, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (before/after)", len(tab.Rows))
+	}
+	if got := tab.Rows[1][3]; got == "0" {
+		t.Fatalf("after-recovery row reports no recovered versions: %v", tab.Rows[1])
+	}
+	var sb strings.Builder
+	tab.Fprint(func(format string, args ...any) { sb.WriteString(format) })
+	if sb.Len() == 0 {
+		t.Fatal("table did not render")
+	}
+}

@@ -208,9 +208,9 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 		fmt.Fprintf(w, "PARTITION %d\n", s.store.PartitionOf(key))
 	case "STATS":
 		st := s.store.Stats()
-		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f messages=%d\n",
+		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d\n",
 			st.Operations, st.BlockedOperations, st.BlockingProbability,
-			st.PercentOldReads, st.PercentUnmergedReads, s.store.Messages())
+			st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, s.store.Messages())
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
 		return true

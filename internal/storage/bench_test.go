@@ -65,6 +65,35 @@ func BenchmarkStorageStats(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableInsertBatch measures the durable engine's group-commit
+// apply path: one WAL write+fsync per replication batch, then the in-memory
+// batch insert. Compare against BenchmarkStorageInsertBatch for the price
+// of durability; NoSync isolates the encoding+write cost from the fsync.
+func BenchmarkDurableInsertBatch(b *testing.B) {
+	for _, sync := range []bool{true, false} {
+		name := "fsync"
+		if !sync {
+			name = "nosync"
+		}
+		b.Run(name, func(b *testing.B) {
+			d, err := OpenDurable(b.TempDir(), DurableOptions{NoSync: !sync, CheckpointBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { d.Close() })
+			vs := benchVersions(128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.InsertBatch(vs)
+			}
+			if err := d.Err(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkCollectGarbageNoPrune measures a GC sweep over chains that need
 // no pruning (the steady state between update bursts).
 func BenchmarkCollectGarbageNoPrune(b *testing.B) {

@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/item"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// defaultCheckpointBytes is how much WAL growth triggers a snapshot
+// checkpoint at the next garbage-collection pass.
+const defaultCheckpointBytes = 1 << 20
+
+// DurableOptions tunes the durable engine. The zero value selects sane
+// defaults (4 MiB segments, 1 MiB checkpoint trigger, fsync on every
+// commit).
+type DurableOptions struct {
+	// SegmentBytes is the WAL segment roll size (0 = 4 MiB).
+	SegmentBytes int64
+	// CheckpointBytes is the WAL growth that arms a snapshot checkpoint,
+	// taken on the next CollectGarbage call (the GC exchange is the
+	// checkpoint cadence). 0 selects the default (1 MiB); negative disables
+	// checkpointing (the log grows until Close).
+	CheckpointBytes int64
+	// NoSync skips the per-commit fsync, trading crash durability for
+	// latency (useful for tests and benchmarks on slow filesystems).
+	NoSync bool
+}
+
+// Durable is the crash-tolerant storage engine: a Mem engine fronting a
+// segmented write-ahead log. Every Insert appends the version's wire
+// encoding to the log before it becomes readable, and InsertBatch commits a
+// whole replication batch with a single write+fsync (group commit). Snapshot
+// checkpoints ride the garbage-collection exchange: after a GC pass prunes
+// the chains, the engine serializes the surviving versions into a snapshot
+// and truncates the log's segments.
+//
+// OpenDurable rebuilds the engine from disk — snapshot first, then the log
+// tail, tolerating a torn final record — and reports the replayed
+// version-vector floor via RecoveredVV, which the partition server uses to
+// restore its VV after a crash.
+//
+// Write methods do not return errors (the Engine interface keeps the server
+// hot path error-free); a failed append instead marks the engine sticky-
+// failed: the in-memory state stays correct and serving, while Err and Close
+// surface the first persistence error.
+type Durable struct {
+	mem *Mem
+	log *wal.Log
+
+	// mu serializes writers against checkpoints: Insert/InsertBatch hold it
+	// shared (the WAL itself orders concurrent commits), Checkpoint and
+	// Close hold it exclusively so the snapshot captures exactly the
+	// appended state.
+	mu sync.RWMutex
+
+	checkpointBytes int64
+	floor           vclock.VC // replayed VV floor, immutable after open
+	werr            atomic.Pointer[error]
+}
+
+// OpenDurable opens (creating or recovering) a durable engine rooted at dir.
+func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = defaultCheckpointBytes
+	}
+	mem := New()
+	var floor vclock.VC
+	log, err := wal.Open(dir, wal.Options{SegmentBytes: opts.SegmentBytes, NoSync: opts.NoSync},
+		func(rec []byte) error {
+			v, _, err := wire.DecodeVersion(rec)
+			if err != nil {
+				return err
+			}
+			mem.Insert(v)
+			for len(floor) <= v.SrcReplica {
+				floor = append(floor, 0)
+			}
+			if v.UpdateTime > floor[v.SrcReplica] {
+				floor[v.SrcReplica] = v.UpdateTime
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("storage: open durable: %w", err)
+	}
+	return &Durable{mem: mem, log: log, checkpointBytes: opts.CheckpointBytes, floor: floor}, nil
+}
+
+// RecoveredVV returns the version-vector floor replayed at open: entry i is
+// the highest update timestamp of any recovered version originating at DC i.
+func (d *Durable) RecoveredVV() vclock.VC { return d.floor.Clone() }
+
+// Err returns the first persistence error, or nil. The in-memory state keeps
+// serving after a failure, but durability is gone until the engine is
+// reopened.
+func (d *Durable) Err() error {
+	if p := d.werr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (d *Durable) fail(err error) {
+	if err != nil {
+		d.werr.CompareAndSwap(nil, &err)
+	}
+}
+
+// Insert logs the version, then installs it in memory. The version is
+// durable before it becomes readable.
+func (d *Durable) Insert(v *item.Version) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.fail(d.log.Append(wire.AppendVersion(nil, v)))
+	d.mem.Insert(v)
+}
+
+// InsertBatch logs the whole batch as one commit — a single write and fsync
+// on the replication-batch boundary — then installs it in one shard pass.
+func (d *Durable) InsertBatch(vs []*item.Version) {
+	if len(vs) == 0 {
+		return
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	// Encode the whole batch into one arena and reslice it afterwards
+	// (growth may move the buffer), keeping the allocation count constant
+	// per batch instead of linear in its size.
+	buf := make([]byte, 0, 48*len(vs))
+	offs := make([]int, len(vs)+1)
+	for i, v := range vs {
+		buf = wire.AppendVersion(buf, v)
+		offs[i+1] = len(buf)
+	}
+	recs := make([][]byte, len(vs))
+	for i := range recs {
+		recs[i] = buf[offs[i]:offs[i+1]]
+	}
+	d.fail(d.log.Append(recs...))
+	d.mem.InsertBatch(vs)
+}
+
+// Head returns the chain head (the freshest version) for key, or nil.
+func (d *Durable) Head(key string) *item.Version { return d.mem.Head(key) }
+
+// ReadVisible returns the freshest version of key satisfying visible.
+func (d *Durable) ReadVisible(key string, visible func(*item.Version) bool) ReadResult {
+	return d.mem.ReadVisible(key, visible)
+}
+
+// ReadWithin returns the freshest version of key within the snapshot tv.
+func (d *Durable) ReadWithin(key string, tv vclock.VC) ReadResult {
+	return d.mem.ReadWithin(key, tv)
+}
+
+// CollectGarbage prunes the in-memory chains and, when the log has grown
+// past the checkpoint threshold, writes a snapshot checkpoint of the pruned
+// state and truncates the log — GC and log truncation advance together.
+func (d *Durable) CollectGarbage(gv vclock.VC) int {
+	removed := d.mem.CollectGarbage(gv)
+	if d.checkpointBytes > 0 && d.log.SinceCheckpoint() >= d.checkpointBytes {
+		d.checkpoint()
+	}
+	return removed
+}
+
+// checkpoint streams the surviving versions into a snapshot while writers
+// are held out, so the snapshot equals the log contents exactly. One encode
+// scratch is reused for every record (the log frames each record into its
+// own buffer before emit returns), keeping peak memory constant regardless
+// of store size.
+func (d *Durable) checkpoint() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log.SinceCheckpoint() < d.checkpointBytes {
+		return // another GC pass raced us here
+	}
+	var scratch []byte
+	d.fail(d.log.Checkpoint(func(emit func(rec []byte)) {
+		d.mem.ForEachVersion(func(v *item.Version) {
+			scratch = wire.AppendVersion(scratch[:0], v)
+			emit(scratch)
+		})
+	}))
+}
+
+// Stats counts keys and versions in a single pass.
+func (d *Durable) Stats() StoreStats { return d.mem.Stats() }
+
+// ForEachHead calls fn with every key's chain head.
+func (d *Durable) ForEachHead(fn func(key string, head *item.Version)) { d.mem.ForEachHead(fn) }
+
+// Close flushes and closes the log. It returns the first persistence error
+// encountered over the engine's lifetime, if any.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cerr := d.log.Close()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return cerr
+}

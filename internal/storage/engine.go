@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"repro/internal/item"
+	"repro/internal/vclock"
+)
+
+// Engine is the pluggable storage backend of a partition server. Two
+// implementations ship with the repository:
+//
+//   - Mem (the default): the sharded multiversion in-memory store — fastest,
+//     but a killed server loses its partition.
+//   - Durable: Mem fronting a segmented write-ahead log (internal/wal) with
+//     snapshot checkpoints, so a crashed server recovers its version chains
+//     (and version-vector floor) from disk via OpenDurable.
+//
+// All methods must be safe for concurrent use. Read methods (Head,
+// ReadVisible, ReadWithin, Stats, ForEachHead) sit on the protocol hot path
+// and must not block behind writers longer than a shard lock.
+type Engine interface {
+	// Insert adds one version to its key's chain (idempotently).
+	Insert(v *item.Version)
+	// InsertBatch adds many versions in one pass — the apply side of batched
+	// replication and, for durable engines, the group-commit boundary.
+	InsertBatch(vs []*item.Version)
+	// Head returns the freshest version of key, or nil.
+	Head(key string) *item.Version
+	// ReadVisible returns the freshest version satisfying visible (nil means
+	// every version is visible: the POCC O(1) fast path).
+	ReadVisible(key string, visible func(*item.Version) bool) ReadResult
+	// ReadWithin returns the freshest version whose dependency vector is
+	// covered by tv (transactional snapshot reads).
+	ReadWithin(key string, tv vclock.VC) ReadResult
+	// CollectGarbage prunes version chains against the GC vector and returns
+	// the number of versions removed. Durable engines piggyback snapshot
+	// checkpoints and segment truncation on this call.
+	CollectGarbage(gv vclock.VC) int
+	// Stats counts keys and versions in a single pass (snapshot-consistent
+	// per shard).
+	Stats() StoreStats
+	// ForEachHead calls fn with every key's chain head; fn must not call
+	// back into the engine.
+	ForEachHead(fn func(key string, head *item.Version))
+	// Close releases the engine's resources (flushing and closing any
+	// stable-storage files). The engine must not be used afterwards.
+	Close() error
+}
+
+// Recovered is implemented by engines that rebuild state from stable
+// storage. The partition server uses it to restore its version-vector floor
+// after a crash.
+type Recovered interface {
+	// RecoveredVV is the version-vector floor replayed at open: entry i is
+	// the highest update timestamp of any recovered version originating at
+	// DC i. Nil when the engine started empty.
+	RecoveredVV() vclock.VC
+}
+
+var (
+	_ Engine    = (*Mem)(nil)
+	_ Engine    = (*Durable)(nil)
+	_ Recovered = (*Durable)(nil)
+)

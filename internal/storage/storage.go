@@ -1,15 +1,19 @@
-// Package storage implements the multiversion in-memory key-value store
-// backing each partition server. Every key maps to a version chain ordered by
-// the last-writer-wins total order (update timestamp descending, ties broken
-// by lowest source replica). Reads select the freshest version that satisfies
-// a caller-supplied visibility predicate: the optimistic (POCC) mode passes
-// an always-true predicate and reads the chain head in O(1); the pessimistic
-// (Cure*) mode passes a stability predicate and traverses the chain — the
-// extra work the paper attributes to pessimistic designs.
+// Package storage implements the multiversion key-value stores backing each
+// partition server, behind the pluggable Engine interface. Every key maps to
+// a version chain ordered by the last-writer-wins total order (update
+// timestamp descending, ties broken by lowest source replica). Reads select
+// the freshest version that satisfies a caller-supplied visibility
+// predicate: the optimistic (POCC) mode passes an always-true predicate and
+// reads the chain head in O(1); the pessimistic (Cure*) mode passes a
+// stability predicate and traverses the chain — the extra work the paper
+// attributes to pessimistic designs.
 //
-// The store also implements the paper's vector-based garbage collection: for
-// each key it retains every version down to and including the first (i.e.
-// newest) version whose dependency vector is covered by the GC vector.
+// Two engines are provided: Mem, the sharded in-memory store (the default),
+// and Durable, which fronts Mem with a write-ahead log for crash recovery
+// (see durable.go). Both implement the paper's vector-based garbage
+// collection: for each key they retain every version down to and including
+// the first (i.e. newest) version whose dependency vector is covered by the
+// GC vector.
 package storage
 
 import (
@@ -22,9 +26,9 @@ import (
 
 const numShards = 64
 
-// Store is a sharded multiversion key-value store. It is safe for concurrent
+// Mem is the sharded multiversion key-value store. It is safe for concurrent
 // use.
-type Store struct {
+type Mem struct {
 	seed   maphash.Seed
 	shards [numShards]shard
 }
@@ -34,27 +38,27 @@ type shard struct {
 	chains map[string][]*item.Version // newest first, LWW order
 }
 
-// New returns an empty store.
-func New() *Store {
-	s := &Store{seed: maphash.MakeSeed()}
+// New returns an empty in-memory engine.
+func New() *Mem {
+	s := &Mem{seed: maphash.MakeSeed()}
 	for i := range s.shards {
 		s.shards[i].chains = make(map[string][]*item.Version)
 	}
 	return s
 }
 
-func (s *Store) shardIndex(key string) int {
+func (s *Mem) shardIndex(key string) int {
 	return int(maphash.String(s.seed, key) % numShards)
 }
 
-func (s *Store) shardOf(key string) *shard {
+func (s *Mem) shardOf(key string) *shard {
 	return &s.shards[s.shardIndex(key)]
 }
 
 // Insert adds a version to its key's chain, keeping the chain in LWW order.
 // Inserting the same version twice is a no-op, making replication delivery
 // idempotent.
-func (s *Store) Insert(v *item.Version) {
+func (s *Mem) Insert(v *item.Version) {
 	sh := s.shardOf(v.Key)
 	sh.mu.Lock()
 	sh.insertLocked(v)
@@ -65,7 +69,7 @@ func (s *Store) Insert(v *item.Version) {
 // is taken at most once per call — the apply path of batched replication.
 // The batch slice is not mutated (it may be shared with other receivers);
 // grouping uses an index chain, costing one small allocation per call.
-func (s *Store) InsertBatch(vs []*item.Version) {
+func (s *Mem) InsertBatch(vs []*item.Version) {
 	if len(vs) == 0 {
 		return
 	}
@@ -135,7 +139,7 @@ type ReadResult struct {
 }
 
 // Head returns the chain head (the freshest version) for key, or nil.
-func (s *Store) Head(key string) *item.Version {
+func (s *Mem) Head(key string) *item.Version {
 	sh := s.shardOf(key)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -149,7 +153,7 @@ func (s *Store) Head(key string) *item.Version {
 // ReadVisible returns the freshest version of key satisfying visible, along
 // with chain statistics. A nil predicate means every version is visible, so
 // the head is returned without traversing the chain (the POCC fast path).
-func (s *Store) ReadVisible(key string, visible func(*item.Version) bool) ReadResult {
+func (s *Mem) ReadVisible(key string, visible func(*item.Version) bool) ReadResult {
 	sh := s.shardOf(key)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -178,7 +182,7 @@ func (s *Store) ReadVisible(key string, visible func(*item.Version) bool) ReadRe
 // ReadWithin returns the freshest version of key whose dependency vector is
 // entry-wise covered by tv (Algorithm 2, lines 43-44: the visible-version set
 // of a transactional snapshot).
-func (s *Store) ReadWithin(key string, tv vclock.VC) ReadResult {
+func (s *Mem) ReadWithin(key string, tv vclock.VC) ReadResult {
 	return s.ReadVisible(key, func(v *item.Version) bool { return v.Deps.LessEq(tv) })
 }
 
@@ -191,7 +195,7 @@ func (s *Store) ReadWithin(key string, tv vclock.VC) ReadResult {
 // is already the tail) are left untouched; pruned chains are truncated in
 // place with the dropped tail nilled out so the versions are released
 // without reallocating the chain slice.
-func (s *Store) CollectGarbage(gv vclock.VC) int {
+func (s *Mem) CollectGarbage(gv vclock.VC) int {
 	removed := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -232,7 +236,7 @@ type StoreStats struct {
 // Stats counts keys and versions in a single pass, taking every shard lock
 // exactly once. Metrics samplers should prefer it over separate Keys and
 // Versions calls.
-func (s *Store) Stats() StoreStats {
+func (s *Mem) Stats() StoreStats {
 	var st StoreStats
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -247,14 +251,14 @@ func (s *Store) Stats() StoreStats {
 }
 
 // Keys returns the number of keys with at least one version.
-func (s *Store) Keys() int { return s.Stats().Keys }
+func (s *Mem) Keys() int { return s.Stats().Keys }
 
 // Versions returns the total number of stored versions across all chains.
-func (s *Store) Versions() int { return s.Stats().Versions }
+func (s *Mem) Versions() int { return s.Stats().Versions }
 
 // ForEachHead calls fn with every key's chain head. Used by convergence
 // checks in tests; fn must not call back into the store.
-func (s *Store) ForEachHead(fn func(key string, head *item.Version)) {
+func (s *Mem) ForEachHead(fn func(key string, head *item.Version)) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
@@ -266,3 +270,22 @@ func (s *Store) ForEachHead(fn func(key string, head *item.Version)) {
 		sh.mu.RUnlock()
 	}
 }
+
+// ForEachVersion calls fn with every stored version, chain by chain in LWW
+// order. The durable engine's snapshot checkpoints use it to serialize the
+// full store; fn must not call back into the store.
+func (s *Mem) ForEachVersion(fn func(v *item.Version)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, chain := range sh.chains {
+			for _, v := range chain {
+				fn(v)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Close releases the engine. For the in-memory engine it is a no-op.
+func (s *Mem) Close() error { return nil }

@@ -114,7 +114,7 @@ func TestQuickGCIdempotent(t *testing.T) {
 func TestQuickGCMonotone(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 13))
-		build := func() *Store {
+		build := func() *Mem {
 			r2 := rand.New(rand.NewPCG(seed, 99))
 			s := New()
 			for i := 0; i < 25; i++ {

@@ -1,0 +1,478 @@
+// Package wal implements the segmented write-ahead log behind the durable
+// storage engine (storage.Durable). The log is a directory of append-only
+// segment files plus at most one snapshot file:
+//
+//	000000000000000001.wal   log segments, ascending sequence numbers
+//	000000000000000003.wal
+//	000000000000000003.snap  checkpoint covering every segment ≤ 3
+//
+// Each record — in segments and snapshots alike — is framed as
+//
+//	uvarint(payload length) || uint32le(crc32c payload checksum) || payload
+//
+// where the payload is opaque to the log (the storage engine stores
+// internal/wire version records). A commit (Append call) frames all its
+// records, issues a single Write and, unless NoSync is set, a single fsync —
+// the group-commit unit, which the storage engine aligns with the
+// replication-batch boundary.
+//
+// Checkpoint atomically replaces the log's history with a snapshot: the
+// snapshot is written to a temp file, fsynced and renamed to
+// <activeseq>.snap, after which every segment ≤ activeseq (and any older
+// snapshot) is removed and a fresh segment is started. Recovery (Open) loads
+// the newest snapshot, replays every younger segment in order, and tolerates
+// a torn record at the very tail of the final segment — the footprint of a
+// crash mid-commit — by truncating it away. A short or corrupt record
+// anywhere else is real corruption and fails the open.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	segSuffix  = ".wal"
+	snapSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+
+	defaultSegmentBytes = 4 << 20
+
+	// maxRecordBytes bounds a record so a corrupted length prefix cannot ask
+	// recovery to allocate gigabytes (mirrors wire's frame limit).
+	maxRecordBytes = 1 << 28
+)
+
+// Sentinel errors.
+var (
+	// ErrClosed is returned for operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrCorrupt marks a structurally invalid record that cannot be a torn
+	// tail write (bad checksum with all bytes present, absurd length, ...).
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options parameterizes a Log.
+type Options struct {
+	// SegmentBytes rolls to a new segment once the active one reaches this
+	// size; 0 selects the default (4 MiB).
+	SegmentBytes int64
+	// NoSync skips the fsync at each commit boundary. Cheap, but a process
+	// crash may lose the last commits; machine crashes may lose more.
+	NoSync bool
+}
+
+// Log is a segmented append-only log. It is safe for concurrent use.
+type Log struct {
+	dir      string
+	segBytes int64
+	noSync   bool
+
+	mu    sync.Mutex
+	f     *os.File // active segment, nil after Close
+	seq   uint64   // active segment sequence number
+	snap  uint64   // current snapshot sequence number, 0 if none
+	size  int64    // bytes in the active segment
+	since int64    // bytes appended (or replayed) since the last checkpoint
+	buf   []byte   // frame scratch, reused across Append calls
+}
+
+// Open opens (creating if necessary) the log in dir and replays its state:
+// first the newest snapshot's records, then every younger segment's records
+// in append order, invoking replay for each payload. The payload slice is
+// only valid during the call. A torn record at the tail of the final segment
+// is truncated away; corruption anywhere else fails the open.
+func Open(dir string, opts Options, replay func(rec []byte) error) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, snapSeq, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	if snapSeq > 0 {
+		data, err := os.ReadFile(filepath.Join(dir, fileName(snapSeq, snapSuffix)))
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		// Snapshots are renamed into place after an fsync, so a readable
+		// snapshot must parse end to end; any framing error is corruption.
+		if _, err := walk(data, replay, false); err != nil {
+			return nil, fmt.Errorf("wal: snapshot %d: %w", snapSeq, err)
+		}
+	}
+
+	l := &Log{dir: dir, segBytes: opts.SegmentBytes, noSync: opts.NoSync, snap: snapSeq}
+	var tailLen, tailValid int // final segment: file size and valid prefix
+	for i, seq := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, fileName(seq, segSuffix)))
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		consumed, werr := walk(data, replay, i == len(segs)-1)
+		if werr != nil {
+			return nil, fmt.Errorf("wal: segment %d: %w", seq, werr)
+		}
+		l.since += int64(consumed)
+		tailLen, tailValid = len(data), consumed
+	}
+
+	// Reopen the last segment for appending (its torn tail, if any, was
+	// already measured by walk and is truncated here), or start a fresh one.
+	if n := len(segs); n > 0 {
+		l.seq = segs[n-1]
+		path := filepath.Join(dir, fileName(l.seq, segSuffix))
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if tailValid < tailLen {
+			if err := f.Truncate(int64(tailValid)); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+		}
+		if _, err := f.Seek(int64(tailValid), io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f, l.size = f, int64(tailValid)
+	} else {
+		if err := l.startSegmentLocked(snapSeq + 1); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// scanDir classifies the directory's files: ascending segment sequences
+// newer than the newest snapshot, and that snapshot's sequence (0 if none).
+// Stale temp files and files made obsolete by the snapshot (leftovers of a
+// crash mid-checkpoint) are removed.
+func scanDir(dir string) (segs []uint64, snapSeq uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	var snaps []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, segSuffix):
+			if seq, ok := parseName(name, segSuffix); ok {
+				segs = append(segs, seq)
+			}
+		case strings.HasSuffix(name, snapSuffix):
+			if seq, ok := parseName(name, snapSuffix); ok {
+				snaps = append(snaps, seq)
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	if len(snaps) > 0 {
+		snapSeq = snaps[len(snaps)-1]
+		for _, s := range snaps[:len(snaps)-1] {
+			_ = os.Remove(filepath.Join(dir, fileName(s, snapSuffix)))
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	live := segs[:0]
+	for _, s := range segs {
+		if s <= snapSeq {
+			_ = os.Remove(filepath.Join(dir, fileName(s, segSuffix)))
+			continue
+		}
+		live = append(live, s)
+	}
+	return live, snapSeq, nil
+}
+
+// Append commits the given records: all of them are framed into a single
+// Write on the active segment, followed by one fsync (unless NoSync) — the
+// group-commit boundary. The record slices are not retained.
+func (l *Log) Append(recs ...[]byte) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	if l.size >= l.segBytes {
+		if err := l.rollLocked(); err != nil {
+			return err
+		}
+	}
+	buf := l.buf[:0]
+	for _, r := range recs {
+		buf = appendFrame(buf, r)
+	}
+	l.buf = buf
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.since += int64(len(buf))
+	if !l.noSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint atomically replaces the log's history with a snapshot: fill is
+// invoked once and emits every snapshot record (records are framed and
+// streamed to disk in chunks, so the snapshot never materializes in memory;
+// an emitted slice may be reused by the caller immediately after emit
+// returns). The caller must guarantee the emitted records capture every
+// record appended so far — the storage engine holds its writers out during
+// the call. On return the old segments are gone and a fresh, empty segment
+// is active.
+func (l *Log) Checkpoint(fill func(emit func(rec []byte))) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	tmp := filepath.Join(l.dir, "checkpoint"+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	var werr error
+	buf := l.buf[:0]
+	fill(func(rec []byte) {
+		if werr != nil {
+			return
+		}
+		buf = appendFrame(buf, rec)
+		if len(buf) >= 1<<20 {
+			_, werr = f.Write(buf)
+			buf = buf[:0]
+		}
+	})
+	l.buf = buf[:0]
+	if werr == nil && len(buf) > 0 {
+		_, werr = f.Write(buf)
+	}
+	if werr != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", werr)
+	}
+	if !l.noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: checkpoint: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	snapPath := filepath.Join(l.dir, fileName(l.seq, snapSuffix))
+	if err := os.Rename(tmp, snapPath); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	// The rename must be durably ordered before the unlinks below: without a
+	// directory fsync a power loss could persist the segment removals but
+	// not the new snapshot's directory entry, losing everything.
+	if err := l.syncDir(); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+
+	// The snapshot is durable: everything up to and including the active
+	// segment is obsolete.
+	oldSeq := l.seq
+	l.f.Close()
+	l.f = nil
+	if err := l.startSegmentLocked(oldSeq + 1); err != nil {
+		return err
+	}
+	for seq := oldSeq; seq >= 1; seq-- {
+		path := filepath.Join(l.dir, fileName(seq, segSuffix))
+		if os.Remove(path) != nil {
+			break // older segments were pruned by earlier checkpoints
+		}
+	}
+	if l.snap != 0 {
+		_ = os.Remove(filepath.Join(l.dir, fileName(l.snap, snapSuffix)))
+	}
+	l.snap = oldSeq
+	l.since = 0
+	return nil
+}
+
+// SinceCheckpoint returns how many log bytes have accumulated since the last
+// checkpoint (or open), the storage engine's checkpoint trigger.
+func (l *Log) SinceCheckpoint() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.since
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the active segment. Further operations return
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if !l.noSync {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// rollLocked closes the active segment and starts the next one.
+func (l *Log) rollLocked() error {
+	if !l.noSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.f.Close()
+	l.f = nil
+	return l.startSegmentLocked(l.seq + 1)
+}
+
+func (l *Log) startSegmentLocked(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, fileName(seq, segSuffix)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: new segment: %w", err)
+	}
+	// Persist the new directory entry: Append fsyncs record bytes into the
+	// file, but without this a crash could drop the segment file itself.
+	if err := l.syncDir(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: new segment: %w", err)
+	}
+	l.f, l.seq, l.size = f, seq, 0
+	return nil
+}
+
+// syncDir fsyncs the log directory, making renames/creates/unlinks durable.
+func (l *Log) syncDir() error {
+	if l.noSync {
+		return nil
+	}
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Record framing
+// ---------------------------------------------------------------------------
+
+// appendFrame appends one framed record to b.
+func appendFrame(b, payload []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, crcTable))
+	return append(b, payload...)
+}
+
+// nextFrame parses the first framed record of b, returning the payload and
+// the bytes consumed. io.EOF means b is empty; io.ErrUnexpectedEOF means the
+// record is torn (bytes missing at the end of b); ErrCorrupt means the bytes
+// present cannot be a valid record.
+func nextFrame(b []byte) (payload []byte, n int, err error) {
+	if len(b) == 0 {
+		return nil, 0, io.EOF
+	}
+	length, un := binary.Uvarint(b)
+	if un == 0 {
+		return nil, 0, io.ErrUnexpectedEOF // varint cut off at buffer end
+	}
+	if un < 0 || length > maxRecordBytes {
+		return nil, 0, ErrCorrupt
+	}
+	rest := b[un:]
+	if uint64(len(rest)) < 4+length {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	sum := binary.LittleEndian.Uint32(rest)
+	payload = rest[4 : 4+length]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, un + 4 + int(length), nil
+}
+
+// walk invokes replay for every record in data and returns how many bytes
+// of whole records it consumed. With tolerateTorn, a torn record at the tail
+// is silently dropped (the caller truncates the file to the consumed
+// length); corruption — or a torn record when not tolerated — is an error.
+func walk(data []byte, replay func(rec []byte) error, tolerateTorn bool) (int, error) {
+	pos := 0
+	for {
+		payload, n, err := nextFrame(data[pos:])
+		if err == io.EOF {
+			return pos, nil
+		}
+		if err == io.ErrUnexpectedEOF && tolerateTorn {
+			return pos, nil
+		}
+		if err != nil {
+			return pos, fmt.Errorf("offset %d: %w", pos, err)
+		}
+		if rerr := replay(payload); rerr != nil {
+			return pos, fmt.Errorf("offset %d: %w", pos, rerr)
+		}
+		pos += n
+	}
+}
+
+// validPrefix returns the length of data's longest prefix of whole records.
+func validPrefix(data []byte) int {
+	pos := 0
+	for {
+		_, n, err := nextFrame(data[pos:])
+		if err != nil {
+			return pos
+		}
+		pos += n
+	}
+}
+
+func fileName(seq uint64, suffix string) string {
+	return fmt.Sprintf("%018d%s", seq, suffix)
+}
+
+func parseName(name, suffix string) (uint64, bool) {
+	seq, err := strconv.ParseUint(strings.TrimSuffix(name, suffix), 10, 64)
+	return seq, err == nil && seq > 0
+}

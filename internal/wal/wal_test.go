@@ -1,0 +1,297 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// emitAll adapts a record slice to Checkpoint's streaming fill callback.
+func emitAll(recs [][]byte) func(emit func(rec []byte)) {
+	return func(emit func(rec []byte)) {
+		for _, r := range recs {
+			emit(r)
+		}
+	}
+}
+
+// replayAll opens the log and collects every replayed record.
+func replayAll(t *testing.T, dir string, opts Options) (*Log, [][]byte) {
+	t.Helper()
+	var recs [][]byte
+	l, err := Open(dir, opts, func(rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := replayAll(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A batched commit (group commit) replays in order too.
+	batch := [][]byte{[]byte("batch-a"), []byte("batch-b"), []byte("batch-c")}
+	want = append(want, batch...)
+	if err := l.Append(batch...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := replayAll(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSegmentRollAndReopenAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{SegmentBytes: 64})
+	for i := 0; i < 40; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+
+	// Reopen, append more, and verify both generations replay.
+	l2, got := replayAll(t, dir, Options{SegmentBytes: 64})
+	if len(got) != 40 {
+		t.Fatalf("replayed %d records, want 40", len(got))
+	}
+	if err := l2.Append([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, got := replayAll(t, dir, Options{SegmentBytes: 64})
+	defer l3.Close()
+	if len(got) != 41 || string(got[40]) != "after-reopen" {
+		t.Fatalf("replayed %d records, tail %q", len(got), got[len(got)-1])
+	}
+}
+
+func TestTornFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("whole-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Simulate a crash mid-commit: append a frame missing its last bytes.
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fileName(segs[len(segs)-1], segSuffix))
+	torn := appendFrame(nil, []byte("torn-record"))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-4]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, got := replayAll(t, dir, Options{})
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records, want 5 (torn tail dropped)", len(got))
+	}
+	// The torn tail must have been truncated so new appends land cleanly.
+	if err := l2.Append([]byte("after-torn")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, got := replayAll(t, dir, Options{})
+	defer l3.Close()
+	if len(got) != 6 || string(got[5]) != "after-torn" {
+		t.Fatalf("after truncation replayed %v", got)
+	}
+}
+
+func TestCorruptMiddleRecordFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte('a' + i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fileName(segs[0], segSuffix))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff // flip a payload byte of the first record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{}, func([]byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with mid-log corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointPrunesSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{SegmentBytes: 64})
+	for i := 0; i < 30; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("pre-checkpoint-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapshot := [][]byte{[]byte("state-a"), []byte("state-b")}
+	if err := l.Checkpoint(emitAll(snapshot)); err != nil {
+		t.Fatal(err)
+	}
+	if since := l.SinceCheckpoint(); since != 0 {
+		t.Fatalf("SinceCheckpoint = %d after checkpoint", since)
+	}
+	if err := l.Append([]byte("post-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	segs, snapSeq, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapSeq == 0 {
+		t.Fatal("no snapshot on disk after Checkpoint")
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segments after checkpoint = %v, want exactly the active one", segs)
+	}
+
+	l2, got := replayAll(t, dir, Options{SegmentBytes: 64})
+	defer l2.Close()
+	want := []string{"state-a", "state-b", "post-checkpoint"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records %q, want %q", len(got), got, want)
+	}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Fatalf("record %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+// TestRepeatedCheckpointsLeaveOneSnapshot regresses the stale-snapshot
+// leak: when segments roll between checkpoints, the previous snapshot has a
+// non-adjacent sequence number and must still be deleted.
+func TestRepeatedCheckpointsLeaveOneSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{SegmentBytes: 64})
+	countSnaps := func() int {
+		n := 0
+		entries, _ := os.ReadDir(dir)
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), snapSuffix) {
+				n++
+			}
+		}
+		return n
+	}
+	for round := 0; round < 3; round++ {
+		// Enough appends to roll several segments between checkpoints.
+		for i := 0; i < 20; i++ {
+			if err := l.Append([]byte(fmt.Sprintf("round-%d-%02d", round, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Checkpoint(emitAll([][]byte{[]byte(fmt.Sprintf("state-%d", round))})); err != nil {
+			t.Fatal(err)
+		}
+		if got := countSnaps(); got != 1 {
+			t.Fatalf("round %d: %d snapshots on disk, want 1", round, got)
+		}
+	}
+	l.Close()
+
+	// A reopen after the rounds must also keep exactly one snapshot and
+	// replay only the newest state.
+	l2, recs := replayAll(t, dir, Options{SegmentBytes: 64})
+	defer l2.Close()
+	if len(recs) != 1 || string(recs[0]) != "state-2" {
+		t.Fatalf("replayed %q, want just state-2", recs)
+	}
+	if err := l2.Checkpoint(emitAll([][]byte{[]byte("state-3")})); err != nil {
+		t.Fatal(err)
+	}
+	if got := countSnaps(); got != 1 {
+		t.Fatalf("after reopen+checkpoint: %d snapshots, want 1", got)
+	}
+}
+
+func TestStaleTmpFilesRemoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint"+tmpSuffix), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs := replayAll(t, dir, Options{})
+	defer l.Close()
+	if len(recs) != 0 {
+		t.Fatalf("replayed %d records from junk", len(recs))
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			t.Fatalf("stale temp file %s survived Open", e.Name())
+		}
+	}
+}
+
+func TestClosedLogErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{})
+	l.Close()
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on closed log: %v", err)
+	}
+	if err := l.Checkpoint(emitAll(nil)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint on closed log: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}

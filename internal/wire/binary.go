@@ -243,6 +243,28 @@ func appendVersion(b []byte, v *item.Version) []byte {
 	return b
 }
 
+// AppendVersion appends the codec's encoding of a version record to b — the
+// same bytes a Replicate payload carries on the wire. The write-ahead log
+// (internal/wal) reuses it for its durable version records, so a WAL record
+// and a replication message agree byte for byte.
+func AppendVersion(b []byte, v *item.Version) []byte { return appendVersion(b, v) }
+
+// DecodeVersion parses one version record from the front of b, returning the
+// version and the number of bytes consumed. Corrupted or truncated input
+// yields an error, never a panic, and a nil-version marker is rejected (logs
+// only store real versions).
+func DecodeVersion(b []byte) (*item.Version, int, error) {
+	f := &frameReader{b: b}
+	v := f.version()
+	if f.err != nil {
+		return nil, 0, f.err
+	}
+	if v == nil {
+		return nil, 0, fmt.Errorf("wire: nil version record")
+	}
+	return v, f.pos, nil
+}
+
 func appendItemReply(b []byte, r *msg.ItemReply) []byte {
 	b = appendString(b, r.Key)
 	b = appendBool(b, r.Exists)

@@ -45,6 +45,11 @@ func (e Engine) String() string {
 // when the server suspects a network partition.
 var ErrSessionClosed = core.ErrSessionClosed
 
+// ErrStopped is returned by operations that raced a stopped server — most
+// commonly a RestartServer in progress. It is transient: retry once the
+// restarted server is back.
+var ErrStopped = core.ErrStopped
+
 // LatencyProfile gives the one-way network delay between two data centers;
 // src == dst is the intra-DC delay.
 type LatencyProfile func(srcDC, dstDC int) time.Duration
@@ -100,6 +105,12 @@ type Config struct {
 	// injection are unavailable in this mode (PartitionNetwork and
 	// PartitionReplication become no-ops).
 	TCP bool
+	// DataDir enables durable storage: every partition server persists its
+	// versions to a write-ahead log under DataDir/dc<m>-p<n> and recovers
+	// them when reopened — both on RestartServer and when a whole Store is
+	// re-Opened over the same directory. Empty (the default) keeps the
+	// in-memory engines: fastest, but a killed server loses its partition.
+	DataDir string
 }
 
 // Store is a running geo-replicated deployment.
@@ -142,6 +153,7 @@ func Open(cfg Config) (*Store, error) {
 		JitterFrac:            cfg.JitterFrac,
 		Seed:                  cfg.Seed,
 		TCP:                   cfg.TCP,
+		DataDir:               cfg.DataDir,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("occ: %w", err)
@@ -196,6 +208,17 @@ func (s *Store) PartitionReplication(dcA, dcB, partition int, down bool) {
 // proxy for communication overhead.
 func (s *Store) Messages() uint64 { return s.inner.Messages() }
 
+// RestartServer simulates a partition-server crash and recovery: the server
+// is stopped and a fresh one reopens the same durable data directory,
+// rebuilding its version chains and version-vector floor from the snapshot
+// and log tail. In-flight operations against the restarting server fail
+// with ErrStopped and may be retried; sessions otherwise keep working
+// transparently. It requires Config.DataDir (an in-memory server would
+// restart empty).
+func (s *Store) RestartServer(dc, partition int) error {
+	return s.inner.RestartServer(dc, partition)
+}
+
 // Stats summarizes the server-side statistics of the deployment.
 type Stats struct {
 	// Operations counts server-side operations (GETs, PUTs, slice reads).
@@ -213,6 +236,19 @@ type Stats struct {
 	// PercentUnmergedReads is the share of reads whose chain held versions
 	// not yet visible under the engine's visibility rule.
 	PercentUnmergedReads float64
+	// Keys is the number of distinct keys stored across the deployment
+	// (each data center holds a full copy, so every replica counts).
+	Keys int
+	// Versions is the total number of stored versions across all chains.
+	// Keys and Versions come from the engines' single-pass Stats, so the
+	// pair is snapshot-consistent per shard instead of drifting between
+	// two separate scans.
+	Versions int
+	// StorageError is the first sticky persistence error reported by any
+	// durable engine ("" when healthy). A failing engine keeps serving from
+	// memory, but acknowledged writes may no longer survive a crash — treat
+	// a non-empty value as an operational alarm (see Store.StorageErr).
+	StorageError string
 }
 
 // Stats aggregates the current server-side statistics.
@@ -221,15 +257,27 @@ func (s *Store) Stats() Stats {
 	blocking := agg.Blocking()
 	stale := agg.GetStale
 	stale.Add(agg.TxStale)
-	return Stats{
+	storage := s.inner.StorageStats()
+	st := Stats{
 		Operations:           blocking.Ops,
 		BlockedOperations:    blocking.Blocked,
 		BlockingProbability:  blocking.Probability(),
 		MeanBlockingTime:     blocking.MeanBlockTime(),
 		PercentOldReads:      stale.PercentOld(),
 		PercentUnmergedReads: stale.PercentUnmerged(),
+		Keys:                 storage.Keys,
+		Versions:             storage.Versions,
 	}
+	if err := s.inner.StorageErr(); err != nil {
+		st.StorageError = err.Error()
+	}
+	return st
 }
+
+// StorageErr returns the first sticky persistence error reported by any
+// partition server's durable engine, or nil. Only durable deployments
+// (Config.DataDir) can report one.
+func (s *Store) StorageErr() error { return s.inner.StorageErr() }
 
 // Session is a client session pinned to one data center. Use one session per
 // goroutine; its operations form a single thread of execution in the

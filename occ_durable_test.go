@@ -1,0 +1,78 @@
+package occ_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	occ "repro"
+)
+
+// TestDurablePublicAPI exercises durability end to end through the public
+// surface: write through a session, crash-restart the partition server, and
+// read the recovered value back.
+func TestDurablePublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	s, err := occ.Open(occ.Config{
+		DataCenters: 2, Partitions: 2, Engine: occ.POCC,
+		DataDir: dir,
+		Seed:    31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	w, err := s.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.Put(fmt.Sprintf("durable-%d", i%5), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := "durable-0"
+	if err := s.RestartServer(0, s.PartitionOf(key)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := s.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		v, errGet := r.Get(key)
+		if errors.Is(errGet, occ.ErrStopped) {
+			return false
+		}
+		if errGet != nil {
+			t.Fatal(errGet)
+		}
+		return string(v) == "v15"
+	}) {
+		t.Fatal("recovered server never served the durable value")
+	}
+
+	st := s.Stats()
+	if st.Keys == 0 || st.Versions == 0 {
+		t.Fatalf("Stats reports empty storage after writes: %+v", st)
+	}
+	if st.StorageError != "" || s.StorageErr() != nil {
+		t.Fatalf("durable engines report persistence errors: %q", st.StorageError)
+	}
+}
+
+// TestRestartServerWithoutDataDir pins the public guard: restarting an
+// in-memory deployment must refuse rather than lose a partition.
+func TestRestartServerWithoutDataDir(t *testing.T) {
+	s, err := occ.Open(occ.Config{DataCenters: 1, Partitions: 1, Engine: occ.POCC, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if err := s.RestartServer(0, 0); err == nil {
+		t.Fatal("RestartServer without DataDir must fail")
+	}
+}
