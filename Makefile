@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench
+.PHONY: all vet build test race race-recovery race-catchup check bench
 
 all: check
 
@@ -23,10 +23,15 @@ race:
 race-recovery:
 	$(GO) test -race -count=1 -run 'Recovery|Durable' ./internal/cluster/... ./internal/harness/... .
 
-check: vet build test race race-recovery
+# Guards the replication plane: sequenced streams, gap detection and
+# WAL-shipped catch-up (crashed buffer tails, dropped links) under -race.
+race-catchup:
+	$(GO) test -race -count=1 -run 'CatchUp' ./internal/repl/... ./internal/cluster/...
+
+check: vet build test race race-recovery race-catchup
 
 # Hot-path microbenchmarks (the numbers tracked across PRs).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC|BenchmarkCatchUpThroughput' -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkWireCodec' -benchmem ./internal/wire/
 	$(GO) test -run '^$$' -bench 'BenchmarkVClockOps|BenchmarkStorage' -benchmem ./internal/vclock/ ./internal/storage/

@@ -17,7 +17,10 @@ import (
 	occ "repro"
 	"repro/internal/cluster"
 	"repro/internal/harness"
+	"repro/internal/item"
 	"repro/internal/keyspace"
+	"repro/internal/storage"
+	"repro/internal/vclock"
 	"repro/internal/workload"
 )
 
@@ -355,6 +358,67 @@ func BenchmarkClusterContended(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkCatchUpThroughput measures the replication catch-up feed: how
+// many versions per second a sender can ship straight out of its write-ahead
+// log (the wal cursor + wire decode path a repl.Manager streams through when
+// a lagging replica resynchronizes). Setup writes a realistic mixed log —
+// local-origin and remote-origin versions — and the stream filters to the
+// sender's own originations, exactly like serveCatchUp.
+func BenchmarkCatchUpThroughput(b *testing.B) {
+	const (
+		total      = 16384
+		batchSize  = 128
+		localShare = 2 // every 2nd version originates locally
+	)
+	d, err := storage.OpenDurable(b.TempDir(), storage.DurableOptions{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	val := []byte("abcdefgh-abcdefgh-abcdefgh-abcdefgh")
+	batch := make([]*item.Version, 0, batchSize)
+	wantLocal := 0
+	for i := 0; i < total; i++ {
+		src := i % localShare
+		if src == 0 {
+			wantLocal++
+		}
+		batch = append(batch, &item.Version{
+			Key:        "bench-k" + strconv.Itoa(i%512),
+			Value:      val,
+			SrcReplica: src,
+			UpdateTime: vclock.Timestamp(i + 1),
+			Deps:       vclock.New(3),
+		})
+		if len(batch) == batchSize {
+			d.InsertBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	if err := d.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shipped := 0
+		if err := d.ForEachDurable(func(v *item.Version) error {
+			if v.SrcReplica == 0 && v.UpdateTime > 0 {
+				shipped++
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if shipped != wantLocal {
+			b.Fatalf("shipped %d versions, want %d", shipped, wantLocal)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wantLocal)*float64(b.N)/b.Elapsed().Seconds(), "shipped_versions/s")
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "scanned_versions/s")
 }
 
 func BenchmarkROTxPOCC(b *testing.B) {

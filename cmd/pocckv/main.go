@@ -35,6 +35,11 @@ func run() int {
 		latency    = flag.Float64("latency", 1.0, "AWS latency scale (1.0 = real geo delays)")
 		tcp        = flag.Bool("internal-tcp", false, "run inter-node traffic over loopback TCP too")
 		dataDir    = flag.String("data-dir", "", "enable durable WAL-backed storage rooted at this directory (empty = in-memory)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "WAL growth that arms a snapshot checkpoint (0 = 1 MiB, negative disables; needs -data-dir)")
+		segBytes   = flag.Int64("segment-bytes", 0, "WAL segment roll size (0 = 4 MiB; needs -data-dir)")
+		noFsync    = flag.Bool("no-fsync", false, "skip the per-commit fsync (faster, loses the latest commits on a machine crash)")
+		catchUp    = flag.String("catchup", "auto", "replication catch-up mode: auto (on when durable), on, off")
+		catchUpWin = flag.Int("catchup-max-inflight", 0, "max un-acked bytes per WAL-shipped catch-up stream (0 = 1 MiB)")
 	)
 	flag.Parse()
 
@@ -51,13 +56,31 @@ func run() int {
 		return 2
 	}
 
+	var catchUpMode occ.CatchUpMode
+	switch strings.ToLower(*catchUp) {
+	case "auto":
+		catchUpMode = occ.CatchUpAuto
+	case "on":
+		catchUpMode = occ.CatchUpOn
+	case "off":
+		catchUpMode = occ.CatchUpOff
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -catchup mode %q (want auto, on or off)\n", *catchUp)
+		return 2
+	}
+
 	cfg := occ.Config{
-		DataCenters: *dcs,
-		Partitions:  *partitions,
-		Engine:      engine,
-		Seed:        uint64(time.Now().UnixNano()),
-		TCP:         *tcp,
-		DataDir:     *dataDir,
+		DataCenters:        *dcs,
+		Partitions:         *partitions,
+		Engine:             engine,
+		Seed:               uint64(time.Now().UnixNano()),
+		TCP:                *tcp,
+		DataDir:            *dataDir,
+		CheckpointBytes:    *ckptBytes,
+		SegmentBytes:       *segBytes,
+		NoFsync:            *noFsync,
+		CatchUp:            catchUpMode,
+		CatchUpMaxInFlight: *catchUpWin,
 	}
 	if !*tcp {
 		cfg.Latency = occ.AWSProfile(*latency)

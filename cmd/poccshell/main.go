@@ -246,6 +246,8 @@ func (sh *shell) cmdStats(out io.Writer) {
 		st.Operations, st.BlockedOperations, st.BlockingProbability, st.MeanBlockingTime)
 	fmt.Fprintf(out, "old reads=%.3f%% unmerged=%.3f%% keys=%d versions=%d messages=%d\n",
 		st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, sh.store.Messages())
+	fmt.Fprintf(out, "replication: max lag=%v catchups=%d served=%d active=%d\n",
+		st.MaxReplicationLag().Round(time.Microsecond), st.CatchUps, st.CatchUpsServed, st.CatchUpsActive)
 	for i, s := range sh.sessions {
 		mode := "optimistic"
 		if s.Pessimistic() {

@@ -59,6 +59,26 @@
 // internal/harness.RecoveryDrill and the cluster recovery tests verify by
 // killing servers mid-workload.
 //
+// # Replication plane and catch-up
+//
+// Geo-replication is an explicit subsystem (internal/repl): each partition
+// server's replication manager owns the outbound buffers, the flush and
+// heartbeat cadence, and stamps every batch and heartbeat with its
+// incarnation epoch and a monotone sequence number. A receiver advances a
+// link's version-vector entry — the claim "I hold every version from that
+// DC up to t" — only while the sequence is gap-free. A hole, a restarted
+// sender (new epoch), or first contact with a sender whose advertised
+// history floor exceeds the receiver's progress freezes the entry and
+// triggers catch-up: the lagging replica asks for everything after its
+// completion point and the sender streams those versions straight out of
+// its write-ahead log (a cursor over snapshot + segments that pins files
+// open and never blocks the append path), in acknowledged chunks with a
+// bounded in-flight window. Crash recovery thus becomes per-replica resync:
+// a server killed with unflushed replication buffers — or cut off from the
+// stream entirely — rejoins and converges without restarting the world.
+// Config.CatchUp selects the mode (enabled automatically for durable
+// deployments); Stats exposes per-DC replication lag and catch-up counters.
+//
 // Quick start:
 //
 //	store, err := occ.Open(occ.Config{DataCenters: 3, Partitions: 4, Engine: occ.POCC})

@@ -52,6 +52,25 @@ func (c *Clock) Now() vclock.Timestamp {
 	}
 }
 
+// AdvanceTo raises the clock floor so every subsequent Now() returns a value
+// strictly greater than t. A server that recovers state from a previous
+// process calls it with the replayed version-vector floor: recovered
+// timestamps are anchored to the previous process's epoch and may sit ahead
+// of this process's wall clock, and a new write must never be assigned a
+// timestamp below versions that already exist (it would be shadowed by LWW
+// and invisible to the catch-up protocol's completion claims).
+func (c *Clock) AdvanceTo(t vclock.Timestamp) {
+	for {
+		last := c.last.Load()
+		if uint64(t) <= last {
+			return
+		}
+		if c.last.CompareAndSwap(last, uint64(t)) {
+			return
+		}
+	}
+}
+
 // SleepUntilAfter blocks until Now() returns a value strictly greater than t.
 // It implements the PUT clock-wait: the server must assign the new version a
 // timestamp higher than any of its potential dependencies.

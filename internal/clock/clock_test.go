@@ -108,3 +108,19 @@ func TestSkewAccessor(t *testing.T) {
 		t.Fatalf("Skew = %v", c.Skew())
 	}
 }
+
+func TestAdvanceTo(t *testing.T) {
+	c := New(0)
+	before := c.Now()
+	target := before + vclock.Timestamp(time.Hour)
+	c.AdvanceTo(target)
+	if got := c.Now(); got <= target {
+		t.Fatalf("Now() = %d after AdvanceTo(%d), want strictly greater", got, target)
+	}
+	// Advancing backwards is a no-op: the clock stays monotone.
+	high := c.Now()
+	c.AdvanceTo(before)
+	if got := c.Now(); got <= high {
+		t.Fatalf("Now() = %d regressed after a backwards AdvanceTo", got)
+	}
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/causaltest"
+	"repro/internal/keyspace"
+)
+
+// TestCatchUpAfterCrashLostBufferTail is the deterministic buffer-tail-loss
+// scenario: with timed flushing effectively disabled, every write sits in
+// the origin server's replication buffer, so crashing that server (crash
+// restarts discard the buffer — no graceful flush) guarantees the sibling
+// DC never received any of them. The restarted incarnation's WAL still
+// holds the versions, and the sibling must detect the new epoch and recover
+// every acknowledged write via WAL-shipped catch-up.
+func TestCatchUpAfterCrashLostBufferTail(t *testing.T) {
+	c := newCluster(t, Config{
+		NumDCs: 2, NumPartitions: 2, Engine: POCC,
+		HeartbeatInterval:        time.Millisecond,
+		ReplicationFlushInterval: time.Hour, // buffer never flushes on time
+		PutDepWait:               true,
+		DataDir:                  t.TempDir(),
+		Seed:                     909,
+	})
+	sess, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("tail-%d", i%10)
+		val := fmt.Sprintf("v%d", i)
+		if err := sess.Put(key, []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+	}
+	// Nothing may have replicated: the buffers are sitting on their tails.
+	// (Heartbeats are suppressed while updates are buffered, so DC1's VV for
+	// DC0 cannot have covered these writes either.)
+	for key := range want {
+		reply, err := c.ReadAt(1, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Exists {
+			t.Fatalf("key %s leaked to DC1 before the crash; the scenario needs a buffered tail", key)
+		}
+	}
+
+	// Crash both DC0 servers: their buffered tails are gone for good.
+	for p := 0; p < 2; p++ {
+		if err := c.RestartServer(0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The restarted incarnations heartbeat with a fresh epoch; DC1 detects
+	// the discontinuity and pulls the lost tail out of DC0's WALs.
+	if !waitUntil(t, 10*time.Second, func() bool {
+		for key, val := range want {
+			reply, err := c.ReadAt(1, key)
+			if err != nil || !reply.Exists || string(reply.Value) != val {
+				return false
+			}
+		}
+		return true
+	}) {
+		st := c.ReplicationStats()
+		t.Fatalf("DC1 never recovered the crashed buffer tail (catch-up stats %+v)", st)
+	}
+	st := c.ReplicationStats()
+	if st.CatchUpsCompleted == 0 || st.CatchUpsServed == 0 {
+		t.Fatalf("convergence without catch-up rounds (%+v); the scenario lost its teeth", st)
+	}
+	if err := c.StorageErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCatchUpAfterDroppedLink severs — drops, not pauses — the inbound
+// replication plane of one node mid-workload: batches and heartbeats
+// addressed to it are discarded while checked sessions keep the cluster
+// busy. After the link heals, the lagging replica must detect the sequence
+// gap, catch up via WAL shipping, and the whole cluster must satisfy the
+// causal session guarantees and converge.
+func TestCatchUpAfterDroppedLink(t *testing.T) {
+	const (
+		dcs        = 3
+		partitions = 2
+		keys       = 8
+		sessions   = 2
+		opsPer     = 150
+	)
+	c := newCluster(t, Config{
+		NumDCs: dcs, NumPartitions: partitions, Engine: POCC,
+		HeartbeatInterval: time.Millisecond,
+		GCInterval:        20 * time.Millisecond,
+		Latency:           UniformLatency(50*time.Microsecond, 2*time.Millisecond),
+		JitterFrac:        0.3,
+		PutDepWait:        true,
+		DataDir:           t.TempDir(),
+		Seed:              1010,
+	})
+	tbl := keyspace.Build(partitions, keys)
+	c.SeedTable(tbl)
+	reg := causaltest.NewRegistry()
+
+	var wg sync.WaitGroup
+	for dc := 0; dc < dcs; dc++ {
+		for si := 0; si < sessions; si++ {
+			sess, err := c.NewSession(dc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := causaltest.NewSession(reg, sess, sessionName(dc, si))
+			wg.Add(1)
+			go func(dc, si int, cs *causaltest.Session) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(1010, uint64(dc*1000+si)))
+				for op := 0; op < opsPer; op++ {
+					key := tbl.Key(int(rng.Uint64N(partitions)), int(rng.Uint64N(keys)))
+					var err error
+					switch {
+					case op%10 == 9:
+						ks := []string{tbl.Key(0, int(rng.Uint64N(keys))), tbl.Key(1, int(rng.Uint64N(keys)))}
+						_, err = cs.ROTx(ks)
+					case op%3 == 2:
+						err = cs.Put(key, []byte{byte(dc), byte(op)})
+					default:
+						_, err = cs.Get(key)
+					}
+					if err != nil {
+						t.Errorf("dc%d s%d op %d: %v", dc, si, op, err)
+						return
+					}
+				}
+			}(dc, si, cs)
+		}
+	}
+
+	// Sever the inbound replication plane of dc2-p0 while traffic flows,
+	// then heal it. Messages in the window are gone, not delayed.
+	time.Sleep(60 * time.Millisecond)
+	if err := c.DropInboundReplication(2, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	if err := c.DropInboundReplication(2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	for _, v := range reg.Violations() {
+		t.Error(v)
+	}
+
+	// Convergence epilogue: every replica, including the one that lost part
+	// of the stream, must land on identical heads.
+	if !waitUntil(t, 10*time.Second, func() bool {
+		for p := 0; p < partitions; p++ {
+			for r := 0; r < keys; r++ {
+				key := tbl.Key(p, r)
+				h0 := c.Server(0, p).Store().Head(key)
+				for dc := 1; dc < dcs; dc++ {
+					h := c.Server(dc, p).Store().Head(key)
+					if (h0 == nil) != (h == nil) {
+						return false
+					}
+					if h0 != nil && !h0.Same(h) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}) {
+		st := c.ReplicationStats()
+		t.Fatalf("replicas did not converge after the dropped link (catch-up stats %+v)", st)
+	}
+	st := c.ReplicationStats()
+	if st.CatchUpsCompleted == 0 {
+		t.Fatalf("converged without any catch-up round (%+v); the drop window saw no traffic?", st)
+	}
+	t.Logf("catch-up stats: %+v, max lag %v", st, st.MaxLag())
+	if err := c.StorageErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCatchUpCountersExposed pins that a quiet durable cluster reports a
+// healthy replication plane: no active rounds, bounded lag.
+func TestCatchUpCountersExposed(t *testing.T) {
+	c := newCluster(t, Config{
+		NumDCs: 2, NumPartitions: 1, Engine: POCC,
+		HeartbeatInterval: time.Millisecond,
+		DataDir:           t.TempDir(),
+	})
+	sess, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !waitUntil(t, 5*time.Second, func() bool {
+		st := c.ReplicationStats()
+		return st.CatchUpsActive == 0 && st.MaxLag() < 250*time.Millisecond
+	}) {
+		t.Fatalf("replication plane never settled: %+v", c.ReplicationStats())
+	}
+}

@@ -100,6 +100,46 @@ type Config struct {
 	// DataDir/dc<m>-p<n> and can be crash-restarted from it (see
 	// RestartServer). Empty keeps the default in-memory engines.
 	DataDir string
+	// Durable tunes the WAL-backed engines opened for DataDir: checkpoint
+	// trigger, segment size and fsync policy (storage.DurableOptions).
+	// Ignored without DataDir.
+	Durable storage.DurableOptions
+	// CatchUp selects the replication catch-up mode (sequenced streams +
+	// WAL-shipped resync, internal/repl). CatchUpAuto — the default —
+	// enables it exactly when the deployment is durable (DataDir set);
+	// CatchUpOn forces it (senders without a WAL answer catch-up requests
+	// with Unsupported); CatchUpOff keeps the optimistic pre-catch-up
+	// application everywhere.
+	CatchUp CatchUpMode
+	// CatchUpMaxInFlight bounds the un-acked bytes per outbound catch-up
+	// stream (0 = 1 MiB): the sender's backpressure window.
+	CatchUpMaxInFlight int
+}
+
+// CatchUpMode selects the replication catch-up behavior (Config.CatchUp).
+type CatchUpMode int
+
+// Catch-up modes.
+const (
+	// CatchUpAuto enables catch-up exactly when the deployment is durable.
+	CatchUpAuto CatchUpMode = iota
+	// CatchUpOn forces catch-up on (useful for mixed experiments).
+	CatchUpOn
+	// CatchUpOff disables catch-up (the pre-sequencing semantics: a crashed
+	// server's unflushed replication tail is silently lost).
+	CatchUpOff
+)
+
+// enabled resolves the mode against the deployment's durability.
+func (m CatchUpMode) enabled(durable bool) bool {
+	switch m {
+	case CatchUpOn:
+		return true
+	case CatchUpOff:
+		return false
+	default:
+		return durable
+	}
 }
 
 func (c *Config) withDefaults() Config {
@@ -144,15 +184,39 @@ type Cluster struct {
 // server's handler; RestartServer holds the gate exclusively while swapping
 // servers, so deliveries pause (preserving per-link FIFO order through the
 // restart) instead of reaching a half-closed server.
+//
+// When dropRepl is set, replication-plane messages (batches, heartbeats,
+// catch-up traffic) are discarded instead of paused — a dead machine
+// receives nothing. RestartServer sets it for the crash window on
+// catch-up-enabled deployments, and tests set it directly
+// (DropInboundReplication) to sever a link mid-workload. Request/response
+// traffic (slice reads, exchanges) still pauses: in a real deployment it
+// rides an RPC layer with its own retries, and dropping it would wedge
+// remote RO-TX coordinators.
 type relay struct {
-	inner core.Transport
-	gate  sync.RWMutex
-	h     atomic.Pointer[netemu.Handler]
+	inner    core.Transport
+	gate     sync.RWMutex
+	dropRepl atomic.Bool
+	h        atomic.Pointer[netemu.Handler]
+}
+
+// isReplPlane reports whether m belongs to the replication plane — the
+// messages a crashed or cut-off receiver genuinely loses.
+func isReplPlane(m any) bool {
+	switch m.(type) {
+	case msg.Replicate, msg.ReplicateBatch, msg.Heartbeat,
+		msg.CatchUpRequest, msg.CatchUpReply, msg.CatchUpAck:
+		return true
+	}
+	return false
 }
 
 func newRelay(inner core.Transport) *relay {
 	r := &relay{inner: inner}
 	inner.SetHandler(func(src netemu.NodeID, m any) {
+		if r.dropRepl.Load() && isReplPlane(m) {
+			return
+		}
 		r.gate.RLock()
 		defer r.gate.RUnlock()
 		if h := r.h.Load(); h != nil {
@@ -280,40 +344,78 @@ func (c *Cluster) serverConfig(dc, p int) core.Config {
 		ReplicationBatchSize:     c.cfg.ReplicationBatchSize,
 		ReplicationFlushInterval: c.cfg.ReplicationFlushInterval,
 		DataDir:                  dataDir,
+		DurableOptions:           c.cfg.Durable,
+		CatchUp:                  c.catchUp(),
+		CatchUpMaxInFlight:       c.cfg.CatchUpMaxInFlight,
 		Metrics:                  c.mx[dc][p],
 	}
 }
 
+// catchUp resolves the configured catch-up mode for this deployment.
+func (c *Cluster) catchUp() bool { return c.cfg.CatchUp.enabled(c.cfg.DataDir != "") }
+
 // RestartServer simulates a partition-server crash and recovery: the server
-// is stopped, a fresh one reopens the same durable data directory — its
+// is killed, a fresh one reopens the same durable data directory — its
 // version chains and VV floor rebuilt from the snapshot and log tail — and
-// takes over the node's network endpoint. Message delivery to the node is
-// paused (not dropped) during the swap, so per-link FIFO order is preserved.
-// Client operations racing the restart fail with core.ErrStopped and may be
-// retried.
+// takes over the node's network endpoint. Client operations racing the
+// restart fail with core.ErrStopped and may be retried.
 //
 // It requires Config.DataDir: an in-memory server would restart empty, which
 // is a data loss, not a recovery.
 //
-// The shutdown half is graceful: the outgoing replication buffer is flushed
-// to sibling DCs and the log closes cleanly, so this exercises storage
-// recovery, not replication loss (a machine crash would also drop the ≤Δ of
-// buffered updates; re-shipping those from the WAL is a tracked follow-up).
-// The torn-log recovery paths are covered separately by tests that truncate
-// segment files on disk between a close and a reopen.
+// With catch-up enabled (the default for durable deployments), the kill is
+// a real crash: the outgoing replication buffer is discarded, not flushed —
+// sibling DCs lose the tail of the update stream — and replication-plane
+// messages arriving during the down window are dropped, as a dead machine
+// would drop them. The restarted server and its siblings then detect the
+// discontinuities through the link sequence numbers and resynchronize by
+// WAL-shipped catch-up (internal/repl). With catch-up off, the legacy
+// graceful semantics apply: the buffer is flushed and delivery pauses
+// (never drops) through the swap. The torn-log recovery paths are covered
+// separately by tests that truncate segment files on disk between a close
+// and a reopen.
 func (c *Cluster) RestartServer(dc, p int) error {
 	if c.relays == nil {
 		return errors.New("cluster: RestartServer requires Config.DataDir (durable engines)")
 	}
+	crash := c.catchUp()
 	rl := c.relays[dc][p]
-	rl.gate.Lock() // drain in-flight deliveries, pause new ones
+	if crash {
+		// A dead machine receives nothing: drop replication traffic for the
+		// whole down window (in-flight deliveries included, before the gate
+		// settles). Catch-up repairs the loss after the restart — so the
+		// drop must end when this function does, even on a failed reopen.
+		rl.dropRepl.Store(true)
+		defer rl.dropRepl.Store(false)
+	}
+	rl.gate.Lock() // drain in-flight request deliveries, pause new ones
 	defer rl.gate.Unlock()
-	c.Server(dc, p).Close()
+	if crash {
+		c.Server(dc, p).Crash()
+	} else {
+		c.Server(dc, p).Close()
+	}
 	srv, err := core.NewServer(c.serverConfig(dc, p))
 	if err != nil {
 		return fmt.Errorf("cluster: restart dc%d-p%d: %w", dc, p, err)
 	}
 	c.servers[dc][p].Store(srv)
+	return nil
+}
+
+// DropInboundReplication severs (drop=true) or restores the
+// replication-plane delivery to one node: while severed, batches,
+// heartbeats and catch-up traffic addressed to the node are discarded — not
+// buffered — emulating a receiver cut off from the update stream. On
+// restore the node sees a sequence gap on each inbound link and, with
+// catch-up enabled, resynchronizes from its siblings' logs. Requires
+// Config.DataDir (the relay interposer exists only on durable
+// deployments).
+func (c *Cluster) DropInboundReplication(dc, p int, drop bool) error {
+	if c.relays == nil {
+		return errors.New("cluster: DropInboundReplication requires Config.DataDir")
+	}
+	c.relays[dc][p].dropRepl.Store(drop)
 	return nil
 }
 
@@ -341,6 +443,57 @@ func (c *Cluster) StorageStats() storage.StoreStats {
 			es := c.Server(dc, p).Store().Stats()
 			st.Keys += es.Keys
 			st.Versions += es.Versions
+		}
+	}
+	return st
+}
+
+// ReplicationStats summarizes the state of the replication plane across
+// the deployment.
+type ReplicationStats struct {
+	// LagPerDC is, per data center, the worst replication lag any of its
+	// partition servers observes against any remote DC: the server's own
+	// version-vector entry minus the remote one, in time units. A link
+	// frozen by an in-flight catch-up shows up here as growing lag.
+	LagPerDC []time.Duration
+	// CatchUpsRequested / CatchUpsCompleted count inbound catch-up rounds
+	// started and finished across all servers; CatchUpsServed counts the
+	// WAL-shipped streams served to lagging siblings.
+	CatchUpsRequested uint64
+	CatchUpsCompleted uint64
+	CatchUpsServed    uint64
+	// CatchUpsActive is the number of links currently frozen mid-round.
+	CatchUpsActive int
+}
+
+// MaxLag returns the worst per-DC lag.
+func (r ReplicationStats) MaxLag() time.Duration {
+	var max time.Duration
+	for _, l := range r.LagPerDC {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// ReplicationStats samples every server's replication lag and catch-up
+// counters.
+func (c *Cluster) ReplicationStats() ReplicationStats {
+	st := ReplicationStats{LagPerDC: make([]time.Duration, c.cfg.NumDCs)}
+	for dc := 0; dc < c.cfg.NumDCs; dc++ {
+		for p := 0; p < c.cfg.NumPartitions; p++ {
+			srv := c.Server(dc, p)
+			for _, lag := range srv.ReplicationLag() {
+				if lag > st.LagPerDC[dc] {
+					st.LagPerDC[dc] = lag
+				}
+			}
+			cs := srv.CatchUpStats()
+			st.CatchUpsRequested += cs.Requested
+			st.CatchUpsCompleted += cs.Completed
+			st.CatchUpsServed += cs.Served
+			st.CatchUpsActive += cs.ActiveIn
 		}
 	}
 	return st

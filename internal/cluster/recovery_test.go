@@ -32,7 +32,11 @@ func retry(op func() error) error {
 
 // TestDurableRecoveryMidWorkload is the crash-recovery acceptance test: a
 // durable POCC cluster serves checked sessions while one partition server is
-// killed and reopened from its data directory mid-workload. The model-based
+// killed and reopened from its data directory mid-workload. The kill is a
+// true crash (catch-up is on by default for durable clusters): the victim's
+// buffered replication tail is discarded and inbound replication is dropped
+// during the down window, so convergence relies on the sequenced streams
+// detecting the loss and WAL-shipped catch-up repairing it. The model-based
 // checker must observe no causality violation (session guarantees), the
 // restarted replica must actually replay its chains from the WAL, and all
 // replicas must converge after quiescence.
@@ -166,8 +170,9 @@ func tearWALTails(t *testing.T, root string) int {
 // would leave them. DC0's replica must serve every acknowledged value, and
 // DC1's engines must recover (dropping only each log's torn final record)
 // rather than refuse to open. DC0 stays untorn because a version whose only
-// copies were torn everywhere is gone for good — re-replicating such tails
-// is the WAL-shipping follow-up tracked in ROADMAP.md.
+// copies were torn everywhere is gone for good — WAL-shipped catch-up
+// (internal/repl) re-replicates lost stream tails from a surviving copy,
+// it cannot resurrect versions no log holds.
 func TestDurableColdRestart(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{

@@ -18,10 +18,15 @@
 //     snapshots, waiter checks) load entries lock-free. Each remote VV entry
 //     has a single writer — the link handler of that DC's sibling (FIFO
 //     delivery serializes per source) — and the local entry is written under
-//     putMu; writes use CAS-max so they stay monotone under any interleaving.
-//   - putMu serializes local-write state: the local VV entry, the outgoing
-//     replication buffer, and every send to sibling DCs (so per-link FIFO
-//     order matches update-timestamp order, which VV advancement relies on).
+//     the replication manager's outbound lock; writes use CAS-max so they
+//     stay monotone under any interleaving.
+//   - The replication plane (outbound buffering, flush/heartbeat cadence,
+//     per-link sequence numbers and WAL-shipped catch-up) lives in
+//     internal/repl. Its outbound lock serializes the local write path — the
+//     local VV entry, the replication buffer, and every send to sibling DCs
+//     — so per-link FIFO order matches update-timestamp order, which VV
+//     advancement relies on. The server's Put delegates to repl.Manager
+//     through the Backend interface.
 //   - gssMu guards the stabilization inputs (peer VVs) and GSS recomputation.
 //   - gcMu guards the garbage-collection contributions.
 //   - txMu guards RO-TX coordinator state (active snapshots, pending fan-in).
@@ -42,6 +47,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/netemu"
+	"repro/internal/repl"
 	"repro/internal/storage"
 	"repro/internal/vclock"
 )
@@ -92,10 +98,6 @@ type Metrics struct {
 	GetStale    metrics.Staleness
 	TxStale     metrics.Staleness
 }
-
-// defaultReplicationBatchSize is the buffered-update threshold that forces
-// a flush between heartbeat ticks.
-const defaultReplicationBatchSize = 128
 
 // Config parameterizes a Server.
 type Config struct {
@@ -149,8 +151,23 @@ type Config struct {
 	// the replayed state already contains.
 	Engine storage.Engine
 	// DataDir, when non-empty and Engine is nil, selects a storage.Durable
-	// engine rooted at this directory (with default DurableOptions).
+	// engine rooted at this directory, tuned by DurableOptions.
 	DataDir string
+	// DurableOptions tunes the durable engine opened for DataDir
+	// (checkpoint trigger, segment size, fsync policy). Ignored when Engine
+	// is provided or DataDir is empty.
+	DurableOptions storage.DurableOptions
+	// CatchUp enables the replication catch-up protocol: outgoing batches
+	// and heartbeats carry incarnation epochs and sequence numbers, and the
+	// receive side freezes a link's version-vector advancement on a gap (or
+	// a restarted sender) until the missing history has been re-shipped out
+	// of the sender's write-ahead log (internal/repl). Requires a durable
+	// engine to serve streams; a server without one answers Unsupported and
+	// peers fall back to optimistic application.
+	CatchUp bool
+	// CatchUpMaxInFlight bounds the un-acked catch-up bytes per outbound
+	// stream (0 = default 1 MiB).
+	CatchUpMaxInFlight int
 	// Metrics receives the server's statistics; required.
 	Metrics *Metrics
 }
@@ -173,6 +190,9 @@ func (c *Config) validate() error {
 	}
 	if c.ReplicationBatchSize < 0 {
 		return errors.New("core: ReplicationBatchSize must be >= 0")
+	}
+	if c.CatchUpMaxInFlight < 0 {
+		return errors.New("core: CatchUpMaxInFlight must be >= 0")
 	}
 	return nil
 }
@@ -315,14 +335,12 @@ type Server struct {
 	vv  *atomicVC // version vector VV_n^m; lock-free reads
 	gss *atomicVC // globally stable snapshot (pessimistic/HA); lock-free reads
 
-	// putMu serializes the local write path: the local VV entry, the
-	// replication buffer, and all sends to sibling DCs (per-link FIFO order
-	// must match timestamp order).
-	putMu         sync.Mutex
-	repBuf        []*item.Version // buffered outgoing updates, timestamp order
-	batchSize     int             // effective ReplicationBatchSize
-	syncFlush     bool            // flush inline on every PUT (no timed batching)
-	hbDrivesFlush bool            // the heartbeat tick is the flush cadence
+	// repl is the replication plane: outbound buffering and flush/heartbeat
+	// cadence, per-link sequence numbers, and WAL-shipped catch-up. Its
+	// outbound lock serializes the local write path (the local VV entry,
+	// the buffer, and all sends to sibling DCs — per-link FIFO order must
+	// match timestamp order); the server reaches it through Put → Publish.
+	repl *repl.Manager
 
 	// gssMu guards GSS recomputation and its inputs.
 	gssMu      sync.Mutex
@@ -372,7 +390,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if eng == nil {
 		if cfg.DataDir != "" {
 			var err error
-			eng, err = storage.OpenDurable(cfg.DataDir, storage.DurableOptions{})
+			eng, err = storage.OpenDurable(cfg.DataDir, cfg.DurableOptions)
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
@@ -404,13 +422,23 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	// A recovered engine replays a version-vector floor: every entry must be
 	// restored before the server goes on the network, or a read at the old
-	// VV could miss versions the replayed chains already contain.
+	// VV could miss versions the replayed chains already contain. The clock
+	// must clear the floor too: recovered timestamps are anchored to the
+	// previous process's epoch and can sit ahead of this process's wall
+	// clock, and a new write assigned a timestamp below existing versions
+	// would be shadowed by LWW and fall outside the catch-up protocol's
+	// completion claims.
 	if rec, ok := eng.(storage.Recovered); ok {
+		var maxFloor vclock.Timestamp
 		for i, t := range rec.RecoveredVV() {
 			if i < cfg.NumDCs {
 				s.vv.raiseTo(i, t)
 			}
+			if t > maxFloor {
+				maxFloor = t
+			}
 		}
+		cfg.Clock.AdvanceTo(maxFloor)
 	}
 	// Seed transaction IDs from the clock so a restarted server never reuses
 	// a prior incarnation's TxIDs: a stale pre-restart slice reply must not
@@ -419,29 +447,30 @@ func NewServer(cfg Config) (*Server, error) {
 	// monotone across in-process restarts, and transactions take far longer
 	// than a nanosecond, so the new floor always clears the old range.
 	s.txSeq.Store(uint64(cfg.Clock.Now()))
-	s.batchSize = cfg.ReplicationBatchSize
-	if s.batchSize == 0 {
-		s.batchSize = defaultReplicationBatchSize
+	// The replication manager must exist before the handler is installed
+	// (inbound messages delegate to it) and after the VV floor is restored
+	// (its resume floor starts at the recovered local entry).
+	src, _ := eng.(repl.Source)
+	mgr, err := repl.NewManager(repl.Config{
+		ID:                cfg.ID,
+		NumDCs:            cfg.NumDCs,
+		Clock:             cfg.Clock,
+		Endpoint:          cfg.Endpoint,
+		Backend:           (*replBackend)(s),
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		BatchSize:         cfg.ReplicationBatchSize,
+		FlushInterval:     cfg.ReplicationFlushInterval,
+		CatchUp:           cfg.CatchUp,
+		Source:            src,
+		MaxInFlightBytes:  cfg.CatchUpMaxInFlight,
+	})
+	if err != nil {
+		_ = eng.Close()
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	flushInterval := cfg.ReplicationFlushInterval
-	if flushInterval == 0 {
-		flushInterval = cfg.HeartbeatInterval
-	}
-	s.syncFlush = s.batchSize == 1 || flushInterval <= 0
-	s.hbDrivesFlush = !s.syncFlush && flushInterval == cfg.HeartbeatInterval
+	s.repl = mgr
 	s.ep.SetHandler(s.handle)
 
-	if cfg.HeartbeatInterval > 0 && cfg.NumDCs > 1 {
-		s.wg.Add(1)
-		go s.heartbeatLoop()
-	}
-	if !s.syncFlush && cfg.NumDCs > 1 && !s.hbDrivesFlush {
-		// A flush cadence distinct from Δ gets a dedicated flusher; the
-		// heartbeat loop then leaves the buffer alone (and stays silent
-		// while updates are buffered, so heartbeats cannot overtake them).
-		s.wg.Add(1)
-		go s.flushLoop(flushInterval)
-	}
 	if cfg.StabilizationInterval > 0 {
 		s.wg.Add(1)
 		go s.stabilizationLoop()
@@ -456,7 +485,17 @@ func NewServer(cfg Config) (*Server, error) {
 // Close stops the background loops, releases every blocked request with
 // ErrStopped, flushes any buffered replication and closes the storage
 // engine. It does not close the shared network.
-func (s *Server) Close() {
+func (s *Server) Close() { s.shutdown(true) }
+
+// Crash stops the server the way a machine failure would: the buffered
+// replication tail is discarded instead of flushed, so sibling DCs lose the
+// end of the update stream — the loss the catch-up protocol exists to
+// repair. The storage engine still closes (in-process we must release the
+// WAL files for a reopen); genuinely torn log tails are exercised by tests
+// that truncate segment files on disk.
+func (s *Server) Crash() { s.shutdown(false) }
+
+func (s *Server) shutdown(flush bool) {
 	if !s.stopped.CompareAndSwap(false, true) {
 		return
 	}
@@ -471,11 +510,10 @@ func (s *Server) Close() {
 	s.pendingTx = make(map[uint64]*txPending)
 	s.txMu.Unlock()
 	s.wg.Wait()
-	// Hand buffered updates to the transport so siblings do not lose the
-	// tail of the update stream.
-	s.putMu.Lock()
-	s.flushRepBufLocked()
-	s.putMu.Unlock()
+	// On a graceful close the manager hands buffered updates to the
+	// transport so siblings do not lose the tail of the update stream; on a
+	// crash it drops them.
+	s.repl.Close(flush)
 	// The flushed versions were persisted at Insert time, so the engine can
 	// close last; a durable engine syncs its log here.
 	_ = s.store.Close()
@@ -501,6 +539,28 @@ func (s *Server) StorageErr() error {
 
 // VV returns a copy of the current version vector.
 func (s *Server) VV() vclock.VC { return s.vv.snapshot() }
+
+// ReplicationLag reports, per remote data center, how far that DC's update
+// stream trails this server's own progress: the local version-vector entry
+// minus the remote one, in time units (timestamps are physical
+// nanoseconds). The local DC's entry is zero. A frozen entry (catch-up in
+// progress) shows up as growing lag.
+func (s *Server) ReplicationLag() []time.Duration {
+	lag := make([]time.Duration, s.cfg.NumDCs)
+	local := s.vv.get(s.m)
+	for dc := range lag {
+		if dc == s.m {
+			continue
+		}
+		if remote := s.vv.get(dc); remote < local {
+			lag[dc] = time.Duration(local - remote)
+		}
+	}
+	return lag
+}
+
+// CatchUpStats returns the replication manager's catch-up counters.
+func (s *Server) CatchUpStats() repl.Stats { return s.repl.Stats() }
 
 // GSS returns a copy of the current globally stable snapshot.
 func (s *Server) GSS() vclock.VC { return s.gss.snapshot() }
@@ -592,52 +652,55 @@ func (s *Server) Put(key string, value []byte, dv vclock.VC, mode Mode) (vclock.
 		d.Deps = vclock.New(s.cfg.NumDCs)
 	}
 
-	s.putMu.Lock()
-	if s.stopped.Load() {
-		s.putMu.Unlock()
+	// Publish runs the write path under the replication manager's outbound
+	// lock: timestamp assignment, storage insert and the local VV advance
+	// (PrepareLocal below) stay atomic with enqueueing for replication, so
+	// per-link FIFO order matches timestamp order.
+	ut, ok := s.repl.Publish(d)
+	if !ok {
 		return 0, ErrStopped
 	}
-	ut := s.clk.Now()
-	d.UpdateTime = ut
-	// Insert before advancing VV so a reader at the new VV finds the version.
-	s.store.Insert(d)
-	s.vv.raiseTo(s.m, ut)
-	if s.cfg.NumDCs > 1 {
-		s.repBuf = append(s.repBuf, d)
-		if s.syncFlush || len(s.repBuf) >= s.batchSize {
-			s.flushRepBufLocked()
-		}
-	}
-	s.putMu.Unlock()
 	s.vvWaiters.wake()
 	return ut, nil
 }
 
-// flushRepBufLocked sends the buffered updates to every sibling DC. Called
-// with putMu held so batches (and heartbeats) leave each link in timestamp
-// order. A single buffered update goes out as a plain msg.Replicate and the
-// buffer is reused; a real batch hands its slice to the message (versions
-// are immutable and shared across DCs).
-func (s *Server) flushRepBufLocked() {
-	if len(s.repBuf) == 0 {
-		return
+// replBackend adapts the server to the replication manager's Backend
+// interface without polluting the Server API (a plain type conversion, no
+// allocation).
+type replBackend Server
+
+// PrepareLocal is the under-lock half of Put: assign the update timestamp,
+// install the version (insert before advancing VV so a reader at the new VV
+// finds it) and raise the local entry. Callers wake the VV waiters after
+// the manager releases its lock.
+func (b *replBackend) PrepareLocal(v *item.Version) (vclock.Timestamp, bool) {
+	s := (*Server)(b)
+	if s.stopped.Load() {
+		return 0, false
 	}
-	var m any
-	if len(s.repBuf) == 1 {
-		m = msg.Replicate{V: s.repBuf[0]}
-		s.repBuf[0] = nil
-		s.repBuf = s.repBuf[:0]
-	} else {
-		m = msg.ReplicateBatch{
-			Versions: s.repBuf,
-			HBTime:   s.repBuf[len(s.repBuf)-1].UpdateTime,
-		}
-		s.repBuf = nil
-	}
-	for dc := 0; dc < s.cfg.NumDCs; dc++ {
-		if dc != s.m {
-			s.ep.Send(netemu.NodeID{DC: dc, Partition: s.n}, m)
-		}
+	ut := s.clk.Now()
+	v.UpdateTime = ut
+	s.store.Insert(v)
+	s.vv.raiseTo(s.m, ut)
+	return ut, true
+}
+
+// ApplyRemote installs a batch of remote versions under one shard pass.
+func (b *replBackend) ApplyRemote(vs []*item.Version) {
+	(*Server)(b).store.InsertBatch(vs)
+}
+
+// VVEntry returns one version-vector entry, lock-free.
+func (b *replBackend) VVEntry(dc int) vclock.Timestamp {
+	return (*Server)(b).vv.get(dc)
+}
+
+// RaiseVV lifts one version-vector entry and wakes the requests the advance
+// unblocks.
+func (b *replBackend) RaiseVV(dc int, t vclock.Timestamp) {
+	s := (*Server)(b)
+	if s.vv.raiseTo(dc, t) {
+		s.vvWaiters.wake()
 	}
 }
 
@@ -740,9 +803,15 @@ func (s *Server) handle(src netemu.NodeID, m any) {
 	case msg.Replicate:
 		s.applyReplicate(src, mm)
 	case msg.ReplicateBatch:
-		s.applyReplicateBatch(src, mm)
+		s.repl.HandleBatch(src, mm)
 	case msg.Heartbeat:
-		s.applyHeartbeat(src, mm)
+		s.repl.HandleHeartbeat(src, mm)
+	case msg.CatchUpRequest:
+		s.repl.HandleCatchUpRequest(src, mm)
+	case msg.CatchUpReply:
+		s.repl.HandleCatchUpReply(src, mm)
+	case msg.CatchUpAck:
+		s.repl.HandleCatchUpAck(src, mm)
 	case msg.VVExchange:
 		s.applyVVExchange(mm)
 	case msg.GCExchange:
@@ -755,34 +824,13 @@ func (s *Server) handle(src netemu.NodeID, m any) {
 	}
 }
 
-// applyReplicate installs a remote version and advances the version vector
-// (Algorithm 2, lines 16-18). Messages arrive in timestamp order per link.
+// applyReplicate installs a legacy single-version replicate message and
+// advances the version vector optimistically (Algorithm 2, lines 16-18).
+// The replication manager only emits sequenced batches now; this path
+// remains for unsequenced senders (tests and old peers).
 func (s *Server) applyReplicate(src netemu.NodeID, m msg.Replicate) {
 	s.store.Insert(m.V)
 	if s.vv.raiseTo(src.DC, m.V.UpdateTime) {
-		s.vvWaiters.wake()
-	}
-}
-
-// applyReplicateBatch installs a batch of remote versions under one shard
-// pass and advances the version vector once, to the covering heartbeat
-// timestamp (or the last version's update time, whichever is larger).
-func (s *Server) applyReplicateBatch(src netemu.NodeID, m msg.ReplicateBatch) {
-	s.store.InsertBatch(m.Versions)
-	adv := m.HBTime
-	if n := len(m.Versions); n > 0 {
-		if last := m.Versions[n-1].UpdateTime; last > adv {
-			adv = last
-		}
-	}
-	if s.vv.raiseTo(src.DC, adv) {
-		s.vvWaiters.wake()
-	}
-}
-
-// applyHeartbeat advances the sender DC's version-vector entry (lines 27-28).
-func (s *Server) applyHeartbeat(src netemu.NodeID, m msg.Heartbeat) {
-	if s.vv.raiseTo(src.DC, m.Time) {
 		s.vvWaiters.wake()
 	}
 }
@@ -933,63 +981,6 @@ func (s *Server) applySliceResp(from int, m msg.SliceResp) {
 // ---------------------------------------------------------------------------
 // Background loops
 // ---------------------------------------------------------------------------
-
-// heartbeatLoop flushes the replication buffer every Δ and broadcasts the
-// local clock when no PUT has advanced the local version-vector entry for a
-// heartbeat interval (Algorithm 2, lines 19-26). A flushed batch carries its
-// own covering timestamp, so it subsumes the heartbeat while updates flow.
-func (s *Server) heartbeatLoop() {
-	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.HeartbeatInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-t.C:
-		}
-		s.putMu.Lock()
-		if s.hbDrivesFlush {
-			s.flushRepBufLocked()
-		}
-		ct := s.clk.Now()
-		// Heartbeats are suppressed while updates sit in the buffer (a
-		// slower dedicated flush cadence): a heartbeat carrying ct would
-		// otherwise overtake buffered versions with smaller timestamps.
-		idle := len(s.repBuf) == 0 &&
-			ct >= s.vv.get(s.m)+vclock.Timestamp(s.cfg.HeartbeatInterval)
-		if idle {
-			s.vv.raiseTo(s.m, ct)
-			for dc := 0; dc < s.cfg.NumDCs; dc++ {
-				if dc != s.m {
-					s.ep.Send(netemu.NodeID{DC: dc, Partition: s.n}, msg.Heartbeat{Time: ct})
-				}
-			}
-		}
-		s.putMu.Unlock()
-		if idle {
-			s.vvWaiters.wake()
-		}
-	}
-}
-
-// flushLoop drains the replication buffer on a cadence distinct from the
-// heartbeat interval (ReplicationFlushInterval ≠ Δ).
-func (s *Server) flushLoop(interval time.Duration) {
-	defer s.wg.Done()
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-t.C:
-		}
-		s.putMu.Lock()
-		s.flushRepBufLocked()
-		s.putMu.Unlock()
-	}
-}
 
 // stabilizationLoop periodically broadcasts this node's VV to its same-DC
 // peers so everyone can maintain the GSS (§IV-C).

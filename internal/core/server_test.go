@@ -168,8 +168,9 @@ func TestPutTimestampExceedsDependencies(t *testing.T) {
 }
 
 func TestPutReplicatesToSiblingsInOrder(t *testing.T) {
-	// BatchSize 1 disables batching: every PUT flushes inline as a plain
-	// Replicate (the original one-message-per-update protocol).
+	// BatchSize 1 disables batching: every PUT flushes inline as a
+	// single-version sequenced batch (the original one-message-per-update
+	// protocol, now with the link's gap-free sequence numbers).
 	r := newRig(t, Config{HeartbeatInterval: time.Hour, ReplicationBatchSize: 1})
 	const puts = 20
 	for i := 0; i < puts; i++ {
@@ -183,15 +184,24 @@ func TestPutReplicatesToSiblingsInOrder(t *testing.T) {
 			t.Fatalf("dc%d received %d replication messages, want %d", dc, len(r.received(id)), puts)
 		}
 		var prev vclock.Timestamp
+		var prevSeq uint64
 		for i, m := range r.received(id) {
-			rep, ok := m.(msg.Replicate)
+			rep, ok := m.(msg.ReplicateBatch)
 			if !ok {
-				t.Fatalf("message %d is %T, want Replicate", i, m)
+				t.Fatalf("message %d is %T, want ReplicateBatch", i, m)
 			}
-			if rep.V.UpdateTime <= prev {
+			if len(rep.Versions) != 1 {
+				t.Fatalf("message %d carries %d versions, want 1 (unbatched)", i, len(rep.Versions))
+			}
+			if rep.Versions[0].UpdateTime <= prev {
 				t.Fatal("replication not in timestamp order")
 			}
-			prev = rep.V.UpdateTime
+			prev = rep.Versions[0].UpdateTime
+			if rep.Epoch == 0 || rep.Seq != prevSeq+1 {
+				t.Fatalf("message %d carries (epoch %d, seq %d) after seq %d; want a gap-free sequenced stream",
+					i, rep.Epoch, rep.Seq, prevSeq)
+			}
+			prevSeq = rep.Seq
 		}
 	}
 }

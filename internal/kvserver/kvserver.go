@@ -27,6 +27,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	occ "repro"
 )
@@ -208,9 +209,11 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 		fmt.Fprintf(w, "PARTITION %d\n", s.store.PartitionOf(key))
 	case "STATS":
 		st := s.store.Stats()
-		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d\n",
+		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d max_lag_ms=%.3f catchups=%d catchups_served=%d catchups_active=%d\n",
 			st.Operations, st.BlockedOperations, st.BlockingProbability,
-			st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, s.store.Messages())
+			st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, s.store.Messages(),
+			float64(st.MaxReplicationLag())/float64(time.Millisecond),
+			st.CatchUps, st.CatchUpsServed, st.CatchUpsActive)
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
 		return true

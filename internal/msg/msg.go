@@ -23,15 +23,78 @@ type Replicate struct {
 // HBTime is the covering heartbeat timestamp — receivers advance the sender
 // DC's version-vector entry to max(HBTime, last version's update time), so a
 // batch subsumes a separate heartbeat while updates flow.
+//
+// Epoch identifies the sender's incarnation (seeded from its clock at
+// start-up, so it changes across restarts) and Seq numbers the sender's
+// batches 1, 2, 3, … within that incarnation. Because every flush goes to
+// every sibling DC, each link observes the same gap-free sequence; a
+// receiver that sees a hole — or a new epoch — knows updates were lost on
+// that link and can request a catch-up (internal/repl). Epoch 0 marks a
+// legacy, unsequenced batch: receivers apply it optimistically.
+//
+// Floor is the sender incarnation's starting history floor: every version
+// it originated before this incarnation has a timestamp ≤ Floor (the
+// recovered WAL floor; 0 for a fresh store). A receiver making first
+// contact with the link adopts the stream only when its own progress covers
+// Floor — otherwise the sender holds history the receiver never saw and a
+// catch-up round is needed first.
 type ReplicateBatch struct {
 	Versions []*item.Version
 	HBTime   vclock.Timestamp
+	Epoch    uint64
+	Seq      uint64
+	Floor    vclock.Timestamp
 }
 
 // Heartbeat advertises the sender's current clock so idle replicas keep the
-// receivers' version vectors moving (Algorithm 2, lines 19-28).
+// receivers' version vectors moving (Algorithm 2, lines 19-28). Epoch and
+// Seq mirror ReplicateBatch: Seq is the sender's last flushed batch
+// sequence, letting receivers verify the link is gap-free before advancing
+// their version vector on an otherwise data-free message (an idle restarted
+// sender is detected exactly here). Epoch 0 marks a legacy heartbeat; Floor
+// is the incarnation's starting history floor (see ReplicateBatch).
 type Heartbeat struct {
-	Time vclock.Timestamp
+	Time  vclock.Timestamp
+	Epoch uint64
+	Seq   uint64
+	Floor vclock.Timestamp
+}
+
+// CatchUpRequest asks the sibling replica that feeds this link to re-ship
+// every version it originated after From, which the requester sets to its
+// version-vector entry for the sender's DC — the timestamp through which its
+// received prefix is known complete. ReqID matches replies to the request
+// round, so a re-issued request cannot be satisfied by a stale stream.
+type CatchUpRequest struct {
+	ReqID uint64
+	From  vclock.Timestamp
+}
+
+// CatchUpReply carries one chunk of a catch-up stream, served straight out
+// of the sender's write-ahead log. Chunks are numbered from 1 and
+// acknowledged individually (CatchUpAck) so the sender can bound the data in
+// flight. The final chunk has Done set and carries the resume point: the
+// sender guarantees the requester now holds every version it originated
+// with a timestamp ≤ Through, and that batches after (ResumeEpoch,
+// ResumeSeq) continue the link's sequence from there. Unsupported marks a
+// sender without a durable log to stream from; the requester falls back to
+// optimistic (pre-catch-up) semantics for the link.
+type CatchUpReply struct {
+	ReqID       uint64
+	Chunk       uint64
+	Versions    []*item.Version
+	Done        bool
+	Unsupported bool
+	ResumeEpoch uint64
+	ResumeSeq   uint64
+	Through     vclock.Timestamp
+}
+
+// CatchUpAck acknowledges receipt of one catch-up chunk, opening the
+// sender's in-flight window for the next one (backpressure).
+type CatchUpAck struct {
+	ReqID uint64
+	Chunk uint64
 }
 
 // SliceReq asks a same-DC partition to read keys within the transactional

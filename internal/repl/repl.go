@@ -1,0 +1,806 @@
+// Package repl is the replication plane of a partition server: it owns the
+// outbound update stream to the sibling replicas in the other data centers
+// and the inbound bookkeeping that decides when a received update stream is
+// trustworthy enough to advance the version vector.
+//
+// # Sequenced streams
+//
+// Every flushed batch (msg.ReplicateBatch) carries the sender's incarnation
+// epoch and a monotone sequence number; heartbeats re-attest the current
+// sequence. Because a flush goes to every sibling DC, each link observes
+// the same gap-free sequence 1, 2, 3, …, so a receiver can verify — before
+// advancing its version vector, which asserts "I hold every version from
+// this DC up to t" — that it did not miss a batch. A hole in the sequence,
+// or a new epoch (the sender restarted and its in-memory buffer tail died
+// with it), freezes the link's VV advancement and triggers catch-up.
+//
+// # WAL-shipped catch-up
+//
+// The lagging receiver sends a msg.CatchUpRequest carrying the timestamp
+// through which its prefix is complete (its VV entry for that DC). The
+// sender streams every version it originated after that point straight out
+// of its durable log (storage.CatchUpSource over the internal/wal cursor) in
+// acknowledged chunks, never holding more than Config.MaxInFlightBytes of
+// un-acked data on the wire — backpressure instead of unbounded buffers.
+// The final chunk carries the resume point (epoch, sequence, timestamp): on
+// receipt the receiver raises its VV through the streamed history, splices
+// the batches that arrived during the round back onto the sequence, and
+// resumes normal operation — or detects another discontinuity and goes
+// again from the new, strictly higher floor, so rounds always make
+// progress.
+//
+// Deployments without a durable engine (no catch-up source) answer
+// Unsupported and the receiver falls back to the optimistic pre-catch-up
+// semantics, exactly the behavior of in-memory deployments where a crashed
+// replica has nothing to re-ship anyway.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/item"
+	"repro/internal/msg"
+	"repro/internal/netemu"
+	"repro/internal/vclock"
+)
+
+// Transport carries protocol messages between partition servers (the same
+// contract as core.Transport: lossless FIFO delivery per (src, dst) pair,
+// non-blocking Send).
+type Transport interface {
+	ID() netemu.NodeID
+	Send(dst netemu.NodeID, m any)
+}
+
+// Backend is the surface the manager needs from its partition server. All
+// methods must be safe for concurrent use; PrepareLocal is invoked under the
+// manager's outbound lock so the assigned timestamps leave each link in
+// order.
+type Backend interface {
+	// PrepareLocal assigns v its update timestamp, installs it in storage
+	// and raises the local version-vector entry — the write-path work that
+	// must be atomic with enqueueing v for replication. It reports false
+	// (and does nothing) when the server has stopped.
+	PrepareLocal(v *item.Version) (vclock.Timestamp, bool)
+	// ApplyRemote installs a batch of remote versions in storage.
+	ApplyRemote(vs []*item.Version)
+	// VVEntry returns the server's version-vector entry for dc.
+	VVEntry(dc int) vclock.Timestamp
+	// RaiseVV lifts the version-vector entry for dc to at least t and wakes
+	// any requests the advance unblocks.
+	RaiseVV(dc int, t vclock.Timestamp)
+}
+
+// Source feeds catch-up streams from durable storage; storage.Durable
+// implements it (see storage.CatchUpSource, an identical interface kept
+// separate so neither package imports the other). A Source that cannot
+// prove its history is complete (a sticky persistence error) must fail the
+// stream; the manager then answers Unsupported instead of claiming
+// completeness it cannot back.
+type Source interface {
+	ForEachDurable(fn func(v *item.Version) error) error
+}
+
+// Tuning defaults.
+const (
+	defaultBatchSize      = 128
+	defaultMaxInFlight    = 1 << 20 // catch-up bytes on the wire, un-acked
+	catchUpChunkBytes     = 64 << 10
+	minReRequestInterval  = 100 * time.Millisecond
+	maxReRequestInterval  = 2 * time.Second
+	reRequestPerHeartbeat = 50
+)
+
+// errCanceled aborts a catch-up serving stream (superseded, or shutdown).
+var errCanceled = errors.New("repl: catch-up stream canceled")
+
+// Config parameterizes a Manager.
+type Config struct {
+	// ID is the server's (data center, partition) coordinate.
+	ID netemu.NodeID
+	// NumDCs is the number of data centers (sibling replicas = NumDCs-1).
+	NumDCs int
+	// Clock is the node's physical clock (timestamps and the incarnation
+	// epoch are drawn from it).
+	Clock *clock.Clock
+	// Endpoint attaches the manager to the network. The manager never
+	// installs a handler; the server routes inbound messages to the
+	// Handle* methods.
+	Endpoint Transport
+	// Backend is the owning partition server.
+	Backend Backend
+	// HeartbeatInterval is Δ: the idle-heartbeat cadence and the default
+	// flush cadence.
+	HeartbeatInterval time.Duration
+	// BatchSize caps the outbound buffer before an inline flush
+	// (0 = default 128, 1 = flush on every update).
+	BatchSize int
+	// FlushInterval is the timed flush cadence (0 = HeartbeatInterval,
+	// negative = flush inline on every update).
+	FlushInterval time.Duration
+	// CatchUp enables sequenced-stream verification and gap recovery on the
+	// inbound side. Disabled, the manager applies whatever arrives and
+	// advances the VV optimistically — the pre-catch-up semantics, right for
+	// in-memory deployments.
+	CatchUp bool
+	// Source serves outbound catch-up streams; nil answers requests with
+	// Unsupported.
+	Source Source
+	// MaxInFlightBytes bounds the un-acked catch-up data per stream
+	// (0 = default 1 MiB).
+	MaxInFlightBytes int
+}
+
+// Stats counts the manager's catch-up activity.
+type Stats struct {
+	// Requested counts inbound catch-up rounds this node started (gaps or
+	// sender restarts it detected).
+	Requested uint64
+	// Completed counts inbound rounds that finished (Done received).
+	Completed uint64
+	// Served counts outbound streams this node served to lagging siblings.
+	Served uint64
+	// ActiveIn is the number of links currently frozen awaiting catch-up.
+	ActiveIn int
+}
+
+// inLink is the receiver-side state of one inbound replication link,
+// identified by the source DC (the sibling partition is fixed). Messages on
+// a link are handled by one goroutine at a time in the common case, but TCP
+// reconnects can briefly run two, so the state is locked.
+type inLink struct {
+	mu    sync.Mutex
+	known bool   // first contact made; epoch/seq below are meaningful
+	epoch uint64 // sender incarnation the link is synced to
+	seq   uint64 // last batch sequence applied in order
+
+	// Catch-up round state. While pending, arriving versions are installed
+	// but the VV entry is frozen; chain* tracks the contiguous run of
+	// sequenced messages seen during the round so it can be spliced onto the
+	// resume point when Done arrives.
+	pending    bool
+	reqID      uint64
+	reqAt      time.Time
+	chainSet   bool
+	chainEpoch uint64
+	chainBase  uint64 // sequence immediately before the chain's first batch
+	chainSeq   uint64
+	chainTS    vclock.Timestamp
+}
+
+// catchUpServe is one outbound catch-up stream in progress.
+type catchUpServe struct {
+	dc     int
+	reqID  uint64
+	acks   chan uint64
+	cancel chan struct{}
+}
+
+// Manager owns a partition server's replication plane: outbound buffering,
+// flush and heartbeat cadence, per-link sequence numbers, and both sides of
+// the catch-up protocol.
+type Manager struct {
+	cfg   Config
+	m, n  int
+	clk   *clock.Clock
+	ep    Transport
+	be    Backend
+	epoch uint64 // incarnation id, immutable
+
+	fanout        bool // NumDCs > 1: there is someone to replicate to
+	batchSize     int
+	syncFlush     bool
+	hbDrivesFlush bool
+	maxInFlight   int
+	reRequest     time.Duration
+
+	// floor is the incarnation's starting history floor: every version this
+	// node originated before this incarnation has a timestamp ≤ floor (the
+	// recovered WAL floor; 0 for a fresh store). Advertised on every
+	// sequenced message so a first-contact receiver can tell whether the
+	// stream's past holds history it never saw. Immutable.
+	floor vclock.Timestamp
+
+	// mu serializes the outbound stream: the buffer, the batch sequence
+	// counter, and every send to sibling DCs (per-link FIFO order must match
+	// update-timestamp order). PrepareLocal runs under it so a timestamp is
+	// never assigned out of enqueue order.
+	mu     sync.Mutex
+	buf    []*item.Version
+	seq    uint64           // last flushed batch sequence
+	lastTS vclock.Timestamp // highest timestamp handed to the transport
+
+	in []*inLink // inbound link state, indexed by source DC
+
+	serveMu sync.Mutex
+	serving map[int]*catchUpServe // outbound streams by destination DC
+
+	reqSeq     atomic.Uint64
+	statReq    atomic.Uint64
+	statDone   atomic.Uint64
+	statServed atomic.Uint64
+	activeIn   atomic.Int64
+
+	stopped atomic.Bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewManager builds and starts a replication manager: its flush and
+// heartbeat loops are running when it returns.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Clock == nil || cfg.Endpoint == nil || cfg.Backend == nil {
+		return nil, errors.New("repl: Clock, Endpoint and Backend are required")
+	}
+	if cfg.NumDCs < 1 {
+		return nil, fmt.Errorf("repl: invalid NumDCs %d", cfg.NumDCs)
+	}
+	if cfg.BatchSize < 0 || cfg.MaxInFlightBytes < 0 {
+		return nil, errors.New("repl: BatchSize and MaxInFlightBytes must be >= 0")
+	}
+	r := &Manager{
+		cfg:         cfg,
+		m:           cfg.ID.DC,
+		n:           cfg.ID.Partition,
+		clk:         cfg.Clock,
+		ep:          cfg.Endpoint,
+		be:          cfg.Backend,
+		epoch:       uint64(cfg.Clock.Now()), // monotone across in-process restarts
+		fanout:      cfg.NumDCs > 1,
+		batchSize:   cfg.BatchSize,
+		maxInFlight: cfg.MaxInFlightBytes,
+		serving:     make(map[int]*catchUpServe),
+		stop:        make(chan struct{}),
+	}
+	if r.batchSize == 0 {
+		r.batchSize = defaultBatchSize
+	}
+	if r.maxInFlight == 0 {
+		r.maxInFlight = defaultMaxInFlight
+	}
+	flushInterval := cfg.FlushInterval
+	if flushInterval == 0 {
+		flushInterval = cfg.HeartbeatInterval
+	}
+	r.syncFlush = r.batchSize == 1 || flushInterval <= 0
+	r.hbDrivesFlush = !r.syncFlush && flushInterval == cfg.HeartbeatInterval
+	r.reRequest = reRequestPerHeartbeat * cfg.HeartbeatInterval
+	if r.reRequest < minReRequestInterval {
+		r.reRequest = minReRequestInterval
+	}
+	if r.reRequest > maxReRequestInterval {
+		r.reRequest = maxReRequestInterval
+	}
+	// The resume floor: a recovered server starts its stream at its replayed
+	// local entry, so a catch-up snapshot taken before its first flush still
+	// covers everything the previous incarnation acknowledged — and every
+	// sequenced message advertises it so first-contact receivers can tell
+	// whether they are behind this node's past.
+	r.lastTS = r.be.VVEntry(r.m)
+	r.floor = r.lastTS
+	r.in = make([]*inLink, cfg.NumDCs)
+	for i := range r.in {
+		r.in[i] = &inLink{}
+	}
+
+	if cfg.HeartbeatInterval > 0 && r.fanout {
+		r.wg.Add(1)
+		go r.heartbeatLoop()
+	}
+	if !r.syncFlush && r.fanout && !r.hbDrivesFlush {
+		r.wg.Add(1)
+		go r.flushLoop(flushInterval)
+	}
+	return r, nil
+}
+
+// Epoch returns the manager's incarnation id.
+func (r *Manager) Epoch() uint64 { return r.epoch }
+
+// Stats returns a snapshot of the catch-up counters.
+func (r *Manager) Stats() Stats {
+	return Stats{
+		Requested: r.statReq.Load(),
+		Completed: r.statDone.Load(),
+		Served:    r.statServed.Load(),
+		ActiveIn:  int(r.activeIn.Load()),
+	}
+}
+
+// Close stops the background loops and any catch-up streams in progress.
+// With flush set (graceful shutdown) the buffered tail is handed to the
+// transport first; without it (crash simulation) the tail is discarded — the
+// loss catch-up exists to repair.
+func (r *Manager) Close(flush bool) {
+	if !r.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(r.stop)
+	r.serveMu.Lock()
+	for _, s := range r.serving {
+		close(s.cancel)
+	}
+	r.serveMu.Unlock()
+	r.wg.Wait()
+	r.mu.Lock()
+	if flush {
+		r.flushLocked()
+	} else {
+		r.buf = nil
+	}
+	r.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Outbound: publish, flush, heartbeat
+// ---------------------------------------------------------------------------
+
+// Publish runs the local write path: under the outbound lock it lets the
+// backend assign v its timestamp and install it, then enqueues v for
+// replication, flushing inline when the batch is full (or unbatched). It
+// reports false when the server has stopped.
+func (r *Manager) Publish(v *item.Version) (vclock.Timestamp, bool) {
+	r.mu.Lock()
+	ut, ok := r.be.PrepareLocal(v)
+	if !ok {
+		r.mu.Unlock()
+		return 0, false
+	}
+	if r.fanout {
+		r.buf = append(r.buf, v)
+		if r.syncFlush || len(r.buf) >= r.batchSize {
+			r.flushLocked()
+		}
+	}
+	r.mu.Unlock()
+	return ut, true
+}
+
+// flushLocked stamps the buffered updates with the next batch sequence and
+// sends them to every sibling DC. Called with mu held so batches (and
+// heartbeats) leave each link in timestamp order. The buffer's slice is
+// handed to the message (versions are immutable and shared across DCs).
+func (r *Manager) flushLocked() {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.seq++
+	hb := r.buf[len(r.buf)-1].UpdateTime
+	if hb > r.lastTS {
+		r.lastTS = hb
+	}
+	m := msg.ReplicateBatch{Versions: r.buf, HBTime: hb, Epoch: r.epoch, Seq: r.seq, Floor: r.floor}
+	r.buf = nil
+	for dc := 0; dc < r.cfg.NumDCs; dc++ {
+		if dc != r.m {
+			r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, m)
+		}
+	}
+}
+
+// heartbeatLoop flushes the buffer every Δ (when Δ is the flush cadence) and
+// broadcasts the local clock when no update has advanced the local
+// version-vector entry for a heartbeat interval (Algorithm 2, lines 19-26).
+// Heartbeats are suppressed while updates sit in the buffer, so they never
+// overtake buffered versions with smaller timestamps.
+func (r *Manager) heartbeatLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		if r.hbDrivesFlush {
+			r.flushLocked()
+		}
+		ct := r.clk.Now()
+		idle := len(r.buf) == 0 &&
+			ct >= r.be.VVEntry(r.m)+vclock.Timestamp(r.cfg.HeartbeatInterval)
+		if idle {
+			if ct > r.lastTS {
+				r.lastTS = ct
+			}
+			hb := msg.Heartbeat{Time: ct, Epoch: r.epoch, Seq: r.seq, Floor: r.floor}
+			for dc := 0; dc < r.cfg.NumDCs; dc++ {
+				if dc != r.m {
+					r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, hb)
+				}
+			}
+		}
+		r.mu.Unlock()
+		if idle {
+			r.be.RaiseVV(r.m, ct)
+		}
+	}
+}
+
+// flushLoop drains the buffer on a cadence distinct from the heartbeat
+// interval (FlushInterval ≠ Δ).
+func (r *Manager) flushLoop(interval time.Duration) {
+	defer r.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		r.flushLocked()
+		r.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Inbound: sequenced apply and gap detection
+// ---------------------------------------------------------------------------
+
+// HandleBatch installs a replicated batch and advances the sender DC's
+// version-vector entry when the link's sequence is intact. Versions are
+// always installed — POCC serves the freshest received version regardless —
+// only the VV advance (the claim "I hold the complete prefix") is gated.
+func (r *Manager) HandleBatch(src netemu.NodeID, m msg.ReplicateBatch) {
+	r.be.ApplyRemote(m.Versions)
+	adv := m.HBTime
+	if n := len(m.Versions); n > 0 {
+		if last := m.Versions[n-1].UpdateTime; last > adv {
+			adv = last
+		}
+	}
+	if !r.cfg.CatchUp || m.Epoch == 0 {
+		// Catch-up disabled, or a legacy unsequenced batch: optimistic apply.
+		r.be.RaiseVV(src.DC, adv)
+		return
+	}
+	r.handleSequenced(src.DC, m.Epoch, m.Seq, m.Floor, adv, true)
+}
+
+// HandleHeartbeat advances the sender DC's version-vector entry
+// (Algorithm 2, lines 27-28), gated on the link sequence like a batch: a
+// heartbeat re-attests the sender's current sequence, which is exactly how
+// an idle restarted sender (whose buffered tail died with it) is detected.
+func (r *Manager) HandleHeartbeat(src netemu.NodeID, m msg.Heartbeat) {
+	if !r.cfg.CatchUp || m.Epoch == 0 {
+		r.be.RaiseVV(src.DC, m.Time)
+		return
+	}
+	r.handleSequenced(src.DC, m.Epoch, m.Seq, m.Floor, m.Time, false)
+}
+
+// handleSequenced runs the receiver state machine for one sequenced message
+// on the link from dc. A batch consumes the next sequence number; a
+// heartbeat re-attests the current one. adv is the VV advance the message
+// carries when the sequence is intact; floor is the sender incarnation's
+// starting history floor.
+func (r *Manager) handleSequenced(dc int, epoch, seq uint64, floor, adv vclock.Timestamp, isBatch bool) {
+	st := r.in[dc]
+	var raise vclock.Timestamp
+	st.mu.Lock()
+	base := seq
+	if isBatch {
+		base = seq - 1
+	}
+	switch {
+	case st.pending:
+		// Catch-up in flight: track the chain for the splice at Done, and
+		// re-issue the request if the round has gone quiet (a request lost
+		// to a dropping link must not freeze the link forever).
+		r.noteChainLocked(st, epoch, seq, adv, isBatch)
+		if time.Since(st.reqAt) > r.reRequest {
+			r.startCatchUpLocked(st, dc)
+		}
+	case !st.known:
+		if base == 0 && floor <= r.be.VVEntry(dc) {
+			// Nothing precedes this message in the sender's incarnation
+			// (batch 1, or an idle heartbeat before any flush) and this
+			// node's progress covers the incarnation's starting floor, so
+			// the sender's entire past is already here: adopt the stream.
+			st.known, st.epoch, st.seq = true, epoch, seq
+			raise = adv
+		} else {
+			// The link has history this node never saw — it is the one that
+			// restarted (or came up late). Resync from the recovered floor.
+			r.startCatchUpLocked(st, dc)
+			r.noteChainLocked(st, epoch, seq, adv, isBatch)
+		}
+	case epoch == st.epoch && isBatch && seq == st.seq+1:
+		st.seq = seq
+		raise = adv
+	case epoch == st.epoch && !isBatch && seq == st.seq:
+		raise = adv
+	case epoch == st.epoch && seq <= st.seq:
+		// Duplicate delivery (at-least-once transports); already applied.
+	default:
+		// A sequence hole, or a new sender incarnation whose pre-crash
+		// buffer tail is gone: freeze the VV entry and fetch the missing
+		// history out of the sender's log.
+		r.startCatchUpLocked(st, dc)
+		r.noteChainLocked(st, epoch, seq, adv, isBatch)
+	}
+	st.mu.Unlock()
+	if raise > 0 {
+		r.be.RaiseVV(dc, raise)
+	}
+}
+
+// startCatchUpLocked opens a new catch-up round on the link: freeze VV
+// advancement, reset the observed chain, and ask the sender for everything
+// after this node's completion point. Called with st.mu held.
+func (r *Manager) startCatchUpLocked(st *inLink, dc int) {
+	if !st.pending {
+		st.pending = true
+		r.activeIn.Add(1)
+	}
+	st.chainSet = false
+	st.reqID = r.reqSeq.Add(1)
+	st.reqAt = time.Now()
+	r.statReq.Add(1)
+	r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n},
+		msg.CatchUpRequest{ReqID: st.reqID, From: r.be.VVEntry(dc)})
+}
+
+// noteChainLocked folds one sequenced message into the chain observed while
+// a catch-up round is pending. The chain is the longest contiguous run of
+// same-epoch messages ending at the newest one; on Done it either splices
+// onto the resume point or proves another round is needed.
+func (r *Manager) noteChainLocked(st *inLink, epoch, seq uint64, ts vclock.Timestamp, isBatch bool) {
+	base := seq
+	if isBatch {
+		base = seq - 1
+	}
+	switch {
+	case !st.chainSet:
+	case epoch == st.chainEpoch && isBatch && seq == st.chainSeq+1:
+		st.chainSeq = seq
+		if ts > st.chainTS {
+			st.chainTS = ts
+		}
+		return
+	case epoch == st.chainEpoch && !isBatch && seq == st.chainSeq:
+		if ts > st.chainTS {
+			st.chainTS = ts
+		}
+		return
+	case epoch == st.chainEpoch && seq <= st.chainSeq:
+		return // duplicate
+	}
+	// First message of the round, or a discontinuity: restart the chain here.
+	st.chainSet = true
+	st.chainEpoch = epoch
+	st.chainBase = base
+	st.chainSeq = seq
+	st.chainTS = ts
+}
+
+// HandleCatchUpReply installs a catch-up chunk, acknowledges it (the
+// sender's backpressure window), and on the final chunk completes the round:
+// raise the VV through the streamed history, splice the chain of batches
+// that arrived meanwhile, and either resume normal sequencing or start the
+// next round from the new floor.
+func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
+	if len(m.Versions) > 0 {
+		r.be.ApplyRemote(m.Versions)
+	}
+	if !m.Done {
+		r.ep.Send(src, msg.CatchUpAck{ReqID: m.ReqID, Chunk: m.Chunk})
+		return
+	}
+	st := r.in[src.DC]
+	st.mu.Lock()
+	if !st.pending || st.reqID != m.ReqID {
+		st.mu.Unlock()
+		return // a stale stream; the live round will complete on its own
+	}
+	st.pending = false
+	r.activeIn.Add(-1)
+	r.statDone.Add(1)
+	var chainRaise vclock.Timestamp
+	again := false
+	switch {
+	case !st.chainSet:
+		st.known, st.epoch, st.seq = true, m.ResumeEpoch, m.ResumeSeq
+	case st.chainEpoch == m.ResumeEpoch && st.chainBase <= m.ResumeSeq:
+		// The observed chain connects to the resume point: everything
+		// between Through and the chain's tip has been applied in order.
+		st.known, st.epoch = true, st.chainEpoch
+		st.seq = st.chainSeq
+		if m.ResumeSeq > st.seq {
+			st.seq = m.ResumeSeq
+		}
+		if st.chainSeq > m.ResumeSeq {
+			chainRaise = st.chainTS
+		}
+	default:
+		// Still a hole between the resume point and what arrived during the
+		// round — go again. The next round starts from Through (raised
+		// below), strictly past this one's floor, so rounds make progress.
+		again = true
+	}
+	st.mu.Unlock()
+	// The sender guarantees every version it originated with a timestamp ≤
+	// Through is now present (previously received, or streamed in this
+	// round). An Unsupported reply makes the same advance on the optimistic
+	// fallback semantics instead.
+	r.be.RaiseVV(src.DC, m.Through)
+	if chainRaise > 0 {
+		r.be.RaiseVV(src.DC, chainRaise)
+	}
+	if again {
+		st.mu.Lock()
+		if !st.pending {
+			r.startCatchUpLocked(st, src.DC)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Outbound catch-up serving
+// ---------------------------------------------------------------------------
+
+// HandleCatchUpRequest serves a lagging sibling: it snapshots the resume
+// point and streams the requested history from the durable log on a
+// dedicated goroutine. A newer request from the same DC supersedes the
+// stream in progress.
+func (r *Manager) HandleCatchUpRequest(src netemu.NodeID, m msg.CatchUpRequest) {
+	s := &catchUpServe{
+		dc:     src.DC,
+		reqID:  m.ReqID,
+		acks:   make(chan uint64, 256),
+		cancel: make(chan struct{}),
+	}
+	r.serveMu.Lock()
+	if r.stopped.Load() {
+		r.serveMu.Unlock()
+		return
+	}
+	if old := r.serving[src.DC]; old != nil {
+		close(old.cancel)
+	}
+	r.serving[src.DC] = s
+	r.wg.Add(1)
+	r.serveMu.Unlock()
+	go func() {
+		defer r.wg.Done()
+		r.serveCatchUp(src, s, m.From)
+		r.serveMu.Lock()
+		if r.serving[src.DC] == s {
+			delete(r.serving, src.DC)
+		}
+		r.serveMu.Unlock()
+	}()
+}
+
+// HandleCatchUpAck credits one chunk back to the in-flight window of the
+// stream it belongs to.
+func (r *Manager) HandleCatchUpAck(src netemu.NodeID, m msg.CatchUpAck) {
+	r.serveMu.Lock()
+	s := r.serving[src.DC]
+	r.serveMu.Unlock()
+	if s == nil || s.reqID != m.ReqID {
+		return
+	}
+	select {
+	case s.acks <- m.Chunk:
+	default: // window is tiny relative to the channel; a full channel means
+		// the stream is already unblocked by earlier acks
+	}
+}
+
+// versionBytes approximates a version's wire footprint for the in-flight
+// window accounting.
+func versionBytes(v *item.Version) int {
+	return len(v.Key) + len(v.Value) + 10*len(v.Deps) + 24
+}
+
+// serveCatchUp streams every version this node originated in (from,
+// through] out of the durable log, in acknowledged chunks no larger than
+// the in-flight window, then sends the resume point. The through/resumeSeq
+// pair is captured under the outbound lock after a flush, which establishes
+// the invariant the receiver relies on: every version ≤ through has been
+// handed to the transport in a batch with sequence ≤ resumeSeq (and is in
+// the log), and every later version rides a higher sequence.
+func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, from vclock.Timestamp) {
+	r.mu.Lock()
+	r.flushLocked()
+	through := r.lastTS
+	resumeSeq := r.seq
+	r.mu.Unlock()
+
+	done := msg.CatchUpReply{
+		ReqID: s.reqID, Done: true,
+		ResumeEpoch: r.epoch, ResumeSeq: resumeSeq, Through: through,
+	}
+	if r.cfg.Source == nil {
+		done.Unsupported = true
+		r.ep.Send(src, done)
+		return
+	}
+
+	var (
+		chunkID    uint64
+		chunk      []*item.Version
+		chunkBytes int
+		inFlight   int
+		window     []struct {
+			id    uint64
+			bytes int
+		}
+	)
+	sendChunk := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		// Backpressure: wait for acks while the window is full. The first
+		// chunk always goes out, so a window smaller than one chunk still
+		// streams (one chunk at a time).
+		for inFlight > 0 && inFlight+chunkBytes > r.maxInFlight {
+			select {
+			case <-s.cancel:
+				return errCanceled
+			case <-r.stop:
+				return errCanceled
+			case ack := <-s.acks:
+				for len(window) > 0 && window[0].id <= ack {
+					inFlight -= window[0].bytes
+					window = window[1:]
+				}
+			}
+		}
+		chunkID++
+		r.ep.Send(src, msg.CatchUpReply{ReqID: s.reqID, Chunk: chunkID, Versions: chunk})
+		window = append(window, struct {
+			id    uint64
+			bytes int
+		}{chunkID, chunkBytes})
+		inFlight += chunkBytes
+		chunk, chunkBytes = nil, 0
+		return nil
+	}
+
+	err := r.cfg.Source.ForEachDurable(func(v *item.Version) error {
+		select {
+		case <-s.cancel:
+			return errCanceled
+		case <-r.stop:
+			return errCanceled
+		default:
+		}
+		if v.SrcReplica != r.m || v.UpdateTime <= from || v.UpdateTime > through {
+			return nil
+		}
+		chunk = append(chunk, v)
+		chunkBytes += versionBytes(v)
+		if chunkBytes >= catchUpChunkBytes {
+			return sendChunk()
+		}
+		return nil
+	})
+	if err == nil {
+		err = sendChunk()
+	}
+	if err != nil {
+		if errors.Is(err, errCanceled) {
+			return // superseded or shutting down; no resume point
+		}
+		// The log could not prove completeness (read error). Answer
+		// Unsupported so the receiver falls back to optimistic semantics
+		// instead of freezing forever — the same degradation as a sticky
+		// persistence error.
+		done.Unsupported = true
+		r.ep.Send(src, done)
+		return
+	}
+	r.ep.Send(src, done)
+	r.statServed.Add(1)
+}

@@ -189,6 +189,35 @@ func (d *Durable) checkpoint() {
 	}))
 }
 
+// DurableFloor returns the WAL's snapshot floor — the segment sequence at
+// and below which history exists only in compacted (snapshot) form.
+// Observability today; the hook for segment-skipping catch-up reads later.
+func (d *Durable) DurableFloor() uint64 { return d.log.SnapshotSeq() }
+
+// ForEachDurable streams every durable version in committed order — the
+// snapshot's compacted history first, then the log tail — decoding each
+// record through the shared wire codec. It reads through a WAL cursor that
+// pins its files open, so concurrent inserts and checkpoints proceed
+// untouched; versions committed after the call starts are not included.
+// This is the replication catch-up feed (internal/repl).
+//
+// A sticky persistence error fails the stream up front: once an append has
+// failed, the log may be missing versions the in-memory state acknowledged,
+// and a catch-up stream served from it would falsely claim completeness —
+// the caller must fall back instead (repl answers Unsupported).
+func (d *Durable) ForEachDurable(fn func(v *item.Version) error) error {
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return d.log.ReadFrom(0, func(_ uint64, rec []byte) error {
+		v, _, err := wire.DecodeVersion(rec)
+		if err != nil {
+			return err
+		}
+		return fn(v)
+	})
+}
+
 // Stats counts keys and versions in a single pass.
 func (d *Durable) Stats() StoreStats { return d.mem.Stats() }
 

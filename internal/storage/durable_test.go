@@ -213,3 +213,79 @@ func TestDurableIdempotentReplay(t *testing.T) {
 		t.Fatalf("replayed %d versions for a duplicated record, want 1", st.Versions)
 	}
 }
+
+// TestDurableForEachDurable: the catch-up feed streams every committed
+// version in order — across a checkpoint (compacted history first, then the
+// log tail) — and reports the snapshot floor, while the engine keeps
+// serving writes.
+func TestDurableForEachDurable(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{CheckpointBytes: 1, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 1; i <= 20; i++ {
+		// Distinct keys: GC prunes superseded same-key versions, and the
+		// snapshot only carries survivors.
+		d.Insert(durableVersion(fmt.Sprintf("k%02d", i), 0, vclock.Timestamp(i*10), vclock.VC{0, 0}))
+	}
+	if d.DurableFloor() != 0 {
+		t.Fatalf("floor = %d before any checkpoint", d.DurableFloor())
+	}
+	// GC nothing (gv below every dep) but trigger the armed checkpoint.
+	d.CollectGarbage(vclock.VC{0, 0})
+	if d.DurableFloor() == 0 {
+		t.Fatal("checkpoint did not raise the durable floor")
+	}
+	d.Insert(durableVersion("k99", 0, 999, vclock.VC{0, 0}))
+
+	var got []vclock.Timestamp
+	if err := d.ForEachDurable(func(v *item.Version) error {
+		got = append(got, v.UpdateTime)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 20 pre-checkpoint versions (now snapshot records) + the post-one.
+	if len(got) != 21 {
+		t.Fatalf("streamed %d versions, want 21", len(got))
+	}
+	if got[len(got)-1] != 999 {
+		t.Fatalf("tail version = %d, want the post-checkpoint 999", got[len(got)-1])
+	}
+	seen := make(map[vclock.Timestamp]bool, len(got))
+	for _, ts := range got {
+		seen[ts] = true
+	}
+	for i := 1; i <= 20; i++ {
+		if !seen[vclock.Timestamp(i*10)] {
+			t.Fatalf("version %d missing from the durable stream", i*10)
+		}
+	}
+}
+
+// TestDurableForEachDurableRefusesAfterStickyError: once an append has
+// failed, the log may be missing acknowledged versions, and the catch-up
+// feed must fail (the sender then answers Unsupported) rather than stream a
+// history it cannot prove complete.
+func TestDurableForEachDurableRefusesAfterStickyError(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Insert(durableVersion("a", 0, 10, vclock.VC{0, 0}))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Insert after Close: the append fails and the error sticks, while the
+	// in-memory state still accepted the version.
+	d.Insert(durableVersion("b", 0, 20, vclock.VC{0, 0}))
+	if d.Err() == nil {
+		t.Fatal("no sticky error after insert-on-closed; the scenario lost its teeth")
+	}
+	if err := d.ForEachDurable(func(*item.Version) error { return nil }); err == nil {
+		t.Fatal("ForEachDurable streamed from an engine with a sticky persistence error")
+	}
+}

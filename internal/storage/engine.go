@@ -56,8 +56,28 @@ type Recovered interface {
 	RecoveredVV() vclock.VC
 }
 
+// CatchUpSource is implemented by engines that can replay their durable
+// history, the feed of the replication catch-up protocol (internal/repl): a
+// lagging replica that lost part of the update stream asks its sibling to
+// re-ship versions, and the sibling streams them straight out of this
+// interface instead of keeping unbounded in-memory replication buffers. The
+// in-memory engine does not implement it — a crashed in-memory server has
+// nothing to re-ship. (Durable additionally exposes DurableFloor, the WAL's
+// snapshot-floor segment sequence, as observability and the future hook for
+// segment-skipping reads.)
+type CatchUpSource interface {
+	// ForEachDurable streams every durable version — snapshot first, then
+	// the log tail — in committed order. The version values are freshly
+	// decoded and owned by the callee; returning an error stops the stream
+	// and is reported back. It must fail (rather than stream a partial
+	// history) when the engine cannot prove the log is complete, e.g. after
+	// a sticky persistence error.
+	ForEachDurable(fn func(v *item.Version) error) error
+}
+
 var (
-	_ Engine    = (*Mem)(nil)
-	_ Engine    = (*Durable)(nil)
-	_ Recovered = (*Durable)(nil)
+	_ Engine        = (*Mem)(nil)
+	_ Engine        = (*Durable)(nil)
+	_ Recovered     = (*Durable)(nil)
+	_ CatchUpSource = (*Durable)(nil)
 )

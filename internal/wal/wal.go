@@ -24,6 +24,13 @@
 // a torn record at the very tail of the final segment — the footprint of a
 // crash mid-commit — by truncating it away. A short or corrupt record
 // anywhere else is real corruption and fails the open.
+//
+// ReadFrom is the cursor over the same history for a live log: it replays
+// snapshot + segments from a given segment sequence without blocking
+// appends, pinning the files open so concurrent checkpoints cannot yank
+// them away. The replication plane (internal/repl) streams catch-up data
+// through it, and SnapshotSeq exposes the durable floor below which history
+// exists only in compacted (snapshot) form.
 package wal
 
 import (
@@ -79,13 +86,14 @@ type Log struct {
 	segBytes int64
 	noSync   bool
 
-	mu    sync.Mutex
-	f     *os.File // active segment, nil after Close
-	seq   uint64   // active segment sequence number
-	snap  uint64   // current snapshot sequence number, 0 if none
-	size  int64    // bytes in the active segment
-	since int64    // bytes appended (or replayed) since the last checkpoint
-	buf   []byte   // frame scratch, reused across Append calls
+	mu       sync.Mutex
+	f        *os.File // active segment, nil after Close
+	seq      uint64   // active segment sequence number
+	firstSeg uint64   // oldest live segment sequence number
+	snap     uint64   // current snapshot sequence number, 0 if none
+	size     int64    // bytes in the active segment
+	since    int64    // bytes appended (or replayed) since the last checkpoint
+	buf      []byte   // frame scratch, reused across Append calls
 }
 
 // Open opens (creating if necessary) the log in dir and replays its state:
@@ -136,6 +144,7 @@ func Open(dir string, opts Options, replay func(rec []byte) error) (*Log, error)
 	// already measured by walk and is truncated here), or start a fresh one.
 	if n := len(segs); n > 0 {
 		l.seq = segs[n-1]
+		l.firstSeg = segs[0]
 		path := filepath.Join(dir, fileName(l.seq, segSuffix))
 		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 		if err != nil {
@@ -156,6 +165,7 @@ func Open(dir string, opts Options, replay func(rec []byte) error) (*Log, error)
 		if err := l.startSegmentLocked(snapSeq + 1); err != nil {
 			return nil, err
 		}
+		l.firstSeg = snapSeq + 1
 	}
 	return l, nil
 }
@@ -306,6 +316,7 @@ func (l *Log) Checkpoint(fill func(emit func(rec []byte))) error {
 	if err := l.startSegmentLocked(oldSeq + 1); err != nil {
 		return err
 	}
+	l.firstSeg = oldSeq + 1
 	for seq := oldSeq; seq >= 1; seq-- {
 		path := filepath.Join(l.dir, fileName(seq, segSuffix))
 		if os.Remove(path) != nil {
@@ -326,6 +337,111 @@ func (l *Log) SinceCheckpoint() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.since
+}
+
+// SnapshotSeq returns the sequence number of the current snapshot — the
+// log's durable floor: history at and below this sequence lives only in the
+// snapshot (its segments are gone). 0 means no checkpoint has been taken.
+func (l *Log) SnapshotSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snap
+}
+
+// cursorPart is one file of a ReadFrom iteration, pinned open while the
+// cursor runs so a concurrent checkpoint unlinking it cannot invalidate the
+// read.
+type cursorPart struct {
+	seq   uint64
+	f     *os.File
+	limit int64 // bytes to read; -1 = whole file
+}
+
+// ReadFrom replays the log's durable records in order, invoking fn with each
+// record's segment sequence number and payload (the payload slice is only
+// valid during the call). Iteration starts at segment seq: when seq is at or
+// below the snapshot floor (SnapshotSeq), the snapshot's records are
+// replayed first — attributed to the floor sequence — followed by every live
+// segment ≥ seq. The boundary is captured atomically at the call: records
+// committed before ReadFrom is invoked are included, later appends are not,
+// and concurrent appends or checkpoints never corrupt the iteration (files
+// are pinned open before the lock is released). This is the replication
+// catch-up read path: it shares nothing with the hot append path beyond the
+// boundary capture.
+func (l *Log) ReadFrom(seq uint64, fn func(seg uint64, rec []byte) error) error {
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	var parts []cursorPart
+	fail := func(err error) error {
+		l.mu.Unlock()
+		for _, p := range parts {
+			p.f.Close()
+		}
+		return fmt.Errorf("wal: cursor: %w", err)
+	}
+	if l.snap > 0 && seq <= l.snap {
+		f, err := os.Open(filepath.Join(l.dir, fileName(l.snap, snapSuffix)))
+		if err != nil {
+			return fail(err)
+		}
+		parts = append(parts, cursorPart{seq: l.snap, f: f, limit: -1})
+	}
+	lo := l.firstSeg
+	if seq > lo {
+		lo = seq
+	}
+	for s := lo; s <= l.seq; s++ {
+		f, err := os.Open(filepath.Join(l.dir, fileName(s, segSuffix)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // pruned by an earlier checkpoint; snapshot covers it
+			}
+			return fail(err)
+		}
+		limit := int64(-1)
+		if s == l.seq {
+			// The active segment may grow after the lock drops; stop at the
+			// captured size, which is always a whole-record boundary.
+			limit = l.size
+		}
+		parts = append(parts, cursorPart{seq: s, f: f, limit: limit})
+	}
+	l.mu.Unlock()
+
+	var err error
+	for _, p := range parts {
+		if err == nil {
+			err = readPart(p, fn)
+		}
+		p.f.Close()
+	}
+	return err
+}
+
+// readPart replays one pinned cursor file. Every record must parse: cursor
+// files never carry a torn tail (the active segment is cut at a commit
+// boundary and older files were fully committed), so any framing error is
+// real corruption.
+func readPart(p cursorPart, fn func(seg uint64, rec []byte) error) error {
+	var data []byte
+	var err error
+	if p.limit >= 0 {
+		data = make([]byte, p.limit)
+		_, err = io.ReadFull(p.f, data)
+	} else {
+		data, err = io.ReadAll(p.f)
+	}
+	if err != nil {
+		return fmt.Errorf("wal: cursor: segment %d: %w", p.seq, err)
+	}
+	_, err = walk(data, func(rec []byte) error { return fn(p.seq, rec) }, false)
+	if err != nil {
+		return fmt.Errorf("wal: cursor: segment %d: %w", p.seq, err)
+	}
+	return nil
 }
 
 // Dir returns the log's directory.

@@ -295,3 +295,143 @@ func TestClosedLogErrors(t *testing.T) {
 		t.Fatalf("double Close: %v", err)
 	}
 }
+
+// readAll collects every record a ReadFrom cursor yields.
+func readAll(t *testing.T, l *Log, seq uint64) (recs [][]byte, segs []uint64) {
+	t.Helper()
+	if err := l.ReadFrom(seq, func(seg uint64, rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		segs = append(segs, seg)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return recs, segs
+}
+
+// TestReadFromCursorLiveLog: the cursor replays every committed record of a
+// live, multi-segment log in order, without disturbing the append path, and
+// records committed after the cursor starts are excluded from it but seen by
+// a later cursor.
+func TestReadFromCursorLiveLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{SegmentBytes: 256, NoSync: true})
+	defer l.Close()
+	var want [][]byte
+	for i := 0; i < 40; i++ {
+		rec := []byte(fmt.Sprintf("cursor-record-%03d", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, segs := readAll(t, l, 0)
+	if len(recs) != len(want) {
+		t.Fatalf("cursor yielded %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i] < segs[i-1] {
+			t.Fatalf("cursor segment order regressed: %v", segs)
+		}
+	}
+	// Appends during/after a cursor are invisible to it but not lost.
+	if err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	recs2, _ := readAll(t, l, 0)
+	if len(recs2) != len(want)+1 {
+		t.Fatalf("second cursor yielded %d records, want %d", len(recs2), len(want)+1)
+	}
+}
+
+// TestReadFromStartsMidLog: a cursor from a later segment skips the earlier
+// segments entirely.
+func TestReadFromStartsMidLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{SegmentBytes: 64, NoSync: true})
+	defer l.Close()
+	for i := 0; i < 30; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("mid-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, segs := readAll(t, l, 0)
+	if segs[len(segs)-1] < 3 {
+		t.Fatalf("log rolled only to segment %d; shrink SegmentBytes", segs[len(segs)-1])
+	}
+	cut := segs[len(segs)-1] // the active segment
+	part, partSegs := readAll(t, l, cut)
+	if len(part) == 0 || len(part) >= len(all) {
+		t.Fatalf("cursor from segment %d yielded %d of %d records", cut, len(part), len(all))
+	}
+	for _, s := range partSegs {
+		if s < cut {
+			t.Fatalf("cursor from %d yielded a record of segment %d", cut, s)
+		}
+	}
+	if !bytes.Equal(part[len(part)-1], all[len(all)-1]) {
+		t.Fatal("mid-log cursor lost the tail record")
+	}
+}
+
+// TestReadFromIncludesSnapshot: after a checkpoint, a cursor from 0 replays
+// the snapshot (attributed to the floor sequence) and then the younger
+// segments; SnapshotSeq exposes the floor.
+func TestReadFromIncludesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{NoSync: true})
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint(emitAll([][]byte{[]byte("snap-0"), []byte("snap-1")})); err != nil {
+		t.Fatal(err)
+	}
+	floor := l.SnapshotSeq()
+	if floor == 0 {
+		t.Fatal("SnapshotSeq = 0 after a checkpoint")
+	}
+	if err := l.Append([]byte("post-0")); err != nil {
+		t.Fatal(err)
+	}
+	recs, segs := readAll(t, l, 0)
+	want := []string{"snap-0", "snap-1", "post-0"}
+	if len(recs) != len(want) {
+		t.Fatalf("cursor yielded %d records %q, want %v", len(recs), recs, want)
+	}
+	for i, w := range want {
+		if string(recs[i]) != w {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], w)
+		}
+	}
+	if segs[0] != floor || segs[1] != floor {
+		t.Fatalf("snapshot records attributed to segments %v, want floor %d", segs[:2], floor)
+	}
+	if segs[2] <= floor {
+		t.Fatalf("post-checkpoint record attributed to segment %d ≤ floor %d", segs[2], floor)
+	}
+	// A cursor strictly above the floor skips the compacted history.
+	recs2, _ := readAll(t, l, floor+1)
+	if len(recs2) != 1 || string(recs2[0]) != "post-0" {
+		t.Fatalf("cursor above the floor yielded %q, want just post-0", recs2)
+	}
+}
+
+// TestReadFromClosedLog: the cursor refuses a closed log.
+func TestReadFromClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{NoSync: true})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ReadFrom(0, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadFrom on a closed log = %v, want ErrClosed", err)
+	}
+}

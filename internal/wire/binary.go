@@ -39,6 +39,9 @@ const (
 	tagSliceResp
 	tagVVExchange
 	tagGCExchange
+	tagCatchUpRequest
+	tagCatchUpReply
+	tagCatchUpAck
 )
 
 // maxFrame bounds a frame's payload so a corrupted length prefix cannot ask
@@ -136,6 +139,12 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 		tag = tagVVExchange
 	case msg.GCExchange:
 		tag = tagGCExchange
+	case msg.CatchUpRequest:
+		tag = tagCatchUpRequest
+	case msg.CatchUpReply:
+		tag = tagCatchUpReply
+	case msg.CatchUpAck:
+		tag = tagCatchUpAck
 	default:
 		return b, fmt.Errorf("wire: encode: unsupported message type %T", env.Msg)
 	}
@@ -155,8 +164,14 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 			}
 		}
 		b = appendUint(b, uint64(m.HBTime))
+		b = appendUint(b, m.Epoch)
+		b = appendUint(b, m.Seq)
+		b = appendUint(b, uint64(m.Floor))
 	case msg.Heartbeat:
 		b = appendUint(b, uint64(m.Time))
+		b = appendUint(b, m.Epoch)
+		b = appendUint(b, m.Seq)
+		b = appendUint(b, uint64(m.Floor))
 	case msg.SliceReq:
 		b = appendUint(b, m.TxID)
 		b = appendUint(b, uint64(m.Coordinator.DC))
@@ -188,6 +203,28 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 	case msg.GCExchange:
 		b = appendUint(b, uint64(m.Partition))
 		b = appendVC(b, m.TV)
+	case msg.CatchUpRequest:
+		b = appendUint(b, m.ReqID)
+		b = appendUint(b, uint64(m.From))
+	case msg.CatchUpReply:
+		b = appendUint(b, m.ReqID)
+		b = appendUint(b, m.Chunk)
+		if m.Versions == nil {
+			b = appendUint(b, 0)
+		} else {
+			b = appendUint(b, uint64(len(m.Versions))+1)
+			for _, v := range m.Versions {
+				b = appendVersion(b, v)
+			}
+		}
+		b = appendBool(b, m.Done)
+		b = appendBool(b, m.Unsupported)
+		b = appendUint(b, m.ResumeEpoch)
+		b = appendUint(b, m.ResumeSeq)
+		b = appendUint(b, uint64(m.Through))
+	case msg.CatchUpAck:
+		b = appendUint(b, m.ReqID)
+		b = appendUint(b, m.Chunk)
 	}
 	return b, nil
 }
@@ -426,9 +463,13 @@ func parsePayload(frame []byte) (Envelope, error) {
 			}
 		}
 		m.HBTime = vclock.Timestamp(f.uint())
+		m.Epoch = f.uint()
+		m.Seq = f.uint()
+		m.Floor = vclock.Timestamp(f.uint())
 		env.Msg = m
 	case tagHeartbeat:
-		env.Msg = msg.Heartbeat{Time: vclock.Timestamp(f.uint())}
+		env.Msg = msg.Heartbeat{Time: vclock.Timestamp(f.uint()), Epoch: f.uint(),
+			Seq: f.uint(), Floor: vclock.Timestamp(f.uint())}
 	case tagSliceReq:
 		var m msg.SliceReq
 		m.TxID = f.uint()
@@ -468,6 +509,31 @@ func parsePayload(frame []byte) (Envelope, error) {
 		env.Msg = msg.VVExchange{Partition: int(f.uint()), VV: f.vc()}
 	case tagGCExchange:
 		env.Msg = msg.GCExchange{Partition: int(f.uint()), TV: f.vc()}
+	case tagCatchUpRequest:
+		env.Msg = msg.CatchUpRequest{ReqID: f.uint(), From: vclock.Timestamp(f.uint())}
+	case tagCatchUpReply:
+		var m msg.CatchUpReply
+		m.ReqID = f.uint()
+		m.Chunk = f.uint()
+		if marker := f.uint(); marker > 0 && f.err == nil {
+			n := marker - 1
+			if uint64(len(f.b)-f.pos) < n {
+				f.fail()
+			} else {
+				m.Versions = make([]*item.Version, 0, n)
+				for i := uint64(0); i < n && f.err == nil; i++ {
+					m.Versions = append(m.Versions, f.version())
+				}
+			}
+		}
+		m.Done = f.bool()
+		m.Unsupported = f.bool()
+		m.ResumeEpoch = f.uint()
+		m.ResumeSeq = f.uint()
+		m.Through = vclock.Timestamp(f.uint())
+		env.Msg = m
+	case tagCatchUpAck:
+		env.Msg = msg.CatchUpAck{ReqID: f.uint(), Chunk: f.uint()}
 	default:
 		return env, fmt.Errorf("wire: unknown message tag %d", tag)
 	}

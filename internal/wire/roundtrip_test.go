@@ -80,11 +80,16 @@ func genItemReply(r *rand.Rand) msg.ItemReply {
 
 // genMsg draws one random protocol message of the i-th type.
 func genMsg(r *rand.Rand, kind int) any {
-	switch kind % 7 {
+	switch kind % 10 {
 	case 0:
 		return msg.Replicate{V: genVersion(r)}
 	case 1:
-		m := msg.ReplicateBatch{HBTime: vclock.Timestamp(r.Uint64N(1 << 62))}
+		m := msg.ReplicateBatch{
+			HBTime: vclock.Timestamp(r.Uint64N(1 << 62)),
+			Epoch:  r.Uint64(),
+			Seq:    r.Uint64(),
+			Floor:  vclock.Timestamp(r.Uint64N(1 << 62)),
+		}
 		switch r.IntN(4) {
 		case 0: // nil Versions
 		case 1:
@@ -96,7 +101,12 @@ func genMsg(r *rand.Rand, kind int) any {
 		}
 		return m
 	case 2:
-		return msg.Heartbeat{Time: vclock.Timestamp(r.Uint64N(1 << 62))}
+		return msg.Heartbeat{
+			Time:  vclock.Timestamp(r.Uint64N(1 << 62)),
+			Epoch: r.Uint64(),
+			Seq:   r.Uint64(),
+			Floor: vclock.Timestamp(r.Uint64N(1 << 62)),
+		}
 	case 3:
 		m := msg.SliceReq{
 			TxID:        r.Uint64(),
@@ -128,8 +138,32 @@ func genMsg(r *rand.Rand, kind int) any {
 		return m
 	case 5:
 		return msg.VVExchange{Partition: r.IntN(8), VV: genVC(r)}
-	default:
+	case 6:
 		return msg.GCExchange{Partition: r.IntN(8), TV: genVC(r)}
+	case 7:
+		return msg.CatchUpRequest{ReqID: r.Uint64(), From: vclock.Timestamp(r.Uint64N(1 << 62))}
+	case 8:
+		m := msg.CatchUpReply{
+			ReqID:       r.Uint64(),
+			Chunk:       r.Uint64(),
+			Done:        r.IntN(2) == 0,
+			Unsupported: r.IntN(2) == 0,
+			ResumeEpoch: r.Uint64(),
+			ResumeSeq:   r.Uint64(),
+			Through:     vclock.Timestamp(r.Uint64N(1 << 62)),
+		}
+		switch r.IntN(4) {
+		case 0: // nil Versions
+		case 1:
+			m.Versions = []*item.Version{}
+		default:
+			for i := 0; i < 1+r.IntN(6); i++ {
+				m.Versions = append(m.Versions, genVersion(r))
+			}
+		}
+		return m
+	default:
+		return msg.CatchUpAck{ReqID: r.Uint64(), Chunk: r.Uint64()}
 	}
 }
 
@@ -203,7 +237,7 @@ func normalized(env Envelope) Envelope {
 // agrees with gob modulo gob's empty-slice collapsing.
 func TestBinaryRoundTripProperty(t *testing.T) {
 	r := rand.New(rand.NewPCG(7, 42))
-	for kind := 0; kind < 7; kind++ {
+	for kind := 0; kind < 10; kind++ {
 		t.Run(fmt.Sprintf("kind%d", kind), func(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				env := Envelope{
@@ -242,6 +276,17 @@ func TestBinaryRoundTripEdgeCases(t *testing.T) {
 		msg.VVExchange{},
 		msg.VVExchange{VV: vclock.VC{}},
 		msg.GCExchange{TV: vclock.New(3)},
+		msg.CatchUpRequest{},
+		msg.CatchUpRequest{ReqID: 1, From: 99},
+		msg.CatchUpReply{},
+		msg.CatchUpReply{Versions: []*item.Version{}},
+		msg.CatchUpReply{Versions: []*item.Version{{Key: "k", Deps: vclock.New(3)}}, Chunk: 2},
+		msg.CatchUpReply{Done: true, ResumeEpoch: 7, ResumeSeq: 8, Through: 9},
+		msg.CatchUpReply{Done: true, Unsupported: true},
+		msg.CatchUpAck{},
+		msg.CatchUpAck{ReqID: 3, Chunk: 4},
+		msg.ReplicateBatch{Epoch: 1, Seq: 2, Floor: 3},
+		msg.Heartbeat{Time: 5, Epoch: 6, Seq: 7, Floor: 8},
 	}
 	for i, m := range cases {
 		env := Envelope{Src: netemu.NodeID{DC: 1, Partition: 2}, Msg: m}

@@ -98,6 +98,9 @@ func registerTypes() {
 	gob.Register(msg.SliceResp{})
 	gob.Register(msg.VVExchange{})
 	gob.Register(msg.GCExchange{})
+	gob.Register(msg.CatchUpRequest{})
+	gob.Register(msg.CatchUpReply{})
+	gob.Register(msg.CatchUpAck{})
 	gob.Register(&item.Version{})
 }
 

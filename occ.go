@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/keyspace"
 	"repro/internal/netemu"
+	"repro/internal/storage"
 )
 
 // Engine selects the consistency protocol of a Store.
@@ -111,7 +112,44 @@ type Config struct {
 	// re-Opened over the same directory. Empty (the default) keeps the
 	// in-memory engines: fastest, but a killed server loses its partition.
 	DataDir string
+	// CheckpointBytes is the WAL growth that arms a snapshot checkpoint on
+	// the next garbage-collection pass (0 = 1 MiB, negative disables
+	// checkpointing). Ignored without DataDir.
+	CheckpointBytes int64
+	// SegmentBytes is the WAL segment roll size (0 = 4 MiB). Ignored
+	// without DataDir.
+	SegmentBytes int64
+	// NoFsync skips the per-commit fsync: much faster on slow filesystems,
+	// but a machine crash may lose the latest commits (a process crash
+	// usually does not). Ignored without DataDir.
+	NoFsync bool
+	// CatchUp selects the replication catch-up mode. CatchUpAuto (default)
+	// enables sequenced replication streams and WAL-shipped resync exactly
+	// when the deployment is durable (DataDir set): a replica that loses
+	// part of the update stream — a crashed sender's unflushed tail, or a
+	// receiver cut off from the network — detects the gap through per-link
+	// sequence numbers and recovers the missing versions from its sibling's
+	// write-ahead log, with bounded data in flight. CatchUpOn forces it,
+	// CatchUpOff disables it.
+	CatchUp CatchUpMode
+	// CatchUpMaxInFlight bounds the un-acked bytes per catch-up stream
+	// (0 = 1 MiB): the sender's backpressure window.
+	CatchUpMaxInFlight int
 }
+
+// CatchUpMode selects the replication catch-up behavior (Config.CatchUp).
+type CatchUpMode int
+
+// Catch-up modes.
+const (
+	// CatchUpAuto enables catch-up exactly when the deployment is durable.
+	CatchUpAuto CatchUpMode = iota
+	// CatchUpOn forces catch-up on.
+	CatchUpOn
+	// CatchUpOff disables catch-up: a crashed server's unflushed
+	// replication tail is silently lost (the pre-catch-up semantics).
+	CatchUpOff
+)
 
 // Store is a running geo-replicated deployment.
 type Store struct {
@@ -139,6 +177,13 @@ func Open(cfg Config) (*Store, error) {
 			return profile(src.DC, dst.DC)
 		}
 	}
+	var catchUp cluster.CatchUpMode
+	switch cfg.CatchUp {
+	case CatchUpOn:
+		catchUp = cluster.CatchUpOn
+	case CatchUpOff:
+		catchUp = cluster.CatchUpOff
+	}
 	inner, err := cluster.New(cluster.Config{
 		NumDCs:                cfg.DataCenters,
 		NumPartitions:         cfg.Partitions,
@@ -154,6 +199,13 @@ func Open(cfg Config) (*Store, error) {
 		Seed:                  cfg.Seed,
 		TCP:                   cfg.TCP,
 		DataDir:               cfg.DataDir,
+		Durable: storage.DurableOptions{
+			CheckpointBytes: cfg.CheckpointBytes,
+			SegmentBytes:    cfg.SegmentBytes,
+			NoSync:          cfg.NoFsync,
+		},
+		CatchUp:            catchUp,
+		CatchUpMaxInFlight: cfg.CatchUpMaxInFlight,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("occ: %w", err)
@@ -209,12 +261,15 @@ func (s *Store) PartitionReplication(dcA, dcB, partition int, down bool) {
 func (s *Store) Messages() uint64 { return s.inner.Messages() }
 
 // RestartServer simulates a partition-server crash and recovery: the server
-// is stopped and a fresh one reopens the same durable data directory,
+// is killed and a fresh one reopens the same durable data directory,
 // rebuilding its version chains and version-vector floor from the snapshot
-// and log tail. In-flight operations against the restarting server fail
-// with ErrStopped and may be retried; sessions otherwise keep working
-// transparently. It requires Config.DataDir (an in-memory server would
-// restart empty).
+// and log tail. With catch-up enabled (the default for durable
+// deployments), the kill is a true crash — the unflushed replication tail
+// is discarded and messages arriving while the server is down are dropped —
+// and the replicas resynchronize afterwards by WAL-shipped catch-up.
+// In-flight operations against the restarting server fail with ErrStopped
+// and may be retried; sessions otherwise keep working transparently. It
+// requires Config.DataDir (an in-memory server would restart empty).
 func (s *Store) RestartServer(dc, partition int) error {
 	return s.inner.RestartServer(dc, partition)
 }
@@ -249,6 +304,32 @@ type Stats struct {
 	// memory, but acknowledged writes may no longer survive a crash — treat
 	// a non-empty value as an operational alarm (see Store.StorageErr).
 	StorageError string
+	// ReplicationLag is, per data center, the worst replication lag any of
+	// its partition servers observes against any remote DC: its own
+	// version-vector entry minus the last-applied remote entry, in time
+	// units. A link frozen by an in-flight catch-up shows up as growing
+	// lag.
+	ReplicationLag []time.Duration
+	// CatchUps counts completed inbound catch-up rounds (a replica detected
+	// a gap in a replication stream and resynchronized from its sibling's
+	// WAL); CatchUpsServed counts the streams shipped to lagging siblings.
+	// Both stay zero unless catch-up is enabled (Config.CatchUp).
+	CatchUps       uint64
+	CatchUpsServed uint64
+	// CatchUpsActive is the number of replication links currently frozen
+	// awaiting a catch-up stream.
+	CatchUpsActive int
+}
+
+// MaxReplicationLag returns the worst entry of ReplicationLag.
+func (s Stats) MaxReplicationLag() time.Duration {
+	var max time.Duration
+	for _, l := range s.ReplicationLag {
+		if l > max {
+			max = l
+		}
+	}
+	return max
 }
 
 // Stats aggregates the current server-side statistics.
@@ -258,6 +339,7 @@ func (s *Store) Stats() Stats {
 	stale := agg.GetStale
 	stale.Add(agg.TxStale)
 	storage := s.inner.StorageStats()
+	repl := s.inner.ReplicationStats()
 	st := Stats{
 		Operations:           blocking.Ops,
 		BlockedOperations:    blocking.Blocked,
@@ -267,6 +349,10 @@ func (s *Store) Stats() Stats {
 		PercentUnmergedReads: stale.PercentUnmerged(),
 		Keys:                 storage.Keys,
 		Versions:             storage.Versions,
+		ReplicationLag:       repl.LagPerDC,
+		CatchUps:             repl.CatchUpsCompleted,
+		CatchUpsServed:       repl.CatchUpsServed,
+		CatchUpsActive:       repl.CatchUpsActive,
 	}
 	if err := s.inner.StorageErr(); err != nil {
 		st.StorageError = err.Error()
