@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-recovery race-catchup check bench
+.PHONY: all vet build test race race-recovery race-catchup race-membership check bench
 
 all: check
 
@@ -10,8 +10,10 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest-source) order every run, keeping
+# the suites free of inter-test ordering dependencies.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Guards the fine-grained server locking: the packages that own or exercise
 # the lock-free hot path must stay race-clean.
@@ -28,7 +30,12 @@ race-recovery:
 race-catchup:
 	$(GO) test -race -count=1 -run 'CatchUp' ./internal/repl/... ./internal/cluster/...
 
-check: vet build test race race-recovery race-catchup
+# Guards dynamic membership: DC joins bootstrapped by catch-up under a live
+# causally-checked workload, graceful leaves, and the stabilization gate.
+race-membership:
+	$(GO) test -race -count=1 -run 'Membership|Join|Leave' ./internal/repl/... ./internal/cluster/... .
+
+check: vet build test race race-recovery race-catchup race-membership
 
 # Hot-path microbenchmarks (the numbers tracked across PRs).
 bench:

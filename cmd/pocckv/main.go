@@ -6,6 +6,12 @@
 //	pocckv -engine pocc -dcs 3 -partitions 8 -port 7070
 //
 // binds ports 7070 (DC0), 7071 (DC1) and 7072 (DC2).
+//
+// With -data-dir and -max-dcs headroom the deployment is elastic: the JOIN
+// admin command (or -join at startup) grows it by a data center that
+// bootstraps its full history from the existing DCs' write-ahead logs and
+// then serves on the next port, and LEAVE <dc> retires one, its history
+// surviving on the remaining DCs.
 package main
 
 import (
@@ -40,6 +46,8 @@ func run() int {
 		noFsync    = flag.Bool("no-fsync", false, "skip the per-commit fsync (faster, loses the latest commits on a machine crash)")
 		catchUp    = flag.String("catchup", "auto", "replication catch-up mode: auto (on when durable), on, off")
 		catchUpWin = flag.Int("catchup-max-inflight", 0, "max un-acked bytes per WAL-shipped catch-up stream (0 = 1 MiB)")
+		maxDCs     = flag.Int("max-dcs", 0, "DC-slot capacity for runtime joins via the JOIN admin command (0 = -dcs, fixed membership; needs -data-dir to join)")
+		join       = flag.Int("join", 0, "grow the deployment by this many DCs at startup through the membership protocol (needs -max-dcs headroom and -data-dir)")
 	)
 	flag.Parse()
 
@@ -81,6 +89,7 @@ func run() int {
 		NoFsync:            *noFsync,
 		CatchUp:            catchUpMode,
 		CatchUpMaxInFlight: *catchUpWin,
+		MaxDataCenters:     *maxDCs,
 	}
 	if !*tcp {
 		cfg.Latency = occ.AWSProfile(*latency)
@@ -99,7 +108,27 @@ func run() int {
 	}
 	defer srv.Close()
 
-	for dc := 0; dc < *dcs; dc++ {
+	// -join exercises elastic membership at startup: each new DC registers,
+	// bootstraps every partition's history from its siblings' WALs through
+	// the catch-up protocol, and gets its own listener once it is active.
+	for i := 0; i < *join; i++ {
+		dc, err := store.AddDataCenter()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := store.WaitForJoin(dc, time.Minute); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if _, err := srv.ServeDC(dc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("dc%d joined (bootstrapped via catch-up)\n", dc)
+	}
+
+	for dc := 0; dc < store.DataCenters(); dc++ {
 		fmt.Printf("dc%d listening on %s\n", dc, srv.Addr(dc))
 	}
 	if *dataDir != "" {

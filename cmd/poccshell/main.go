@@ -1,12 +1,13 @@
 // Command poccshell is an interactive shell over a POCC deployment: it
 // opens an in-process multi-DC store and lets you issue GETs, PUTs and
 // read-only transactions from sessions in different data centers, inject
-// and heal network partitions, and inspect statistics — a hands-on tour of
+// and heal network partitions, grow and shrink the deployment (join/leave,
+// with -max-dcs headroom), and inspect statistics — a hands-on tour of
 // optimistic causal consistency.
 //
 // Usage:
 //
-//	poccshell [-engine pocc|cure|hapocc] [-dcs 3] [-partitions 4]
+//	poccshell [-engine pocc|cure|hapocc] [-dcs 3] [-partitions 4] [-max-dcs 6]
 //
 // Then type "help".
 package main
@@ -30,6 +31,8 @@ func main() {
 		dcs        = flag.Int("dcs", 3, "number of data centers")
 		partitions = flag.Int("partitions", 4, "partitions per data center")
 		latency    = flag.Float64("latency", 0.05, "AWS latency scale (1.0 = real)")
+		maxDCs     = flag.Int("max-dcs", 0, "DC-slot capacity for the join command (0 = -dcs, fixed membership)")
+		dataDir    = flag.String("data-dir", "", "durable WAL-backed storage root (required for join; a temp dir is used when -max-dcs is set without it)")
 	)
 	flag.Parse()
 
@@ -38,12 +41,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	dir := *dataDir
+	if dir == "" && *maxDCs > *dcs {
+		// Joins bootstrap from the siblings' WALs, so an elastic shell needs
+		// durable storage even if the user did not ask for a specific root.
+		if dir, err = os.MkdirTemp("", "poccshell-*"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+	}
 	store, err := occ.Open(occ.Config{
-		DataCenters: *dcs,
-		Partitions:  *partitions,
-		Engine:      engine,
-		Latency:     occ.AWSProfile(*latency),
-		Seed:        uint64(time.Now().UnixNano()),
+		DataCenters:    *dcs,
+		Partitions:     *partitions,
+		Engine:         engine,
+		Latency:        occ.AWSProfile(*latency),
+		Seed:           uint64(time.Now().UnixNano()),
+		DataDir:        dir,
+		MaxDataCenters: *maxDCs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -138,6 +153,10 @@ func (sh *shell) exec(out io.Writer, line string) {
 		sh.cmdStats(out)
 	case "whereis":
 		sh.cmdWhereis(out, args)
+	case "join":
+		sh.cmdJoin(out)
+	case "leave":
+		sh.cmdLeave(out, args)
 	default:
 		fmt.Fprintf(out, "unknown command %q (try \"help\")\n", cmd)
 	}
@@ -151,6 +170,10 @@ const helpText = `commands:
   whereis <key>         show the partition a key maps to
   partition <a> <b>     cut all network links between DCs a and b
   heal <a> <b>          heal the links between DCs a and b
+  join                  grow the deployment by one DC (bootstraps its full
+                        history from the others via WAL catch-up; needs
+                        -max-dcs headroom)
+  leave <dc>            remove a DC (its history survives on the others)
   stats                 server-side blocking/staleness statistics
   quit                  exit
 `
@@ -161,7 +184,7 @@ func (sh *shell) cmdDC(out io.Writer, args []string) {
 		return
 	}
 	i, err := strconv.Atoi(args[0])
-	if err != nil || i < 0 || i >= len(sh.sessions) {
+	if err != nil || i < 0 || i >= len(sh.sessions) || sh.sessions[i] == nil {
 		fmt.Fprintf(out, "no data center %q (have 0..%d)\n", args[0], len(sh.sessions)-1)
 		return
 	}
@@ -248,7 +271,18 @@ func (sh *shell) cmdStats(out io.Writer) {
 		st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, sh.store.Messages())
 	fmt.Fprintf(out, "replication: max lag=%v catchups=%d served=%d active=%d\n",
 		st.MaxReplicationLag().Round(time.Microsecond), st.CatchUps, st.CatchUpsServed, st.CatchUpsActive)
+	for dst, row := range st.ReplicationLagPerLink {
+		for src, lag := range row {
+			if src != dst && lag > 0 {
+				fmt.Fprintf(out, "  link dc%d<-dc%d lag=%v\n", dst, src, lag.Round(time.Microsecond))
+			}
+		}
+	}
 	for i, s := range sh.sessions {
+		if s == nil {
+			fmt.Fprintf(out, "session dc%d: (left the deployment)\n", i)
+			continue
+		}
 		mode := "optimistic"
 		if s.Pessimistic() {
 			mode = "pessimistic"
@@ -256,6 +290,56 @@ func (sh *shell) cmdStats(out io.Writer) {
 		fmt.Fprintf(out, "session dc%d: %s (fallbacks=%d promotions=%d)\n",
 			i, mode, s.Fallbacks(), s.Promotions())
 	}
+}
+
+func (sh *shell) cmdJoin(out io.Writer) {
+	dc, err := sh.store.AddDataCenter()
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "dc%d starting: bootstrapping history via WAL catch-up...\n", dc)
+	start := time.Now()
+	if err := sh.store.WaitForJoin(dc, time.Minute); err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	sess, err := sh.store.Session(dc)
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	sh.sessions = append(sh.sessions, sess)
+	fmt.Fprintf(out, "dc%d joined and is active (%v); \"dc %d\" switches to it\n",
+		dc, time.Since(start).Round(time.Millisecond), dc)
+}
+
+func (sh *shell) cmdLeave(out io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(out, "usage: leave <dc>")
+		return
+	}
+	dc, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Fprintln(out, "data center must be a number")
+		return
+	}
+	if err := sh.store.RemoveDataCenter(dc); err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	if dc < len(sh.sessions) {
+		sh.sessions[dc] = nil
+	}
+	if sh.dc == dc {
+		for i, s := range sh.sessions {
+			if s != nil {
+				sh.dc = i
+				break
+			}
+		}
+	}
+	fmt.Fprintf(out, "dc%d left; its history lives on in the remaining DCs\n", dc)
 }
 
 func (sh *shell) cmdWhereis(out io.Writer, args []string) {

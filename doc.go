@@ -77,7 +77,31 @@
 // a server killed with unflushed replication buffers — or cut off from the
 // stream entirely — rejoins and converges without restarting the world.
 // Config.CatchUp selects the mode (enabled automatically for durable
-// deployments); Stats exposes per-DC replication lag and catch-up counters.
+// deployments); Stats exposes per-DC and per-link replication lag and
+// catch-up counters.
+//
+// # Dynamic membership
+//
+// The set of data centers is elastic: with Config.MaxDataCenters headroom
+// (vector capacity is reserved up front — the lock-free hot path cannot
+// repoint its atomic vectors) and durable storage, AddDataCenter grows a
+// running deployment. Each server of the joining DC sends a JoinRequest to
+// its sibling partition in every active DC; the sibling merges the joiner
+// into its epoch-stamped membership view — per-DC statuses Joining →
+// Active → Left, merged entry-wise as a lattice so concurrent changes
+// converge — and starts streaming live updates to it. The bootstrap is the
+// catch-up protocol itself: the joiner's first contact with each inbound
+// link pulls that DC's full history out of its write-ahead log, and the
+// joiner announces itself Active (and only then enters the stabilization
+// protocol, so a half-filled version vector never drags the GSS down) once
+// every link is synced; WaitForJoin blocks until then. RemoveDataCenter is
+// the reverse: each departing server flushes its replication buffer and
+// follows it with a LeaveNotice on the same FIFO links, so the survivors
+// hold the departed history in full, freeze its vector entries at the
+// announced final timestamp, and keep stabilizing without it. A departed
+// DC's id is never reused — its timestamps live on in the surviving
+// stores. The kvserver JOIN/LEAVE admin commands, pocckv -max-dcs/-join
+// and the poccshell join/leave commands expose the same operations.
 //
 // Quick start:
 //

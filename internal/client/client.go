@@ -21,6 +21,12 @@ import (
 	"repro/internal/vclock"
 )
 
+// ErrNoDataCenter is returned by operations on a session whose data center
+// has left the deployment (cluster.RemoveDC): the router no longer resolves
+// a server for it. The condition is permanent — open a session against a
+// surviving DC instead.
+var ErrNoDataCenter = errors.New("client: session's data center left the deployment")
+
 // Router maps keys to the partition servers of one data center.
 type Router interface {
 	// ServerFor returns the server responsible for key.
@@ -143,6 +149,9 @@ func (s *Session) GetReply(key string) (msg.ItemReply, error) {
 
 func (s *Session) getReply(key string) (msg.ItemReply, error) {
 	srv := s.cfg.Router.ServerFor(key)
+	if srv == nil {
+		return msg.ItemReply{}, ErrNoDataCenter
+	}
 	for {
 		mode, rdv := s.opContext()
 		s.injectLatency()
@@ -172,6 +181,9 @@ func (s *Session) Put(key string, value []byte) error {
 // source replica), which test checkers use to track real dependencies.
 func (s *Session) PutMeta(key string, value []byte) (vclock.Timestamp, int, error) {
 	srv := s.cfg.Router.ServerFor(key)
+	if srv == nil {
+		return 0, 0, ErrNoDataCenter
+	}
 	for {
 		s.mu.Lock()
 		mode := s.mode
@@ -221,6 +233,9 @@ func (s *Session) ROTx(keys []string) (map[string][]byte, error) {
 // ROTxReplies is ROTx returning full replies including causal metadata.
 func (s *Session) ROTxReplies(keys []string) ([]msg.ItemReply, error) {
 	coord := s.cfg.Router.Coordinator()
+	if coord == nil {
+		return nil, ErrNoDataCenter
+	}
 	for {
 		// The snapshot must include everything the client has read AND
 		// written (Proposition 4 of the paper assumes the client's writes are
@@ -268,7 +283,7 @@ func (s *Session) trackRead(r msg.ItemReply) {
 	defer s.mu.Unlock()
 	s.rdv.MaxInPlace(r.Deps)
 	s.dv.MaxInPlace(s.rdv)
-	if r.UpdateTime > s.dv[r.SrcReplica] {
+	if r.SrcReplica >= 0 && r.SrcReplica < len(s.dv) && r.UpdateTime > s.dv[r.SrcReplica] {
 		s.dv[r.SrcReplica] = r.UpdateTime
 	}
 }
@@ -301,7 +316,11 @@ func (s *Session) maybePromote() {
 	if s.mode != core.Pessimistic {
 		return
 	}
-	if !s.cfg.Router.Coordinator().Suspected() {
+	coord := s.cfg.Router.Coordinator()
+	if coord == nil {
+		return
+	}
+	if !coord.Suspected() {
 		// Promotion re-initializes the session like fallback does: the
 		// pessimistic dependency state is safe to carry forward (it is
 		// stable), so it is kept.

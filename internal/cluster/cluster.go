@@ -114,6 +114,13 @@ type Config struct {
 	// CatchUpMaxInFlight bounds the un-acked bytes per outbound catch-up
 	// stream (0 = 1 MiB): the sender's backpressure window.
 	CatchUpMaxInFlight int
+	// MaxDCs reserves capacity for data centers joining at runtime (AddDC):
+	// every server's version vector is sized to it up front, because the
+	// lock-free hot path cannot repoint vectors. 0 means NumDCs — fixed
+	// membership, the pre-membership footprint. A departed DC's id is never
+	// reused, so the capacity bounds the total number of joins over the
+	// deployment's lifetime, not the concurrent member count.
+	MaxDCs int
 }
 
 // CatchUpMode selects the replication catch-up behavior (Config.CatchUp).
@@ -163,13 +170,14 @@ func (c *Config) withDefaults() Config {
 
 // Cluster is a running deployment.
 type Cluster struct {
-	cfg      Config
-	net      *netemu.Network // nil in TCP mode
-	tcpNodes []*tcpnet.Node  // nil in emulated mode
+	cfg    Config
+	maxDCs int
+	net    *netemu.Network // nil in TCP mode
 
-	// servers is the [dc][partition] matrix; entries are atomic pointers so
-	// sessions resolve the current server lock-free per operation while
-	// RestartServer swaps one underneath them.
+	// servers is the [dc][partition] matrix, pre-allocated to MaxDCs rows so
+	// AddDC never reshapes it; entries are atomic pointers so sessions
+	// resolve the current server lock-free per operation while RestartServer
+	// swaps one underneath them (and RemoveDC clears a whole row).
 	servers    [][]atomic.Pointer[core.Server]
 	transports [][]core.Transport
 	relays     [][]*relay // non-nil only for durable (restartable) clusters
@@ -177,6 +185,16 @@ type Cluster struct {
 	mx         [][]*core.Metrics // [dc][partition]
 	seedSeq    atomic.Uint64     // timestamps for pre-loaded data
 	rr         atomic.Uint64     // round-robin coordinator placement
+
+	// memberMu guards the deployment's membership mirror — the admin-side
+	// record of which DC slots exist and their statuses — plus the TCP
+	// directory and node list, which AddDC extends at runtime.
+	memberMu sync.Mutex
+	status   []uint8                  // per-DC membership status (msg.DC*), len maxDCs
+	epoch    uint64                   // membership view epoch handed to new/restarted servers
+	tcpNodes []*tcpnet.Node           // nil in emulated mode
+	tcpDir   map[netemu.NodeID]string // TCP address directory (TCP mode)
+	dcs      atomic.Int32             // DC slots created so far (monotone)
 }
 
 // relay sits between the network endpoint and a restartable server. The
@@ -201,11 +219,15 @@ type relay struct {
 }
 
 // isReplPlane reports whether m belongs to the replication plane — the
-// messages a crashed or cut-off receiver genuinely loses.
+// messages a crashed or cut-off receiver genuinely loses. Membership
+// traffic rides the same plane: a dead machine hears of no joins or leaves
+// either (views re-converge afterwards through the lattice merge and the
+// joiner's re-sent requests).
 func isReplPlane(m any) bool {
 	switch m.(type) {
 	case msg.Replicate, msg.ReplicateBatch, msg.Heartbeat,
-		msg.CatchUpRequest, msg.CatchUpReply, msg.CatchUpAck:
+		msg.CatchUpRequest, msg.CatchUpReply, msg.CatchUpAck,
+		msg.JoinRequest, msg.JoinAccept, msg.MembershipUpdate, msg.LeaveNotice:
 		return true
 	}
 	return false
@@ -239,7 +261,14 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Engine != POCC && cfg.Engine != Cure && cfg.Engine != HAPOCC {
 		return nil, errors.New("cluster: unknown engine")
 	}
-	c := &Cluster{cfg: cfg}
+	if cfg.MaxDCs != 0 && cfg.MaxDCs < cfg.NumDCs {
+		return nil, fmt.Errorf("cluster: MaxDCs %d below NumDCs %d", cfg.MaxDCs, cfg.NumDCs)
+	}
+	maxDCs := cfg.MaxDCs
+	if maxDCs == 0 {
+		maxDCs = cfg.NumDCs
+	}
+	c := &Cluster{cfg: cfg, maxDCs: maxDCs, status: make([]uint8, maxDCs)}
 	var transports map[netemu.NodeID]core.Transport
 	if cfg.TCP {
 		var err error
@@ -255,18 +284,17 @@ func New(cfg Config) (*Cluster, error) {
 		})
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xc105))
-	c.servers = make([][]atomic.Pointer[core.Server], cfg.NumDCs)
-	c.transports = make([][]core.Transport, cfg.NumDCs)
-	c.skews = make([][]time.Duration, cfg.NumDCs)
-	c.mx = make([][]*core.Metrics, cfg.NumDCs)
+	// The matrices hold a row for every DC slot that may ever exist, so
+	// AddDC only fills entries in and the lock-free Server lookup never
+	// races a reshape.
+	c.servers = make([][]atomic.Pointer[core.Server], maxDCs)
+	c.transports = make([][]core.Transport, maxDCs)
+	c.skews = make([][]time.Duration, maxDCs)
+	c.mx = make([][]*core.Metrics, maxDCs)
 	if cfg.DataDir != "" {
-		c.relays = make([][]*relay, cfg.NumDCs)
+		c.relays = make([][]*relay, maxDCs)
 	}
-
-	// First pass: register every node's transport (and relay) before any
-	// server starts. A started server heartbeats its siblings immediately,
-	// so every endpoint must exist before the first server comes up.
-	for dc := 0; dc < cfg.NumDCs; dc++ {
+	for dc := 0; dc < maxDCs; dc++ {
 		c.servers[dc] = make([]atomic.Pointer[core.Server], cfg.NumPartitions)
 		c.transports[dc] = make([]core.Transport, cfg.NumPartitions)
 		c.skews[dc] = make([]time.Duration, cfg.NumPartitions)
@@ -274,6 +302,14 @@ func New(cfg Config) (*Cluster, error) {
 		if c.relays != nil {
 			c.relays[dc] = make([]*relay, cfg.NumPartitions)
 		}
+	}
+
+	// First pass: register every initial node's transport (and relay) before
+	// any server starts. A started server heartbeats its siblings
+	// immediately, so every endpoint must exist before the first server
+	// comes up.
+	for dc := 0; dc < cfg.NumDCs; dc++ {
+		c.status[dc] = msg.DCActive
 		for p := 0; p < cfg.NumPartitions; p++ {
 			id := netemu.NodeID{DC: dc, Partition: p}
 			if cfg.ClockSkew > 0 {
@@ -296,6 +332,7 @@ func New(cfg Config) (*Cluster, error) {
 			c.mx[dc][p] = &core.Metrics{}
 		}
 	}
+	c.dcs.Store(int32(cfg.NumDCs))
 	// Second pass: start the servers.
 	for dc := 0; dc < cfg.NumDCs; dc++ {
 		for p := 0; p < cfg.NumPartitions; p++ {
@@ -314,6 +351,20 @@ func New(cfg Config) (*Cluster, error) {
 // reusing the node's transport, clock skew and metrics — the pieces that
 // survive a RestartServer.
 func (c *Cluster) serverConfig(dc, p int) core.Config {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	// A server restarted while its DC is still bootstrapping resumes the
+	// join: it must re-request, re-sync every link and re-announce — a
+	// restart must not let a half-bootstrapped replica skip the
+	// stabilization gate.
+	return c.serverConfigLocked(dc, p, c.status[dc] == msg.DCJoining)
+}
+
+// serverConfigLocked is serverConfig with memberMu held: the membership
+// mirror (DC count, statuses, epoch) feeds the server's initial view, so a
+// server started or restarted after the deployment grew or shrank begins
+// from reality instead of the seed layout.
+func (c *Cluster) serverConfigLocked(dc, p int, joining bool) core.Config {
 	mode := core.Optimistic
 	stab := c.cfg.StabilizationInterval
 	blockTimeout := time.Duration(0)
@@ -329,9 +380,13 @@ func (c *Cluster) serverConfig(dc, p int) core.Config {
 	if c.cfg.DataDir != "" {
 		dataDir = filepath.Join(c.cfg.DataDir, fmt.Sprintf("dc%d-p%d", dc, p))
 	}
+	numDCs := int(c.dcs.Load())
+	if numDCs < c.cfg.NumDCs {
+		numDCs = c.cfg.NumDCs
+	}
 	return core.Config{
 		ID:                       netemu.NodeID{DC: dc, Partition: p},
-		NumDCs:                   c.cfg.NumDCs,
+		NumDCs:                   numDCs,
 		NumPartitions:            c.cfg.NumPartitions,
 		Clock:                    clock.New(c.skews[dc][p]),
 		Endpoint:                 c.transports[dc][p],
@@ -347,7 +402,13 @@ func (c *Cluster) serverConfig(dc, p int) core.Config {
 		DurableOptions:           c.cfg.Durable,
 		CatchUp:                  c.catchUp(),
 		CatchUpMaxInFlight:       c.cfg.CatchUpMaxInFlight,
-		Metrics:                  c.mx[dc][p],
+		MaxDCs:                   c.maxDCs,
+		Joining:                  joining,
+		Membership: msg.Membership{
+			Epoch:  c.epoch,
+			Status: append([]uint8(nil), c.status[:numDCs]...),
+		},
+		Metrics: c.mx[dc][p],
 	}
 }
 
@@ -378,6 +439,13 @@ func (c *Cluster) RestartServer(dc, p int) error {
 	if c.relays == nil {
 		return errors.New("cluster: RestartServer requires Config.DataDir (durable engines)")
 	}
+	if dc < 0 || dc >= len(c.relays) || p < 0 || p >= c.cfg.NumPartitions || c.relays[dc][p] == nil {
+		return fmt.Errorf("cluster: no server dc%d-p%d (DC never joined)", dc, p)
+	}
+	old := c.Server(dc, p)
+	if old == nil {
+		return fmt.Errorf("cluster: no running server dc%d-p%d (DC departed)", dc, p)
+	}
 	crash := c.catchUp()
 	rl := c.relays[dc][p]
 	if crash {
@@ -391,9 +459,9 @@ func (c *Cluster) RestartServer(dc, p int) error {
 	rl.gate.Lock() // drain in-flight request deliveries, pause new ones
 	defer rl.gate.Unlock()
 	if crash {
-		c.Server(dc, p).Crash()
+		old.Crash()
 	} else {
-		c.Server(dc, p).Close()
+		old.Close()
 	}
 	srv, err := core.NewServer(c.serverConfig(dc, p))
 	if err != nil {
@@ -419,13 +487,193 @@ func (c *Cluster) DropInboundReplication(dc, p int, drop bool) error {
 	return nil
 }
 
+// AddDC grows the deployment by one data center: it registers the new DC's
+// endpoints, starts its partition servers in joining mode, and returns the
+// new DC id. The joiners bootstrap themselves — each sends a JoinRequest to
+// its sibling partition in every active DC, pulls that sibling's history
+// through WAL-shipped catch-up, and announces itself Active once every
+// inbound link is synced (see internal/repl). AddDC returns as soon as the
+// servers are up; use WaitForJoin to block until the bootstrap finished.
+//
+// It requires Config.DataDir: the join bootstrap is the catch-up protocol,
+// which streams history out of the siblings' write-ahead logs — an
+// in-memory deployment has nothing to bootstrap a joiner from. The
+// deployment must have MaxDCs headroom; a departed DC's slot is never
+// reused.
+func (c *Cluster) AddDC() (int, error) {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	if c.cfg.DataDir == "" {
+		return 0, errors.New("cluster: AddDC requires Config.DataDir (joiners bootstrap from the siblings' WALs)")
+	}
+	if !c.catchUp() {
+		return 0, errors.New("cluster: AddDC requires catch-up (CatchUpOff disables the join bootstrap)")
+	}
+	dc := int(c.dcs.Load())
+	if dc >= c.maxDCs {
+		return 0, fmt.Errorf("cluster: no MaxDCs headroom left (capacity %d used up)", c.maxDCs)
+	}
+	// Register the new DC's endpoints (and relays) before any server — ours
+	// or a sibling answering a JoinRequest — can address them.
+	rng := rand.New(rand.NewPCG(c.cfg.Seed, 0xadd<<16|uint64(dc)))
+	for p := 0; p < c.cfg.NumPartitions; p++ {
+		id := netemu.NodeID{DC: dc, Partition: p}
+		if c.cfg.ClockSkew > 0 {
+			c.skews[dc][p] = time.Duration(rng.Int64N(int64(2*c.cfg.ClockSkew))) - c.cfg.ClockSkew
+		}
+		var transport core.Transport
+		if c.cfg.TCP {
+			node, err := tcpnet.Listen(id, "127.0.0.1:0")
+			if err != nil {
+				return 0, fmt.Errorf("cluster: join dc%d: %w", dc, err)
+			}
+			c.tcpNodes = append(c.tcpNodes, node)
+			c.tcpDir[id] = node.Addr()
+			transport = node
+		} else {
+			transport = c.net.Register(id, nil)
+		}
+		rl := newRelay(transport) // DataDir is required, so relays exist
+		c.relays[dc][p] = rl
+		c.transports[dc][p] = rl
+		c.mx[dc][p] = &core.Metrics{}
+	}
+	if c.cfg.TCP {
+		// Every node — old and new — needs the extended directory before the
+		// first send to or from the new DC.
+		for _, n := range c.tcpNodes {
+			n.Connect(c.tcpDir)
+		}
+	}
+	c.epoch++
+	c.status[dc] = msg.DCJoining
+	c.dcs.Store(int32(dc + 1))
+	for p := 0; p < c.cfg.NumPartitions; p++ {
+		srv, err := core.NewServer(c.serverConfigLocked(dc, p, true))
+		if err != nil {
+			// Unwind the half-started DC: the servers already running
+			// announce their departure (so siblings that merged the join
+			// drop the dead links) and close; the id stays burned.
+			for q := 0; q < p; q++ {
+				if started := c.servers[dc][q].Swap(nil); started != nil {
+					started.AnnounceLeave()
+					started.Close()
+				}
+			}
+			c.status[dc] = msg.DCLeft
+			c.epoch++
+			return 0, fmt.Errorf("cluster: join dc%d-p%d: %w", dc, p, err)
+		}
+		c.servers[dc][p].Store(srv)
+	}
+	return dc, nil
+}
+
+// WaitForJoin blocks until every partition server of dc has finished its
+// bootstrap — every inbound link synced via catch-up and the DC announced
+// Active — or the timeout expires. On success the admin-side membership
+// mirror is promoted too, so servers restarted later start from the settled
+// view.
+func (c *Cluster) WaitForJoin(dc int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for p := 0; p < c.cfg.NumPartitions; p++ {
+			srv := c.Server(dc, p)
+			if srv == nil || !srv.Bootstrapped() {
+				done = false
+				break
+			}
+		}
+		if done {
+			c.memberMu.Lock()
+			if c.status[dc] == msg.DCJoining {
+				c.status[dc] = msg.DCActive
+				c.epoch++
+			}
+			c.memberMu.Unlock()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: dc%d did not finish joining within %v (catch-up stats %+v)",
+				dc, timeout, c.ReplicationStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// RemoveDC removes a data center from the deployment. Each of its partition
+// servers announces the departure — flushing its replication buffer and
+// following it with a LeaveNotice on the same FIFO links, so the surviving
+// DCs hold the departed history in full and freeze its version-vector
+// entries at the announced final timestamps — and is then closed. The slot
+// is retired for good: its id is never reused (its timestamps live on in
+// the survivors' stores), sessions pinned to it fail their next operation,
+// and stabilization on the survivors keeps advancing because nothing can
+// depend on the departed DC beyond its final timestamp.
+func (c *Cluster) RemoveDC(dc int) error {
+	c.memberMu.Lock()
+	if dc < 0 || dc >= int(c.dcs.Load()) {
+		c.memberMu.Unlock()
+		return fmt.Errorf("cluster: no data center %d", dc)
+	}
+	if c.status[dc] == msg.DCLeft {
+		c.memberMu.Unlock()
+		return fmt.Errorf("cluster: dc%d already left", dc)
+	}
+	live := 0
+	for _, st := range c.status {
+		if st == msg.DCActive || st == msg.DCJoining {
+			live++
+		}
+	}
+	if live <= 1 {
+		c.memberMu.Unlock()
+		return errors.New("cluster: cannot remove the last data center")
+	}
+	c.status[dc] = msg.DCLeft
+	c.epoch++
+	c.memberMu.Unlock()
+	for p := 0; p < c.cfg.NumPartitions; p++ {
+		srv := c.servers[dc][p].Swap(nil)
+		if srv == nil {
+			continue // half-started join slot; nothing ever ran here
+		}
+		srv.AnnounceLeave()
+		srv.Close()
+	}
+	return nil
+}
+
+// NumDCs returns the number of data-center slots created so far, including
+// departed ones (slots are never reused, so this is also one past the
+// highest DC id). Use Membership for per-DC statuses.
+func (c *Cluster) NumDCs() int { return int(c.dcs.Load()) }
+
+// MaxDCs returns the deployment's DC-slot capacity.
+func (c *Cluster) MaxDCs() int { return c.maxDCs }
+
+// Membership returns the admin-side membership mirror. The authoritative
+// views live on the servers (core.Server.Membership) and converge through
+// the join/leave protocol; the mirror is what new and restarted servers are
+// seeded with.
+func (c *Cluster) Membership() msg.Membership {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	return msg.Membership{Epoch: c.epoch, Status: append([]uint8(nil), c.status...)}
+}
+
 // StorageErr returns the first sticky persistence error reported by any
 // server's engine, or nil. Durable deployments should poll it: a failed
 // engine keeps serving from memory but no longer survives a crash.
 func (c *Cluster) StorageErr() error {
-	for dc := 0; dc < c.cfg.NumDCs; dc++ {
+	for dc := 0; dc < c.NumDCs(); dc++ {
 		for p := 0; p < c.cfg.NumPartitions; p++ {
-			if err := c.Server(dc, p).StorageErr(); err != nil {
+			srv := c.Server(dc, p)
+			if srv == nil {
+				continue // departed DC
+			}
+			if err := srv.StorageErr(); err != nil {
 				return fmt.Errorf("cluster: dc%d-p%d storage: %w", dc, p, err)
 			}
 		}
@@ -438,9 +686,13 @@ func (c *Cluster) StorageErr() error {
 // consistent per shard.
 func (c *Cluster) StorageStats() storage.StoreStats {
 	var st storage.StoreStats
-	for dc := 0; dc < c.cfg.NumDCs; dc++ {
+	for dc := 0; dc < c.NumDCs(); dc++ {
 		for p := 0; p < c.cfg.NumPartitions; p++ {
-			es := c.Server(dc, p).Store().Stats()
+			srv := c.Server(dc, p)
+			if srv == nil {
+				continue // departed DC
+			}
+			es := srv.Store().Stats()
 			st.Keys += es.Keys
 			st.Versions += es.Versions
 		}
@@ -456,6 +708,11 @@ type ReplicationStats struct {
 	// version-vector entry minus the remote one, in time units. A link
 	// frozen by an in-flight catch-up shows up here as growing lag.
 	LagPerDC []time.Duration
+	// LagPerLink breaks the lag down by link: LagPerLink[dst][src] is the
+	// worst lag any partition server of DC dst observes on its inbound
+	// stream from DC src (zero on the diagonal, for departed DCs, and for
+	// slots that never joined). LagPerDC[dst] is the row maximum.
+	LagPerLink [][]time.Duration
 	// CatchUpsRequested / CatchUpsCompleted count inbound catch-up rounds
 	// started and finished across all servers; CatchUpsServed counts the
 	// WAL-shipped streams served to lagging siblings.
@@ -480,11 +737,22 @@ func (r ReplicationStats) MaxLag() time.Duration {
 // ReplicationStats samples every server's replication lag and catch-up
 // counters.
 func (c *Cluster) ReplicationStats() ReplicationStats {
-	st := ReplicationStats{LagPerDC: make([]time.Duration, c.cfg.NumDCs)}
-	for dc := 0; dc < c.cfg.NumDCs; dc++ {
+	dcs := c.NumDCs()
+	st := ReplicationStats{
+		LagPerDC:   make([]time.Duration, dcs),
+		LagPerLink: make([][]time.Duration, dcs),
+	}
+	for dc := 0; dc < dcs; dc++ {
+		st.LagPerLink[dc] = make([]time.Duration, dcs)
 		for p := 0; p < c.cfg.NumPartitions; p++ {
 			srv := c.Server(dc, p)
-			for _, lag := range srv.ReplicationLag() {
+			if srv == nil {
+				continue // departed DC
+			}
+			for src, lag := range srv.ReplicationLag() {
+				if src < dcs && lag > st.LagPerLink[dc][src] {
+					st.LagPerLink[dc][src] = lag
+				}
 				if lag > st.LagPerDC[dc] {
 					st.LagPerDC[dc] = lag
 				}
@@ -502,7 +770,7 @@ func (c *Cluster) ReplicationStats() ReplicationStats {
 // buildTCPTransports binds a loopback TCP node for every server and
 // distributes the address directory.
 func (c *Cluster) buildTCPTransports() (map[netemu.NodeID]core.Transport, error) {
-	directory := make(map[netemu.NodeID]string)
+	c.tcpDir = make(map[netemu.NodeID]string)
 	out := make(map[netemu.NodeID]core.Transport)
 	for dc := 0; dc < c.cfg.NumDCs; dc++ {
 		for p := 0; p < c.cfg.NumPartitions; p++ {
@@ -515,12 +783,12 @@ func (c *Cluster) buildTCPTransports() (map[netemu.NodeID]core.Transport, error)
 				return nil, fmt.Errorf("cluster: %w", err)
 			}
 			c.tcpNodes = append(c.tcpNodes, node)
-			directory[id] = node.Addr()
+			c.tcpDir[id] = node.Addr()
 			out[id] = node
 		}
 	}
 	for _, n := range c.tcpNodes {
-		n.Connect(directory)
+		n.Connect(c.tcpDir)
 	}
 	return out, nil
 }
@@ -538,7 +806,10 @@ func (c *Cluster) Close() {
 	if c.net != nil {
 		c.net.Close()
 	}
-	for _, n := range c.tcpNodes {
+	c.memberMu.Lock()
+	nodes := c.tcpNodes
+	c.memberMu.Unlock()
+	for _, n := range nodes {
 		n.Close()
 	}
 }
@@ -556,17 +827,24 @@ func (c *Cluster) Messages() uint64 {
 	if c.net != nil {
 		return c.net.MessageCount()
 	}
+	c.memberMu.Lock()
+	nodes := c.tcpNodes
+	c.memberMu.Unlock()
 	var total uint64
-	for _, n := range c.tcpNodes {
+	for _, n := range nodes {
 		total += n.Sent()
 	}
 	return total
 }
 
 // Server returns the partition server p of data center dc (the current one,
-// if the node has been restarted). The lookup is a lock-free atomic load, so
-// the per-operation routing of sessions costs nothing extra.
+// if the node has been restarted), or nil for a DC that departed or never
+// joined. The lookup is a lock-free atomic load, so the per-operation
+// routing of sessions costs nothing extra.
 func (c *Cluster) Server(dc, p int) *core.Server {
+	if dc < 0 || dc >= len(c.servers) || p < 0 || p >= len(c.servers[dc]) {
+		return nil
+	}
 	return c.servers[dc][p].Load()
 }
 
@@ -595,7 +873,7 @@ func (r *dcRouter) PartitionOf(key string) int {
 // coordinator is chosen round-robin, emulating clients collocated with
 // servers.
 func (c *Cluster) NewSession(dc int) (*client.Session, error) {
-	if dc < 0 || dc >= c.cfg.NumDCs {
+	if dc < 0 || dc >= c.NumDCs() || c.Server(dc, 0) == nil {
 		return nil, fmt.Errorf("cluster: no data center %d", dc)
 	}
 	coord := int(c.rr.Add(1) % uint64(c.cfg.NumPartitions))
@@ -604,8 +882,11 @@ func (c *Cluster) NewSession(dc int) (*client.Session, error) {
 		mode = core.Pessimistic
 	}
 	return client.NewSession(client.Config{
-		Router:         &dcRouter{c: c, dc: dc, coord: coord},
-		NumDCs:         c.cfg.NumDCs,
+		Router: &dcRouter{c: c, dc: dc, coord: coord},
+		// Dependency vectors are sized to the deployment's capacity, not its
+		// current width, so a session opened before a DC joins tracks the
+		// joiner's writes without resizing mid-flight.
+		NumDCs:         c.maxDCs,
 		Mode:           mode,
 		RequestLatency: c.cfg.SessionLatency,
 		AutoFallback:   c.cfg.Engine == HAPOCC,
@@ -619,15 +900,19 @@ func (c *Cluster) NewSession(dc int) (*client.Session, error) {
 func (c *Cluster) Seed(key string, value []byte) {
 	ut := vclock.Timestamp(c.seedSeq.Add(1))
 	p := c.PartitionOf(key)
-	for dc := 0; dc < c.cfg.NumDCs; dc++ {
+	for dc := 0; dc < c.NumDCs(); dc++ {
+		srv := c.Server(dc, p)
+		if srv == nil {
+			continue // departed DC
+		}
 		v := &item.Version{
 			Key:        key,
 			Value:      append([]byte(nil), value...),
 			SrcReplica: 0,
 			UpdateTime: ut,
-			Deps:       vclock.New(c.cfg.NumDCs),
+			Deps:       vclock.New(c.maxDCs),
 		}
-		c.Server(dc, p).Store().Insert(v)
+		srv.Store().Insert(v)
 	}
 }
 
@@ -663,6 +948,9 @@ func (c *Cluster) Metrics() Aggregate {
 	var agg Aggregate
 	for dc := range c.mx {
 		for _, m := range c.mx[dc] {
+			if m == nil {
+				continue // DC slot never joined
+			}
 			agg.GetBlocking.Add(m.GetBlocking.Snapshot())
 			agg.PutBlocking.Add(m.PutBlocking.Snapshot())
 			agg.TxBlocking.Add(m.TxBlocking.Snapshot())
@@ -677,5 +965,8 @@ func (c *Cluster) Metrics() Aggregate {
 // vector (monitoring helper for tests and examples).
 func (c *Cluster) ReadAt(dc int, key string) (msg.ItemReply, error) {
 	srv := c.Server(dc, c.PartitionOf(key))
-	return srv.Get(key, vclock.New(c.cfg.NumDCs), core.Optimistic)
+	if srv == nil {
+		return msg.ItemReply{}, fmt.Errorf("cluster: no data center %d", dc)
+	}
+	return srv.Get(key, vclock.New(c.maxDCs), core.Optimistic)
 }

@@ -168,6 +168,23 @@ type Config struct {
 	// CatchUpMaxInFlight bounds the un-acked catch-up bytes per outbound
 	// stream (0 = default 1 MiB).
 	CatchUpMaxInFlight int
+	// MaxDCs caps the data-center ids this server can ever track: the
+	// version-vector and GSS capacity, reserved up front because the hot
+	// path reads those vectors lock-free and cannot repoint them. 0 means
+	// NumDCs — fixed membership, the pre-membership behavior and footprint.
+	// Headroom beyond NumDCs lets whole DCs join at runtime (internal/repl
+	// membership); a departed DC's id is never reused.
+	MaxDCs int
+	// Joining marks this server's DC as bootstrapping into an existing
+	// deployment: its replication manager pulls every partition's history
+	// from its siblings through WAL-shipped catch-up, and the stabilization
+	// loop does not start — this server contributes nothing to the GSS —
+	// until the bootstrap completes. Requires CatchUp.
+	Joining bool
+	// Membership is the initial membership view (zero value: the first
+	// NumDCs DCs are active). Deployments that grew or shrank pass the
+	// current view so restarted and joining servers start from reality.
+	Membership msg.Membership
 	// Metrics receives the server's statistics; required.
 	Metrics *Metrics
 }
@@ -194,7 +211,18 @@ func (c *Config) validate() error {
 	if c.CatchUpMaxInFlight < 0 {
 		return errors.New("core: CatchUpMaxInFlight must be >= 0")
 	}
+	if c.MaxDCs != 0 && c.MaxDCs < c.NumDCs {
+		return fmt.Errorf("core: MaxDCs %d below NumDCs %d", c.MaxDCs, c.NumDCs)
+	}
 	return nil
+}
+
+// maxDCs resolves the version-vector capacity.
+func (c *Config) maxDCs() int {
+	if c.MaxDCs != 0 {
+		return c.MaxDCs
+	}
+	return c.NumDCs
 }
 
 // atomicVC is a vector clock whose entries are read and written atomically,
@@ -324,13 +352,21 @@ func (l *waitList) wake() {
 
 // Server is one partition replica p_n^m.
 type Server struct {
-	cfg   Config
-	m     int // data center id
-	n     int // partition id
-	clk   *clock.Clock
-	ep    Transport
-	store storage.Engine
-	mx    *Metrics
+	cfg    Config
+	m      int // data center id
+	n      int // partition id
+	maxDCs int // version-vector capacity (DC ids this server can track)
+	clk    *clock.Clock
+	ep     Transport
+	store  storage.Engine
+	mx     *Metrics
+
+	// joined closes when this server's DC finishes bootstrapping into the
+	// deployment (immediately for ordinary members). The stabilization loop
+	// of a joining server waits on it: a half-bootstrapped replica must not
+	// inject its partial version vector into the GSS.
+	joined     chan struct{}
+	joinedOnce sync.Once
 
 	vv  *atomicVC // version vector VV_n^m; lock-free reads
 	gss *atomicVC // globally stable snapshot (pessimistic/HA); lock-free reads
@@ -398,26 +434,33 @@ func NewServer(cfg Config) (*Server, error) {
 			eng = storage.New()
 		}
 	}
+	maxDCs := cfg.maxDCs()
 	s := &Server{
 		cfg:       cfg,
 		m:         cfg.ID.DC,
 		n:         cfg.ID.Partition,
+		maxDCs:    maxDCs,
 		clk:       cfg.Clock,
 		ep:        cfg.Endpoint,
 		store:     eng,
 		mx:        cfg.Metrics,
-		vv:        newAtomicVC(cfg.NumDCs),
-		gss:       newAtomicVC(cfg.NumDCs),
+		joined:    make(chan struct{}),
+		vv:        newAtomicVC(maxDCs),
+		gss:       newAtomicVC(maxDCs),
 		peerVV:    make([]vclock.VC, cfg.NumPartitions),
 		gcContrib: make([]vclock.VC, cfg.NumPartitions),
 		activeTx:  make(map[uint64]vclock.VC),
 		pendingTx: make(map[uint64]*txPending),
 		stop:      make(chan struct{}),
 	}
+	if !cfg.Joining {
+		close(s.joined)
+		s.joinedOnce.Do(func() {})
+	}
 	s.vvWaiters.vec = s.vv
 	s.gssWaiters.vec = s.gss
 	for i := range s.peerVV {
-		s.peerVV[i] = vclock.New(cfg.NumDCs)
+		s.peerVV[i] = vclock.New(maxDCs)
 		s.gcContrib[i] = nil // unknown until first exchange
 	}
 	// A recovered engine replays a version-vector floor: every entry must be
@@ -431,7 +474,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if rec, ok := eng.(storage.Recovered); ok {
 		var maxFloor vclock.Timestamp
 		for i, t := range rec.RecoveredVV() {
-			if i < cfg.NumDCs {
+			if i < maxDCs {
 				s.vv.raiseTo(i, t)
 			}
 			if t > maxFloor {
@@ -463,6 +506,9 @@ func NewServer(cfg Config) (*Server, error) {
 		CatchUp:           cfg.CatchUp,
 		Source:            src,
 		MaxInFlightBytes:  cfg.CatchUpMaxInFlight,
+		MaxDCs:            cfg.MaxDCs,
+		Joining:           cfg.Joining,
+		Membership:        cfg.Membership,
 	})
 	if err != nil {
 		_ = eng.Close()
@@ -543,13 +589,16 @@ func (s *Server) VV() vclock.VC { return s.vv.snapshot() }
 // ReplicationLag reports, per remote data center, how far that DC's update
 // stream trails this server's own progress: the local version-vector entry
 // minus the remote one, in time units (timestamps are physical
-// nanoseconds). The local DC's entry is zero. A frozen entry (catch-up in
-// progress) shows up as growing lag.
+// nanoseconds). The local DC's entry is zero, as are the entries of DCs
+// that are not members (never joined, or departed — a departed entry is
+// frozen by design and would otherwise read as unbounded lag). A frozen
+// entry (catch-up in progress) shows up as growing lag.
 func (s *Server) ReplicationLag() []time.Duration {
-	lag := make([]time.Duration, s.cfg.NumDCs)
+	lag := make([]time.Duration, s.maxDCs)
+	view := s.repl.View()
 	local := s.vv.get(s.m)
 	for dc := range lag {
-		if dc == s.m {
+		if dc == s.m || !view.IsMember(dc) {
 			continue
 		}
 		if remote := s.vv.get(dc); remote < local {
@@ -558,6 +607,22 @@ func (s *Server) ReplicationLag() []time.Duration {
 	}
 	return lag
 }
+
+// Membership returns the server's current epoch-stamped membership view.
+func (s *Server) Membership() msg.Membership { return s.repl.View() }
+
+// Bootstrapped reports whether this server participates fully in
+// replication: always true for ordinary members; for a server started with
+// Config.Joining it turns true once every active inbound link has been
+// synced via catch-up and the DC announced itself Active.
+func (s *Server) Bootstrapped() bool { return s.repl.Bootstrapped() }
+
+// AnnounceLeave announces this server's departure from the deployment: the
+// replication buffer is flushed and a LeaveNotice follows it on every link,
+// so sibling DCs hold the complete local history and drop this DC from
+// their fan-out. The server keeps serving until Close; it returns the final
+// announced timestamp.
+func (s *Server) AnnounceLeave() vclock.Timestamp { return s.repl.Leave() }
 
 // CatchUpStats returns the replication manager's catch-up counters.
 func (s *Server) CatchUpStats() repl.Stats { return s.repl.Stats() }
@@ -649,7 +714,7 @@ func (s *Server) Put(key string, value []byte, dv vclock.VC, mode Mode) (vclock.
 		Optimistic: mode == Optimistic,
 	}
 	if d.Deps == nil {
-		d.Deps = vclock.New(s.cfg.NumDCs)
+		d.Deps = vclock.New(s.maxDCs)
 	}
 
 	// Publish runs the write path under the replication manager's outbound
@@ -702,6 +767,13 @@ func (b *replBackend) RaiseVV(dc int, t vclock.Timestamp) {
 	if s.vv.raiseTo(dc, t) {
 		s.vvWaiters.wake()
 	}
+}
+
+// Joined releases the stabilization loop of a joining server: its bootstrap
+// is complete, so its version vector may now feed the GSS.
+func (b *replBackend) Joined() {
+	s := (*Server)(b)
+	s.joinedOnce.Do(func() { close(s.joined) })
 }
 
 // ROTx coordinates a causally consistent read-only transaction (Algorithm 2,
@@ -799,6 +871,12 @@ func (s *Server) ROTx(keys []string, rdv vclock.VC, mode Mode, partitionOf func(
 // ---------------------------------------------------------------------------
 
 func (s *Server) handle(src netemu.NodeID, m any) {
+	if s.stopped.Load() {
+		// A stopped (crashed, or departed) server receives nothing: racing
+		// senders that have not yet processed the shutdown must not reach a
+		// half-closed engine.
+		return
+	}
 	switch mm := m.(type) {
 	case msg.Replicate:
 		s.applyReplicate(src, mm)
@@ -812,6 +890,14 @@ func (s *Server) handle(src netemu.NodeID, m any) {
 		s.repl.HandleCatchUpReply(src, mm)
 	case msg.CatchUpAck:
 		s.repl.HandleCatchUpAck(src, mm)
+	case msg.JoinRequest:
+		s.repl.HandleJoinRequest(src, mm)
+	case msg.JoinAccept:
+		s.repl.HandleJoinAccept(src, mm)
+	case msg.MembershipUpdate:
+		s.repl.HandleMembershipUpdate(src, mm)
+	case msg.LeaveNotice:
+		s.repl.HandleLeaveNotice(src, mm)
 	case msg.VVExchange:
 		s.applyVVExchange(mm)
 	case msg.GCExchange:
@@ -986,6 +1072,15 @@ func (s *Server) applySliceResp(from int, m msg.SliceResp) {
 // peers so everyone can maintain the GSS (§IV-C).
 func (s *Server) stabilizationLoop() {
 	defer s.wg.Done()
+	// A joining server enters the GSS protocol only after its bootstrap: its
+	// version vector is a hole until catch-up fills it, and the GSS is an
+	// aggregate minimum — one half-bootstrapped contributor would stall
+	// stable visibility for the whole data center.
+	select {
+	case <-s.joined:
+	case <-s.stop:
+		return
+	}
 	t := time.NewTicker(s.cfg.StabilizationInterval)
 	defer t.Stop()
 	for {

@@ -14,6 +14,12 @@
 //	                             key, any order) then TXEND
 //	WHEREIS <key>             -> PARTITION <n>
 //	STATS                     -> STATS ops=<n> blocked=<n> ...
+//	JOIN                      -> JOINED <dc> <addr> (admin: grow the
+//	                             deployment by one DC; the new DC boots,
+//	                             catches up from its siblings' WALs, and
+//	                             gets its own listener)
+//	LEAVE <dc>                -> LEFT <dc> (admin: remove a DC; its history
+//	                             stays on the survivors)
 //	QUIT                      -> BYE (server closes the connection)
 //
 // Errors are reported as "ERR <message>". Keys must not contain spaces;
@@ -25,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -34,43 +41,77 @@ import (
 
 // Server serves a store over TCP.
 type Server struct {
-	store     *occ.Store
-	listeners []net.Listener
+	store    *occ.Store
+	host     string
+	basePort int
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	listeners []net.Listener // indexed by DC; nil for departed DCs
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
 }
 
 // Serve binds one listener per data center on consecutive ports starting at
 // basePort ("host:0" semantics are supported by passing basePort 0, in which
 // case each DC gets an ephemeral port). It returns once all listeners are
-// bound; handling runs in the background until Close.
+// bound; handling runs in the background until Close. Data centers joined
+// later (the JOIN admin command, or Store.AddDataCenter followed by
+// ServeDC) get the next consecutive port.
 func Serve(store *occ.Store, host string, basePort int) (*Server, error) {
-	s := &Server{store: store, conns: make(map[net.Conn]struct{})}
+	s := &Server{store: store, host: host, basePort: basePort, conns: make(map[net.Conn]struct{})}
 	for dc := 0; dc < store.DataCenters(); dc++ {
-		port := 0
-		if basePort != 0 {
-			port = basePort + dc
-		}
-		l, err := net.Listen("tcp", fmt.Sprintf("%s:%d", host, port))
-		if err != nil {
+		if _, err := s.ServeDC(dc); err != nil {
 			s.Close()
-			return nil, fmt.Errorf("kvserver: bind dc%d: %w", dc, err)
+			return nil, err
 		}
-		s.listeners = append(s.listeners, l)
-		s.wg.Add(1)
-		go func(dc int, l net.Listener) {
-			defer s.wg.Done()
-			s.acceptLoop(dc, l)
-		}(dc, l)
 	}
 	return s, nil
 }
 
-// Addr returns the listen address for a data center.
-func (s *Server) Addr(dc int) string { return s.listeners[dc].Addr().String() }
+// ServeDC binds the listener for one data center (basePort+dc, or an
+// ephemeral port with basePort 0) and starts accepting connections on it.
+// It returns the bound address, and is idempotent: a DC that is already
+// served keeps its listener.
+func (s *Server) ServeDC(dc int) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", errors.New("kvserver: server closed")
+	}
+	for len(s.listeners) <= dc {
+		s.listeners = append(s.listeners, nil)
+	}
+	if l := s.listeners[dc]; l != nil {
+		return l.Addr().String(), nil
+	}
+	port := 0
+	if s.basePort != 0 {
+		port = s.basePort + dc
+	}
+	l, err := net.Listen("tcp", fmt.Sprintf("%s:%d", s.host, port))
+	if err != nil {
+		return "", fmt.Errorf("kvserver: bind dc%d: %w", dc, err)
+	}
+	s.listeners[dc] = l
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(dc, l)
+	}()
+	return l.Addr().String(), nil
+}
+
+// Addr returns the listen address for a data center ("" for a departed or
+// unserved DC).
+func (s *Server) Addr(dc int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dc < 0 || dc >= len(s.listeners) || s.listeners[dc] == nil {
+		return ""
+	}
+	return s.listeners[dc].Addr().String()
+}
 
 // Close stops the listeners and closes every open connection.
 func (s *Server) Close() {
@@ -84,9 +125,12 @@ func (s *Server) Close() {
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
+	listeners := append([]net.Listener(nil), s.listeners...)
 	s.mu.Unlock()
-	for _, l := range s.listeners {
-		_ = l.Close()
+	for _, l := range listeners {
+		if l != nil {
+			_ = l.Close()
+		}
 	}
 	for _, c := range conns {
 		_ = c.Close()
@@ -209,11 +253,46 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 		fmt.Fprintf(w, "PARTITION %d\n", s.store.PartitionOf(key))
 	case "STATS":
 		st := s.store.Stats()
-		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d max_lag_ms=%.3f catchups=%d catchups_served=%d catchups_active=%d\n",
+		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d dcs=%d max_lag_ms=%.3f link_lag_ms=%s catchups=%d catchups_served=%d catchups_active=%d\n",
 			st.Operations, st.BlockedOperations, st.BlockingProbability,
 			st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, s.store.Messages(),
+			s.store.DataCenters(),
 			float64(st.MaxReplicationLag())/float64(time.Millisecond),
+			formatLinkLag(st.ReplicationLagPerLink),
 			st.CatchUps, st.CatchUpsServed, st.CatchUpsActive)
+	case "JOIN":
+		dc, err := s.store.AddDataCenter()
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		if err := s.store.WaitForJoin(dc, time.Minute); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		addr, err := s.ServeDC(dc)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "JOINED %d %s\n", dc, addr)
+	case "LEAVE":
+		dc, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil {
+			fmt.Fprintln(w, "ERR usage: LEAVE <dc>")
+			return false
+		}
+		if err := s.store.RemoveDataCenter(dc); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		s.mu.Lock()
+		if dc < len(s.listeners) && s.listeners[dc] != nil {
+			_ = s.listeners[dc].Close()
+			s.listeners[dc] = nil
+		}
+		s.mu.Unlock()
+		fmt.Fprintf(w, "LEFT %d\n", dc)
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
 		return true
@@ -221,6 +300,28 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
 	return false
+}
+
+// formatLinkLag renders the per-link lag matrix as "dst<src:ms" pairs for
+// every distinct live link, e.g. "0<1:0.012,0<2:0.034,1<0:0.008". A "-"
+// stands for a deployment with no remote links.
+func formatLinkLag(lag [][]time.Duration) string {
+	var sb strings.Builder
+	for dst, row := range lag {
+		for src, l := range row {
+			if src == dst {
+				continue
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d<%d:%.3f", dst, src, float64(l)/float64(time.Millisecond))
+		}
+	}
+	if sb.Len() == 0 {
+		return "-"
+	}
+	return sb.String()
 }
 
 // Client is a minimal client for the kvserver protocol, used by tests and
@@ -322,3 +423,36 @@ func (c *Client) Tx(keys ...string) (map[string]string, error) {
 
 // Stats returns the raw stats line.
 func (c *Client) Stats() (string, error) { return c.roundTrip("STATS") }
+
+// Join grows the deployment by one data center and returns its id and
+// listen address. It blocks until the new DC has bootstrapped.
+func (c *Client) Join() (dc int, addr string, err error) {
+	resp, err := c.roundTrip("JOIN")
+	if err != nil {
+		return 0, "", err
+	}
+	var rest string
+	ok := strings.HasPrefix(resp, "JOINED ")
+	if ok {
+		rest = strings.TrimPrefix(resp, "JOINED ")
+		dcStr, addrStr, found := strings.Cut(rest, " ")
+		if found {
+			if dc, err = strconv.Atoi(dcStr); err == nil {
+				return dc, addrStr, nil
+			}
+		}
+	}
+	return 0, "", errors.New(resp)
+}
+
+// Leave removes a data center from the deployment.
+func (c *Client) Leave(dc int) error {
+	resp, err := c.roundTrip(fmt.Sprintf("LEAVE %d", dc))
+	if err != nil {
+		return err
+	}
+	if resp != fmt.Sprintf("LEFT %d", dc) {
+		return errors.New(resp)
+	}
+	return nil
+}

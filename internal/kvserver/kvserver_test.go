@@ -240,3 +240,83 @@ func TestCausalChainOverWire(t *testing.T) {
 		t.Fatalf("photo = %q ok=%v err=%v: causality violated over the wire", v, ok, err)
 	}
 }
+
+// TestJoinLeaveAdminCommands drives the elastic-membership surface over the
+// wire: JOIN grows the deployment (the new DC bootstraps from the existing
+// WALs and gets its own listener), the new port serves the pre-join data,
+// and LEAVE retires the DC again.
+func TestJoinLeaveAdminCommands(t *testing.T) {
+	store, err := occ.Open(occ.Config{
+		DataCenters: 2, Partitions: 2, Engine: occ.POCC,
+		MaxDataCenters: 3,
+		DataDir:        t.TempDir(),
+		Seed:           9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(store, "127.0.0.1", 0)
+	if err != nil {
+		store.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+
+	admin := dial(t, srv, 0)
+	if err := admin.Put("greeting", "hello"); err != nil {
+		t.Fatal(err)
+	}
+
+	dc, addr, err := admin.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc != 2 || addr == "" || srv.Addr(dc) != addr {
+		t.Fatalf("JOIN returned dc=%d addr=%q (server says %q)", dc, addr, srv.Addr(dc))
+	}
+
+	joined, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = joined.Close() })
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, ok, err := joined.Get("greeting")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && v == "hello" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("joined DC never served the pre-join key (got %q ok=%v)", v, ok)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	stats, err := admin.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats, "dcs=3") || !strings.Contains(stats, "link_lag_ms=") {
+		t.Fatalf("stats line missing membership fields: %q", stats)
+	}
+
+	if err := admin.Leave(dc); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr(dc) != "" {
+		t.Fatalf("departed DC still has listener %q", srv.Addr(dc))
+	}
+	if err := admin.Leave(dc); err == nil {
+		t.Fatal("double LEAVE must fail")
+	}
+	// The survivors keep serving.
+	if v, ok, err := admin.Get("greeting"); err != nil || !ok || v != "hello" {
+		t.Fatalf("survivor get = %q ok=%v err=%v", v, ok, err)
+	}
+}

@@ -97,6 +97,128 @@ type CatchUpAck struct {
 	Chunk uint64
 }
 
+// Data-center membership statuses. The values form a lattice: a status only
+// ever moves to a larger value (Unknown → Joining → Active → Left), so two
+// divergent views merge by taking the entry-wise maximum and always agree
+// eventually. Left is terminal — a departed DC's id is never reused, or its
+// timestamps would collide with the departed history.
+const (
+	// DCUnknown marks a slot that has never held a member.
+	DCUnknown uint8 = iota
+	// DCJoining marks a member that is bootstrapping: it receives the live
+	// update stream and pulls history via WAL-shipped catch-up, but has not
+	// yet proven it holds every member's past.
+	DCJoining
+	// DCActive marks a fully synchronized member.
+	DCActive
+	// DCLeft marks a departed member. Its version-vector entries freeze at
+	// the final timestamp it announced (LeaveNotice.Final).
+	DCLeft
+)
+
+// Membership is the epoch-stamped view of the deployment's data centers,
+// owned by each server's replication manager and carried on every membership
+// message. Status is indexed by DC id; ids beyond the slice are DCUnknown.
+// Epoch counts view changes: a node that mutates its view locally sets
+// Epoch to one past the largest epoch it has seen, so epochs order the
+// changes a single admin drives while the entry-wise lattice merge keeps
+// concurrent changes convergent.
+type Membership struct {
+	Epoch  uint64
+	Status []uint8
+}
+
+// Clone returns an independent copy of the view.
+func (m Membership) Clone() Membership {
+	out := Membership{Epoch: m.Epoch}
+	if m.Status != nil {
+		out.Status = append([]uint8(nil), m.Status...)
+	}
+	return out
+}
+
+// Get returns the status of dc (DCUnknown beyond the view).
+func (m Membership) Get(dc int) uint8 {
+	if dc < 0 || dc >= len(m.Status) {
+		return DCUnknown
+	}
+	return m.Status[dc]
+}
+
+// IsMember reports whether dc currently participates in replication
+// (Joining or Active).
+func (m Membership) IsMember(dc int) bool {
+	s := m.Get(dc)
+	return s == DCJoining || s == DCActive
+}
+
+// Merge folds o into m entry-wise (statuses take the lattice maximum, the
+// epoch takes the numeric maximum) and reports whether m changed. Entries of
+// o beyond limit are ignored — the receiver's vector capacity bounds the DC
+// ids it can track, and a hostile view must not grow state unboundedly.
+func (m *Membership) Merge(o Membership, limit int) bool {
+	changed := false
+	n := len(o.Status)
+	if n > limit {
+		n = limit
+	}
+	if n > len(m.Status) {
+		grown := make([]uint8, n)
+		copy(grown, m.Status)
+		m.Status = grown
+		changed = true
+	}
+	for i := 0; i < n; i++ {
+		if o.Status[i] > m.Status[i] {
+			m.Status[i] = o.Status[i]
+			changed = true
+		}
+	}
+	if o.Epoch > m.Epoch {
+		m.Epoch = o.Epoch
+		changed = true
+	}
+	return changed
+}
+
+// JoinRequest announces a joining DC's partition server to its sibling in a
+// member DC: the sender asks to be added to the sibling's replication
+// fan-out. View is the joiner's current view (itself marked DCJoining), so a
+// sibling that never heard of the join learns it from the request itself.
+type JoinRequest struct {
+	DC   int
+	View Membership
+}
+
+// JoinAccept is the sibling's reply to a JoinRequest: its merged membership
+// view, plus Through — the acceptor's own-origin progress at accept time,
+// the point the joiner must at least catch up through before its view of
+// this link is complete (informational; the catch-up protocol enforces the
+// real bound).
+type JoinAccept struct {
+	View    Membership
+	Through vclock.Timestamp
+}
+
+// MembershipUpdate broadcasts a view change — most importantly a joiner
+// announcing itself DCActive once every inbound link has bootstrapped.
+// Receivers fold the view in by the lattice merge.
+type MembershipUpdate struct {
+	View Membership
+}
+
+// LeaveNotice is a departing DC's final word on a replication link. It is
+// sent after the sender's last flush on the same FIFO link, so by the time
+// it arrives the receiver holds every version the leaver originated — and
+// none of them exceeds Final. Receivers freeze the leaver's version-vector
+// entry at Final, cancel any catch-up round pending on the link (nobody is
+// left to answer it), and drop the DC from their fan-out.
+type LeaveNotice struct {
+	DC    int
+	Final vclock.Timestamp
+	View  Membership
+}
+
 // SliceReq asks a same-DC partition to read keys within the transactional
 // snapshot TV on behalf of a RO-TX coordinator.
 type SliceReq struct {

@@ -33,6 +33,33 @@
 // Unsupported and the receiver falls back to the optimistic pre-catch-up
 // semantics, exactly the behavior of in-memory deployments where a crashed
 // replica has nothing to re-ship anyway.
+//
+// # Membership
+//
+// The manager owns an epoch-stamped membership view (msg.Membership): the
+// per-DC statuses Joining → Active → Left, merged entry-wise as a lattice so
+// concurrent view changes converge without coordination. The view drives the
+// outbound fan-out — batches and heartbeats go to every Joining or Active
+// remote DC, never to a departed one.
+//
+// A joining DC's servers start with Config.Joining set: each sends a
+// msg.JoinRequest to its sibling partition in every active DC, which merges
+// the joiner into its view (adding it to the fan-out) and answers
+// msg.JoinAccept. Bootstrap then *is* the catch-up protocol: the first
+// sequenced message on each inbound link either proves the sender has no
+// prior history (adopt) or triggers a WAL-shipped catch-up round from
+// timestamp zero. Once every active link is synced, the manager flips the
+// DC to Active, broadcasts a msg.MembershipUpdate, and signals the backend
+// (Joined) — the server only then enters the stabilization protocol, so a
+// half-bootstrapped replica can never inject its partial state into the GSS.
+//
+// A leaving DC calls Leave: under the outbound lock it flushes the buffered
+// tail, then sends msg.LeaveNotice carrying its final timestamp on the same
+// FIFO links — so by the time the notice arrives, the receiver holds every
+// version the leaver originated. Receivers freeze the departed entry at
+// Final, cancel catch-up rounds pending on the link (nobody is left to
+// answer), and drop the DC from the fan-out: stabilization keeps advancing
+// on the survivors because no achievable dependency can exceed Final.
 package repl
 
 import (
@@ -74,6 +101,10 @@ type Backend interface {
 	// RaiseVV lifts the version-vector entry for dc to at least t and wakes
 	// any requests the advance unblocks.
 	RaiseVV(dc int, t vclock.Timestamp)
+	// Joined signals that this node's bootstrap finished: every active
+	// inbound link is synced and the DC announced itself Active. Called at
+	// most once, and never when Config.Joining is unset.
+	Joined()
 }
 
 // Source feeds catch-up streams from durable storage; storage.Durable
@@ -134,6 +165,20 @@ type Config struct {
 	// MaxInFlightBytes bounds the un-acked catch-up data per stream
 	// (0 = default 1 MiB).
 	MaxInFlightBytes int
+	// MaxDCs caps the DC ids this node can ever track — the capacity of the
+	// membership view and the inbound link table. 0 means NumDCs: fixed
+	// membership, no joins possible.
+	MaxDCs int
+	// Joining marks this node's DC as bootstrapping into an existing
+	// deployment: the manager sends JoinRequests to every active sibling,
+	// pulls each link's history through catch-up, and announces the DC
+	// Active when every link is synced. Requires CatchUp (bootstrap *is* the
+	// catch-up protocol).
+	Joining bool
+	// Membership is the initial view (zero value: the first NumDCs DCs are
+	// active). Deployments that grew or shrank pass the current view so
+	// restarted and joining servers start from reality.
+	Membership msg.Membership
 }
 
 // Stats counts the manager's catch-up activity.
@@ -185,14 +230,24 @@ type catchUpServe struct {
 // flush and heartbeat cadence, per-link sequence numbers, and both sides of
 // the catch-up protocol.
 type Manager struct {
-	cfg   Config
-	m, n  int
-	clk   *clock.Clock
-	ep    Transport
-	be    Backend
-	epoch uint64 // incarnation id, immutable
+	cfg    Config
+	m, n   int
+	maxDCs int
+	clk    *clock.Clock
+	ep     Transport
+	be     Backend
+	epoch  uint64 // incarnation id, immutable
 
-	fanout        bool // NumDCs > 1: there is someone to replicate to
+	// viewMu guards the membership view; targets caches the fan-out set
+	// (remote member DCs) so the flush path reads it with one atomic load.
+	viewMu    sync.Mutex
+	view      msg.Membership
+	joinAskAt time.Time // last JoinRequest broadcast (rate limit)
+	targets   atomic.Pointer[[]int]
+	joining   atomic.Bool // this DC is bootstrapping
+	retired   atomic.Bool // this DC has left: Publish refuses new writes
+
+	fanout        bool // MaxDCs > 1: there may be someone to replicate to
 	batchSize     int
 	syncFlush     bool
 	hbDrivesFlush bool
@@ -243,20 +298,56 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.BatchSize < 0 || cfg.MaxInFlightBytes < 0 {
 		return nil, errors.New("repl: BatchSize and MaxInFlightBytes must be >= 0")
 	}
+	maxDCs := cfg.MaxDCs
+	if maxDCs == 0 {
+		maxDCs = cfg.NumDCs
+	}
+	if maxDCs < cfg.NumDCs {
+		return nil, fmt.Errorf("repl: MaxDCs %d below NumDCs %d", maxDCs, cfg.NumDCs)
+	}
+	if len(cfg.Membership.Status) > maxDCs {
+		return nil, fmt.Errorf("repl: initial membership names %d DCs, capacity is %d",
+			len(cfg.Membership.Status), maxDCs)
+	}
+	if cfg.Joining && !cfg.CatchUp {
+		return nil, errors.New("repl: Joining requires CatchUp (bootstrap is the catch-up protocol)")
+	}
+	if cfg.ID.DC < 0 || cfg.ID.DC >= maxDCs {
+		return nil, fmt.Errorf("repl: id %v outside the DC capacity %d", cfg.ID, maxDCs)
+	}
 	r := &Manager{
 		cfg:         cfg,
 		m:           cfg.ID.DC,
 		n:           cfg.ID.Partition,
+		maxDCs:      maxDCs,
 		clk:         cfg.Clock,
 		ep:          cfg.Endpoint,
 		be:          cfg.Backend,
 		epoch:       uint64(cfg.Clock.Now()), // monotone across in-process restarts
-		fanout:      cfg.NumDCs > 1,
+		fanout:      maxDCs > 1,
 		batchSize:   cfg.BatchSize,
 		maxInFlight: cfg.MaxInFlightBytes,
 		serving:     make(map[int]*catchUpServe),
 		stop:        make(chan struct{}),
 	}
+	// The membership view lives at full capacity; slots beyond the current
+	// deployment stay DCUnknown until a join claims them.
+	status := make([]uint8, maxDCs)
+	if cfg.Membership.Status != nil {
+		copy(status, cfg.Membership.Status)
+	} else {
+		for i := 0; i < cfg.NumDCs; i++ {
+			status[i] = msg.DCActive
+		}
+	}
+	if cfg.Joining {
+		status[r.m] = msg.DCJoining
+		r.joining.Store(true)
+	} else if status[r.m] == msg.DCUnknown {
+		status[r.m] = msg.DCActive
+	}
+	r.view = msg.Membership{Epoch: cfg.Membership.Epoch, Status: status}
+	r.rebuildTargetsLocked()
 	if r.batchSize == 0 {
 		r.batchSize = defaultBatchSize
 	}
@@ -283,7 +374,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	// whether they are behind this node's past.
 	r.lastTS = r.be.VVEntry(r.m)
 	r.floor = r.lastTS
-	r.in = make([]*inLink, cfg.NumDCs)
+	r.in = make([]*inLink, maxDCs)
 	for i := range r.in {
 		r.in[i] = &inLink{}
 	}
@@ -295,6 +386,12 @@ func NewManager(cfg Config) (*Manager, error) {
 	if !r.syncFlush && r.fanout && !r.hbDrivesFlush {
 		r.wg.Add(1)
 		go r.flushLoop(flushInterval)
+	}
+	if r.joining.Load() {
+		r.sendJoinRequests()
+		// Degenerate join (no active sibling to sync against, e.g. the first
+		// DC of a deployment): complete immediately.
+		r.maybeFinishJoin()
 	}
 	return r, nil
 }
@@ -310,6 +407,219 @@ func (r *Manager) Stats() Stats {
 		Served:    r.statServed.Load(),
 		ActiveIn:  int(r.activeIn.Load()),
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+// View returns a copy of the current membership view.
+func (r *Manager) View() msg.Membership {
+	r.viewMu.Lock()
+	defer r.viewMu.Unlock()
+	return r.view.Clone()
+}
+
+// Bootstrapped reports whether this node participates fully in replication:
+// true for ordinary members, and for a joiner once every active inbound
+// link has been synced (catch-up complete) and the DC announced Active.
+func (r *Manager) Bootstrapped() bool { return !r.joining.Load() }
+
+// statusOf returns the membership status of dc.
+func (r *Manager) statusOf(dc int) uint8 {
+	r.viewMu.Lock()
+	defer r.viewMu.Unlock()
+	return r.view.Get(dc)
+}
+
+// rebuildTargetsLocked recomputes the fan-out set — every remote Joining or
+// Active DC — from the view. A departed node sends nothing and accepts no
+// new writes (a write acked after the departure would replicate to nobody).
+// Called with viewMu held (or from the constructor before the manager is
+// shared).
+func (r *Manager) rebuildTargetsLocked() {
+	ts := make([]int, 0, len(r.view.Status))
+	if r.view.Get(r.m) != msg.DCLeft {
+		for dc, st := range r.view.Status {
+			if dc != r.m && (st == msg.DCActive || st == msg.DCJoining) {
+				ts = append(ts, dc)
+			}
+		}
+	} else {
+		r.retired.Store(true)
+	}
+	r.targets.Store(&ts)
+}
+
+// applyView merges v into the local view. On change it rebuilds the fan-out
+// targets and retires the links of any DC the merge marked departed.
+func (r *Manager) applyView(v msg.Membership) {
+	r.viewMu.Lock()
+	if !r.view.Merge(v, r.maxDCs) {
+		r.viewMu.Unlock()
+		return
+	}
+	r.rebuildTargetsLocked()
+	var left []int
+	for dc, st := range r.view.Status {
+		if st == msg.DCLeft && dc != r.m {
+			left = append(left, dc)
+		}
+	}
+	r.viewMu.Unlock()
+	for _, dc := range left {
+		r.retireLink(dc)
+	}
+}
+
+// retireLink tears down the replication state owed to a departed DC: an
+// inbound catch-up round pending on the link is cancelled (nobody is left
+// to answer it) and an outbound stream serving the DC is stopped.
+func (r *Manager) retireLink(dc int) {
+	st := r.in[dc]
+	st.mu.Lock()
+	if st.pending {
+		st.pending = false
+		r.activeIn.Add(-1)
+	}
+	st.mu.Unlock()
+	r.serveMu.Lock()
+	if s := r.serving[dc]; s != nil {
+		close(s.cancel)
+		delete(r.serving, dc)
+	}
+	r.serveMu.Unlock()
+}
+
+// sendJoinRequests asks the sibling partition in every active DC to add
+// this (joining) DC to its fan-out. Idempotent; re-sent on the heartbeat
+// cadence until every link makes first contact, so a lost request cannot
+// wedge the join.
+func (r *Manager) sendJoinRequests() {
+	r.viewMu.Lock()
+	r.joinAskAt = time.Now()
+	view := r.view.Clone()
+	r.viewMu.Unlock()
+	for dc, st := range view.Status {
+		if dc != r.m && st == msg.DCActive {
+			r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n},
+				msg.JoinRequest{DC: r.m, View: view})
+		}
+	}
+}
+
+// maybeFinishJoin completes the bootstrap when every active inbound link is
+// synced: flip this DC to Active, broadcast the new view, and signal the
+// backend. Called after every event that can sync a link. The completeness
+// check and the flip run under viewMu so a concurrently-merged view (a DC
+// learned mid-check) serializes with the decision: it is either examined
+// here or arrives after the flip, when first-contact catch-up covers it
+// like for any other active member.
+func (r *Manager) maybeFinishJoin() {
+	if !r.joining.Load() {
+		return
+	}
+	r.viewMu.Lock()
+	for dc, st := range r.view.Status {
+		if dc == r.m || st != msg.DCActive {
+			continue
+		}
+		l := r.in[dc]
+		l.mu.Lock()
+		ok := l.known && !l.pending
+		l.mu.Unlock()
+		if !ok {
+			r.viewMu.Unlock()
+			return
+		}
+	}
+	if !r.joining.CompareAndSwap(true, false) {
+		r.viewMu.Unlock()
+		return
+	}
+	// The lattice only moves forward: a concurrent forced removal (self
+	// marked Left) must not be overwritten by the Active announcement.
+	if r.view.Status[r.m] == msg.DCJoining {
+		r.view.Status[r.m] = msg.DCActive
+		r.view.Epoch++
+	}
+	r.rebuildTargetsLocked()
+	view := r.view.Clone()
+	r.viewMu.Unlock()
+	for _, dc := range *r.targets.Load() {
+		r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, msg.MembershipUpdate{View: view})
+	}
+	r.be.Joined()
+}
+
+// Leave announces this node's departure: the buffered tail is flushed and a
+// LeaveNotice carrying the final timestamp follows it on the same FIFO
+// links, so every receiver holds the leaver's complete history when the
+// notice arrives. The notice is this node's last word — the fan-out is
+// emptied and new writes are refused under the same critical section, so
+// nothing (no batch, no heartbeat, no acked-but-unreplicated write) can
+// postdate it. It returns the announced final timestamp.
+func (r *Manager) Leave() vclock.Timestamp {
+	r.viewMu.Lock()
+	if r.view.Status[r.m] != msg.DCLeft {
+		r.view.Status[r.m] = msg.DCLeft
+		r.view.Epoch++
+	}
+	view := r.view.Clone()
+	// Targets are not rebuilt yet: the final flush and the notice itself
+	// still ride the existing links.
+	r.viewMu.Unlock()
+	r.mu.Lock()
+	r.flushLocked()
+	final := r.lastTS
+	for _, dc := range *r.targets.Load() {
+		r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n},
+			msg.LeaveNotice{DC: r.m, Final: final, View: view})
+	}
+	// Retire while still holding the outbound lock: the heartbeat loop and
+	// Publish both serialize on it, so the first thing either sees after
+	// the notice is an empty fan-out and a refused write path.
+	empty := make([]int, 0)
+	r.targets.Store(&empty)
+	r.retired.Store(true)
+	r.mu.Unlock()
+	return final
+}
+
+// HandleJoinRequest merges the joiner into the view — adding it to the
+// fan-out, so the live stream starts flowing — and answers with the merged
+// view. The joiner's history bootstrap is *not* served here: it rides the
+// ordinary catch-up protocol, triggered by the joiner's first contact with
+// this node's sequenced stream.
+func (r *Manager) HandleJoinRequest(src netemu.NodeID, m msg.JoinRequest) {
+	r.applyView(m.View)
+	r.mu.Lock()
+	through := r.lastTS
+	r.mu.Unlock()
+	r.ep.Send(src, msg.JoinAccept{View: r.View(), Through: through})
+}
+
+// HandleJoinAccept merges the acceptor's view (the joiner may learn of DCs
+// that joined or left before it arrived).
+func (r *Manager) HandleJoinAccept(src netemu.NodeID, m msg.JoinAccept) {
+	r.applyView(m.View)
+}
+
+// HandleMembershipUpdate merges a broadcast view change.
+func (r *Manager) HandleMembershipUpdate(src netemu.NodeID, m msg.MembershipUpdate) {
+	r.applyView(m.View)
+}
+
+// HandleLeaveNotice retires a departed DC: the view merge drops it from the
+// fan-out and cancels catch-up state on the link, and the version-vector
+// entry is raised to the leaver's final timestamp — complete by FIFO order,
+// since the notice follows the leaver's last flush on the same link.
+func (r *Manager) HandleLeaveNotice(src netemu.NodeID, m msg.LeaveNotice) {
+	r.applyView(m.View)
+	if m.DC == src.DC && src.DC >= 0 && src.DC < r.maxDCs {
+		r.be.RaiseVV(src.DC, m.Final)
+	}
+	r.maybeFinishJoin() // a joiner no longer waits on the departed link
 }
 
 // Close stops the background loops and any catch-up streams in progress.
@@ -343,9 +653,15 @@ func (r *Manager) Close(flush bool) {
 // Publish runs the local write path: under the outbound lock it lets the
 // backend assign v its timestamp and install it, then enqueues v for
 // replication, flushing inline when the batch is full (or unbatched). It
-// reports false when the server has stopped.
+// reports false when the server has stopped or its DC has left the
+// deployment — after the Leave announcement nothing rides the links, so
+// acking a write then would lose it the moment the node shuts down.
 func (r *Manager) Publish(v *item.Version) (vclock.Timestamp, bool) {
 	r.mu.Lock()
+	if r.retired.Load() {
+		r.mu.Unlock()
+		return 0, false
+	}
 	ut, ok := r.be.PrepareLocal(v)
 	if !ok {
 		r.mu.Unlock()
@@ -362,9 +678,12 @@ func (r *Manager) Publish(v *item.Version) (vclock.Timestamp, bool) {
 }
 
 // flushLocked stamps the buffered updates with the next batch sequence and
-// sends them to every sibling DC. Called with mu held so batches (and
+// sends them to every member DC. Called with mu held so batches (and
 // heartbeats) leave each link in timestamp order. The buffer's slice is
 // handed to the message (versions are immutable and shared across DCs).
+// With an empty fan-out (a deployment not yet grown) the sequence still
+// advances and the versions rest in the WAL — a later joiner's first
+// contact sees the sequence and pulls them through catch-up.
 func (r *Manager) flushLocked() {
 	if len(r.buf) == 0 {
 		return
@@ -376,10 +695,8 @@ func (r *Manager) flushLocked() {
 	}
 	m := msg.ReplicateBatch{Versions: r.buf, HBTime: hb, Epoch: r.epoch, Seq: r.seq, Floor: r.floor}
 	r.buf = nil
-	for dc := 0; dc < r.cfg.NumDCs; dc++ {
-		if dc != r.m {
-			r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, m)
-		}
+	for _, dc := range *r.targets.Load() {
+		r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, m)
 	}
 }
 
@@ -410,15 +727,26 @@ func (r *Manager) heartbeatLoop() {
 				r.lastTS = ct
 			}
 			hb := msg.Heartbeat{Time: ct, Epoch: r.epoch, Seq: r.seq, Floor: r.floor}
-			for dc := 0; dc < r.cfg.NumDCs; dc++ {
-				if dc != r.m {
-					r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, hb)
-				}
+			for _, dc := range *r.targets.Load() {
+				r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, hb)
 			}
 		}
 		r.mu.Unlock()
 		if idle {
 			r.be.RaiseVV(r.m, ct)
+		}
+		if r.joining.Load() {
+			// A lost JoinRequest (or a sibling that was down) must not wedge
+			// the bootstrap: re-ask on the re-request cadence until every
+			// active link has made first contact, and re-check completion in
+			// case the last sync arrived without a message to piggyback on.
+			r.viewMu.Lock()
+			resend := time.Since(r.joinAskAt) > r.reRequest
+			r.viewMu.Unlock()
+			if resend {
+				r.sendJoinRequests()
+			}
+			r.maybeFinishJoin()
 		}
 	}
 }
@@ -450,6 +778,9 @@ func (r *Manager) flushLoop(interval time.Duration) {
 // always installed — POCC serves the freshest received version regardless —
 // only the VV advance (the claim "I hold the complete prefix") is gated.
 func (r *Manager) HandleBatch(src netemu.NodeID, m msg.ReplicateBatch) {
+	if !r.validSrc(src.DC) {
+		return
+	}
 	r.be.ApplyRemote(m.Versions)
 	adv := m.HBTime
 	if n := len(m.Versions); n > 0 {
@@ -470,11 +801,21 @@ func (r *Manager) HandleBatch(src netemu.NodeID, m msg.ReplicateBatch) {
 // heartbeat re-attests the sender's current sequence, which is exactly how
 // an idle restarted sender (whose buffered tail died with it) is detected.
 func (r *Manager) HandleHeartbeat(src netemu.NodeID, m msg.Heartbeat) {
+	if !r.validSrc(src.DC) {
+		return
+	}
 	if !r.cfg.CatchUp || m.Epoch == 0 {
 		r.be.RaiseVV(src.DC, m.Time)
 		return
 	}
 	r.handleSequenced(src.DC, m.Epoch, m.Seq, m.Floor, m.Time, false)
+}
+
+// validSrc reports whether dc is a plausible remote source this node can
+// track — inbound state is indexed by DC id, so an id outside the vector
+// capacity (a corrupted or hostile frame) must be dropped, not indexed.
+func (r *Manager) validSrc(dc int) bool {
+	return dc >= 0 && dc < r.maxDCs && dc != r.m
 }
 
 // handleSequenced runs the receiver state machine for one sequenced message
@@ -483,6 +824,15 @@ func (r *Manager) HandleHeartbeat(src netemu.NodeID, m msg.Heartbeat) {
 // carries when the sequence is intact; floor is the sender incarnation's
 // starting history floor.
 func (r *Manager) handleSequenced(dc int, epoch, seq uint64, floor, adv vclock.Timestamp, isBatch bool) {
+	if r.statusOf(dc) == msg.DCLeft {
+		// A straggler from a departed DC (in flight when the LeaveNotice
+		// overtook it on another link): its data is applied, and nothing it
+		// attests can exceed the announced final timestamp, so the plain
+		// advance is safe — but no catch-up round may start toward a DC
+		// that no longer answers.
+		r.be.RaiseVV(dc, adv)
+		return
+	}
 	st := r.in[dc]
 	var raise vclock.Timestamp
 	st.mu.Lock()
@@ -531,6 +881,7 @@ func (r *Manager) handleSequenced(dc int, epoch, seq uint64, floor, adv vclock.T
 	if raise > 0 {
 		r.be.RaiseVV(dc, raise)
 	}
+	r.maybeFinishJoin() // a first-contact adoption may have been the last link
 }
 
 // startCatchUpLocked opens a new catch-up round on the link: freeze VV
@@ -588,6 +939,9 @@ func (r *Manager) noteChainLocked(st *inLink, epoch, seq uint64, ts vclock.Times
 // that arrived meanwhile, and either resume normal sequencing or start the
 // next round from the new floor.
 func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
+	if !r.validSrc(src.DC) {
+		return
+	}
 	if len(m.Versions) > 0 {
 		r.be.ApplyRemote(m.Versions)
 	}
@@ -642,6 +996,7 @@ func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
 		}
 		st.mu.Unlock()
 	}
+	r.maybeFinishJoin() // a completed round may have been the last link
 }
 
 // ---------------------------------------------------------------------------
@@ -653,6 +1008,9 @@ func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
 // dedicated goroutine. A newer request from the same DC supersedes the
 // stream in progress.
 func (r *Manager) HandleCatchUpRequest(src netemu.NodeID, m msg.CatchUpRequest) {
+	if !r.validSrc(src.DC) {
+		return
+	}
 	s := &catchUpServe{
 		dc:     src.DC,
 		reqID:  m.ReqID,
@@ -684,6 +1042,9 @@ func (r *Manager) HandleCatchUpRequest(src netemu.NodeID, m msg.CatchUpRequest) 
 // HandleCatchUpAck credits one chunk back to the in-flight window of the
 // stream it belongs to.
 func (r *Manager) HandleCatchUpAck(src netemu.NodeID, m msg.CatchUpAck) {
+	if !r.validSrc(src.DC) {
+		return
+	}
 	r.serveMu.Lock()
 	s := r.serving[src.DC]
 	r.serveMu.Unlock()

@@ -55,10 +55,23 @@ type fakeBackend struct {
 	vv      []vclock.Timestamp
 	applied []*item.Version
 	stopped bool
+	joined  bool
 }
 
 func newFakeBackend(dcs int) *fakeBackend {
 	return &fakeBackend{clk: clock.New(0), vv: make([]vclock.Timestamp, dcs)}
+}
+
+func (b *fakeBackend) Joined() {
+	b.mu.Lock()
+	b.joined = true
+	b.mu.Unlock()
+}
+
+func (b *fakeBackend) isJoined() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.joined
 }
 
 func (b *fakeBackend) PrepareLocal(v *item.Version) (vclock.Timestamp, bool) {
@@ -116,7 +129,11 @@ func (s *fakeSource) ForEachDurable(fn func(v *item.Version) error) error {
 func newTestManager(t *testing.T, cfg Config) (*Manager, *fakeTransport, *fakeBackend) {
 	t.Helper()
 	tr := &fakeTransport{id: cfg.ID}
-	be := newFakeBackend(cfg.NumDCs)
+	dcs := cfg.MaxDCs
+	if dcs == 0 {
+		dcs = cfg.NumDCs
+	}
+	be := newFakeBackend(dcs)
 	cfg.Clock = be.clk
 	cfg.Endpoint = tr
 	cfg.Backend = be
@@ -455,5 +472,225 @@ func TestCatchUpDisabledAppliesOptimistically(t *testing.T) {
 	}
 	if out := tr.msgs(src); len(out) != 0 {
 		t.Fatalf("outbound = %v, want silence", out)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+// TestJoinRequestExtendsFanout: a sibling that accepts a joiner starts
+// replicating to it immediately — the joiner needs the live stream to
+// splice onto its catch-up bootstrap — and answers with its merged view.
+func TestJoinRequestExtendsFanout(t *testing.T) {
+	m, tr, _ := newTestManager(t, Config{
+		ID: netemu.NodeID{DC: 0, Partition: 0}, NumDCs: 2, MaxDCs: 3,
+		CatchUp: true, BatchSize: 1,
+	})
+	joiner := netemu.NodeID{DC: 2, Partition: 0}
+	view := msg.Membership{Epoch: 1, Status: []uint8{msg.DCActive, msg.DCActive, msg.DCJoining}}
+	m.HandleJoinRequest(joiner, msg.JoinRequest{DC: 2, View: view})
+
+	out := tr.msgs(joiner)
+	if len(out) != 1 {
+		t.Fatalf("outbound to joiner = %v, want one JoinAccept", out)
+	}
+	acc, ok := out[0].(msg.JoinAccept)
+	if !ok {
+		t.Fatalf("reply is %T, want JoinAccept", out[0])
+	}
+	if acc.View.Get(2) != msg.DCJoining || acc.View.Get(0) != msg.DCActive {
+		t.Fatalf("accepted view = %+v", acc.View)
+	}
+	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+		t.Fatal("publish refused")
+	}
+	batches := 0
+	for _, raw := range tr.msgs(joiner) {
+		if _, ok := raw.(msg.ReplicateBatch); ok {
+			batches++
+		}
+	}
+	if batches != 1 {
+		t.Fatalf("joiner received %d batches after the accept, want 1", batches)
+	}
+	if len(tr.msgs(netemu.NodeID{DC: 1, Partition: 0})) == 0 {
+		t.Fatal("existing sibling fell out of the fan-out")
+	}
+}
+
+// TestLeaveFlushesThenNotifies: Leave sends the buffered tail first and the
+// LeaveNotice second on the same link (the FIFO order the receiver's
+// completeness claim rests on), then goes silent.
+func TestLeaveFlushesThenNotifies(t *testing.T) {
+	m, tr, _ := newTestManager(t, Config{
+		ID: netemu.NodeID{DC: 0, Partition: 0}, NumDCs: 2, BatchSize: 64,
+		HeartbeatInterval: time.Hour,
+	})
+	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+		t.Fatal("publish refused")
+	}
+	final := m.Leave()
+	sib := netemu.NodeID{DC: 1, Partition: 0}
+	out := tr.msgs(sib)
+	if len(out) != 2 {
+		t.Fatalf("outbound = %v, want [batch, notice]", out)
+	}
+	b, ok := out[0].(msg.ReplicateBatch)
+	if !ok {
+		t.Fatalf("first message is %T, want the final flush", out[0])
+	}
+	n, ok := out[1].(msg.LeaveNotice)
+	if !ok {
+		t.Fatalf("second message is %T, want the LeaveNotice", out[1])
+	}
+	if n.DC != 0 || n.Final != final || n.Final < b.Versions[len(b.Versions)-1].UpdateTime {
+		t.Fatalf("notice = %+v (final %d), must cover the flushed tail", n, final)
+	}
+	if n.View.Get(0) != msg.DCLeft {
+		t.Fatalf("notice view = %+v, must mark the leaver departed", n.View)
+	}
+	// A departed node refuses new writes — an acked write after the notice
+	// would replicate to nobody — and sends nothing more.
+	if _, ok := m.Publish(&item.Version{Key: "k2", SrcReplica: 0}); ok {
+		t.Fatal("publish accepted after the leave announcement")
+	}
+	m.Close(true)
+	if got := len(tr.msgs(sib)); got != 2 {
+		t.Fatalf("outbound after leave = %d messages, want the original 2", got)
+	}
+}
+
+// TestLeaveNoticeRetiresLink: a notice cancels the catch-up round pending
+// on the link (nobody is left to answer it), raises the entry to the
+// announced final timestamp, and drops the DC from the fan-out.
+func TestLeaveNoticeRetiresLink(t *testing.T) {
+	m, tr, be := newTestManager(t, Config{
+		ID: netemu.NodeID{DC: 0, Partition: 0}, NumDCs: 3, CatchUp: true, BatchSize: 1,
+	})
+	src := netemu.NodeID{DC: 1, Partition: 0}
+	m.HandleBatch(src, msg.ReplicateBatch{Versions: []*item.Version{ver(1, 100, "a")}, HBTime: 100, Epoch: 7, Seq: 1})
+	m.HandleBatch(src, msg.ReplicateBatch{Versions: []*item.Version{ver(1, 400, "d")}, HBTime: 400, Epoch: 7, Seq: 4})
+	if st := m.Stats(); st.ActiveIn != 1 {
+		t.Fatalf("stats = %+v, want one frozen link", st)
+	}
+	view := msg.Membership{Epoch: 2, Status: []uint8{msg.DCActive, msg.DCLeft, msg.DCActive}}
+	m.HandleLeaveNotice(src, msg.LeaveNotice{DC: 1, Final: 400, View: view})
+	if st := m.Stats(); st.ActiveIn != 0 {
+		t.Fatalf("stats = %+v, want the pending round cancelled", st)
+	}
+	if got := be.VVEntry(1); got != 400 {
+		t.Fatalf("VV[1] = %d, want the final timestamp 400", got)
+	}
+	if m.View().Get(1) != msg.DCLeft {
+		t.Fatalf("view = %+v, want dc1 departed", m.View())
+	}
+	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+		t.Fatal("publish refused")
+	}
+	for _, raw := range tr.msgs(src) {
+		if _, ok := raw.(msg.ReplicateBatch); ok {
+			t.Fatal("batch sent to a departed DC")
+		}
+	}
+	if got := len(tr.msgs(netemu.NodeID{DC: 2, Partition: 0})); got == 0 {
+		t.Fatal("surviving sibling fell out of the fan-out")
+	}
+	// A straggler from the departed DC is applied but starts no round.
+	m.HandleBatch(src, msg.ReplicateBatch{Versions: []*item.Version{ver(1, 380, "s")}, HBTime: 380, Epoch: 7, Seq: 3})
+	if st := m.Stats(); st.ActiveIn != 0 {
+		t.Fatalf("stats = %+v after a straggler, want no round toward the dead DC", st)
+	}
+}
+
+// TestJoiningBootstrapAnnouncesActive walks a joiner through its whole
+// bootstrap: JoinRequests at start, catch-up on the link with history,
+// adoption on the fresh link, and — once both are synced — the Active
+// announcement and the backend signal.
+func TestJoiningBootstrapAnnouncesActive(t *testing.T) {
+	m, tr, be := newTestManager(t, Config{
+		ID: netemu.NodeID{DC: 2, Partition: 0}, NumDCs: 3, CatchUp: true, Joining: true,
+		Membership: msg.Membership{Epoch: 1, Status: []uint8{msg.DCActive, msg.DCActive, msg.DCJoining}},
+	})
+	sib0 := netemu.NodeID{DC: 0, Partition: 0}
+	sib1 := netemu.NodeID{DC: 1, Partition: 0}
+	for _, sib := range []netemu.NodeID{sib0, sib1} {
+		out := tr.msgs(sib)
+		if len(out) != 1 {
+			t.Fatalf("outbound to %v = %v, want one JoinRequest", sib, out)
+		}
+		if req := out[0].(msg.JoinRequest); req.DC != 2 || req.View.Get(2) != msg.DCJoining {
+			t.Fatalf("request = %+v", req)
+		}
+	}
+	if m.Bootstrapped() || be.isJoined() {
+		t.Fatal("joiner bootstrapped before hearing from anyone")
+	}
+
+	// dc0 has history (seq 5): the joiner must pull it via catch-up.
+	m.HandleHeartbeat(sib0, msg.Heartbeat{Time: 500, Epoch: 7, Seq: 5, Floor: 0})
+	var req msg.CatchUpRequest
+	found := false
+	for _, raw := range tr.msgs(sib0) {
+		if r, ok := raw.(msg.CatchUpRequest); ok {
+			req, found = r, true
+		}
+	}
+	if !found || req.From != 0 {
+		t.Fatalf("no full-history CatchUpRequest to dc0 (From must be 0), got %+v", tr.msgs(sib0))
+	}
+	if m.Bootstrapped() {
+		t.Fatal("bootstrapped with a round in flight")
+	}
+
+	// dc1 is fresh (seq 0, floor 0): first contact adopts it outright.
+	m.HandleHeartbeat(sib1, msg.Heartbeat{Time: 400, Epoch: 9, Seq: 0, Floor: 0})
+	if m.Bootstrapped() {
+		t.Fatal("bootstrapped while dc0's catch-up is still pending")
+	}
+
+	// dc0's stream arrives and completes.
+	m.HandleCatchUpReply(sib0, msg.CatchUpReply{
+		ReqID: req.ReqID, Chunk: 1, Versions: []*item.Version{ver(0, 100, "a"), ver(0, 450, "b")},
+	})
+	m.HandleCatchUpReply(sib0, msg.CatchUpReply{
+		ReqID: req.ReqID, Done: true, ResumeEpoch: 7, ResumeSeq: 5, Through: 500,
+	})
+
+	if !m.Bootstrapped() || !be.isJoined() {
+		t.Fatal("joiner did not finish its bootstrap")
+	}
+	if got := m.View().Get(2); got != msg.DCActive {
+		t.Fatalf("joiner's own status = %d, want Active", got)
+	}
+	for _, sib := range []netemu.NodeID{sib0, sib1} {
+		announced := false
+		for _, raw := range tr.msgs(sib) {
+			if up, ok := raw.(msg.MembershipUpdate); ok && up.View.Get(2) == msg.DCActive {
+				announced = true
+			}
+		}
+		if !announced {
+			t.Fatalf("no Active announcement reached %v", sib)
+		}
+	}
+	if got := be.VVEntry(0); got != 500 {
+		t.Fatalf("VV[0] = %d, want 500 (raised through the stream)", got)
+	}
+	if got := be.VVEntry(1); got != 400 {
+		t.Fatalf("VV[1] = %d, want 400 (adopted heartbeat)", got)
+	}
+}
+
+// TestJoiningRequiresCatchUp: the bootstrap IS the catch-up protocol, so a
+// joining manager without it must be refused outright rather than wedge.
+func TestJoiningRequiresCatchUp(t *testing.T) {
+	be := newFakeBackend(2)
+	_, err := NewManager(Config{
+		ID: netemu.NodeID{DC: 1, Partition: 0}, NumDCs: 2, Joining: true,
+		Clock: be.clk, Endpoint: &fakeTransport{}, Backend: be,
+	})
+	if err == nil {
+		t.Fatal("Joining without CatchUp must be rejected")
 	}
 }

@@ -51,9 +51,17 @@ func (v VC) Get(i int) Timestamp {
 func (v VC) Set(i int, t Timestamp) { v[i] = t }
 
 // MaxInPlace raises every entry of v to at least the corresponding entry of
-// o. A nil o is treated as the zero vector.
+// o. A nil o is treated as the zero vector. Entries of o beyond v's length
+// are ignored: vectors of different lengths meet when deployments change
+// size at runtime (a session minted before a DC joined reading a version
+// written after), and the shorter vector simply does not track the extra
+// data centers.
 func (v VC) MaxInPlace(o VC) {
-	for i := range o {
+	n := len(o)
+	if len(v) < n {
+		n = len(v)
+	}
+	for i := 0; i < n; i++ {
 		if o[i] > v[i] {
 			v[i] = o[i]
 		}
@@ -104,12 +112,32 @@ func MaxInto(dst, a, b VC) VC {
 }
 
 // MinInPlace lowers every entry of v to at most the corresponding entry of o.
+// Entries of v beyond o's length are lowered to zero — o is conceptually
+// zero there — so aggregate minima stay conservative when vectors of
+// different lengths meet (see MaxInPlace).
 func (v VC) MinInPlace(o VC) {
-	for i := range o {
-		if o[i] < v[i] {
-			v[i] = o[i]
+	for i := range v {
+		var oi Timestamp
+		if i < len(o) {
+			oi = o[i]
+		}
+		if oi < v[i] {
+			v[i] = oi
 		}
 	}
+}
+
+// GrowTo returns v widened to at least n entries (new entries zero). It
+// returns v unchanged when it is already long enough, so callers resizing
+// vectors across a membership change only pay on the first operation after
+// the deployment grew.
+func (v VC) GrowTo(n int) VC {
+	if len(v) >= n {
+		return v
+	}
+	out := make(VC, n)
+	copy(out, v)
+	return out
 }
 
 // Max returns the entry-wise maximum of a and b as a fresh vector.

@@ -233,3 +233,39 @@ func TestEqualLengthMismatch(t *testing.T) {
 		t.Fatal("different lengths must not be Equal")
 	}
 }
+
+func TestMixedLengthInPlaceOps(t *testing.T) {
+	// Vectors of different widths meet when a deployment grows at runtime:
+	// the in-place ops must stay total. Max ignores entries the shorter
+	// destination cannot track; Min treats entries the argument lacks as
+	// zero (the conservative choice for aggregate minima).
+	v := VC{5, 5}
+	v.MaxInPlace(VC{1, 9, 7})
+	if !v.Equal(VC{5, 9}) {
+		t.Fatalf("MaxInPlace with a longer argument = %v, want [5 9]", v)
+	}
+	v = VC{5, 5, 5}
+	v.MaxInPlace(VC{9})
+	if !v.Equal(VC{9, 5, 5}) {
+		t.Fatalf("MaxInPlace with a shorter argument = %v, want [9 5 5]", v)
+	}
+	v = VC{5, 5, 5}
+	v.MinInPlace(VC{3, 9})
+	if !v.Equal(VC{3, 5, 0}) {
+		t.Fatalf("MinInPlace with a shorter argument = %v, want [3 5 0]", v)
+	}
+}
+
+func TestGrowTo(t *testing.T) {
+	v := VC{1, 2}
+	grown := v.GrowTo(4)
+	if !grown.Equal(VC{1, 2, 0, 0}) {
+		t.Fatalf("GrowTo(4) = %v", grown)
+	}
+	if same := v.GrowTo(2); &same[0] != &v[0] {
+		t.Fatal("GrowTo must not reallocate an already-wide vector")
+	}
+	if same := v.GrowTo(0); &same[0] != &v[0] {
+		t.Fatal("GrowTo(0) must return the vector unchanged")
+	}
+}

@@ -435,3 +435,97 @@ func TestReadFromClosedLog(t *testing.T) {
 		t.Fatalf("ReadFrom on a closed log = %v, want ErrClosed", err)
 	}
 }
+
+// TestReadFromCursorSurvivesCheckpointPrune pins the catch-up cursor's
+// crash-consistency contract against compaction: a checkpoint that runs —
+// and prunes every old segment — while a ReadFrom iteration is mid-stream
+// must not disturb the iteration. The cursor pinned its files open at the
+// boundary capture, so it keeps serving the captured records from the
+// unlinked files; afterwards the snapshot floor has moved, and a resumed
+// cursor whose sequence fell at or below the new floor is served the
+// snapshot first — the "resume floor stays correct" half of the contract
+// that a replication catch-up stream racing a GC-triggered checkpoint
+// relies on.
+func TestReadFromCursorSurvivesCheckpointPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{SegmentBytes: 64, NoSync: true})
+	defer l.Close()
+	var want [][]byte
+	for i := 0; i < 30; i++ {
+		rec := []byte(fmt.Sprintf("pinned-%03d", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore := segmentFiles(t, dir)
+	if len(segsBefore) < 3 {
+		t.Fatalf("only %d segments on disk; shrink SegmentBytes", len(segsBefore))
+	}
+
+	// Mid-iteration, compact the whole history into a snapshot: the old
+	// segments are pruned from disk while the cursor still needs them.
+	var got [][]byte
+	checkpointed := false
+	if err := l.ReadFrom(0, func(seg uint64, rec []byte) error {
+		got = append(got, append([]byte(nil), rec...))
+		if !checkpointed {
+			checkpointed = true
+			if err := l.Checkpoint(emitAll([][]byte{[]byte("compacted")})); err != nil {
+				return err
+			}
+			if after := segmentFiles(t, dir); len(after) >= len(segsBefore) {
+				t.Fatalf("checkpoint pruned nothing (%d -> %d segments); the race has no teeth",
+					len(segsBefore), len(after))
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor served %d records across the prune, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q (pinned file misread)", i, got[i], want[i])
+		}
+	}
+
+	// The floor moved; a resume at or below it is redirected through the
+	// snapshot, and one above it sees only post-checkpoint appends.
+	floor := l.SnapshotSeq()
+	if floor == 0 {
+		t.Fatal("SnapshotSeq = 0 after the mid-cursor checkpoint")
+	}
+	if err := l.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	recs, segs := readAll(t, l, 1)
+	if len(recs) != 2 || string(recs[0]) != "compacted" || string(recs[1]) != "tail" {
+		t.Fatalf("resumed cursor yielded %q, want [compacted tail]", recs)
+	}
+	if segs[0] != floor {
+		t.Fatalf("snapshot record attributed to segment %d, want the floor %d", segs[0], floor)
+	}
+	recs2, _ := readAll(t, l, floor+1)
+	if len(recs2) != 1 || string(recs2[0]) != "tail" {
+		t.Fatalf("cursor above the floor yielded %q, want just the tail", recs2)
+	}
+}
+
+// segmentFiles lists the live segment files in dir.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			segs = append(segs, e.Name())
+		}
+	}
+	return segs
+}

@@ -42,6 +42,10 @@ const (
 	tagCatchUpRequest
 	tagCatchUpReply
 	tagCatchUpAck
+	tagJoinRequest
+	tagJoinAccept
+	tagMembershipUpdate
+	tagLeaveNotice
 )
 
 // maxFrame bounds a frame's payload so a corrupted length prefix cannot ask
@@ -145,6 +149,14 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 		tag = tagCatchUpReply
 	case msg.CatchUpAck:
 		tag = tagCatchUpAck
+	case msg.JoinRequest:
+		tag = tagJoinRequest
+	case msg.JoinAccept:
+		tag = tagJoinAccept
+	case msg.MembershipUpdate:
+		tag = tagMembershipUpdate
+	case msg.LeaveNotice:
+		tag = tagLeaveNotice
 	default:
 		return b, fmt.Errorf("wire: encode: unsupported message type %T", env.Msg)
 	}
@@ -225,6 +237,18 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 	case msg.CatchUpAck:
 		b = appendUint(b, m.ReqID)
 		b = appendUint(b, m.Chunk)
+	case msg.JoinRequest:
+		b = appendUint(b, uint64(m.DC))
+		b = appendMembership(b, m.View)
+	case msg.JoinAccept:
+		b = appendMembership(b, m.View)
+		b = appendUint(b, uint64(m.Through))
+	case msg.MembershipUpdate:
+		b = appendMembership(b, m.View)
+	case msg.LeaveNotice:
+		b = appendUint(b, uint64(m.DC))
+		b = appendUint(b, uint64(m.Final))
+		b = appendMembership(b, m.View)
 	}
 	return b, nil
 }
@@ -300,6 +324,13 @@ func DecodeVersion(b []byte) (*item.Version, int, error) {
 		return nil, 0, fmt.Errorf("wire: nil version record")
 	}
 	return v, f.pos, nil
+}
+
+// appendMembership encodes an epoch-stamped membership view: the epoch, then
+// the status bytes with a nil-preserving length marker (like appendBytes).
+func appendMembership(b []byte, m msg.Membership) []byte {
+	b = appendUint(b, m.Epoch)
+	return appendBytes(b, m.Status)
 }
 
 func appendItemReply(b []byte, r *msg.ItemReply) []byte {
@@ -427,6 +458,10 @@ func (f *frameReader) version() *item.Version {
 	return v
 }
 
+func (f *frameReader) membership() msg.Membership {
+	return msg.Membership{Epoch: f.uint(), Status: f.bytes()}
+}
+
 func (f *frameReader) itemReply() msg.ItemReply {
 	var r msg.ItemReply
 	r.Key = f.string()
@@ -534,6 +569,14 @@ func parsePayload(frame []byte) (Envelope, error) {
 		env.Msg = m
 	case tagCatchUpAck:
 		env.Msg = msg.CatchUpAck{ReqID: f.uint(), Chunk: f.uint()}
+	case tagJoinRequest:
+		env.Msg = msg.JoinRequest{DC: int(f.uint()), View: f.membership()}
+	case tagJoinAccept:
+		env.Msg = msg.JoinAccept{View: f.membership(), Through: vclock.Timestamp(f.uint())}
+	case tagMembershipUpdate:
+		env.Msg = msg.MembershipUpdate{View: f.membership()}
+	case tagLeaveNotice:
+		env.Msg = msg.LeaveNotice{DC: int(f.uint()), Final: vclock.Timestamp(f.uint()), View: f.membership()}
 	default:
 		return env, fmt.Errorf("wire: unknown message tag %d", tag)
 	}

@@ -78,9 +78,25 @@ func genItemReply(r *rand.Rand) msg.ItemReply {
 	}
 }
 
+// genMembership returns nil-status, empty, or a random membership view.
+func genMembership(r *rand.Rand) msg.Membership {
+	m := msg.Membership{Epoch: r.Uint64()}
+	switch r.IntN(4) {
+	case 0: // nil Status
+	case 1:
+		m.Status = []uint8{}
+	default:
+		m.Status = make([]uint8, 1+r.IntN(6))
+		for i := range m.Status {
+			m.Status[i] = uint8(r.IntN(4)) // DCUnknown..DCLeft
+		}
+	}
+	return m
+}
+
 // genMsg draws one random protocol message of the i-th type.
 func genMsg(r *rand.Rand, kind int) any {
-	switch kind % 10 {
+	switch kind % numMsgKinds {
 	case 0:
 		return msg.Replicate{V: genVersion(r)}
 	case 1:
@@ -162,10 +178,23 @@ func genMsg(r *rand.Rand, kind int) any {
 			}
 		}
 		return m
-	default:
+	case 9:
 		return msg.CatchUpAck{ReqID: r.Uint64(), Chunk: r.Uint64()}
+	case 10:
+		return msg.JoinRequest{DC: r.IntN(8), View: genMembership(r)}
+	case 11:
+		return msg.JoinAccept{View: genMembership(r), Through: vclock.Timestamp(r.Uint64N(1 << 62))}
+	case 12:
+		return msg.MembershipUpdate{View: genMembership(r)}
+	default:
+		return msg.LeaveNotice{DC: r.IntN(8), Final: vclock.Timestamp(r.Uint64N(1 << 62)), View: genMembership(r)}
 	}
 }
+
+// numMsgKinds is the number of distinct message types genMsg produces —
+// keep it in sync with the switch above so the property tests cover every
+// wire type.
+const numMsgKinds = 14
 
 func binaryRoundTrip(t *testing.T, env Envelope) Envelope {
 	t.Helper()
@@ -237,7 +266,7 @@ func normalized(env Envelope) Envelope {
 // agrees with gob modulo gob's empty-slice collapsing.
 func TestBinaryRoundTripProperty(t *testing.T) {
 	r := rand.New(rand.NewPCG(7, 42))
-	for kind := 0; kind < 10; kind++ {
+	for kind := 0; kind < numMsgKinds; kind++ {
 		t.Run(fmt.Sprintf("kind%d", kind), func(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				env := Envelope{
@@ -287,6 +316,15 @@ func TestBinaryRoundTripEdgeCases(t *testing.T) {
 		msg.CatchUpAck{ReqID: 3, Chunk: 4},
 		msg.ReplicateBatch{Epoch: 1, Seq: 2, Floor: 3},
 		msg.Heartbeat{Time: 5, Epoch: 6, Seq: 7, Floor: 8},
+		msg.JoinRequest{},
+		msg.JoinRequest{DC: 3, View: msg.Membership{Epoch: 9, Status: []uint8{}}},
+		msg.JoinRequest{DC: 3, View: msg.Membership{Epoch: 9, Status: []uint8{msg.DCActive, msg.DCJoining}}},
+		msg.JoinAccept{},
+		msg.JoinAccept{View: msg.Membership{Epoch: 2, Status: []uint8{msg.DCActive}}, Through: 77},
+		msg.MembershipUpdate{},
+		msg.MembershipUpdate{View: msg.Membership{Epoch: 4, Status: []uint8{msg.DCLeft, msg.DCActive, msg.DCUnknown}}},
+		msg.LeaveNotice{},
+		msg.LeaveNotice{DC: 1, Final: 1234, View: msg.Membership{Epoch: 5, Status: []uint8{msg.DCActive, msg.DCLeft}}},
 	}
 	for i, m := range cases {
 		env := Envelope{Src: netemu.NodeID{DC: 1, Partition: 2}, Msg: m}

@@ -101,6 +101,10 @@ func registerTypes() {
 	gob.Register(msg.CatchUpRequest{})
 	gob.Register(msg.CatchUpReply{})
 	gob.Register(msg.CatchUpAck{})
+	gob.Register(msg.JoinRequest{})
+	gob.Register(msg.JoinAccept{})
+	gob.Register(msg.MembershipUpdate{})
+	gob.Register(msg.LeaveNotice{})
 	gob.Register(&item.Version{})
 }
 

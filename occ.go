@@ -135,6 +135,12 @@ type Config struct {
 	// CatchUpMaxInFlight bounds the un-acked bytes per catch-up stream
 	// (0 = 1 MiB): the sender's backpressure window.
 	CatchUpMaxInFlight int
+	// MaxDataCenters reserves capacity for data centers joining at runtime
+	// (AddDataCenter): every server's causal metadata vectors are sized to
+	// it up front. 0 means DataCenters — fixed membership, no joins. A
+	// departed DC's slot is never reused, so this bounds the total joins
+	// over the store's lifetime.
+	MaxDataCenters int
 }
 
 // CatchUpMode selects the replication catch-up behavior (Config.CatchUp).
@@ -206,6 +212,7 @@ func Open(cfg Config) (*Store, error) {
 		},
 		CatchUp:            catchUp,
 		CatchUpMaxInFlight: cfg.CatchUpMaxInFlight,
+		MaxDCs:             cfg.MaxDataCenters,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("occ: %w", err)
@@ -219,8 +226,51 @@ func (s *Store) Close() { s.inner.Close() }
 // Engine returns the store's protocol.
 func (s *Store) Engine() Engine { return s.engine }
 
-// DataCenters returns the number of data centers.
-func (s *Store) DataCenters() int { return s.inner.Config().NumDCs }
+// DataCenters returns the number of data-center slots created so far,
+// including departed ones (slots are never reused, so this is one past the
+// highest DC id a session may target).
+func (s *Store) DataCenters() int { return s.inner.NumDCs() }
+
+// MaxDataCenters returns the store's DC-slot capacity.
+func (s *Store) MaxDataCenters() int { return s.inner.MaxDCs() }
+
+// AddDataCenter grows the deployment by one data center and returns its id.
+// The new DC's servers bootstrap themselves from their siblings through
+// WAL-shipped catch-up — the live update stream starts flowing to them
+// immediately, history arrives in the background — and announce themselves
+// active once every replication link is synced; use WaitForJoin to block
+// until then. Requires Config.DataDir (the bootstrap streams from the
+// siblings' write-ahead logs) and MaxDataCenters headroom.
+func (s *Store) AddDataCenter() (int, error) {
+	dc, err := s.inner.AddDC()
+	if err != nil {
+		return 0, fmt.Errorf("occ: %w", err)
+	}
+	return dc, nil
+}
+
+// WaitForJoin blocks until data center dc — previously started by
+// AddDataCenter — has fully bootstrapped: every partition's history caught
+// up and the DC announced active. Sessions opened against it before that
+// are served optimistically from whatever has arrived.
+func (s *Store) WaitForJoin(dc int, timeout time.Duration) error {
+	if err := s.inner.WaitForJoin(dc, timeout); err != nil {
+		return fmt.Errorf("occ: %w", err)
+	}
+	return nil
+}
+
+// RemoveDataCenter removes a data center: its servers flush their
+// replication buffers, announce the departure on every link (so the
+// surviving DCs hold its complete history and freeze its vector entries at
+// the final timestamp), and shut down. Sessions pinned to the removed DC
+// fail their next operation; the DC id is retired for good.
+func (s *Store) RemoveDataCenter(dc int) error {
+	if err := s.inner.RemoveDC(dc); err != nil {
+		return fmt.Errorf("occ: %w", err)
+	}
+	return nil
+}
 
 // Partitions returns the number of partitions per data center.
 func (s *Store) Partitions() int { return s.inner.Config().NumPartitions }
@@ -310,6 +360,12 @@ type Stats struct {
 	// units. A link frozen by an in-flight catch-up shows up as growing
 	// lag.
 	ReplicationLag []time.Duration
+	// ReplicationLagPerLink breaks the lag down by replication link:
+	// [dst][src] is the worst lag any partition server of DC dst observes
+	// on its inbound stream from DC src (zero on the diagonal and for
+	// departed DCs). ReplicationLag[dst] is the row maximum; the breakdown
+	// tells a slow link apart from a generally lagging DC.
+	ReplicationLagPerLink [][]time.Duration
 	// CatchUps counts completed inbound catch-up rounds (a replica detected
 	// a gap in a replication stream and resynchronized from its sibling's
 	// WAL); CatchUpsServed counts the streams shipped to lagging siblings.
@@ -341,18 +397,19 @@ func (s *Store) Stats() Stats {
 	storage := s.inner.StorageStats()
 	repl := s.inner.ReplicationStats()
 	st := Stats{
-		Operations:           blocking.Ops,
-		BlockedOperations:    blocking.Blocked,
-		BlockingProbability:  blocking.Probability(),
-		MeanBlockingTime:     blocking.MeanBlockTime(),
-		PercentOldReads:      stale.PercentOld(),
-		PercentUnmergedReads: stale.PercentUnmerged(),
-		Keys:                 storage.Keys,
-		Versions:             storage.Versions,
-		ReplicationLag:       repl.LagPerDC,
-		CatchUps:             repl.CatchUpsCompleted,
-		CatchUpsServed:       repl.CatchUpsServed,
-		CatchUpsActive:       repl.CatchUpsActive,
+		Operations:            blocking.Ops,
+		BlockedOperations:     blocking.Blocked,
+		BlockingProbability:   blocking.Probability(),
+		MeanBlockingTime:      blocking.MeanBlockTime(),
+		PercentOldReads:       stale.PercentOld(),
+		PercentUnmergedReads:  stale.PercentUnmerged(),
+		Keys:                  storage.Keys,
+		Versions:              storage.Versions,
+		ReplicationLag:        repl.LagPerDC,
+		ReplicationLagPerLink: repl.LagPerLink,
+		CatchUps:              repl.CatchUpsCompleted,
+		CatchUpsServed:        repl.CatchUpsServed,
+		CatchUpsActive:        repl.CatchUpsActive,
 	}
 	if err := s.inner.StorageErr(); err != nil {
 		st.StorageError = err.Error()

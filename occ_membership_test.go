@@ -1,0 +1,147 @@
+package occ
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestMembershipPublicAPI walks the elastic-membership surface end to end:
+// a durable store with headroom grows by a DC that bootstraps the pre-join
+// history out of its siblings' WALs, serves sessions, and is then removed
+// again — its history surviving on the original DCs.
+func TestMembershipPublicAPI(t *testing.T) {
+	store, err := Open(Config{
+		DataCenters: 2, Partitions: 2, Engine: POCC,
+		MaxDataCenters: 3,
+		DataDir:        t.TempDir(),
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if got := store.MaxDataCenters(); got != 3 {
+		t.Fatalf("MaxDataCenters = %d, want 3", got)
+	}
+
+	sess, err := store.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := sess.Put(fmt.Sprintf("pre:%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dc, err := store.AddDataCenter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc != 2 || store.DataCenters() != 3 {
+		t.Fatalf("joined dc %d, DataCenters %d; want 2 and 3", dc, store.DataCenters())
+	}
+	if err := store.WaitForJoin(dc, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The joiner holds the pre-join history (deliverable only via the WAL
+	// catch-up bootstrap) and serves new traffic.
+	joined, err := store.Session(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := joined.Get("pre:49")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) == "v49" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner never served the pre-join history (got %q)", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := joined.Put("from-joiner", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrink back: the joiner's write must survive on the original DCs.
+	if err := store.RemoveDataCenter(dc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Session(dc); err == nil {
+		t.Fatal("Session against a removed DC must fail")
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		v, err := sess.Get("from-joiner")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) == "hello" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("the departed DC's write did not survive on dc0")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Headroom is spent for good: the departed slot is not reusable.
+	if _, err := store.AddDataCenter(); err == nil {
+		t.Fatal("AddDataCenter past MaxDataCenters must fail")
+	}
+}
+
+// TestStatsPerLinkLag pins the per-link replication-lag breakdown: a square
+// matrix over the DCs, zero on the diagonal, with the per-DC aggregate
+// equal to its row maximum.
+func TestStatsPerLinkLag(t *testing.T) {
+	store, err := Open(Config{
+		DataCenters: 3, Partitions: 2, Engine: POCC,
+		Latency: UniformProfile(20*time.Microsecond, 500*time.Microsecond),
+		Seed:    12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	sess, err := store.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := sess.Put(fmt.Sprintf("lag:%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := store.Stats()
+	if len(st.ReplicationLagPerLink) != 3 {
+		t.Fatalf("per-link matrix has %d rows, want 3", len(st.ReplicationLagPerLink))
+	}
+	for dst, row := range st.ReplicationLagPerLink {
+		if len(row) != 3 {
+			t.Fatalf("row %d has %d entries, want 3", dst, len(row))
+		}
+		if row[dst] != 0 {
+			t.Fatalf("diagonal entry [%d][%d] = %v, want 0", dst, dst, row[dst])
+		}
+		var rowMax time.Duration
+		for _, l := range row {
+			if l > rowMax {
+				rowMax = l
+			}
+		}
+		if st.ReplicationLag[dst] != rowMax {
+			t.Fatalf("ReplicationLag[%d] = %v, want its row maximum %v",
+				dst, st.ReplicationLag[dst], rowMax)
+		}
+	}
+	if st.MaxReplicationLag() > time.Minute {
+		t.Fatalf("absurd lag %v on a healthy store", st.MaxReplicationLag())
+	}
+}
