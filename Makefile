@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-recovery race-catchup race-membership check bench
+.PHONY: all vet build test race race-recovery race-catchup race-membership race-chaos check bench
 
 all: check
 
@@ -35,7 +35,14 @@ race-catchup:
 race-membership:
 	$(GO) test -race -count=1 -run 'Membership|Join|Leave' ./internal/repl/... ./internal/cluster/... .
 
-check: vet build test race race-recovery race-catchup race-membership
+# The chaos plane: a ~30 s seeded fault-injection soak (crash/restarts,
+# DC kills + forced removal, join/leave churn, link flaps, latency
+# reprofiles) with live causal checking, under -race. Override CHAOS_SEED to
+# replay a reported failure, CHAOS_SECONDS to change the soak length.
+race-chaos:
+	CHAOS_SECONDS=$${CHAOS_SECONDS:-30} $(GO) test -race -count=1 -v -run 'TestChaosSoak' ./internal/chaos/
+
+check: vet build test race race-recovery race-catchup race-membership race-chaos
 
 # Hot-path microbenchmarks (the numbers tracked across PRs).
 bench:

@@ -157,6 +157,10 @@ func (sh *shell) exec(out io.Writer, line string) {
 		sh.cmdJoin(out)
 	case "leave":
 		sh.cmdLeave(out, args)
+	case "kill":
+		sh.cmdKill(out, args)
+	case "evict":
+		sh.cmdEvict(out, args)
 	default:
 		fmt.Fprintf(out, "unknown command %q (try \"help\")\n", cmd)
 	}
@@ -174,7 +178,12 @@ const helpText = `commands:
                         history from the others via WAL catch-up; needs
                         -max-dcs headroom)
   leave <dc>            remove a DC (its history survives on the others)
-  stats                 server-side blocking/staleness statistics
+  kill <dc>             crash every server of a DC (needs -data-dir; the
+                        others' stabilization freezes until you evict it)
+  evict <dc>            forcibly remove a crashed DC: the survivors agree on
+                        its final replicated timestamps and resume
+  stats                 server-side blocking/staleness statistics, link
+                        health and GC holdback
   quit                  exit
 `
 
@@ -269,12 +278,24 @@ func (sh *shell) cmdStats(out io.Writer) {
 		st.Operations, st.BlockedOperations, st.BlockingProbability, st.MeanBlockingTime)
 	fmt.Fprintf(out, "old reads=%.3f%% unmerged=%.3f%% keys=%d versions=%d messages=%d\n",
 		st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, sh.store.Messages())
-	fmt.Fprintf(out, "replication: max lag=%v catchups=%d served=%d active=%d\n",
-		st.MaxReplicationLag().Round(time.Microsecond), st.CatchUps, st.CatchUpsServed, st.CatchUpsActive)
+	fmt.Fprintf(out, "replication: max lag=%v catchups=%d served=%d active=%d full_resyncs=%d\n",
+		st.MaxReplicationLag().Round(time.Microsecond), st.CatchUps, st.CatchUpsServed,
+		st.CatchUpsActive, st.FullResyncs)
+	if st.GCHoldbackAge > 0 {
+		fmt.Fprintf(out, "gc holdback: oldest laggard deferring GC for %v\n",
+			st.GCHoldbackAge.Round(time.Millisecond))
+	}
 	for dst, row := range st.ReplicationLagPerLink {
 		for src, lag := range row {
 			if src != dst && lag > 0 {
 				fmt.Fprintf(out, "  link dc%d<-dc%d lag=%v\n", dst, src, lag.Round(time.Microsecond))
+			}
+		}
+	}
+	for dst, row := range st.LinkStates {
+		for src, state := range row {
+			if src != dst && state != "" && state != "self" && state != "active" {
+				fmt.Fprintf(out, "  link dc%d<-dc%d state=%s\n", dst, src, state)
 			}
 		}
 	}
@@ -340,6 +361,53 @@ func (sh *shell) cmdLeave(out io.Writer, args []string) {
 		}
 	}
 	fmt.Fprintf(out, "dc%d left; its history lives on in the remaining DCs\n", dc)
+}
+
+func (sh *shell) cmdKill(out io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(out, "usage: kill <dc>")
+		return
+	}
+	dc, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Fprintln(out, "data center must be a number")
+		return
+	}
+	if err := sh.store.KillDataCenter(dc); err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "dc%d crashed; stabilization on the others freezes until \"evict %d\"\n", dc, dc)
+}
+
+func (sh *shell) cmdEvict(out io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(out, "usage: evict <dc>")
+		return
+	}
+	dc, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Fprintln(out, "data center must be a number")
+		return
+	}
+	start := time.Now()
+	if err := sh.store.ForceRemoveDataCenter(dc, 0); err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	if dc < len(sh.sessions) {
+		sh.sessions[dc] = nil
+	}
+	if sh.dc == dc {
+		for i, s := range sh.sessions {
+			if s != nil {
+				sh.dc = i
+				break
+			}
+		}
+	}
+	fmt.Fprintf(out, "dc%d evicted in %v: survivors agreed on its final timestamps and resumed\n",
+		dc, time.Since(start).Round(time.Millisecond))
 }
 
 func (sh *shell) cmdWhereis(out io.Writer, args []string) {

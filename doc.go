@@ -103,6 +103,63 @@
 // stores. The kvserver JOIN/LEAVE admin commands, pocckv -max-dcs/-join
 // and the poccshell join/leave commands expose the same operations.
 //
+// # Forced removal of a crashed data center
+//
+// A graceful leave announces its final timestamp; a whole DC that crashes
+// announces nothing, and the survivors' global stable snapshot freezes on
+// its entry forever — pessimistic reads and HA-POCC fallback would wedge.
+// ForceRemoveDataCenter evicts the dead member: for every partition link a
+// surviving proposer broadcasts an EvictProposal; each survivor freezes its
+// entry for the dead DC (an ack attests "I hold everything through t", so
+// the entry must not move before the verdict) and answers with an EvictAck
+// carrying that attestation. The agreed final is the maximum attestation —
+// the highest timestamp any survivor actually replicated from the dead DC —
+// and the EvictNotice installs it everywhere: membership freezes at
+// Left(final), every version above the final is discarded (no survivor can
+// prove the prefix below a higher cut complete), and survivors re-ship each
+// other the (attestation, final] gaps out of their logs. The consistency
+// argument is the leave argument with the attested maximum substituted for
+// the announced final: below the agreed final the surviving history is
+// provably prefix-complete, above it the suffix existed only on the dead
+// machine — the same loss a client sees when its coordinator dies before
+// replicating, surfaced as a membership event instead of silent divergence.
+// Stabilization then resumes, later joiners bootstrap the departed history
+// from the survivors, and sessions that read a now-discarded suffix version
+// are re-initialized (their dependency state reset) rather than served an
+// impossible dependency. Exposed as cluster.ForceRemoveDC,
+// occ.Store.ForceRemoveDataCenter, the kvserver EVICT command, and
+// poccshell kill/evict.
+//
+// # Catch-up- and membership-aware garbage collection
+//
+// The GC exchange computes a global prune point from every server's
+// contribution; a replica that is frozen, catching up, or joining must not
+// have the history it still needs pruned out from under its resync. Each
+// server therefore clamps its contribution (repl.Manager.ClampGC) to the
+// floors of every recently-served catch-up requester — what the laggard
+// actually holds, per origin — and to zero while any DC is mid-join.
+// Config.GCMaxHoldback bounds the deferral: past it the holdback releases,
+// GC advances, and the laggard's next incremental request lands below the
+// sender's checkpoint-compacted boundary — which is answered with a
+// CatchUpReply.FullResync full re-bootstrap, never a silently incomplete
+// range. Stats surfaces per-link health states, the oldest holdback age and
+// the full-resync count.
+//
+// # Chaos plane
+//
+// internal/chaos is the standing fault-injection harness tying the above
+// together: from a single seed it derives a deterministic schedule of
+// server crash/restarts, DC joins, graceful leaves, kills followed by
+// forced removal, inter-DC link flaps and live latency reprofiles, and
+// executes it against a durable HA-POCC deployment while checker sessions
+// (internal/causaltest, no auto-fallback — errors reopen fresh sessions,
+// mirroring real client failover) assert causal consistency and a watchdog
+// asserts stabilization progress whenever no fault legitimately freezes it.
+// Every run ends with a heal-and-quiesce epilogue that requires full
+// convergence. A failure reports the seed and the executed fault trace;
+// replaying the seed reproduces the identical schedule (make race-chaos,
+// CHAOS_SECONDS/CHAOS_SEED).
+//
 // Quick start:
 //
 //	store, err := occ.Open(occ.Config{DataCenters: 3, Partitions: 4, Engine: occ.POCC})

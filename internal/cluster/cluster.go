@@ -121,6 +121,15 @@ type Config struct {
 	// reused, so the capacity bounds the total number of joins over the
 	// deployment's lifetime, not the concurrent member count.
 	MaxDCs int
+	// JoinTimeout bounds how long a joining DC's servers keep soliciting the
+	// deployment before giving up (core.Config.JoinTimeout); WaitForJoin
+	// tears a failed join down cleanly. 0 retries forever.
+	JoinTimeout time.Duration
+	// GCMaxHoldback bounds how long garbage collection is deferred for a
+	// frozen, catching-up or joining replication link
+	// (core.Config.GCMaxHoldback). 0 selects the core default (10 s);
+	// negative never releases.
+	GCMaxHoldback time.Duration
 }
 
 // CatchUpMode selects the replication catch-up behavior (Config.CatchUp).
@@ -190,8 +199,12 @@ type Cluster struct {
 	// record of which DC slots exist and their statuses — plus the TCP
 	// directory and node list, which AddDC extends at runtime.
 	memberMu sync.Mutex
-	status   []uint8                  // per-DC membership status (msg.DC*), len maxDCs
-	epoch    uint64                   // membership view epoch handed to new/restarted servers
+	status   []uint8 // per-DC membership status (msg.DC*), len maxDCs
+	epoch    uint64  // membership view epoch handed to new/restarted servers
+	// finals records, for each forcibly removed DC, the per-partition final
+	// timestamp the survivors agreed on, so restarted servers are seeded with
+	// the freeze (and re-apply the purge on recovery).
+	finals   map[int][]vclock.Timestamp
 	tcpNodes []*tcpnet.Node           // nil in emulated mode
 	tcpDir   map[netemu.NodeID]string // TCP address directory (TCP mode)
 	dcs      atomic.Int32             // DC slots created so far (monotone)
@@ -227,7 +240,8 @@ func isReplPlane(m any) bool {
 	switch m.(type) {
 	case msg.Replicate, msg.ReplicateBatch, msg.Heartbeat,
 		msg.CatchUpRequest, msg.CatchUpReply, msg.CatchUpAck,
-		msg.JoinRequest, msg.JoinAccept, msg.MembershipUpdate, msg.LeaveNotice:
+		msg.JoinRequest, msg.JoinAccept, msg.MembershipUpdate, msg.LeaveNotice,
+		msg.EvictProposal, msg.EvictAck, msg.EvictNotice:
 		return true
 	}
 	return false
@@ -384,6 +398,15 @@ func (c *Cluster) serverConfigLocked(dc, p int, joining bool) core.Config {
 	if numDCs < c.cfg.NumDCs {
 		numDCs = c.cfg.NumDCs
 	}
+	view := msg.Membership{
+		Epoch:  c.epoch,
+		Status: append([]uint8(nil), c.status[:numDCs]...),
+	}
+	for left, fs := range c.finals {
+		if left < numDCs && p < len(fs) {
+			view.SetFinal(left, fs[p])
+		}
+	}
 	return core.Config{
 		ID:                       netemu.NodeID{DC: dc, Partition: p},
 		NumDCs:                   numDCs,
@@ -404,11 +427,10 @@ func (c *Cluster) serverConfigLocked(dc, p int, joining bool) core.Config {
 		CatchUpMaxInFlight:       c.cfg.CatchUpMaxInFlight,
 		MaxDCs:                   c.maxDCs,
 		Joining:                  joining,
-		Membership: msg.Membership{
-			Epoch:  c.epoch,
-			Status: append([]uint8(nil), c.status[:numDCs]...),
-		},
-		Metrics: c.mx[dc][p],
+		JoinTimeout:              c.cfg.JoinTimeout,
+		GCMaxHoldback:            c.cfg.GCMaxHoldback,
+		Membership:               view,
+		Metrics:                  c.mx[dc][p],
 	}
 }
 
@@ -573,13 +595,20 @@ func (c *Cluster) AddDC() (int, error) {
 // bootstrap — every inbound link synced via catch-up and the DC announced
 // Active — or the timeout expires. On success the admin-side membership
 // mirror is promoted too, so servers restarted later start from the settled
-// view.
+// view. If a server gave up soliciting (Config.JoinTimeout elapsed before
+// the bootstrap completed), the half-joined DC is torn down cleanly — its
+// servers announce their departure and close, the slot's id stays burned —
+// and WaitForJoin reports the failure.
 func (c *Cluster) WaitForJoin(dc int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		done := true
 		for p := 0; p < c.cfg.NumPartitions; p++ {
 			srv := c.Server(dc, p)
+			if srv != nil && srv.JoinFailed() {
+				c.unwindJoin(dc)
+				return fmt.Errorf("cluster: dc%d gave up joining (JoinTimeout %v); torn down", dc, c.cfg.JoinTimeout)
+			}
 			if srv == nil || !srv.Bootstrapped() {
 				done = false
 				break
@@ -600,6 +629,24 @@ func (c *Cluster) WaitForJoin(dc int, timeout time.Duration) error {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// unwindJoin tears a half-joined DC down: every still-running server
+// announces its departure (so siblings that merged the join drop the dead
+// links) and closes, and the mirror marks the slot Left for good.
+func (c *Cluster) unwindJoin(dc int) {
+	for p := 0; p < c.cfg.NumPartitions; p++ {
+		if srv := c.servers[dc][p].Swap(nil); srv != nil {
+			srv.AnnounceLeave()
+			srv.Close()
+		}
+	}
+	c.memberMu.Lock()
+	if c.status[dc] != msg.DCLeft {
+		c.status[dc] = msg.DCLeft
+		c.epoch++
+	}
+	c.memberMu.Unlock()
 }
 
 // RemoveDC removes a data center from the deployment. Each of its partition
@@ -642,6 +689,109 @@ func (c *Cluster) RemoveDC(dc int) error {
 		srv.AnnounceLeave()
 		srv.Close()
 	}
+	return nil
+}
+
+// KillDC crashes every partition server of a data center at once — a whole
+// machine-room failure. The dead DC's outgoing replication tails are
+// discarded and its endpoints drop all inbound replication traffic from then
+// on; the membership mirror still counts it as a member, so the survivors'
+// GSS freezes at the dead DC's last replicated timestamps until
+// ForceRemoveDC evicts it. The slot cannot be restarted afterwards (the
+// forced-removal semantics discard its un-agreed suffix for good). Requires
+// Config.DataDir (the relay interposer).
+func (c *Cluster) KillDC(dc int) error {
+	if c.relays == nil {
+		return errors.New("cluster: KillDC requires Config.DataDir")
+	}
+	c.memberMu.Lock()
+	if dc < 0 || dc >= int(c.dcs.Load()) {
+		c.memberMu.Unlock()
+		return fmt.Errorf("cluster: no data center %d", dc)
+	}
+	if c.status[dc] == msg.DCLeft {
+		c.memberMu.Unlock()
+		return fmt.Errorf("cluster: dc%d already left", dc)
+	}
+	c.memberMu.Unlock()
+	for p := 0; p < c.cfg.NumPartitions; p++ {
+		if rl := c.relays[dc][p]; rl != nil {
+			rl.dropRepl.Store(true) // a dead machine receives nothing
+		}
+		if srv := c.servers[dc][p].Swap(nil); srv != nil {
+			srv.Crash()
+		}
+	}
+	return nil
+}
+
+// ForceRemoveDC forcibly removes a crashed data center: the surviving DCs
+// run the eviction protocol (core.Server.ForceRemove) for every partition,
+// agreeing per link on the highest update timestamp any of them replicated
+// from the dead DC; each survivor freezes its membership entry at that final
+// and discards any version above it. If the DC's servers are still running
+// they are killed first — forced removal is for dead DCs, and an evicted
+// slot can never come back (its un-agreed suffix is gone). timeout bounds
+// each partition's proposal round (0 selects a default). On an error the
+// eviction may be partially applied; calling ForceRemoveDC again resumes it
+// (the proposal round is idempotent).
+func (c *Cluster) ForceRemoveDC(dead int, timeout time.Duration) error {
+	c.memberMu.Lock()
+	if dead < 0 || dead >= int(c.dcs.Load()) {
+		c.memberMu.Unlock()
+		return fmt.Errorf("cluster: no data center %d", dead)
+	}
+	if c.status[dead] == msg.DCLeft {
+		c.memberMu.Unlock()
+		return fmt.Errorf("cluster: dc%d already left", dead)
+	}
+	status := append([]uint8(nil), c.status...)
+	c.memberMu.Unlock()
+	live := 0
+	for dc, st := range status {
+		if dc != dead && st == msg.DCActive {
+			live++
+		}
+	}
+	if live == 0 {
+		return errors.New("cluster: no active survivor to coordinate the eviction")
+	}
+	if err := c.KillDC(dead); err != nil {
+		return err
+	}
+	// One eviction round per partition: each link (dead,p)→(·,p) has its own
+	// agreed final, proposed by the lowest live DC holding that partition.
+	finals := make([]vclock.Timestamp, c.cfg.NumPartitions)
+	for p := range finals {
+		var prop *core.Server
+		for dc := 0; dc < int(c.dcs.Load()); dc++ {
+			if dc == dead || status[dc] != msg.DCActive {
+				continue
+			}
+			if srv := c.Server(dc, p); srv != nil {
+				prop = srv
+				break
+			}
+		}
+		if prop == nil {
+			return fmt.Errorf("cluster: no running survivor holds partition %d", p)
+		}
+		f, err := prop.ForceRemove(dead, timeout)
+		if err != nil {
+			return fmt.Errorf("cluster: evict dc%d (partition %d): %w", dead, p, err)
+		}
+		finals[p] = f
+	}
+	c.memberMu.Lock()
+	if c.finals == nil {
+		c.finals = make(map[int][]vclock.Timestamp)
+	}
+	c.finals[dead] = finals
+	if c.status[dead] != msg.DCLeft {
+		c.status[dead] = msg.DCLeft
+		c.epoch++
+	}
+	c.memberMu.Unlock()
 	return nil
 }
 
@@ -721,6 +871,34 @@ type ReplicationStats struct {
 	CatchUpsServed    uint64
 	// CatchUpsActive is the number of links currently frozen mid-round.
 	CatchUpsActive int
+	// FullResyncs counts catch-up rounds answered with a full-history resync
+	// (the requested range was checkpoint-pruned on the sender).
+	FullResyncs uint64
+	// LinkStates[dst][src] is the health of DC dst's inbound link from DC
+	// src — the worst state any of dst's partition servers reports: active,
+	// catching-up, frozen, evicted, idle, or self on the diagonal. Empty for
+	// departed/never-joined dst rows.
+	LinkStates [][]string
+	// GCHoldbackAge is the age of the oldest live GC holdback anywhere in
+	// the deployment — how long the worst laggard has been deferring GC.
+	GCHoldbackAge time.Duration
+}
+
+// linkStateRank orders link states by severity for the per-DC aggregation.
+func linkStateRank(s string) int {
+	switch s {
+	case "evicted":
+		return 5
+	case "frozen":
+		return 4
+	case "catching-up":
+		return 3
+	case "idle":
+		return 2
+	case "active":
+		return 1
+	}
+	return 0
 }
 
 // MaxLag returns the worst per-DC lag.
@@ -742,8 +920,10 @@ func (c *Cluster) ReplicationStats() ReplicationStats {
 		LagPerDC:   make([]time.Duration, dcs),
 		LagPerLink: make([][]time.Duration, dcs),
 	}
+	st.LinkStates = make([][]string, dcs)
 	for dc := 0; dc < dcs; dc++ {
 		st.LagPerLink[dc] = make([]time.Duration, dcs)
+		st.LinkStates[dc] = make([]string, dcs)
 		for p := 0; p < c.cfg.NumPartitions; p++ {
 			srv := c.Server(dc, p)
 			if srv == nil {
@@ -757,11 +937,20 @@ func (c *Cluster) ReplicationStats() ReplicationStats {
 					st.LagPerDC[dc] = lag
 				}
 			}
+			for src, state := range srv.LinkStates() {
+				if src < dcs && linkStateRank(state) > linkStateRank(st.LinkStates[dc][src]) {
+					st.LinkStates[dc][src] = state
+				}
+			}
+			if age := srv.GCHoldbackAge(); age > st.GCHoldbackAge {
+				st.GCHoldbackAge = age
+			}
 			cs := srv.CatchUpStats()
 			st.CatchUpsRequested += cs.Requested
 			st.CatchUpsCompleted += cs.Completed
 			st.CatchUpsServed += cs.Served
 			st.CatchUpsActive += cs.ActiveIn
+			st.FullResyncs += cs.FullResyncs
 		}
 	}
 	return st
@@ -873,6 +1062,20 @@ func (r *dcRouter) PartitionOf(key string) int {
 // coordinator is chosen round-robin, emulating clients collocated with
 // servers.
 func (c *Cluster) NewSession(dc int) (*client.Session, error) {
+	return c.newSession(dc, c.cfg.Engine == HAPOCC)
+}
+
+// NewRawSession is NewSession without HA-POCC auto-fallback: a suspected
+// partition surfaces as core.ErrSessionClosed instead of being recovered
+// inside the session. Fault-injection harnesses use it so session
+// re-initialization is explicit — an external causality checker must drop
+// its recorded history exactly when the client drops its dependency state,
+// which auto-fallback would do invisibly mid-operation.
+func (c *Cluster) NewRawSession(dc int) (*client.Session, error) {
+	return c.newSession(dc, false)
+}
+
+func (c *Cluster) newSession(dc int, autoFallback bool) (*client.Session, error) {
 	if dc < 0 || dc >= c.NumDCs() || c.Server(dc, 0) == nil {
 		return nil, fmt.Errorf("cluster: no data center %d", dc)
 	}
@@ -889,7 +1092,7 @@ func (c *Cluster) NewSession(dc int) (*client.Session, error) {
 		NumDCs:         c.maxDCs,
 		Mode:           mode,
 		RequestLatency: c.cfg.SessionLatency,
-		AutoFallback:   c.cfg.Engine == HAPOCC,
+		AutoFallback:   autoFallback,
 	})
 }
 

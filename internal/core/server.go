@@ -80,6 +80,10 @@ const (
 	Pessimistic
 )
 
+// defaultGCMaxHoldback is how long a frozen or catching-up replication link
+// defers garbage collection before being released (Config.GCMaxHoldback).
+const defaultGCMaxHoldback = 10 * time.Second
+
 // Sentinel errors returned by server operations.
 var (
 	// ErrStopped is returned for operations on a closed server.
@@ -181,6 +185,19 @@ type Config struct {
 	// loop does not start — this server contributes nothing to the GSS —
 	// until the bootstrap completes. Requires CatchUp.
 	Joining bool
+	// JoinTimeout bounds how long a Joining server keeps soliciting the
+	// deployment before giving up: past it the join solicitation stops and
+	// JoinFailed reports true, so the operator can tear the half-joined
+	// server down cleanly. 0 retries forever (the pre-timeout behavior).
+	JoinTimeout time.Duration
+	// GCMaxHoldback bounds how long the garbage-collection exchange defers
+	// pruning for a frozen, catching-up or joining replication link (the
+	// membership-aware GC clamp, repl.Manager.ClampGC). Past the bound the
+	// holdback is released and GC advances — a laggard frozen longer than
+	// this must re-bootstrap via full resync, because the history it still
+	// needs may now be pruned past. 0 selects the default (10 s); negative
+	// never releases (GC waits for the laggard indefinitely).
+	GCMaxHoldback time.Duration
 	// Membership is the initial membership view (zero value: the first
 	// NumDCs DCs are active). Deployments that grew or shrank pass the
 	// current view so restarted and joining servers start from reality.
@@ -474,6 +491,15 @@ func NewServer(cfg Config) (*Server, error) {
 	if rec, ok := eng.(storage.Recovered); ok {
 		var maxFloor vclock.Timestamp
 		for i, t := range rec.RecoveredVV() {
+			// A DC the view records as departed is frozen at its final
+			// timestamp: recovered state above it is the un-agreed suffix a
+			// forced removal discarded, so the restored floor must not
+			// resurrect it (the matching versions are dropped below).
+			if cfg.Membership.Get(i) == msg.DCLeft {
+				if f := cfg.Membership.FinalOf(i); f > 0 && t > f {
+					t = f
+				}
+			}
 			if i < maxDCs {
 				s.vv.raiseTo(i, t)
 			}
@@ -482,6 +508,16 @@ func NewServer(cfg Config) (*Server, error) {
 			}
 		}
 		cfg.Clock.AdvanceTo(maxFloor)
+	}
+	// Re-apply departed DCs' purges at open: a crash between a forced
+	// removal's seal and the next checkpoint leaves the dropped suffix in the
+	// WAL, and replay resurrects it into the chains.
+	for dc := 0; dc < maxDCs; dc++ {
+		if cfg.Membership.Get(dc) == msg.DCLeft {
+			if f := cfg.Membership.FinalOf(dc); f > 0 {
+				eng.DropAbove(dc, f)
+			}
+		}
 	}
 	// Seed transaction IDs from the clock so a restarted server never reuses
 	// a prior incarnation's TxIDs: a stale pre-restart slice reply must not
@@ -508,6 +544,7 @@ func NewServer(cfg Config) (*Server, error) {
 		MaxInFlightBytes:  cfg.CatchUpMaxInFlight,
 		MaxDCs:            cfg.MaxDCs,
 		Joining:           cfg.Joining,
+		JoinTimeout:       cfg.JoinTimeout,
 		Membership:        cfg.Membership,
 	})
 	if err != nil {
@@ -626,6 +663,30 @@ func (s *Server) AnnounceLeave() vclock.Timestamp { return s.repl.Leave() }
 
 // CatchUpStats returns the replication manager's catch-up counters.
 func (s *Server) CatchUpStats() repl.Stats { return s.repl.Stats() }
+
+// LinkStates reports the health of every inbound replication link by DC id
+// (self, active, catching-up, frozen, evicted, idle).
+func (s *Server) LinkStates() []string { return s.repl.LinkStates() }
+
+// GCHoldbackAge reports how long the oldest live GC holdback (a frozen,
+// catching-up or joining link deferring this server's GC contribution) has
+// been held, or 0 when none is.
+func (s *Server) GCHoldbackAge() time.Duration { return s.repl.HoldbackAge() }
+
+// JoinFailed reports whether a Joining server gave up soliciting the
+// deployment (Config.JoinTimeout elapsed before the bootstrap completed).
+func (s *Server) JoinFailed() bool { return s.repl.JoinFailed() }
+
+// ForceRemove coordinates the forced removal of a crashed data center: the
+// survivors agree on the highest update timestamp each of them holds from
+// dead, freeze its membership entry at that final, and discard any version
+// above it. It returns the agreed final timestamp. The caller must be sure
+// dead is actually gone — evicting a live DC discards its un-replicated
+// suffix (it can re-join under a fresh id). timeout bounds the proposal
+// round (0 selects a default).
+func (s *Server) ForceRemove(dead int, timeout time.Duration) (vclock.Timestamp, error) {
+	return s.repl.ProposeEvict(dead, timeout)
+}
 
 // GSS returns a copy of the current globally stable snapshot.
 func (s *Server) GSS() vclock.VC { return s.gss.snapshot() }
@@ -753,6 +814,12 @@ func (b *replBackend) PrepareLocal(v *item.Version) (vclock.Timestamp, bool) {
 // ApplyRemote installs a batch of remote versions under one shard pass.
 func (b *replBackend) ApplyRemote(vs []*item.Version) {
 	(*Server)(b).store.InsertBatch(vs)
+}
+
+// DropAbove discards src-originated versions above after — the forced-removal
+// purge of a departed DC's un-agreed suffix.
+func (b *replBackend) DropAbove(dc int, after vclock.Timestamp) int {
+	return (*Server)(b).store.DropAbove(dc, after)
 }
 
 // VVEntry returns one version-vector entry, lock-free.
@@ -898,6 +965,12 @@ func (s *Server) handle(src netemu.NodeID, m any) {
 		s.repl.HandleMembershipUpdate(src, mm)
 	case msg.LeaveNotice:
 		s.repl.HandleLeaveNotice(src, mm)
+	case msg.EvictProposal:
+		s.repl.HandleEvictProposal(src, mm)
+	case msg.EvictAck:
+		s.repl.HandleEvictAck(src, mm)
+	case msg.EvictNotice:
+		s.repl.HandleEvictNotice(src, mm)
 	case msg.VVExchange:
 		s.applyVVExchange(mm)
 	case msg.GCExchange:
@@ -998,7 +1071,19 @@ func (s *Server) localGCContribution() vclock.VC {
 		base.MinInPlace(tv)
 	}
 	s.txMu.Unlock()
-	return base
+	// Clamp to the replication plane's holdback floors: a frozen or
+	// catching-up link must not have the history it still needs pruned out
+	// from under its resume point (bounded by GCMaxHoldback).
+	return s.repl.ClampGC(base, s.gcMaxHoldback())
+}
+
+// gcMaxHoldback resolves Config.GCMaxHoldback: 0 selects the default,
+// negative means hold back forever.
+func (s *Server) gcMaxHoldback() time.Duration {
+	if s.cfg.GCMaxHoldback == 0 {
+		return defaultGCMaxHoldback
+	}
+	return s.cfg.GCMaxHoldback
 }
 
 // serveSlice executes a transactional slice read (Algorithm 2, lines 39-47):

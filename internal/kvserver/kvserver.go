@@ -20,6 +20,9 @@
 //	                             gets its own listener)
 //	LEAVE <dc>                -> LEFT <dc> (admin: remove a DC; its history
 //	                             stays on the survivors)
+//	EVICT <dc>                -> EVICTED <dc> (admin: forcibly remove a
+//	                             crashed DC; the survivors agree on its final
+//	                             replicated timestamps and resume)
 //	QUIT                      -> BYE (server closes the connection)
 //
 // Errors are reported as "ERR <message>". Keys must not contain spaces;
@@ -253,13 +256,15 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 		fmt.Fprintf(w, "PARTITION %d\n", s.store.PartitionOf(key))
 	case "STATS":
 		st := s.store.Stats()
-		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d dcs=%d max_lag_ms=%.3f link_lag_ms=%s catchups=%d catchups_served=%d catchups_active=%d\n",
+		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d dcs=%d max_lag_ms=%.3f link_lag_ms=%s catchups=%d catchups_served=%d catchups_active=%d full_resyncs=%d links=%s gc_holdback_ms=%.3f\n",
 			st.Operations, st.BlockedOperations, st.BlockingProbability,
 			st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, s.store.Messages(),
 			s.store.DataCenters(),
 			float64(st.MaxReplicationLag())/float64(time.Millisecond),
 			formatLinkLag(st.ReplicationLagPerLink),
-			st.CatchUps, st.CatchUpsServed, st.CatchUpsActive)
+			st.CatchUps, st.CatchUpsServed, st.CatchUpsActive,
+			st.FullResyncs, formatLinkStates(st.LinkStates),
+			float64(st.GCHoldbackAge)/float64(time.Millisecond))
 	case "JOIN":
 		dc, err := s.store.AddDataCenter()
 		if err != nil {
@@ -293,6 +298,23 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 		}
 		s.mu.Unlock()
 		fmt.Fprintf(w, "LEFT %d\n", dc)
+	case "EVICT":
+		dc, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil {
+			fmt.Fprintln(w, "ERR usage: EVICT <dc>")
+			return false
+		}
+		if err := s.store.ForceRemoveDataCenter(dc, 0); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		s.mu.Lock()
+		if dc < len(s.listeners) && s.listeners[dc] != nil {
+			_ = s.listeners[dc].Close()
+			s.listeners[dc] = nil
+		}
+		s.mu.Unlock()
+		fmt.Fprintf(w, "EVICTED %d\n", dc)
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
 		return true
@@ -316,6 +338,28 @@ func formatLinkLag(lag [][]time.Duration) string {
 				sb.WriteByte(',')
 			}
 			fmt.Fprintf(&sb, "%d<%d:%.3f", dst, src, float64(l)/float64(time.Millisecond))
+		}
+	}
+	if sb.Len() == 0 {
+		return "-"
+	}
+	return sb.String()
+}
+
+// formatLinkStates renders the link-health matrix as "dst<src:state" pairs
+// for every distinct link, e.g. "0<1:active,1<0:frozen". A "-" stands for a
+// deployment with no remote links.
+func formatLinkStates(states [][]string) string {
+	var sb strings.Builder
+	for dst, row := range states {
+		for src, st := range row {
+			if src == dst || st == "" || st == "self" {
+				continue
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d<%d:%s", dst, src, st)
 		}
 	}
 	if sb.Len() == 0 {
@@ -452,6 +496,19 @@ func (c *Client) Leave(dc int) error {
 		return err
 	}
 	if resp != fmt.Sprintf("LEFT %d", dc) {
+		return errors.New(resp)
+	}
+	return nil
+}
+
+// Evict forcibly removes a crashed data center: the survivors agree on its
+// final replicated timestamps and drop it from the membership.
+func (c *Client) Evict(dc int) error {
+	resp, err := c.roundTrip(fmt.Sprintf("EVICT %d", dc))
+	if err != nil {
+		return err
+	}
+	if resp != fmt.Sprintf("EVICTED %d", dc) {
 		return errors.New(resp)
 	}
 	return nil

@@ -65,9 +65,28 @@ type Heartbeat struct {
 // version-vector entry for the sender's DC — the timestamp through which its
 // received prefix is known complete. ReqID matches replies to the request
 // round, so a re-issued request cannot be satisfied by a stale stream.
+//
+// Have is the requester's whole version vector at request time. When set, it
+// additionally asks the sender to re-ship the history of *departed* (DCLeft)
+// data centers: for every departed DC d the sender streams the versions d
+// originated with Have[d] < UpdateTime ≤ min(final[d], sender's progress) out
+// of its own log, and claims the shipped bound per DC on the Done reply
+// (CatchUpReply.Departed). This is how a joiner — or a survivor left short by
+// a forced eviction — obtains history whose origin is no longer around to
+// serve it. Nil Have requests own-origin history only (legacy shape).
 type CatchUpRequest struct {
 	ReqID uint64
 	From  vclock.Timestamp
+	Have  vclock.VC
+}
+
+// DepartedClaim is the sender's guarantee, carried on a final CatchUpReply,
+// that the requester now holds every version the departed DC originated with
+// a timestamp ≤ Through that the sender holds — and the sender's own
+// version-vector entry for that DC covers Through, so the prefix is complete.
+type DepartedClaim struct {
+	DC      int
+	Through vclock.Timestamp
 }
 
 // CatchUpReply carries one chunk of a catch-up stream, served straight out
@@ -79,6 +98,15 @@ type CatchUpRequest struct {
 // ResumeSeq) continue the link's sequence from there. Unsupported marks a
 // sender without a durable log to stream from; the requester falls back to
 // optimistic (pre-catch-up) semantics for the link.
+// FullResync marks a stream the sender had to restart from timestamp zero:
+// the requested From lies below the sender's checkpoint-compaction floor, so
+// the (From, Through] range alone could silently miss versions a checkpoint
+// pruned as superseded. Rather than ship an incomplete range, the sender
+// streams its complete surviving history and says so — the signal (plus the
+// GC holdback that normally prevents compacting past a lagging link's floor)
+// is the documented degraded path when GCMaxHoldback released the floor
+// early. Departed carries the per-DC bounds of re-shipped departed history
+// (see CatchUpRequest.Have); it is only set on the Done reply.
 type CatchUpReply struct {
 	ReqID       uint64
 	Chunk       uint64
@@ -88,6 +116,8 @@ type CatchUpReply struct {
 	ResumeEpoch uint64
 	ResumeSeq   uint64
 	Through     vclock.Timestamp
+	FullResync  bool
+	Departed    []DepartedClaim
 }
 
 // CatchUpAck acknowledges receipt of one catch-up chunk, opening the
@@ -123,9 +153,16 @@ const (
 // Epoch to one past the largest epoch it has seen, so epochs order the
 // changes a single admin drives while the entry-wise lattice merge keeps
 // concurrent changes convergent.
+// Final records, per DC id, the final timestamp a departed (DCLeft) member
+// was frozen at: a graceful leaver announces its own (LeaveNotice.Final), a
+// forcibly evicted DC gets the value the survivors agreed on (EvictNotice).
+// Entries merge by numeric maximum alongside the statuses, so the view
+// carries the freeze point wherever it travels; zero means "not known /
+// no cap". Entries for non-departed DCs are meaningless and stay zero.
 type Membership struct {
 	Epoch  uint64
 	Status []uint8
+	Final  vclock.VC
 }
 
 // Clone returns an independent copy of the view.
@@ -134,7 +171,33 @@ func (m Membership) Clone() Membership {
 	if m.Status != nil {
 		out.Status = append([]uint8(nil), m.Status...)
 	}
+	if m.Final != nil {
+		out.Final = m.Final.Clone()
+	}
 	return out
+}
+
+// FinalOf returns the final (freeze) timestamp recorded for a departed dc,
+// or zero when none is known.
+func (m Membership) FinalOf(dc int) vclock.Timestamp {
+	if dc < 0 || dc >= len(m.Final) {
+		return 0
+	}
+	return m.Final[dc]
+}
+
+// SetFinal records a departed DC's final timestamp, growing the vector as
+// needed. It only ever raises the entry (the lattice order).
+func (m *Membership) SetFinal(dc int, final vclock.Timestamp) {
+	if dc < 0 {
+		return
+	}
+	for len(m.Final) <= dc {
+		m.Final = append(m.Final, 0)
+	}
+	if final > m.Final[dc] {
+		m.Final[dc] = final
+	}
 }
 
 // Get returns the status of dc (DCUnknown beyond the view).
@@ -171,6 +234,16 @@ func (m *Membership) Merge(o Membership, limit int) bool {
 	for i := 0; i < n; i++ {
 		if o.Status[i] > m.Status[i] {
 			m.Status[i] = o.Status[i]
+			changed = true
+		}
+	}
+	nf := len(o.Final)
+	if nf > limit {
+		nf = limit
+	}
+	for i := 0; i < nf; i++ {
+		if o.Final[i] > m.FinalOf(i) {
+			m.SetFinal(i, o.Final[i])
 			changed = true
 		}
 	}
@@ -214,6 +287,43 @@ type MembershipUpdate struct {
 // entry at Final, cancel any catch-up round pending on the link (nobody is
 // left to answer it), and drop the DC from their fan-out.
 type LeaveNotice struct {
+	DC    int
+	Final vclock.Timestamp
+	View  Membership
+}
+
+// EvictProposal opens a forced-removal round for a *crashed* DC: a proposer
+// (one surviving server per partition, usually driven by an administrator's
+// ForceRemoveDC) asks every surviving sibling to report how much of the dead
+// DC's history it provably holds. Unlike a graceful leave there is no final
+// flush to trust — the survivors must agree on the freeze point themselves.
+// ReqID identifies the round; proposals are re-sent with backoff until every
+// survivor has acknowledged, and acknowledging is idempotent.
+type EvictProposal struct {
+	DC    int
+	ReqID uint64
+	View  Membership
+}
+
+// EvictAck answers an EvictProposal: Entry is the responder's version-vector
+// entry for the DC being evicted — the timestamp through which its received
+// prefix from that DC is gap-free and complete. The proposer takes the
+// maximum over all acks (and its own entry) as the agreed final timestamp.
+type EvictAck struct {
+	DC    int
+	ReqID uint64
+	Entry vclock.Timestamp
+}
+
+// EvictNotice concludes a forced removal: the survivors agreed that Final is
+// the highest prefix-complete timestamp any of them holds from the dead DC.
+// Receivers mark the DC DCLeft with that final in their view (lattice merge,
+// exactly like a LeaveNotice), drop any version above Final the dead DC
+// managed to slip to them outside the agreed prefix, cancel catch-up rounds
+// pending on the dead link, and — if their own entry is below Final — pull
+// the missing suffix from a surviving holder via CatchUpRequest.Have. The
+// evicted DC's id is never reused.
+type EvictNotice struct {
 	DC    int
 	Final vclock.Timestamp
 	View  Membership

@@ -9,6 +9,7 @@ package netemu
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
@@ -55,18 +56,36 @@ type Network struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	msgs atomic.Uint64 // total messages accepted for delivery
+	msgs  atomic.Uint64 // total messages accepted for delivery
+	scale atomic.Uint64 // latency multiplier (float64 bits); 1.0 at start
 }
 
 type linkKey struct{ src, dst NodeID }
 
 // New creates an empty network.
 func New(cfg Config) *Network {
-	return &Network{
+	n := &Network{
 		cfg:   cfg,
 		eps:   make(map[NodeID]*Endpoint),
 		links: make(map[linkKey]*link),
 	}
+	n.scale.Store(math.Float64bits(1.0))
+	return n
+}
+
+// SetLatencyScale multiplies every link's base latency by f from now on —
+// the chaos plane's live latency reprofile. f must be >= 0; 1 restores the
+// configured profile. In-flight messages keep the delay they were assigned.
+func (n *Network) SetLatencyScale(f float64) {
+	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Sprintf("netemu: invalid latency scale %v", f))
+	}
+	n.scale.Store(math.Float64bits(f))
+}
+
+// LatencyScale returns the current latency multiplier.
+func (n *Network) LatencyScale() float64 {
+	return math.Float64frombits(n.scale.Load())
 }
 
 // Endpoint is a node's attachment point to the network.
@@ -201,7 +220,8 @@ type link struct {
 	ep       *Endpoint
 	latency  time.Duration
 	jitter   float64
-	rng      *rand.Rand // owned by the delivery goroutine after start
+	scale    *atomic.Uint64 // the network's live latency multiplier
+	rng      *rand.Rand     // owned by the delivery goroutine after start
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -224,6 +244,7 @@ func (n *Network) newLink(src, dst NodeID, dstEP *Endpoint) *link {
 		ep:      dstEP,
 		latency: lat,
 		jitter:  n.cfg.JitterFrac,
+		scale:   &n.scale,
 		rng:     rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
 	}
 	l.cond = sync.NewCond(&l.mu)
@@ -277,6 +298,9 @@ func (l *link) run() {
 		l.mu.Unlock()
 
 		delay := l.latency
+		if s := math.Float64frombits(l.scale.Load()); s != 1.0 {
+			delay = time.Duration(float64(delay) * s)
+		}
 		if l.jitter > 0 && delay > 0 {
 			delay += time.Duration(l.rng.Float64() * l.jitter * float64(delay))
 		}

@@ -60,11 +60,52 @@
 // Final, cancel catch-up rounds pending on the link (nobody is left to
 // answer), and drop the DC from the fan-out: stabilization keeps advancing
 // on the survivors because no achievable dependency can exceed Final.
+//
+// # Forced removal
+//
+// A crashed DC never sends a LeaveNotice, so the survivors' GSS freezes at
+// its last heartbeat and stays there. ProposeEvict runs the coordination
+// round that unblocks them: the proposer broadcasts msg.EvictProposal to
+// every active survivor, each answers msg.EvictAck carrying its
+// version-vector entry for the dead DC — a prefix-complete "I hold
+// everything it originated through t" claim — and the agreed final is the
+// maximum of those entries. The proposer freezes the view (Status Left,
+// Final recorded in the membership lattice) and broadcasts msg.EvictNotice.
+//
+// Unlike a graceful leave, the notice does not ride the departed DC's own
+// FIFO links, so a receiver may hold versions *beyond* the final (applied
+// optimistically from the dead DC's last, un-agreed flush) or may be
+// *behind* it. Both sides are reconciled at the notice: versions above the
+// final are dropped from storage (Backend.DropAbove — they were replicated
+// to nobody provably, so keeping them is unreplicatable divergence), and a
+// receiver below the final gap-fills through ordinary catch-up rounds on
+// the surviving links. Every msg.CatchUpRequest carries the requester's
+// full version vector (Have), and the server streams — besides its own
+// history — every departed-origin version the requester lacks up to the
+// agreed final, bounding each claim in the Done chunk's Departed list. The
+// same mechanism re-ships a departed DC's history to joiners that arrive
+// after it left.
+//
+// # Catch-up-aware garbage collection
+//
+// The GC exchange prunes superseded versions once every replica's snapshot
+// has moved past them — but a replica frozen in catch-up (or a joiner mid-
+// bootstrap) still needs the history below its resume floor. The manager
+// therefore remembers the floors of every catch-up request it has served
+// recently and clamps the server's local GC contribution to them (ClampGC),
+// holding the global prune point back until the laggard drains. The
+// holdback ages out after GCMaxHoldback (see core.Config): past that, GC
+// advances and the laggard's next incremental request is answered with a
+// CatchUpReply.FullResync full re-bootstrap instead of a silently
+// incomplete range — the serving side detects the request floor is below
+// the WAL's checkpoint-compacted boundary (storage.Durable.CompactedFloor)
+// and restreams from zero.
 package repl
 
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +142,10 @@ type Backend interface {
 	// RaiseVV lifts the version-vector entry for dc to at least t and wakes
 	// any requests the advance unblocks.
 	RaiseVV(dc int, t vclock.Timestamp)
+	// DropAbove removes every stored version originated by dc with an update
+	// timestamp strictly greater than after, returning the number removed —
+	// the forced-removal purge of a crashed DC's un-agreed suffix.
+	DropAbove(dc int, after vclock.Timestamp) int
 	// Joined signals that this node's bootstrap finished: every active
 	// inbound link is synced and the DC announced itself Active. Called at
 	// most once, and never when Config.Joining is unset.
@@ -117,6 +162,15 @@ type Source interface {
 	ForEachDurable(fn func(v *item.Version) error) error
 }
 
+// CompactedSource is optionally implemented by a Source whose log discards
+// superseded history at checkpoints (storage.Durable). The floor is the
+// per-origin boundary below which only pruned state survives: an
+// incremental catch-up range starting under it cannot be proven complete,
+// so the manager answers with a full resync instead.
+type CompactedSource interface {
+	CompactedFloor() vclock.VC
+}
+
 // Tuning defaults.
 const (
 	defaultBatchSize      = 128
@@ -125,6 +179,12 @@ const (
 	minReRequestInterval  = 100 * time.Millisecond
 	maxReRequestInterval  = 2 * time.Second
 	reRequestPerHeartbeat = 50
+
+	// evictFreezeGrace bounds the provisional version-vector freeze a node
+	// holds after acking an eviction proposal: if the round dies with its
+	// proposer (no notice ever arrives), the freeze expires and the link
+	// resumes — the false-positive recovery path.
+	evictFreezeGrace = 10 * time.Second
 )
 
 // errCanceled aborts a catch-up serving stream (superseded, or shutdown).
@@ -175,6 +235,11 @@ type Config struct {
 	// Active when every link is synced. Requires CatchUp (bootstrap *is* the
 	// catch-up protocol).
 	Joining bool
+	// JoinTimeout abandons a bootstrap that has not completed within the
+	// given duration: the manager stops soliciting and JoinFailed reports
+	// true, so the operator can unwind the half-joined DC cleanly instead
+	// of letting it solicit forever. 0 means no deadline.
+	JoinTimeout time.Duration
 	// Membership is the initial view (zero value: the first NumDCs DCs are
 	// active). Deployments that grew or shrank pass the current view so
 	// restarted and joining servers start from reality.
@@ -190,6 +255,10 @@ type Stats struct {
 	Completed uint64
 	// Served counts outbound streams this node served to lagging siblings.
 	Served uint64
+	// FullResyncs counts inbound rounds answered with a full re-bootstrap
+	// because the requested floor was below the sender's checkpoint-
+	// compacted boundary (the GC-overran-the-laggard degraded path).
+	FullResyncs uint64
 	// ActiveIn is the number of links currently frozen awaiting catch-up.
 	ActiveIn int
 }
@@ -216,6 +285,23 @@ type inLink struct {
 	chainBase  uint64 // sequence immediately before the chain's first batch
 	chainSeq   uint64
 	chainTS    vclock.Timestamp
+
+	// Eviction freeze. Acking an EvictProposal attests "I hold everything
+	// through evictCap" — the entry must not pass that point before the
+	// verdict, or the agreed final could cut below an already-attested
+	// prefix. The freeze self-expires (evictFreezeGrace) if no notice
+	// follows.
+	evictCap      vclock.Timestamp
+	evictCapUntil time.Time
+}
+
+// capRaiseLocked clamps a version-vector raise on a link frozen by a
+// pending eviction round. Called with st.mu held.
+func capRaiseLocked(st *inLink, t vclock.Timestamp) vclock.Timestamp {
+	if st.evictCap > 0 && t > st.evictCap && time.Now().Before(st.evictCapUntil) {
+		return st.evictCap
+	}
+	return t
 }
 
 // catchUpServe is one outbound catch-up stream in progress.
@@ -224,6 +310,27 @@ type catchUpServe struct {
 	reqID  uint64
 	acks   chan uint64
 	cancel chan struct{}
+}
+
+// evictRound is one forced-removal coordination round in progress: the
+// proposer waits for an EvictAck from every survivor in need, folding the
+// acked version-vector entries into the agreed final.
+type evictRound struct {
+	dc    int
+	reqID uint64
+	need  map[int]bool
+	final vclock.Timestamp
+	done  chan struct{}
+}
+
+// holdback is the GC floor owed to one lagging catch-up requester: the
+// server must not let the global prune point pass what the laggard has not
+// received yet (its request floor for this link, its Have entries for
+// departed origins).
+type holdback struct {
+	floors  vclock.VC // entry-wise: prune nothing above these
+	since   time.Time // when the laggard was first seen (holdback age)
+	lastReq time.Time // last request or served chunk (expiry clock)
 }
 
 // Manager owns a partition server's replication plane: outbound buffering,
@@ -240,12 +347,27 @@ type Manager struct {
 
 	// viewMu guards the membership view; targets caches the fan-out set
 	// (remote member DCs) so the flush path reads it with one atomic load.
-	viewMu    sync.Mutex
-	view      msg.Membership
-	joinAskAt time.Time // last JoinRequest broadcast (rate limit)
-	targets   atomic.Pointer[[]int]
-	joining   atomic.Bool // this DC is bootstrapping
-	retired   atomic.Bool // this DC has left: Publish refuses new writes
+	viewMu      sync.Mutex
+	view        msg.Membership
+	joinAskAt   time.Time     // last JoinRequest broadcast (rate limit)
+	joinBackoff time.Duration // current re-solicit interval (doubles per send)
+	joinStart   time.Time     // when the bootstrap began (JoinTimeout anchor)
+	targets     atomic.Pointer[[]int]
+	joining     atomic.Bool // this DC is bootstrapping
+	joinFailed  atomic.Bool // bootstrap abandoned (JoinTimeout elapsed)
+	retired     atomic.Bool // this DC has left: Publish refuses new writes
+
+	// evictMu guards the forced-removal round this node is proposing (at
+	// most one at a time).
+	evictMu sync.Mutex
+	evict   *evictRound
+
+	// holdMu guards the GC holdback table: per requesting DC, the floors the
+	// local GC contribution must not pass while the laggard is draining, and
+	// the first-seen time of any Joining DC (a joiner needs everything).
+	holdMu    sync.Mutex
+	holdbacks map[int]*holdback
+	joinSeen  map[int]time.Time
 
 	fanout        bool // MaxDCs > 1: there may be someone to replicate to
 	batchSize     int
@@ -275,11 +397,12 @@ type Manager struct {
 	serveMu sync.Mutex
 	serving map[int]*catchUpServe // outbound streams by destination DC
 
-	reqSeq     atomic.Uint64
-	statReq    atomic.Uint64
-	statDone   atomic.Uint64
-	statServed atomic.Uint64
-	activeIn   atomic.Int64
+	reqSeq         atomic.Uint64
+	statReq        atomic.Uint64
+	statDone       atomic.Uint64
+	statServed     atomic.Uint64
+	statFullResync atomic.Uint64
+	activeIn       atomic.Int64
 
 	stopped atomic.Bool
 	stop    chan struct{}
@@ -328,6 +451,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		batchSize:   cfg.BatchSize,
 		maxInFlight: cfg.MaxInFlightBytes,
 		serving:     make(map[int]*catchUpServe),
+		holdbacks:   make(map[int]*holdback),
+		joinSeen:    make(map[int]time.Time),
 		stop:        make(chan struct{}),
 	}
 	// The membership view lives at full capacity; slots beyond the current
@@ -346,7 +471,14 @@ func NewManager(cfg Config) (*Manager, error) {
 	} else if status[r.m] == msg.DCUnknown {
 		status[r.m] = msg.DCActive
 	}
-	r.view = msg.Membership{Epoch: cfg.Membership.Epoch, Status: status}
+	// The final-timestamp lattice rides along with the statuses: a restarted
+	// server seeded with a view that already records departures must keep
+	// their caps, or it would re-adopt a dead DC's un-agreed suffix.
+	var final vclock.VC
+	if len(cfg.Membership.Final) > 0 {
+		final = cfg.Membership.Final.Clone()
+	}
+	r.view = msg.Membership{Epoch: cfg.Membership.Epoch, Status: status, Final: final}
 	r.rebuildTargetsLocked()
 	if r.batchSize == 0 {
 		r.batchSize = defaultBatchSize
@@ -388,6 +520,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		go r.flushLoop(flushInterval)
 	}
 	if r.joining.Load() {
+		r.joinStart = time.Now()
 		r.sendJoinRequests()
 		// Degenerate join (no active sibling to sync against, e.g. the first
 		// DC of a deployment): complete immediately.
@@ -402,11 +535,50 @@ func (r *Manager) Epoch() uint64 { return r.epoch }
 // Stats returns a snapshot of the catch-up counters.
 func (r *Manager) Stats() Stats {
 	return Stats{
-		Requested: r.statReq.Load(),
-		Completed: r.statDone.Load(),
-		Served:    r.statServed.Load(),
-		ActiveIn:  int(r.activeIn.Load()),
+		Requested:   r.statReq.Load(),
+		Completed:   r.statDone.Load(),
+		Served:      r.statServed.Load(),
+		FullResyncs: r.statFullResync.Load(),
+		ActiveIn:    int(r.activeIn.Load()),
 	}
+}
+
+// LinkStates reports the health of every inbound replication link, indexed
+// by source DC: "self" for this node's own slot, "evicted" for a departed
+// DC (graceful or forced), "catching-up" while a recovery round is making
+// progress, "frozen" when a pending round has gone quiet (the sender is not
+// answering), "active" for a synced link, and "idle" for a slot that has
+// never made contact (unknown or unused capacity).
+func (r *Manager) LinkStates() []string {
+	r.viewMu.Lock()
+	status := make([]uint8, r.maxDCs)
+	copy(status, r.view.Status)
+	r.viewMu.Unlock()
+	out := make([]string, r.maxDCs)
+	for dc := 0; dc < r.maxDCs; dc++ {
+		switch {
+		case dc == r.m:
+			out[dc] = "self"
+			continue
+		case status[dc] == msg.DCLeft:
+			out[dc] = "evicted"
+			continue
+		}
+		st := r.in[dc]
+		st.mu.Lock()
+		switch {
+		case st.pending && time.Since(st.reqAt) <= 2*r.reRequest:
+			out[dc] = "catching-up"
+		case st.pending:
+			out[dc] = "frozen"
+		case st.known:
+			out[dc] = "active"
+		default:
+			out[dc] = "idle"
+		}
+		st.mu.Unlock()
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -425,11 +597,42 @@ func (r *Manager) View() msg.Membership {
 // link has been synced (catch-up complete) and the DC announced Active.
 func (r *Manager) Bootstrapped() bool { return !r.joining.Load() }
 
+// JoinFailed reports that the bootstrap was abandoned: Config.JoinTimeout
+// elapsed before every active link synced. The manager has stopped
+// soliciting; the owner should tear the node down.
+func (r *Manager) JoinFailed() bool { return r.joinFailed.Load() }
+
 // statusOf returns the membership status of dc.
 func (r *Manager) statusOf(dc int) uint8 {
 	r.viewMu.Lock()
 	defer r.viewMu.Unlock()
 	return r.view.Get(dc)
+}
+
+// finalOf returns the recorded final timestamp of dc (0 = none known).
+func (r *Manager) finalOf(dc int) vclock.Timestamp {
+	r.viewMu.Lock()
+	defer r.viewMu.Unlock()
+	return r.view.FinalOf(dc)
+}
+
+// leftFinal reports whether dc has departed, and its recorded final.
+func (r *Manager) leftFinal(dc int) (vclock.Timestamp, bool) {
+	r.viewMu.Lock()
+	defer r.viewMu.Unlock()
+	return r.view.FinalOf(dc), r.view.Get(dc) == msg.DCLeft
+}
+
+// setFinal records the final timestamp of a departed DC in the membership
+// lattice (entries only ever rise), so it travels with every view this node
+// relays and survives restarts that seed from a sibling's view.
+func (r *Manager) setFinal(dc int, final vclock.Timestamp) {
+	if dc < 0 || dc >= r.maxDCs || final == 0 {
+		return
+	}
+	r.viewMu.Lock()
+	r.view.SetFinal(dc, final)
+	r.viewMu.Unlock()
 }
 
 // rebuildTargetsLocked recomputes the fan-out set — every remote Joining or
@@ -452,23 +655,37 @@ func (r *Manager) rebuildTargetsLocked() {
 }
 
 // applyView merges v into the local view. On change it rebuilds the fan-out
-// targets and retires the links of any DC the merge marked departed.
+// targets, retires the links of any DC the merge marked departed, and seals
+// any DC that departed *in this merge* — reconciling storage and the
+// version vector against its recorded final timestamp.
 func (r *Manager) applyView(v msg.Membership) {
 	r.viewMu.Lock()
+	was := r.view.Status
+	prev := make([]uint8, len(was))
+	copy(prev, was)
 	if !r.view.Merge(v, r.maxDCs) {
 		r.viewMu.Unlock()
 		return
 	}
 	r.rebuildTargetsLocked()
-	var left []int
+	var left, newly []int
+	var finals []vclock.Timestamp
 	for dc, st := range r.view.Status {
-		if st == msg.DCLeft && dc != r.m {
-			left = append(left, dc)
+		if st != msg.DCLeft || dc == r.m {
+			continue
+		}
+		left = append(left, dc)
+		if dc >= len(prev) || prev[dc] != msg.DCLeft {
+			newly = append(newly, dc)
+			finals = append(finals, r.view.FinalOf(dc))
 		}
 	}
 	r.viewMu.Unlock()
 	for _, dc := range left {
 		r.retireLink(dc)
+	}
+	for i, dc := range newly {
+		r.sealDeparted(dc, finals[i])
 	}
 }
 
@@ -482,6 +699,7 @@ func (r *Manager) retireLink(dc int) {
 		st.pending = false
 		r.activeIn.Add(-1)
 	}
+	st.evictCap = 0 // the verdict is in; the Left status caps from here on
 	st.mu.Unlock()
 	r.serveMu.Lock()
 	if s := r.serving[dc]; s != nil {
@@ -489,15 +707,85 @@ func (r *Manager) retireLink(dc int) {
 		delete(r.serving, dc)
 	}
 	r.serveMu.Unlock()
+	r.holdMu.Lock()
+	delete(r.holdbacks, dc)
+	delete(r.joinSeen, dc)
+	r.holdMu.Unlock()
+}
+
+// sealDeparted reconciles this node against a DC that just transitioned to
+// Left with the recorded final timestamp: versions beyond the final — the
+// dead DC's un-agreed suffix, applied optimistically before the eviction
+// was decided — are dropped from storage, and if this node's prefix is
+// still short of the final, gap-fill catch-up rounds are started on the
+// surviving links (every live sibling re-ships departed-origin history it
+// holds, see serveCatchUp). With no recorded final (a legacy graceful leave
+// whose notice carried it out of band) there is nothing to reconcile
+// against, so only the link teardown in applyView applies.
+func (r *Manager) sealDeparted(dc int, final vclock.Timestamp) {
+	if final == 0 {
+		return
+	}
+	r.be.DropAbove(dc, final)
+	if !r.cfg.CatchUp || r.be.VVEntry(dc) >= final {
+		return
+	}
+	r.fillDepartedGaps()
+}
+
+// fillDepartedGaps starts a catch-up round on every quiet surviving link
+// while some departed DC's recorded final exceeds this node's entry for it:
+// the rounds carry this node's full version vector (Have), so any sibling
+// holding the missing departed-origin history re-ships it and bounds the
+// claim in its Done chunk. Re-invoked from the heartbeat loop until the gap
+// closes — a single shot could race a survivor that has not yet learned of
+// the departure and would answer without a claim.
+func (r *Manager) fillDepartedGaps() {
+	r.viewMu.Lock()
+	var gap bool
+	for dc, st := range r.view.Status {
+		if st == msg.DCLeft && dc != r.m {
+			if f := r.view.FinalOf(dc); f > 0 && r.be.VVEntry(dc) < f {
+				gap = true
+				break
+			}
+		}
+	}
+	var live []int
+	if gap {
+		for dc, st := range r.view.Status {
+			if dc != r.m && st == msg.DCActive {
+				live = append(live, dc)
+			}
+		}
+	}
+	r.viewMu.Unlock()
+	for _, dc := range live {
+		st := r.in[dc]
+		st.mu.Lock()
+		if !st.pending && time.Since(st.reqAt) > r.reRequest {
+			r.startCatchUpLocked(st, dc)
+		}
+		st.mu.Unlock()
+	}
 }
 
 // sendJoinRequests asks the sibling partition in every active DC to add
-// this (joining) DC to its fan-out. Idempotent; re-sent on the heartbeat
-// cadence until every link makes first contact, so a lost request cannot
-// wedge the join.
+// this (joining) DC to its fan-out. Idempotent; re-sent with exponential
+// backoff (jittered, capped) until every link makes first contact, so a
+// lost request cannot wedge the join and a wedged join cannot flood the
+// deployment with solicitations.
 func (r *Manager) sendJoinRequests() {
 	r.viewMu.Lock()
 	r.joinAskAt = time.Now()
+	if r.joinBackoff == 0 {
+		r.joinBackoff = r.reRequest
+	} else if r.joinBackoff < maxReRequestInterval {
+		r.joinBackoff *= 2
+		if r.joinBackoff > maxReRequestInterval {
+			r.joinBackoff = maxReRequestInterval
+		}
+	}
 	view := r.view.Clone()
 	r.viewMu.Unlock()
 	for dc, st := range view.Status {
@@ -516,8 +804,8 @@ func (r *Manager) sendJoinRequests() {
 // here or arrives after the flip, when first-contact catch-up covers it
 // like for any other active member.
 func (r *Manager) maybeFinishJoin() {
-	if !r.joining.Load() {
-		return
+	if !r.joining.Load() || r.joinFailed.Load() {
+		return // an abandoned bootstrap must not announce itself Active
 	}
 	r.viewMu.Lock()
 	for dc, st := range r.view.Status {
@@ -610,15 +898,220 @@ func (r *Manager) HandleMembershipUpdate(src netemu.NodeID, m msg.MembershipUpda
 	r.applyView(m.View)
 }
 
-// HandleLeaveNotice retires a departed DC: the view merge drops it from the
-// fan-out and cancels catch-up state on the link, and the version-vector
-// entry is raised to the leaver's final timestamp — complete by FIFO order,
-// since the notice follows the leaver's last flush on the same link.
+// HandleLeaveNotice retires a departed DC: the version-vector entry is
+// raised to the leaver's final timestamp — complete by FIFO order, since
+// the notice follows the leaver's last flush on the same link — the final
+// is recorded in the membership lattice (so later joiners and restarted
+// survivors inherit the cap), and the view merge drops the DC from the
+// fan-out and cancels catch-up state on the link. The raise runs first so
+// the departure seal sees a closed gap and skips the gap-fill rounds.
 func (r *Manager) HandleLeaveNotice(src netemu.NodeID, m msg.LeaveNotice) {
-	r.applyView(m.View)
 	if m.DC == src.DC && src.DC >= 0 && src.DC < r.maxDCs {
 		r.be.RaiseVV(src.DC, m.Final)
 	}
+	r.setFinal(m.DC, m.Final)
+	r.applyView(m.View)
+	r.maybeFinishJoin() // a joiner no longer waits on the departed link
+}
+
+// ---------------------------------------------------------------------------
+// Forced removal
+// ---------------------------------------------------------------------------
+
+// ProposeEvict runs the forced-removal round for a crashed DC: every active
+// survivor is asked to attest its version-vector entry for the dead DC (a
+// prefix-complete "I hold everything it originated through t" claim), and
+// the agreed final is the maximum attestation — every version at or below
+// it provably survives at the attesting survivor, and everything above it
+// was acknowledged by nobody. On agreement the proposer freezes the view
+// (Status Left, final recorded in the lattice), reconciles its own state
+// (sealDeparted), and broadcasts msg.EvictNotice so the survivors do the
+// same. Proposals are re-sent with backoff until every ack arrives or the
+// timeout elapses; evicting an already-departed DC returns its recorded
+// final immediately.
+//
+// Only one round may run per manager at a time. Concurrent proposers (split
+// views) are safe: finals merge by maximum in the membership lattice and
+// any survivor left short of the winning final gap-fills through catch-up.
+func (r *Manager) ProposeEvict(dead int, timeout time.Duration) (vclock.Timestamp, error) {
+	if dead < 0 || dead >= r.maxDCs {
+		return 0, fmt.Errorf("repl: evict target %d outside DC capacity %d", dead, r.maxDCs)
+	}
+	if dead == r.m {
+		return 0, errors.New("repl: a DC cannot propose its own eviction")
+	}
+	if r.stopped.Load() {
+		return 0, errors.New("repl: manager stopped")
+	}
+	if final, left := r.leftFinal(dead); left {
+		return final, nil
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+
+	// Freeze and attest the proposer's own entry first, exactly like an
+	// acking survivor: the agreed final must not fall below an entry any
+	// participant keeps raising during the round.
+	st := r.in[dead]
+	st.mu.Lock()
+	entry := r.be.VVEntry(dead)
+	st.evictCap = entry
+	st.evictCapUntil = time.Now().Add(evictFreezeGrace)
+	st.mu.Unlock()
+
+	r.viewMu.Lock()
+	view := r.view.Clone()
+	r.viewMu.Unlock()
+	need := make(map[int]bool)
+	for dc, s := range view.Status {
+		if dc != r.m && dc != dead && s == msg.DCActive {
+			need[dc] = true
+		}
+	}
+	round := &evictRound{
+		dc: dead, reqID: r.reqSeq.Add(1), need: need,
+		final: entry, done: make(chan struct{}),
+	}
+	r.evictMu.Lock()
+	if r.evict != nil {
+		r.evictMu.Unlock()
+		return 0, errors.New("repl: an eviction round is already in progress")
+	}
+	r.evict = round
+	r.evictMu.Unlock()
+	defer func() {
+		r.evictMu.Lock()
+		if r.evict == round {
+			r.evict = nil
+		}
+		r.evictMu.Unlock()
+	}()
+
+	prop := msg.EvictProposal{DC: dead, ReqID: round.reqID, View: view}
+	send := func() {
+		r.evictMu.Lock()
+		targets := make([]int, 0, len(round.need))
+		for dc := range round.need {
+			targets = append(targets, dc)
+		}
+		r.evictMu.Unlock()
+		for _, dc := range targets {
+			r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, prop)
+		}
+	}
+	if len(need) > 0 {
+		send()
+		deadline := time.NewTimer(timeout)
+		defer deadline.Stop()
+		backoff := r.reRequest
+		resend := time.NewTimer(backoff)
+		defer resend.Stop()
+	wait:
+		for {
+			select {
+			case <-round.done:
+				break wait
+			case <-r.stop:
+				return 0, errors.New("repl: manager stopped")
+			case <-deadline.C:
+				return 0, fmt.Errorf("repl: eviction of DC %d timed out awaiting survivor acks", dead)
+			case <-resend.C:
+				send()
+				if backoff < maxReRequestInterval {
+					backoff *= 2
+					if backoff > maxReRequestInterval {
+						backoff = maxReRequestInterval
+					}
+				}
+				resend.Reset(backoff)
+			}
+		}
+	}
+	r.evictMu.Lock()
+	final := round.final
+	r.evictMu.Unlock()
+
+	// Adopt the verdict and tell everyone. The broadcast rides the rebuilt
+	// fan-out (survivors and joiners; the dead DC is out of it), and the
+	// lattice-merged view travels with it so even a receiver that missed
+	// the proposal converges in one hop.
+	r.viewMu.Lock()
+	if r.view.Get(dead) != msg.DCLeft {
+		r.view.Status[dead] = msg.DCLeft
+		r.view.Epoch++
+	}
+	r.view.SetFinal(dead, final)
+	r.rebuildTargetsLocked()
+	view = r.view.Clone()
+	r.viewMu.Unlock()
+	r.retireLink(dead)
+	r.sealDeparted(dead, final)
+	notice := msg.EvictNotice{DC: dead, Final: final, View: view}
+	for _, dc := range *r.targets.Load() {
+		r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, notice)
+	}
+	return final, nil
+}
+
+// HandleEvictProposal attests this node's version-vector entry for the DC
+// under eviction and freezes it there until the verdict (or the freeze
+// grace) — between the ack and the notice a gap-free straggler must not
+// push the entry past what was attested, or the agreed final could cut
+// below an already-claimed prefix.
+func (r *Manager) HandleEvictProposal(src netemu.NodeID, m msg.EvictProposal) {
+	if !r.validSrc(src.DC) || m.DC < 0 || m.DC >= r.maxDCs {
+		return
+	}
+	r.applyView(m.View)
+	if m.DC == r.m {
+		return // nobody attests their own eviction; the notice is the verdict
+	}
+	st := r.in[m.DC]
+	st.mu.Lock()
+	entry := r.be.VVEntry(m.DC)
+	st.evictCap = entry
+	st.evictCapUntil = time.Now().Add(evictFreezeGrace)
+	st.mu.Unlock()
+	r.ep.Send(src, msg.EvictAck{DC: m.DC, ReqID: m.ReqID, Entry: entry})
+}
+
+// HandleEvictAck folds one survivor's attestation into the round in
+// progress; the last awaited ack completes it.
+func (r *Manager) HandleEvictAck(src netemu.NodeID, m msg.EvictAck) {
+	if !r.validSrc(src.DC) {
+		return
+	}
+	r.evictMu.Lock()
+	round := r.evict
+	if round == nil || round.dc != m.DC || round.reqID != m.ReqID || !round.need[src.DC] {
+		r.evictMu.Unlock()
+		return
+	}
+	delete(round.need, src.DC)
+	if m.Entry > round.final {
+		round.final = m.Entry
+	}
+	if len(round.need) == 0 {
+		close(round.done)
+	}
+	r.evictMu.Unlock()
+}
+
+// HandleEvictNotice adopts the eviction verdict: record the agreed final in
+// the lattice and merge the view — the Left transition retires the link,
+// purges the dead DC's un-agreed suffix from storage, and starts gap-fill
+// rounds if this node's prefix is short of the final (sealDeparted, via
+// applyView). A notice naming this node's own DC means the deployment
+// declared *us* dead while we were merely unreachable: the merge retires
+// this node (writes refused, fan-out emptied) — the data is safe on the
+// survivors up to the final, and rejoining requires a fresh join.
+func (r *Manager) HandleEvictNotice(src netemu.NodeID, m msg.EvictNotice) {
+	if m.DC < 0 || m.DC >= r.maxDCs {
+		return
+	}
+	r.setFinal(m.DC, m.Final)
+	r.applyView(m.View)
 	r.maybeFinishJoin() // a joiner no longer waits on the departed link
 }
 
@@ -735,18 +1228,37 @@ func (r *Manager) heartbeatLoop() {
 		if idle {
 			r.be.RaiseVV(r.m, ct)
 		}
-		if r.joining.Load() {
-			// A lost JoinRequest (or a sibling that was down) must not wedge
-			// the bootstrap: re-ask on the re-request cadence until every
-			// active link has made first contact, and re-check completion in
-			// case the last sync arrived without a message to piggyback on.
-			r.viewMu.Lock()
-			resend := time.Since(r.joinAskAt) > r.reRequest
-			r.viewMu.Unlock()
-			if resend {
-				r.sendJoinRequests()
+		if r.joining.Load() && !r.joinFailed.Load() {
+			if r.cfg.JoinTimeout > 0 && time.Since(r.joinStart) > r.cfg.JoinTimeout {
+				// Abandon the bootstrap: stop soliciting and let the owner
+				// unwind the half-joined DC via JoinFailed.
+				r.joinFailed.Store(true)
+			} else {
+				// A lost JoinRequest (or a sibling that was down) must not
+				// wedge the bootstrap: re-ask until every active link has
+				// made first contact — with jittered exponential backoff, so
+				// a deployment that cannot answer is not flooded — and
+				// re-check completion in case the last sync arrived without
+				// a message to piggyback on.
+				r.viewMu.Lock()
+				wait := r.joinBackoff
+				if wait > 0 {
+					wait += time.Duration(rand.Int64N(int64(wait/2) + 1))
+				}
+				resend := time.Since(r.joinAskAt) > wait
+				r.viewMu.Unlock()
+				if resend {
+					r.sendJoinRequests()
+				}
+				r.maybeFinishJoin()
 			}
-			r.maybeFinishJoin()
+		}
+		if r.cfg.CatchUp {
+			// Departed-DC gaps heal through ordinary catch-up on the live
+			// links; retry until the recorded finals are reached (a one-shot
+			// round can race a survivor that has not yet learned of the
+			// departure and answers without a claim).
+			r.fillDepartedGaps()
 		}
 	}
 }
@@ -781,7 +1293,7 @@ func (r *Manager) HandleBatch(src netemu.NodeID, m msg.ReplicateBatch) {
 	if !r.validSrc(src.DC) {
 		return
 	}
-	r.be.ApplyRemote(m.Versions)
+	r.be.ApplyRemote(r.filterDeparted(m.Versions))
 	adv := m.HBTime
 	if n := len(m.Versions); n > 0 {
 		if last := m.Versions[n-1].UpdateTime; last > adv {
@@ -818,18 +1330,66 @@ func (r *Manager) validSrc(dc int) bool {
 	return dc >= 0 && dc < r.maxDCs && dc != r.m
 }
 
+// filterDeparted screens an inbound version slice: once a DC has departed
+// with an agreed final, versions it originated beyond the final are its
+// un-agreed suffix — installing a straggler would resurrect state the
+// forced removal already purged. The shared slice is never mutated (one
+// flush fans the same message out to every sibling); a filtered copy is
+// built only when something must be dropped.
+func (r *Manager) filterDeparted(vs []*item.Version) []*item.Version {
+	if len(vs) == 0 {
+		return vs
+	}
+	r.viewMu.Lock()
+	var status []uint8
+	var finals vclock.VC
+	for _, st := range r.view.Status {
+		if st == msg.DCLeft {
+			status = append([]uint8(nil), r.view.Status...)
+			finals = r.view.Final.Clone()
+			break
+		}
+	}
+	r.viewMu.Unlock()
+	if status == nil {
+		return vs // nobody has departed: the common case, zero extra work
+	}
+	drop := func(v *item.Version) bool {
+		d := v.SrcReplica
+		return d >= 0 && d < len(status) && status[d] == msg.DCLeft &&
+			finals.Get(d) > 0 && v.UpdateTime > finals.Get(d)
+	}
+	for i, v := range vs {
+		if drop(v) {
+			out := make([]*item.Version, i, len(vs))
+			copy(out, vs[:i])
+			for _, w := range vs[i+1:] {
+				if !drop(w) {
+					out = append(out, w)
+				}
+			}
+			return out
+		}
+	}
+	return vs
+}
+
 // handleSequenced runs the receiver state machine for one sequenced message
 // on the link from dc. A batch consumes the next sequence number; a
 // heartbeat re-attests the current one. adv is the VV advance the message
 // carries when the sequence is intact; floor is the sender incarnation's
 // starting history floor.
 func (r *Manager) handleSequenced(dc int, epoch, seq uint64, floor, adv vclock.Timestamp, isBatch bool) {
-	if r.statusOf(dc) == msg.DCLeft {
-		// A straggler from a departed DC (in flight when the LeaveNotice
-		// overtook it on another link): its data is applied, and nothing it
-		// attests can exceed the announced final timestamp, so the plain
-		// advance is safe — but no catch-up round may start toward a DC
-		// that no longer answers.
+	if final, left := r.leftFinal(dc); left {
+		// A straggler from a departed DC (in flight when the notice overtook
+		// it on another link): after a graceful leave nothing it attests can
+		// exceed the announced final, and after a forced removal anything
+		// beyond the agreed final is the dead DC's un-agreed suffix — never
+		// attested, so the advance is capped there. No catch-up round may
+		// start toward a DC that no longer answers.
+		if final > 0 && adv > final {
+			adv = final
+		}
 		r.be.RaiseVV(dc, adv)
 		return
 	}
@@ -877,11 +1437,25 @@ func (r *Manager) handleSequenced(dc int, epoch, seq uint64, floor, adv vclock.T
 		r.startCatchUpLocked(st, dc)
 		r.noteChainLocked(st, epoch, seq, adv, isBatch)
 	}
-	st.mu.Unlock()
+	// The raise happens under the link lock so an eviction ack (which reads
+	// the entry and freezes it at the attested point, also under the lock)
+	// serializes with it — no raise can slip past a just-sent attestation.
 	if raise > 0 {
-		r.be.RaiseVV(dc, raise)
+		r.be.RaiseVV(dc, capRaiseLocked(st, raise))
 	}
+	st.mu.Unlock()
 	r.maybeFinishJoin() // a first-contact adoption may have been the last link
+}
+
+// haveVV snapshots this node's full version vector — the Have field of a
+// catch-up request, which tells the server what departed-origin history the
+// requester is missing besides the link's own range.
+func (r *Manager) haveVV() vclock.VC {
+	have := make(vclock.VC, r.maxDCs)
+	for i := range have {
+		have[i] = r.be.VVEntry(i)
+	}
+	return have
 }
 
 // startCatchUpLocked opens a new catch-up round on the link: freeze VV
@@ -896,8 +1470,9 @@ func (r *Manager) startCatchUpLocked(st *inLink, dc int) {
 	st.reqID = r.reqSeq.Add(1)
 	st.reqAt = time.Now()
 	r.statReq.Add(1)
+	have := r.haveVV()
 	r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n},
-		msg.CatchUpRequest{ReqID: st.reqID, From: r.be.VVEntry(dc)})
+		msg.CatchUpRequest{ReqID: st.reqID, From: have[dc], Have: have})
 }
 
 // noteChainLocked folds one sequenced message into the chain observed while
@@ -943,7 +1518,7 @@ func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
 		return
 	}
 	if len(m.Versions) > 0 {
-		r.be.ApplyRemote(m.Versions)
+		r.be.ApplyRemote(r.filterDeparted(m.Versions))
 	}
 	if !m.Done {
 		r.ep.Send(src, msg.CatchUpAck{ReqID: m.ReqID, Chunk: m.Chunk})
@@ -958,6 +1533,9 @@ func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
 	st.pending = false
 	r.activeIn.Add(-1)
 	r.statDone.Add(1)
+	if m.FullResync {
+		r.statFullResync.Add(1)
+	}
 	var chainRaise vclock.Timestamp
 	again := false
 	switch {
@@ -980,14 +1558,30 @@ func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
 		// below), strictly past this one's floor, so rounds make progress.
 		again = true
 	}
-	st.mu.Unlock()
 	// The sender guarantees every version it originated with a timestamp ≤
 	// Through is now present (previously received, or streamed in this
 	// round). An Unsupported reply makes the same advance on the optimistic
-	// fallback semantics instead.
-	r.be.RaiseVV(src.DC, m.Through)
+	// fallback semantics instead. Raised under the link lock (capped by a
+	// pending eviction attestation) like every sequenced advance.
+	r.be.RaiseVV(src.DC, capRaiseLocked(st, m.Through))
 	if chainRaise > 0 {
-		r.be.RaiseVV(src.DC, chainRaise)
+		r.be.RaiseVV(src.DC, capRaiseLocked(st, chainRaise))
+	}
+	st.mu.Unlock()
+	// Departed-origin claims: the sender streamed every version in
+	// (Have[d], Through] it holds of each departed DC d, and its Through is
+	// bounded by both the agreed final and its own prefix-complete entry —
+	// so the advance asserts nothing this node does not now hold. Clamped
+	// at the locally-known final for safety against view skew.
+	for _, c := range m.Departed {
+		if c.DC < 0 || c.DC >= r.maxDCs || c.DC == r.m || c.Through == 0 {
+			continue
+		}
+		t := c.Through
+		if f := r.finalOf(c.DC); f > 0 && t > f {
+			t = f
+		}
+		r.be.RaiseVV(c.DC, t)
 	}
 	if again {
 		st.mu.Lock()
@@ -1008,9 +1602,10 @@ func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
 // dedicated goroutine. A newer request from the same DC supersedes the
 // stream in progress.
 func (r *Manager) HandleCatchUpRequest(src netemu.NodeID, m msg.CatchUpRequest) {
-	if !r.validSrc(src.DC) {
-		return
+	if !r.validSrc(src.DC) || r.statusOf(src.DC) == msg.DCLeft {
+		return // nothing is owed to a departed DC
 	}
+	r.noteHoldback(src.DC, m)
 	s := &catchUpServe{
 		dc:     src.DC,
 		reqID:  m.ReqID,
@@ -1030,13 +1625,35 @@ func (r *Manager) HandleCatchUpRequest(src netemu.NodeID, m msg.CatchUpRequest) 
 	r.serveMu.Unlock()
 	go func() {
 		defer r.wg.Done()
-		r.serveCatchUp(src, s, m.From)
+		r.serveCatchUp(src, s, m)
 		r.serveMu.Lock()
 		if r.serving[src.DC] == s {
 			delete(r.serving, src.DC)
 		}
 		r.serveMu.Unlock()
 	}()
+}
+
+// noteHoldback records (or refreshes) the GC floor owed to a lagging
+// requester: its full version vector is exactly what it has — the local GC
+// contribution must not pass it while the laggard drains (ClampGC). Floors
+// only rise; the entry expires once the laggard goes quiet or ages past
+// the holdback cap.
+func (r *Manager) noteHoldback(dc int, m msg.CatchUpRequest) {
+	now := time.Now()
+	floors := m.Have.Clone().GrowTo(r.maxDCs)
+	if m.From > floors[r.m] {
+		floors[r.m] = m.From
+	}
+	r.holdMu.Lock()
+	if hb := r.holdbacks[dc]; hb != nil {
+		hb.floors = hb.floors.GrowTo(len(floors))
+		hb.floors.MaxInPlace(floors)
+		hb.lastReq = now
+	} else {
+		r.holdbacks[dc] = &holdback{floors: floors, since: now, lastReq: now}
+	}
+	r.holdMu.Unlock()
 }
 
 // HandleCatchUpAck credits one chunk back to the in-flight window of the
@@ -1071,21 +1688,74 @@ func versionBytes(v *item.Version) int {
 // the invariant the receiver relies on: every version ≤ through has been
 // handed to the transport in a batch with sequence ≤ resumeSeq (and is in
 // the log), and every later version rides a higher sequence.
-func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, from vclock.Timestamp) {
+//
+// Besides its own history, the stream re-ships departed-origin versions the
+// requester lacks: for every DC the view records as Left, the range
+// (Have[d], min(final, own entry)] rides along, bounded by a claim in the
+// Done chunk so the receiver can advance its vector for the departed DC —
+// this is how survivors close their eviction gaps and how joiners bootstrap
+// the history of DCs that left before they arrived.
+//
+// If a requested range starts below the WAL's checkpoint-compacted boundary
+// it cannot be served incrementally (superseded versions in it are gone):
+// the stream restarts from zero and the Done chunk says so (FullResync) —
+// never a silently incomplete range.
+func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, req msg.CatchUpRequest) {
 	r.mu.Lock()
 	r.flushLocked()
 	through := r.lastTS
 	resumeSeq := r.seq
 	r.mu.Unlock()
 
+	from := req.From
+	r.viewMu.Lock()
+	var claims []msg.DepartedClaim
+	for dc, st := range r.view.Status {
+		if st != msg.DCLeft || dc == r.m || dc == src.DC {
+			continue
+		}
+		to := r.be.VVEntry(dc)
+		if f := r.view.FinalOf(dc); f > 0 && f < to {
+			to = f
+		}
+		if to > req.Have.Get(dc) {
+			claims = append(claims, msg.DepartedClaim{DC: dc, Through: to})
+		}
+	}
+	r.viewMu.Unlock()
+
 	done := msg.CatchUpReply{
 		ReqID: s.reqID, Done: true,
 		ResumeEpoch: r.epoch, ResumeSeq: resumeSeq, Through: through,
+		Departed: claims,
 	}
 	if r.cfg.Source == nil {
 		done.Unsupported = true
 		r.ep.Send(src, done)
 		return
+	}
+
+	// Per-origin stream bounds: own origin in (from, through], each claimed
+	// departed origin in (Have[d], claim]. A floor below the checkpoint-
+	// compacted boundary drops to zero and flags the full resync.
+	var compacted vclock.VC
+	if cs, ok := r.cfg.Source.(CompactedSource); ok {
+		compacted = cs.CompactedFloor()
+	}
+	if from < compacted.Get(r.m) {
+		from = 0
+		done.FullResync = true
+	}
+	shipFloor := make(vclock.VC, r.maxDCs)
+	shipCeil := make(vclock.VC, r.maxDCs)
+	shipFloor[r.m], shipCeil[r.m] = from, through
+	for _, c := range claims {
+		f := req.Have.Get(c.DC)
+		if f < compacted.Get(c.DC) {
+			f = 0
+			done.FullResync = true
+		}
+		shipFloor[c.DC], shipCeil[c.DC] = f, c.Through
 	}
 
 	var (
@@ -1137,7 +1807,8 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, from vclock.T
 			return errCanceled
 		default:
 		}
-		if v.SrcReplica != r.m || v.UpdateTime <= from || v.UpdateTime > through {
+		d := v.SrcReplica
+		if d < 0 || d >= r.maxDCs || v.UpdateTime <= shipFloor[d] || v.UpdateTime > shipCeil[d] {
 			return nil
 		}
 		chunk = append(chunk, v)
@@ -1164,4 +1835,128 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, from vclock.T
 	}
 	r.ep.Send(src, done)
 	r.statServed.Add(1)
+}
+
+// ---------------------------------------------------------------------------
+// Catch-up-aware garbage collection
+// ---------------------------------------------------------------------------
+
+// servingTo reports whether an outbound catch-up stream to dc is live.
+func (r *Manager) servingTo(dc int) bool {
+	r.serveMu.Lock()
+	defer r.serveMu.Unlock()
+	return r.serving[dc] != nil
+}
+
+// ClampGC caps the server's local GC contribution so the global prune point
+// never passes history a laggard still needs: each recently-served catch-up
+// requester pins the vector at its recorded floors (what it actually holds),
+// and a Joining DC mid-bootstrap pins it at zero (it needs everything).
+// Entries are clamped in place and gv is returned for convenience.
+//
+// A holdback older than maxAge is released — GC advances and the laggard's
+// next incremental request is answered with a full resync instead (the
+// GCMaxHoldback escape hatch, so one wedged replica cannot pin the
+// deployment's garbage forever). A negative maxAge never releases. Expired
+// holdbacks (no request within the re-request grace and no stream in
+// flight) are dropped: the laggard either caught up or died, and a dead
+// laggard that returns re-bootstraps through the same full-resync path.
+func (r *Manager) ClampGC(gv vclock.VC, maxAge time.Duration) vclock.VC {
+	now := time.Now()
+	r.viewMu.Lock()
+	var joining []int
+	for dc, st := range r.view.Status {
+		if dc != r.m && st == msg.DCJoining {
+			joining = append(joining, dc)
+		}
+	}
+	r.viewMu.Unlock()
+
+	grace := 4 * r.reRequest
+	r.holdMu.Lock()
+	for _, dc := range joining {
+		if _, ok := r.joinSeen[dc]; !ok {
+			r.joinSeen[dc] = now
+		}
+	}
+	for dc := range r.joinSeen {
+		still := false
+		for _, j := range joining {
+			if j == dc {
+				still = true
+				break
+			}
+		}
+		if !still {
+			delete(r.joinSeen, dc)
+		}
+	}
+	zero := false
+	for _, t := range r.joinSeen {
+		if maxAge < 0 || now.Sub(t) <= maxAge {
+			zero = true
+		}
+	}
+	var floors vclock.VC
+	constrained := false
+	for dc, hb := range r.holdbacks {
+		if now.Sub(hb.lastReq) > grace && !r.servingTo(dc) {
+			delete(r.holdbacks, dc)
+			continue
+		}
+		if maxAge >= 0 && now.Sub(hb.since) > maxAge {
+			continue // released: the laggard re-bootstraps via full resync
+		}
+		if !constrained {
+			floors = hb.floors.Clone()
+			constrained = true
+			continue
+		}
+		// Two laggards: the effective floor is the entry-wise minimum.
+		floors = floors.GrowTo(len(hb.floors))
+		for i := range floors {
+			if f := hb.floors.Get(i); f < floors[i] {
+				floors[i] = f
+			}
+		}
+	}
+	r.holdMu.Unlock()
+	if zero {
+		for i := range gv {
+			gv[i] = 0
+		}
+		return gv
+	}
+	if constrained {
+		for i := range gv {
+			if f := floors.Get(i); gv[i] > f {
+				gv[i] = f
+			}
+		}
+	}
+	return gv
+}
+
+// HoldbackAge reports how long the oldest live GC holdback (a lagging
+// catch-up requester, or a joiner mid-bootstrap) has pinned the prune
+// point; zero when nothing is held. Observability for the stats surface.
+func (r *Manager) HoldbackAge() time.Duration {
+	now := time.Now()
+	r.holdMu.Lock()
+	defer r.holdMu.Unlock()
+	var oldest time.Time
+	for _, hb := range r.holdbacks {
+		if oldest.IsZero() || hb.since.Before(oldest) {
+			oldest = hb.since
+		}
+	}
+	for _, t := range r.joinSeen {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
 }

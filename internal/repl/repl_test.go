@@ -108,6 +108,21 @@ func (b *fakeBackend) RaiseVV(dc int, t vclock.Timestamp) {
 	b.mu.Unlock()
 }
 
+func (b *fakeBackend) DropAbove(dc int, after vclock.Timestamp) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kept, dropped := b.applied[:0], 0
+	for _, v := range b.applied {
+		if v.SrcReplica == dc && v.UpdateTime > after {
+			dropped++
+			continue
+		}
+		kept = append(kept, v)
+	}
+	b.applied = kept
+	return dropped
+}
+
 func (b *fakeBackend) appliedCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()

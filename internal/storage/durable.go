@@ -61,6 +61,17 @@ type Durable struct {
 	checkpointBytes int64
 	floor           vclock.VC // replayed VV floor, immutable after open
 	werr            atomic.Pointer[error]
+
+	// gcMu guards the compaction-floor bookkeeping: gcHigh accumulates the
+	// entry-wise maximum of every GC vector CollectGarbage has applied, and
+	// compacted snapshots gcHigh at each checkpoint — the proof boundary for
+	// catch-up serving. A version with UpdateTime at or below compacted[its
+	// origin] may have been pruned from the log by a checkpoint, so a catch-up
+	// range starting below that floor cannot be served incrementally
+	// (internal/repl answers with a full resync instead).
+	gcMu      sync.Mutex
+	gcHigh    vclock.VC
+	compacted vclock.VC
 }
 
 // OpenDurable opens (creating or recovering) a durable engine rooted at dir.
@@ -162,11 +173,34 @@ func (d *Durable) ReadWithin(key string, tv vclock.VC) ReadResult {
 // past the checkpoint threshold, writes a snapshot checkpoint of the pruned
 // state and truncates the log — GC and log truncation advance together.
 func (d *Durable) CollectGarbage(gv vclock.VC) int {
+	d.gcMu.Lock()
+	d.gcHigh = d.gcHigh.GrowTo(len(gv))
+	d.gcHigh.MaxInPlace(gv)
+	d.gcMu.Unlock()
 	removed := d.mem.CollectGarbage(gv)
 	if d.checkpointBytes > 0 && d.log.SinceCheckpoint() >= d.checkpointBytes {
 		d.checkpoint()
 	}
 	return removed
+}
+
+// DropAbove removes src-originated versions above after from the in-memory
+// chains. The log is left untouched (it may still hold them until the next
+// checkpoint compacts the surviving state); callers re-apply the drop after
+// recovery, seeded from the membership view's final timestamps.
+func (d *Durable) DropAbove(src int, after vclock.Timestamp) int {
+	return d.mem.DropAbove(src, after)
+}
+
+// CompactedFloor returns, per origin DC, the highest GC vector entry a
+// snapshot checkpoint has compacted the log under. History at or below the
+// floor survives only in pruned (snapshot) form: versions superseded at
+// checkpoint time are gone, so an incremental catch-up range starting below
+// the floor cannot be proven complete. Nil when no checkpoint has run.
+func (d *Durable) CompactedFloor() vclock.VC {
+	d.gcMu.Lock()
+	defer d.gcMu.Unlock()
+	return d.compacted.Clone()
 }
 
 // checkpoint streams the surviving versions into a snapshot while writers
@@ -180,6 +214,12 @@ func (d *Durable) checkpoint() {
 	if d.log.SinceCheckpoint() < d.checkpointBytes {
 		return // another GC pass raced us here
 	}
+	// The GC passes folded into gcHigh all ran before this snapshot is cut,
+	// so the snapshot's surviving state is exactly "pruned through gcHigh":
+	// record it as the compaction floor before the log truncates.
+	d.gcMu.Lock()
+	floor := d.gcHigh.Clone()
+	d.gcMu.Unlock()
 	var scratch []byte
 	d.fail(d.log.Checkpoint(func(emit func(rec []byte)) {
 		d.mem.ForEachVersion(func(v *item.Version) {
@@ -187,6 +227,10 @@ func (d *Durable) checkpoint() {
 			emit(scratch)
 		})
 	}))
+	d.gcMu.Lock()
+	d.compacted = d.compacted.GrowTo(len(floor))
+	d.compacted.MaxInPlace(floor)
+	d.gcMu.Unlock()
 }
 
 // DurableFloor returns the WAL's snapshot floor — the segment sequence at

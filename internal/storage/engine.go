@@ -35,6 +35,10 @@ type Engine interface {
 	// the number of versions removed. Durable engines piggyback snapshot
 	// checkpoints and segment truncation on this call.
 	CollectGarbage(gv vclock.VC) int
+	// DropAbove removes every version originated by src with an update time
+	// strictly greater than after — the forced-removal path discarding a
+	// crashed DC's un-agreed suffix. Returns the number removed.
+	DropAbove(src int, after vclock.Timestamp) int
 	// Stats counts keys and versions in a single pass (snapshot-consistent
 	// per shard).
 	Stats() StoreStats

@@ -225,6 +225,44 @@ func (s *Mem) CollectGarbage(gv vclock.VC) int {
 	return removed
 }
 
+// DropAbove removes every version originated by src with an update timestamp
+// strictly greater than after, returning the number removed. Forced removal
+// of a crashed data center uses it to discard the dead DC's un-agreed suffix:
+// versions a survivor applied optimistically beyond the timestamp the
+// survivors proved complete (their agreed final) would otherwise linger as
+// unreplicatable divergence.
+func (s *Mem) DropAbove(src int, after vclock.Timestamp) int {
+	removed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, chain := range sh.chains {
+			kept := 0
+			for _, v := range chain {
+				if v.SrcReplica == src && v.UpdateTime > after {
+					continue
+				}
+				chain[kept] = v
+				kept++
+			}
+			if kept == len(chain) {
+				continue
+			}
+			removed += len(chain) - kept
+			for j := kept; j < len(chain); j++ {
+				chain[j] = nil // release the dropped versions
+			}
+			if kept == 0 {
+				delete(sh.chains, key)
+			} else {
+				sh.chains[key] = chain[:kept]
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
 // StoreStats summarizes the store's contents.
 type StoreStats struct {
 	// Keys is the number of keys with at least one version.

@@ -46,6 +46,9 @@ const (
 	tagJoinAccept
 	tagMembershipUpdate
 	tagLeaveNotice
+	tagEvictProposal
+	tagEvictAck
+	tagEvictNotice
 )
 
 // maxFrame bounds a frame's payload so a corrupted length prefix cannot ask
@@ -157,6 +160,12 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 		tag = tagMembershipUpdate
 	case msg.LeaveNotice:
 		tag = tagLeaveNotice
+	case msg.EvictProposal:
+		tag = tagEvictProposal
+	case msg.EvictAck:
+		tag = tagEvictAck
+	case msg.EvictNotice:
+		tag = tagEvictNotice
 	default:
 		return b, fmt.Errorf("wire: encode: unsupported message type %T", env.Msg)
 	}
@@ -218,6 +227,7 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 	case msg.CatchUpRequest:
 		b = appendUint(b, m.ReqID)
 		b = appendUint(b, uint64(m.From))
+		b = appendVC(b, m.Have)
 	case msg.CatchUpReply:
 		b = appendUint(b, m.ReqID)
 		b = appendUint(b, m.Chunk)
@@ -234,6 +244,16 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 		b = appendUint(b, m.ResumeEpoch)
 		b = appendUint(b, m.ResumeSeq)
 		b = appendUint(b, uint64(m.Through))
+		b = appendBool(b, m.FullResync)
+		if m.Departed == nil {
+			b = appendUint(b, 0)
+		} else {
+			b = appendUint(b, uint64(len(m.Departed))+1)
+			for _, c := range m.Departed {
+				b = appendUint(b, uint64(c.DC))
+				b = appendUint(b, uint64(c.Through))
+			}
+		}
 	case msg.CatchUpAck:
 		b = appendUint(b, m.ReqID)
 		b = appendUint(b, m.Chunk)
@@ -246,6 +266,18 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 	case msg.MembershipUpdate:
 		b = appendMembership(b, m.View)
 	case msg.LeaveNotice:
+		b = appendUint(b, uint64(m.DC))
+		b = appendUint(b, uint64(m.Final))
+		b = appendMembership(b, m.View)
+	case msg.EvictProposal:
+		b = appendUint(b, uint64(m.DC))
+		b = appendUint(b, m.ReqID)
+		b = appendMembership(b, m.View)
+	case msg.EvictAck:
+		b = appendUint(b, uint64(m.DC))
+		b = appendUint(b, m.ReqID)
+		b = appendUint(b, uint64(m.Entry))
+	case msg.EvictNotice:
 		b = appendUint(b, uint64(m.DC))
 		b = appendUint(b, uint64(m.Final))
 		b = appendMembership(b, m.View)
@@ -326,11 +358,13 @@ func DecodeVersion(b []byte) (*item.Version, int, error) {
 	return v, f.pos, nil
 }
 
-// appendMembership encodes an epoch-stamped membership view: the epoch, then
-// the status bytes with a nil-preserving length marker (like appendBytes).
+// appendMembership encodes an epoch-stamped membership view: the epoch, the
+// status bytes, then the departed-final vector — both with nil-preserving
+// length markers.
 func appendMembership(b []byte, m msg.Membership) []byte {
 	b = appendUint(b, m.Epoch)
-	return appendBytes(b, m.Status)
+	b = appendBytes(b, m.Status)
+	return appendVC(b, m.Final)
 }
 
 func appendItemReply(b []byte, r *msg.ItemReply) []byte {
@@ -459,7 +493,7 @@ func (f *frameReader) version() *item.Version {
 }
 
 func (f *frameReader) membership() msg.Membership {
-	return msg.Membership{Epoch: f.uint(), Status: f.bytes()}
+	return msg.Membership{Epoch: f.uint(), Status: f.bytes(), Final: f.vc()}
 }
 
 func (f *frameReader) itemReply() msg.ItemReply {
@@ -545,7 +579,7 @@ func parsePayload(frame []byte) (Envelope, error) {
 	case tagGCExchange:
 		env.Msg = msg.GCExchange{Partition: int(f.uint()), TV: f.vc()}
 	case tagCatchUpRequest:
-		env.Msg = msg.CatchUpRequest{ReqID: f.uint(), From: vclock.Timestamp(f.uint())}
+		env.Msg = msg.CatchUpRequest{ReqID: f.uint(), From: vclock.Timestamp(f.uint()), Have: f.vc()}
 	case tagCatchUpReply:
 		var m msg.CatchUpReply
 		m.ReqID = f.uint()
@@ -566,6 +600,19 @@ func parsePayload(frame []byte) (Envelope, error) {
 		m.ResumeEpoch = f.uint()
 		m.ResumeSeq = f.uint()
 		m.Through = vclock.Timestamp(f.uint())
+		m.FullResync = f.bool()
+		if marker := f.uint(); marker > 0 && f.err == nil {
+			n := marker - 1
+			if uint64(len(f.b)-f.pos) < n {
+				f.fail()
+			} else {
+				m.Departed = make([]msg.DepartedClaim, 0, n)
+				for i := uint64(0); i < n && f.err == nil; i++ {
+					m.Departed = append(m.Departed, msg.DepartedClaim{
+						DC: int(f.uint()), Through: vclock.Timestamp(f.uint())})
+				}
+			}
+		}
 		env.Msg = m
 	case tagCatchUpAck:
 		env.Msg = msg.CatchUpAck{ReqID: f.uint(), Chunk: f.uint()}
@@ -577,6 +624,12 @@ func parsePayload(frame []byte) (Envelope, error) {
 		env.Msg = msg.MembershipUpdate{View: f.membership()}
 	case tagLeaveNotice:
 		env.Msg = msg.LeaveNotice{DC: int(f.uint()), Final: vclock.Timestamp(f.uint()), View: f.membership()}
+	case tagEvictProposal:
+		env.Msg = msg.EvictProposal{DC: int(f.uint()), ReqID: f.uint(), View: f.membership()}
+	case tagEvictAck:
+		env.Msg = msg.EvictAck{DC: int(f.uint()), ReqID: f.uint(), Entry: vclock.Timestamp(f.uint())}
+	case tagEvictNotice:
+		env.Msg = msg.EvictNotice{DC: int(f.uint()), Final: vclock.Timestamp(f.uint()), View: f.membership()}
 	default:
 		return env, fmt.Errorf("wire: unknown message tag %d", tag)
 	}

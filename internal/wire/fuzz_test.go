@@ -35,6 +35,9 @@ func FuzzCatchUpDecode(f *testing.F) {
 		},
 		msg.CatchUpReply{ReqID: 9, Done: true, ResumeEpoch: 77, ResumeSeq: 3, Through: 123456},
 		msg.CatchUpReply{ReqID: 9, Done: true, Unsupported: true},
+		msg.CatchUpRequest{ReqID: 10, From: 500, Have: vclock.VC{7, 0, 99}},
+		msg.CatchUpReply{ReqID: 10, Done: true, Through: 123456, FullResync: true,
+			Departed: []msg.DepartedClaim{{DC: 2, Through: 777}}},
 		msg.CatchUpAck{ReqID: 9, Chunk: 2},
 	}
 	for _, m := range seeds {
@@ -80,6 +83,7 @@ func FuzzMembershipDecode(f *testing.F) {
 		{Epoch: 1, Status: []uint8{}},
 		{Epoch: 7, Status: []uint8{msg.DCActive, msg.DCActive, msg.DCJoining}},
 		{Epoch: 9, Status: []uint8{msg.DCLeft, msg.DCActive, msg.DCUnknown, msg.DCJoining}},
+		{Epoch: 11, Status: []uint8{msg.DCActive, msg.DCLeft}, Final: vclock.VC{0, 4242}},
 	}
 	var seeds []any
 	for _, v := range views {
@@ -88,8 +92,11 @@ func FuzzMembershipDecode(f *testing.F) {
 			msg.JoinAccept{View: v, Through: 123456},
 			msg.MembershipUpdate{View: v},
 			msg.LeaveNotice{DC: 1, Final: 98765, View: v},
+			msg.EvictProposal{DC: 1, ReqID: 7, View: v},
+			msg.EvictNotice{DC: 1, Final: 98765, View: v},
 		)
 	}
+	seeds = append(seeds, msg.EvictAck{DC: 1, ReqID: 7, Entry: 98765})
 	for _, m := range seeds {
 		var buf bytes.Buffer
 		if err := NewBinaryEncoder(&buf).Encode(Envelope{

@@ -91,7 +91,23 @@ func genMembership(r *rand.Rand) msg.Membership {
 			m.Status[i] = uint8(r.IntN(4)) // DCUnknown..DCLeft
 		}
 	}
+	m.Final = genVC(r)
 	return m
+}
+
+func genDeparted(r *rand.Rand) []msg.DepartedClaim {
+	switch r.IntN(4) {
+	case 0:
+		return nil
+	case 1:
+		return []msg.DepartedClaim{}
+	default:
+		out := make([]msg.DepartedClaim, 1+r.IntN(4))
+		for i := range out {
+			out[i] = msg.DepartedClaim{DC: r.IntN(8), Through: vclock.Timestamp(r.Uint64N(1 << 62))}
+		}
+		return out
+	}
 }
 
 // genMsg draws one random protocol message of the i-th type.
@@ -157,7 +173,7 @@ func genMsg(r *rand.Rand, kind int) any {
 	case 6:
 		return msg.GCExchange{Partition: r.IntN(8), TV: genVC(r)}
 	case 7:
-		return msg.CatchUpRequest{ReqID: r.Uint64(), From: vclock.Timestamp(r.Uint64N(1 << 62))}
+		return msg.CatchUpRequest{ReqID: r.Uint64(), From: vclock.Timestamp(r.Uint64N(1 << 62)), Have: genVC(r)}
 	case 8:
 		m := msg.CatchUpReply{
 			ReqID:       r.Uint64(),
@@ -167,6 +183,8 @@ func genMsg(r *rand.Rand, kind int) any {
 			ResumeEpoch: r.Uint64(),
 			ResumeSeq:   r.Uint64(),
 			Through:     vclock.Timestamp(r.Uint64N(1 << 62)),
+			FullResync:  r.IntN(2) == 0,
+			Departed:    genDeparted(r),
 		}
 		switch r.IntN(4) {
 		case 0: // nil Versions
@@ -186,15 +204,21 @@ func genMsg(r *rand.Rand, kind int) any {
 		return msg.JoinAccept{View: genMembership(r), Through: vclock.Timestamp(r.Uint64N(1 << 62))}
 	case 12:
 		return msg.MembershipUpdate{View: genMembership(r)}
-	default:
+	case 13:
 		return msg.LeaveNotice{DC: r.IntN(8), Final: vclock.Timestamp(r.Uint64N(1 << 62)), View: genMembership(r)}
+	case 14:
+		return msg.EvictProposal{DC: r.IntN(8), ReqID: r.Uint64(), View: genMembership(r)}
+	case 15:
+		return msg.EvictAck{DC: r.IntN(8), ReqID: r.Uint64(), Entry: vclock.Timestamp(r.Uint64N(1 << 62))}
+	default:
+		return msg.EvictNotice{DC: r.IntN(8), Final: vclock.Timestamp(r.Uint64N(1 << 62)), View: genMembership(r)}
 	}
 }
 
 // numMsgKinds is the number of distinct message types genMsg produces —
 // keep it in sync with the switch above so the property tests cover every
 // wire type.
-const numMsgKinds = 14
+const numMsgKinds = 17
 
 func binaryRoundTrip(t *testing.T, env Envelope) Envelope {
 	t.Helper()
@@ -325,6 +349,18 @@ func TestBinaryRoundTripEdgeCases(t *testing.T) {
 		msg.MembershipUpdate{View: msg.Membership{Epoch: 4, Status: []uint8{msg.DCLeft, msg.DCActive, msg.DCUnknown}}},
 		msg.LeaveNotice{},
 		msg.LeaveNotice{DC: 1, Final: 1234, View: msg.Membership{Epoch: 5, Status: []uint8{msg.DCActive, msg.DCLeft}}},
+		msg.CatchUpRequest{ReqID: 2, From: 7, Have: vclock.VC{1, 2, 3}},
+		msg.CatchUpRequest{ReqID: 2, Have: vclock.VC{}},
+		msg.CatchUpReply{Done: true, FullResync: true, Through: 42},
+		msg.CatchUpReply{Done: true, Departed: []msg.DepartedClaim{}},
+		msg.CatchUpReply{Done: true, Departed: []msg.DepartedClaim{{DC: 2, Through: 99}}},
+		msg.MembershipUpdate{View: msg.Membership{Epoch: 4, Status: []uint8{msg.DCLeft}, Final: vclock.VC{77}}},
+		msg.EvictProposal{},
+		msg.EvictProposal{DC: 2, ReqID: 9, View: msg.Membership{Epoch: 3, Status: []uint8{msg.DCActive, msg.DCActive, msg.DCActive}}},
+		msg.EvictAck{},
+		msg.EvictAck{DC: 2, ReqID: 9, Entry: 123},
+		msg.EvictNotice{},
+		msg.EvictNotice{DC: 2, Final: 456, View: msg.Membership{Epoch: 7, Status: []uint8{msg.DCActive, msg.DCActive, msg.DCLeft}, Final: vclock.VC{0, 0, 456}}},
 	}
 	for i, m := range cases {
 		env := Envelope{Src: netemu.NodeID{DC: 1, Partition: 2}, Msg: m}

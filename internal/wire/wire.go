@@ -105,6 +105,9 @@ func registerTypes() {
 	gob.Register(msg.JoinAccept{})
 	gob.Register(msg.MembershipUpdate{})
 	gob.Register(msg.LeaveNotice{})
+	gob.Register(msg.EvictProposal{})
+	gob.Register(msg.EvictAck{})
+	gob.Register(msg.EvictNotice{})
 	gob.Register(&item.Version{})
 }
 

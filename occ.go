@@ -141,6 +141,17 @@ type Config struct {
 	// departed DC's slot is never reused, so this bounds the total joins
 	// over the store's lifetime.
 	MaxDataCenters int
+	// JoinTimeout bounds how long a joining data center keeps soliciting the
+	// deployment before giving up; WaitForJoin then tears the half-joined DC
+	// down cleanly and reports the failure. 0 retries forever.
+	JoinTimeout time.Duration
+	// GCMaxHoldback bounds how long garbage collection defers pruning for a
+	// replication link that is frozen, catching up or joining: the GC vector
+	// is clamped to the laggard's resume floor until it drains or the bound
+	// expires. Past the bound the holdback is released — a laggard frozen
+	// longer must re-bootstrap via a full resync. 0 selects the default
+	// (10 s); negative holds back forever. Ignored without GCInterval.
+	GCMaxHoldback time.Duration
 }
 
 // CatchUpMode selects the replication catch-up behavior (Config.CatchUp).
@@ -213,6 +224,8 @@ func Open(cfg Config) (*Store, error) {
 		CatchUp:            catchUp,
 		CatchUpMaxInFlight: cfg.CatchUpMaxInFlight,
 		MaxDCs:             cfg.MaxDataCenters,
+		JoinTimeout:        cfg.JoinTimeout,
+		GCMaxHoldback:      cfg.GCMaxHoldback,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("occ: %w", err)
@@ -267,6 +280,33 @@ func (s *Store) WaitForJoin(dc int, timeout time.Duration) error {
 // fail their next operation; the DC id is retired for good.
 func (s *Store) RemoveDataCenter(dc int) error {
 	if err := s.inner.RemoveDC(dc); err != nil {
+		return fmt.Errorf("occ: %w", err)
+	}
+	return nil
+}
+
+// ForceRemoveDataCenter forcibly removes a crashed data center — one that
+// can no longer announce its own departure. The surviving DCs agree, per
+// replication link, on the highest update timestamp any of them received
+// from the dead DC, freeze its membership entry at that final, discard any
+// version above it, and resume stabilization; a subsequent joiner bootstraps
+// the departed history from the survivors. If the DC's servers are somehow
+// still running they are killed first: an evicted DC can never come back
+// (its un-acknowledged suffix is gone for good). timeout bounds each
+// partition's agreement round (0 selects a default).
+func (s *Store) ForceRemoveDataCenter(dc int, timeout time.Duration) error {
+	if err := s.inner.ForceRemoveDC(dc, timeout); err != nil {
+		return fmt.Errorf("occ: %w", err)
+	}
+	return nil
+}
+
+// KillDataCenter crashes every server of a data center at once, without
+// removing it from the membership: the survivors' stabilization freezes at
+// the dead DC's last replicated timestamps until ForceRemoveDataCenter
+// evicts it. Requires Config.DataDir.
+func (s *Store) KillDataCenter(dc int) error {
+	if err := s.inner.KillDC(dc); err != nil {
 		return fmt.Errorf("occ: %w", err)
 	}
 	return nil
@@ -375,6 +415,18 @@ type Stats struct {
 	// CatchUpsActive is the number of replication links currently frozen
 	// awaiting a catch-up stream.
 	CatchUpsActive int
+	// FullResyncs counts catch-up rounds that had to re-ship the full
+	// history because the incremental range was checkpoint-pruned away on
+	// the sender.
+	FullResyncs uint64
+	// LinkStates[dst][src] is the health of DC dst's inbound replication
+	// link from DC src: "active", "catching-up", "frozen", "evicted",
+	// "idle", or "self" on the diagonal (the worst state across dst's
+	// partition servers).
+	LinkStates [][]string
+	// GCHoldbackAge is how long the oldest laggard (a frozen, catching-up or
+	// joining link) has been deferring garbage collection, 0 when none is.
+	GCHoldbackAge time.Duration
 }
 
 // MaxReplicationLag returns the worst entry of ReplicationLag.
@@ -410,6 +462,9 @@ func (s *Store) Stats() Stats {
 		CatchUps:              repl.CatchUpsCompleted,
 		CatchUpsServed:        repl.CatchUpsServed,
 		CatchUpsActive:        repl.CatchUpsActive,
+		FullResyncs:           repl.FullResyncs,
+		LinkStates:            repl.LinkStates,
+		GCHoldbackAge:         repl.GCHoldbackAge,
 	}
 	if err := s.inner.StorageErr(); err != nil {
 		st.StorageError = err.Error()
