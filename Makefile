@@ -44,8 +44,16 @@ race-chaos:
 
 check: vet build test race race-recovery race-catchup race-membership race-chaos
 
-# Hot-path microbenchmarks (the numbers tracked across PRs).
+# Hot-path microbenchmarks (the numbers tracked across PRs), published as a
+# dated JSON trajectory: `make bench` runs the Fig-adjacent cluster
+# benchmarks plus the durable-path and catch-up-seek ones and writes
+# BENCH_<date>.json via cmd/benchjson (commit it to extend the trajectory).
+BENCH_DATE ?= $(shell date +%F)
+BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC|BenchmarkCatchUpThroughput' -benchmem .
-	$(GO) test -run '^$$' -bench 'BenchmarkWireCodec' -benchmem ./internal/wire/
-	$(GO) test -run '^$$' -bench 'BenchmarkVClockOps|BenchmarkStorage' -benchmem ./internal/vclock/ ./internal/storage/
+	{ \
+	  $(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC|BenchmarkCatchUpThroughput|BenchmarkDurablePut|BenchmarkCatchUpSmallGap' -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkWireCodec' -benchmem ./internal/wire/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkVClockOps|BenchmarkStorage' -benchmem ./internal/vclock/ ./internal/storage/ ; \
+	} | tee /dev/stderr | $(GO) run ./cmd/benchjson -date $(BENCH_DATE) > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"

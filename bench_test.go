@@ -294,6 +294,129 @@ func BenchmarkPutPOCC(b *testing.B) {
 	}
 }
 
+// BenchmarkDurablePut measures the acknowledged PUT latency of a durable
+// deployment on the two rungs of the durability ladder that fsync: sync acks
+// (every PUT waits for its commit group's fsync) and grouped acks (the PUT
+// returns after staging on the commit pipeline; the fsync it rides happens in
+// the background). Grouped is the headline: it should hold within a small
+// factor of the in-memory BenchmarkPutPOCC because the fsync leaves the
+// acknowledgement path entirely.
+func BenchmarkDurablePut(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		ack  occ.AckMode
+	}{
+		{"sync", occ.AckSync},
+		{"grouped", occ.AckGrouped},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := occ.Open(occ.Config{
+				DataCenters: 3, Partitions: 4, Engine: occ.POCC,
+				Latency: occ.UniformProfile(20*time.Microsecond, 500*time.Microsecond),
+				DataDir: b.TempDir(),
+				AckMode: mode.ack,
+				Seed:    99,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(s.Close)
+			keys := make([]string, 64)
+			for i := range keys {
+				keys[i] = "bench-k" + strconv.Itoa(i)
+				s.Seed(keys[i], []byte("00000000"))
+			}
+			sess, err := s.Session(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			val := []byte("abcdefgh")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.Put(keys[i%64], val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := s.Stats()
+			if st.StorageError != "" {
+				b.Fatalf("persistence error during bench: %s", st.StorageError)
+			}
+			if st.CommitGroups > 0 {
+				b.ReportMetric(float64(st.WALRecords)/float64(st.CommitGroups), "records/group")
+			}
+		})
+	}
+}
+
+// BenchmarkCatchUpSmallGap measures serving a small catch-up gap — the
+// common case after a brief link freeze: the lagging replica is missing the
+// last ~1k versions of a 16k-version history. The sender seeks through the
+// WAL's per-segment range index (ForEachDurableRange) instead of replaying
+// the full durable history, so the cost scales with the gap, not the store.
+// The benchmark fails if the seek ever degrades to a full scan.
+func BenchmarkCatchUpSmallGap(b *testing.B) {
+	const (
+		total = 16384
+		gap   = 1024
+	)
+	d, err := storage.OpenDurable(b.TempDir(), storage.DurableOptions{
+		NoSync: true,
+		// Small segments so the index has cold parts to skip; the default
+		// 4 MiB roll would put the whole history in one segment.
+		SegmentBytes: 64 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	val := []byte("abcdefgh-abcdefgh-abcdefgh-abcdefgh")
+	batch := make([]*item.Version, 0, 128)
+	for i := 0; i < total; i++ {
+		batch = append(batch, &item.Version{
+			Key:        "bench-k" + strconv.Itoa(i%512),
+			Value:      val,
+			SrcReplica: 0,
+			UpdateTime: vclock.Timestamp(i + 1),
+			Deps:       vclock.New(3),
+		})
+		if len(batch) == cap(batch) {
+			d.InsertBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	if err := d.Err(); err != nil {
+		b.Fatal(err)
+	}
+	lo := vclock.VC{total - gap, 0, 0}
+	hi := vclock.VC{total, 0, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shipped := 0
+		if err := d.ForEachDurableRange(lo, hi, func(v *item.Version) error {
+			if v.UpdateTime > total-gap {
+				shipped++
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if shipped != gap {
+			b.Fatalf("shipped %d versions, want %d", shipped, gap)
+		}
+	}
+	b.StopTimer()
+	st := d.DurableStats()
+	if st.SeekHits != uint64(b.N) || st.FullScans != 0 {
+		b.Fatalf("gap reads degraded to full scans: seek_hits=%d full_scans=%d (N=%d)",
+			st.SeekHits, st.FullScans, b.N)
+	}
+	b.ReportMetric(float64(gap)*float64(b.N)/b.Elapsed().Seconds(), "shipped_versions/s")
+	b.ReportMetric(float64(st.PartsSkipped)/float64(b.N), "parts_skipped/op")
+}
+
 // BenchmarkClusterContended measures raw multi-client throughput against a
 // zero-latency POCC cluster, sweeping concurrent sessions × partitions, to
 // quantify the fine-grained server locking (PR 1's lock split) under real

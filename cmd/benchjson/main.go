@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// stable JSON document (stdout) so benchmark trajectories can be committed
+// and diffed across PRs. Non-benchmark lines are skipped; context lines
+// (goos/goarch/pkg/cpu) are captured into the header.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -date 2026-08-08 > BENCH_2026-08-08.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. NsPerOp is pulled out of Metrics because it
+// is the headline; everything else (allocs/op, B/op, versions/s, ...) stays
+// keyed by its unit.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the committed document.
+type Report struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	Host       map[string]string `json:"host,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+func main() {
+	date := flag.String("date", "", "date stamp for the report (required, e.g. 2026-08-08)")
+	flag.Parse()
+	if *date == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -date is required")
+		os.Exit(2)
+	}
+
+	rep := Report{
+		Date:      *date,
+		GoVersion: runtime.Version(),
+		Host:      map[string]string{},
+	}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "goos: "), strings.HasPrefix(line, "goarch: "), strings.HasPrefix(line, "cpu: "):
+			k, v, _ := strings.Cut(line, ": ")
+			rep.Host[k] = v
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a PASS/FAIL/name-only line
+		}
+		r := Result{
+			Name:       trimProcSuffix(fields[0]),
+			Package:    pkg,
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		// The tail is value/unit pairs: "8566 ns/op 266 B/op 3 allocs/op ...".
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				r.NsPerOp = val
+			} else {
+				r.Metrics[fields[i+1]] = val
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// trimProcSuffix drops the GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkPutPOCC-8" → "BenchmarkPutPOCC") so reports from machines
+// with different core counts stay diffable. Sub-benchmark slashes survive.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -43,7 +43,10 @@ func run() int {
 		dataDir    = flag.String("data-dir", "", "enable durable WAL-backed storage rooted at this directory (empty = in-memory)")
 		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "WAL growth that arms a snapshot checkpoint (0 = 1 MiB, negative disables; needs -data-dir)")
 		segBytes   = flag.Int64("segment-bytes", 0, "WAL segment roll size (0 = 4 MiB; needs -data-dir)")
-		noFsync    = flag.Bool("no-fsync", false, "skip the per-commit fsync (faster, loses the latest commits on a machine crash)")
+		noSync     = flag.Bool("no-sync", false, "skip the per-commit fsync (faster, loses the latest commits on a machine crash)")
+	noFsync    = flag.Bool("no-fsync", false, "deprecated alias for -no-sync")
+	ackMode    = flag.String("ack", "sync", "local PUT durability: sync (ack after group fsync) or grouped (ack after staging; fsync trails)")
+	groupWin   = flag.Duration("group-commit-window", 0, "extra linger coalescing concurrent commits into one fsync (0 = pipeline batching only)")
 		catchUp    = flag.String("catchup", "auto", "replication catch-up mode: auto (on when durable), on, off")
 		catchUpWin = flag.Int("catchup-max-inflight", 0, "max un-acked bytes per WAL-shipped catch-up stream (0 = 1 MiB)")
 		maxDCs     = flag.Int("max-dcs", 0, "DC-slot capacity for runtime joins via the JOIN admin command (0 = -dcs, fixed membership; needs -data-dir to join)")
@@ -61,6 +64,17 @@ func run() int {
 		engine = occ.HAPOCC
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineFlag)
+		return 2
+	}
+
+	var ack occ.AckMode
+	switch strings.ToLower(*ackMode) {
+	case "sync":
+		ack = occ.AckSync
+	case "grouped":
+		ack = occ.AckGrouped
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -ack mode %q (want sync or grouped)\n", *ackMode)
 		return 2
 	}
 
@@ -86,7 +100,9 @@ func run() int {
 		DataDir:            *dataDir,
 		CheckpointBytes:    *ckptBytes,
 		SegmentBytes:       *segBytes,
-		NoFsync:            *noFsync,
+		NoSync:             *noSync || *noFsync,
+		AckMode:            ack,
+		GroupCommitWindow:  *groupWin,
 		CatchUp:            catchUpMode,
 		CatchUpMaxInFlight: *catchUpWin,
 		MaxDataCenters:     *maxDCs,

@@ -285,6 +285,13 @@ func (sh *shell) cmdStats(out io.Writer) {
 		fmt.Fprintf(out, "gc holdback: oldest laggard deferring GC for %v\n",
 			st.GCHoldbackAge.Round(time.Millisecond))
 	}
+	if st.CommitGroups > 0 {
+		fmt.Fprintf(out, "durable: fsyncs=%d groups=%d records=%d group_p50=%d group_max=%d ack_lag mean=%v max=%v\n",
+			st.Fsyncs, st.CommitGroups, st.WALRecords, st.CommitGroupP50, st.CommitGroupMax,
+			st.AckToDurableMean.Round(time.Microsecond), st.AckToDurableMax.Round(time.Microsecond))
+		fmt.Fprintf(out, "catch-up seeks: hits=%d full_scans=%d parts_skipped=%d\n",
+			st.SeekHits, st.FullScans, st.PartsSkipped)
+	}
 	for dst, row := range st.ReplicationLagPerLink {
 		for src, lag := range row {
 			if src != dst && lag > 0 {

@@ -39,13 +39,54 @@
 // in-memory engine — fastest, but a killed server loses its partition.
 // Setting Config.DataDir selects the durable engine: the in-memory store
 // fronted by a segmented write-ahead log (internal/wal) that journals every
-// version in the binary wire encoding before it becomes readable. Local
-// PUTs commit individually; replicated batches commit with a single
-// write+fsync on the replication-batch boundary (group commit). Snapshot
-// checkpoints ride the garbage-collection exchange (Config.GCInterval):
-// after a GC pass prunes the chains, the engine serializes the surviving
-// versions and truncates the log's segments, bounding recovery time and
-// disk use.
+// version in the binary wire encoding. Snapshot checkpoints ride the
+// garbage-collection exchange (Config.GCInterval): after a GC pass prunes
+// the chains, the engine serializes the surviving versions and truncates the
+// log's segments, bounding recovery time and disk use.
+//
+// # The commit pipeline
+//
+// All durable commits flow through a pipelined group-commit queue: appends
+// from the server's concurrent partitions stage onto a shared buffer, and a
+// single committer goroutine writes and fsyncs whatever has accumulated as
+// one group — while it is in the kernel, the next group is already forming,
+// so under load the fsync cost amortizes over hundreds of commits without
+// any configured delay (Config.GroupCommitWindow can add a linger to deepen
+// groups further). Where the acknowledgement sits relative to that fsync is
+// the durability ladder, chosen per deployment:
+//
+//   - sync (default): every PUT returns only after its commit group is on
+//     disk — a machine crash loses nothing acknowledged.
+//   - grouped (Config.AckMode = AckGrouped): a local PUT returns after the
+//     in-memory insert and WAL staging; the fsync it rides happens in the
+//     background. A process exit still loses nothing (Close drains the
+//     pipeline); a machine crash can lose only the short acknowledged-but-
+//     unsynced suffix of local PUTs.
+//   - nosync (Config.NoSync): no fsync at all; a machine crash may lose the
+//     latest commits wholesale.
+//
+// Grouped acks never weaken the replication plane's claims: replicated
+// batches are always applied synchronously (a receiver's version-vector
+// entry — "I hold everything through t" — and its eviction attestations
+// must be backed by fsynced history), and the catch-up feed barriers on the
+// pipeline before streaming, so a sender never reports a history complete
+// while part of it is still in flight to disk. Recovery after a crash mid-
+// group replays the log's longest valid prefix and rebuilds the version-
+// vector floor from exactly the versions replayed — a torn group is a
+// shorter history, never an inconsistent one.
+//
+// # Indexed catch-up
+//
+// Each WAL segment carries a per-origin [min,max] update-timestamp range,
+// maintained as records are staged, persisted as a trailer when the segment
+// seals, and rebuilt on recovery. A catch-up request for a small recent gap
+// seeks through this index (storage.RangedCatchUpSource): snapshot and
+// segments whose ranges cannot intersect the requested window are skipped
+// without being read, so re-shipping a brief outage's worth of versions
+// costs O(gap), not O(store). The index is advisory — readers keep their
+// per-version filters — and Stats reports seek hits, full scans and parts
+// skipped, alongside the commit-pipeline counters (fsyncs, group sizes,
+// ack-to-durable lag).
 //
 // Recovery reopens the data directory, replays the snapshot plus the log
 // tail — tolerating a torn final record from a mid-commit crash — and
@@ -58,6 +99,19 @@
 // session guarantees and convergence — hold across both, which
 // internal/harness.RecoveryDrill and the cluster recovery tests verify by
 // killing servers mid-workload.
+//
+// The recovered floor covers more than the replayed versions: a server's
+// version vector also advances through heartbeats and catch-up claims —
+// entries no WAL record backs — and those values flow into the DC's
+// garbage-collection exchange. Before sharing a GC contribution the server
+// therefore durably attests it (storage.Attester): a small WAL record
+// carrying the vector, folded into the floor on replay and re-emitted by
+// checkpoints so truncation cannot lose it. The invariant — every shared
+// contribution is recoverable — means a crash-restarted partition can never
+// report a vector below a floor its data center has already pruned to.
+// Attestation records are neutral to the segment range index
+// (wal.Options.Neutral), so they never force a catch-up seek to read a
+// cold segment.
 //
 // # Replication plane and catch-up
 //

@@ -36,6 +36,7 @@ import (
 	"repro/internal/causaltest"
 	"repro/internal/cluster"
 	"repro/internal/netemu"
+	"repro/internal/storage"
 	"repro/internal/vclock"
 )
 
@@ -289,7 +290,11 @@ func Run(opts Options) (*Report, error) {
 		JitterFrac: 0.2,
 		Seed:       opts.Seed,
 		DataDir:    opts.DataDir,
-		MaxDCs:     opts.MaxDCs,
+		// Soak the pipelined commit path in its loosest acknowledged mode:
+		// grouped acks are exactly what the kill/restart faults must not be
+		// able to turn into causal violations.
+		Durable: storage.DurableOptions{AckMode: storage.AckGrouped},
+		MaxDCs:  opts.MaxDCs,
 		// Joins must either finish or unwind inside the epilogue budget.
 		JoinTimeout: 10 * time.Second,
 		// Short enough that holdbacks for permanently dead links release

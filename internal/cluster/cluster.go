@@ -850,6 +850,24 @@ func (c *Cluster) StorageStats() storage.StoreStats {
 	return st
 }
 
+// DurableStats aggregates every durable engine's commit-pipeline and
+// catch-up seek counters. All-zero for in-memory deployments.
+func (c *Cluster) DurableStats() storage.DurableStats {
+	var st storage.DurableStats
+	for dc := 0; dc < c.NumDCs(); dc++ {
+		for p := 0; p < c.cfg.NumPartitions; p++ {
+			srv := c.Server(dc, p)
+			if srv == nil {
+				continue // departed DC
+			}
+			if d, ok := srv.Store().(interface{ DurableStats() storage.DurableStats }); ok {
+				st.Merge(d.DurableStats())
+			}
+		}
+	}
+	return st
+}
+
 // ReplicationStats summarizes the state of the replication plane across
 // the deployment.
 type ReplicationStats struct {

@@ -807,6 +807,14 @@ func (b *replBackend) PrepareLocal(v *item.Version) (vclock.Timestamp, bool) {
 	ut := s.clk.Now()
 	v.UpdateTime = ut
 	s.store.Insert(v)
+	// A durable engine drops the insert when its log append fails (a crash or
+	// sticky persistence error): the version must then not be acknowledged,
+	// claimed by the local VV entry, or enqueued for replication — any of
+	// those would let the causal order observe a version no replica durably
+	// holds, a hole no catch-up can repair.
+	if e, ok := s.store.(interface{ Err() error }); ok && e.Err() != nil {
+		return 0, false
+	}
 	s.vv.raiseTo(s.m, ut)
 	return ut, true
 }
@@ -1074,7 +1082,18 @@ func (s *Server) localGCContribution() vclock.VC {
 	// Clamp to the replication plane's holdback floors: a frozen or
 	// catching-up link must not have the history it still needs pruned out
 	// from under its resume point (bounded by GCMaxHoldback).
-	return s.repl.ClampGC(base, s.gcMaxHoldback())
+	c := s.repl.ClampGC(base, s.gcMaxHoldback())
+	// A contribution is a promise about this node's post-crash state: the
+	// DC prunes to the aggregate of these vectors, so a restart must never
+	// recover a VV below one — heartbeat-attested entries with no backing
+	// version record would otherwise collapse to the last stored version
+	// and hand out snapshot vectors under the prune point (see
+	// storage.Attester). Persist the vector before sharing it; if the log
+	// is sticky-failed, contribute the last durable attestation instead.
+	if a, ok := s.store.(storage.Attester); ok {
+		c = a.AttestVV(c)
+	}
+	return c
 }
 
 // gcMaxHoldback resolves Config.GCMaxHoldback: 0 selects the default,

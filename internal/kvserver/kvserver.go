@@ -256,7 +256,7 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 		fmt.Fprintf(w, "PARTITION %d\n", s.store.PartitionOf(key))
 	case "STATS":
 		st := s.store.Stats()
-		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d dcs=%d max_lag_ms=%.3f link_lag_ms=%s catchups=%d catchups_served=%d catchups_active=%d full_resyncs=%d links=%s gc_holdback_ms=%.3f\n",
+		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d dcs=%d max_lag_ms=%.3f link_lag_ms=%s catchups=%d catchups_served=%d catchups_active=%d full_resyncs=%d links=%s gc_holdback_ms=%.3f fsyncs=%d commit_groups=%d wal_records=%d group_p50=%d group_max=%d ack_lag_mean_us=%.1f ack_lag_max_us=%.1f seek_hits=%d full_scans=%d parts_skipped=%d\n",
 			st.Operations, st.BlockedOperations, st.BlockingProbability,
 			st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, s.store.Messages(),
 			s.store.DataCenters(),
@@ -264,7 +264,11 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 			formatLinkLag(st.ReplicationLagPerLink),
 			st.CatchUps, st.CatchUpsServed, st.CatchUpsActive,
 			st.FullResyncs, formatLinkStates(st.LinkStates),
-			float64(st.GCHoldbackAge)/float64(time.Millisecond))
+			float64(st.GCHoldbackAge)/float64(time.Millisecond),
+			st.Fsyncs, st.CommitGroups, st.WALRecords, st.CommitGroupP50, st.CommitGroupMax,
+			float64(st.AckToDurableMean)/float64(time.Microsecond),
+			float64(st.AckToDurableMax)/float64(time.Microsecond),
+			st.SeekHits, st.FullScans, st.PartsSkipped)
 	case "JOIN":
 		dc, err := s.store.AddDataCenter()
 		if err != nil {

@@ -162,6 +162,16 @@ type Source interface {
 	ForEachDurable(fn func(v *item.Version) error) error
 }
 
+// RangedSource is optionally implemented by a Source that can seek: the
+// stream visits only the durable history that may fall inside the per-origin
+// (lo, hi] window, using a storage-side index to skip cold segments (see
+// storage.RangedCatchUpSource). The window is advisory — versions outside it
+// may still be streamed — so the manager keeps its per-version filter; the
+// win is that serving a small recent gap stops scanning the full store.
+type RangedSource interface {
+	ForEachDurableRange(lo, hi vclock.VC, fn func(v *item.Version) error) error
+}
+
 // CompactedSource is optionally implemented by a Source whose log discards
 // superseded history at checkpoints (storage.Durable). The floor is the
 // per-origin boundary below which only pruned state survives: an
@@ -511,6 +521,16 @@ func NewManager(cfg Config) (*Manager, error) {
 		r.in[i] = &inLink{}
 	}
 
+	// The join bootstrap starts before the background loops: heartbeatLoop
+	// reads joinStart to enforce JoinTimeout, so it must be published before
+	// the goroutine exists (goroutine creation is the happens-before edge).
+	if r.joining.Load() {
+		r.joinStart = time.Now()
+		r.sendJoinRequests()
+		// Degenerate join (no active sibling to sync against, e.g. the first
+		// DC of a deployment): complete immediately.
+		r.maybeFinishJoin()
+	}
 	if cfg.HeartbeatInterval > 0 && r.fanout {
 		r.wg.Add(1)
 		go r.heartbeatLoop()
@@ -519,12 +539,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		r.wg.Add(1)
 		go r.flushLoop(flushInterval)
 	}
-	if r.joining.Load() {
-		r.joinStart = time.Now()
-		r.sendJoinRequests()
-		// Degenerate join (no active sibling to sync against, e.g. the first
-		// DC of a deployment): complete immediately.
-		r.maybeFinishJoin()
+	if !r.syncFlush && r.fanout && flushInterval/4 > 0 {
+		r.wg.Add(1)
+		go r.adaptiveFlushLoop(flushInterval)
 	}
 	return r, nil
 }
@@ -1281,6 +1298,35 @@ func (r *Manager) flushLoop(interval time.Duration) {
 	}
 }
 
+// adaptiveFlushLoop is the load-sensitive half of the flush cadence: at a
+// quarter of the flush interval it flushes any buffer that has already
+// filled a quarter of the batch cap. Under load this shrinks the effective Δ
+// (remote visibility improves) without touching the idle cadence — it only
+// ever flushes earlier than the timed/heartbeat flush, never later, so the
+// Δ freshness bound is preserved. The size trigger keeps the extra wakeups
+// from fragmenting batches when traffic is light.
+func (r *Manager) adaptiveFlushLoop(interval time.Duration) {
+	defer r.wg.Done()
+	threshold := r.batchSize / 4
+	if threshold < 2 {
+		threshold = 2
+	}
+	t := time.NewTicker(interval / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		if len(r.buf) >= threshold {
+			r.flushLocked()
+		}
+		r.mu.Unlock()
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Inbound: sequenced apply and gap detection
 // ---------------------------------------------------------------------------
@@ -1799,7 +1845,7 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, req msg.Catch
 		return nil
 	}
 
-	err := r.cfg.Source.ForEachDurable(func(v *item.Version) error {
+	walk := func(v *item.Version) error {
 		select {
 		case <-s.cancel:
 			return errCanceled
@@ -1817,7 +1863,15 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, req msg.Catch
 			return sendChunk()
 		}
 		return nil
-	})
+	}
+	var err error
+	if rs, ok := r.cfg.Source.(RangedSource); ok {
+		// Seek: let the storage index skip every segment outside the
+		// requested windows, so a small gap is served in O(gap).
+		err = rs.ForEachDurableRange(shipFloor, shipCeil, walk)
+	} else {
+		err = r.cfg.Source.ForEachDurable(walk)
+	}
 	if err == nil {
 		err = sendChunk()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/item"
 	"repro/internal/vclock"
@@ -15,9 +16,37 @@ import (
 // checkpoint at the next garbage-collection pass.
 const defaultCheckpointBytes = 1 << 20
 
+// AckMode selects where on the durability ladder a local write is
+// acknowledged. This is the one place the ladder is defined; every knob
+// above (occ.Config.AckMode, pocckv -ack) maps onto it:
+//
+//	sync    — AckSync + fsync: the PUT returns only after its commit group
+//	          is fsynced. A machine crash loses nothing acknowledged.
+//	grouped — AckGrouped + fsync: the PUT returns after the in-memory insert
+//	          and WAL staging; the background committer fsyncs the group it
+//	          rides (bounded by the staging cap + one in-flight group). A
+//	          process exit still loses nothing (Close drains the pipeline);
+//	          a machine crash can lose the last instants of *local* acks —
+//	          never anything the replication plane advanced a VV over or a
+//	          catch-up stream claimed complete, because those wait on the
+//	          WAL barrier (see Durable.ForEachDurable and wal.Log.Barrier).
+//	nosync  — either ack mode + NoSync: no fsync anywhere; a machine crash
+//	          may lose everything since the OS last flushed. For tests and
+//	          benchmarks.
+type AckMode int
+
+const (
+	// AckSync acknowledges a local write only after its commit group is
+	// durable (the default).
+	AckSync AckMode = iota
+	// AckGrouped acknowledges a local write once it is staged on the commit
+	// pipeline; durability trails by at most one in-flight commit group.
+	AckGrouped
+)
+
 // DurableOptions tunes the durable engine. The zero value selects sane
 // defaults (4 MiB segments, 1 MiB checkpoint trigger, fsync on every
-// commit).
+// commit, synchronous acks).
 type DurableOptions struct {
 	// SegmentBytes is the WAL segment roll size (0 = 4 MiB).
 	SegmentBytes int64
@@ -29,6 +58,39 @@ type DurableOptions struct {
 	// NoSync skips the per-commit fsync, trading crash durability for
 	// latency (useful for tests and benchmarks on slow filesystems).
 	NoSync bool
+	// AckMode picks the rung of the durability ladder local writes ack at;
+	// see AckMode. Replicated batches always commit synchronously — the
+	// receiver's version-vector advancement (and the eviction attestations
+	// built on it) must be backed by fsynced history.
+	AckMode AckMode
+	// GroupWindow is how long the WAL committer lingers to coalesce
+	// concurrent appends into one fsync (0 = commit as soon as the committer
+	// is free; pipelining alone already groups whatever accumulates during
+	// the previous fsync).
+	GroupWindow time.Duration
+}
+
+// DurableStats counts the durable path's work: the WAL's commit-pipeline
+// counters plus the engine's catch-up seek counters. Aggregate with Merge.
+type DurableStats struct {
+	wal.Stats
+	// FullScans counts unranged ForEachDurable streams (every part read).
+	FullScans uint64
+	// RangedReads counts ForEachDurableRange streams, SeekHits the subset
+	// that skipped at least one part via the segment range index, and
+	// PartsSkipped the total parts (segments/snapshots) never read.
+	RangedReads  uint64
+	SeekHits     uint64
+	PartsSkipped uint64
+}
+
+// Merge folds o into s.
+func (s *DurableStats) Merge(o DurableStats) {
+	s.Stats.Merge(o.Stats)
+	s.FullScans += o.FullScans
+	s.RangedReads += o.RangedReads
+	s.SeekHits += o.SeekHits
+	s.PartsSkipped += o.PartsSkipped
 }
 
 // Durable is the crash-tolerant storage engine: a Mem engine fronting a
@@ -49,8 +111,15 @@ type DurableOptions struct {
 // failed: the in-memory state stays correct and serving, while Err and Close
 // surface the first persistence error.
 type Durable struct {
-	mem *Mem
-	log *wal.Log
+	mem        *Mem
+	log        *wal.Log
+	ackGrouped bool
+
+	// Catch-up seek counters (see DurableStats).
+	fullScans    atomic.Uint64
+	rangedReads  atomic.Uint64
+	seekHits     atomic.Uint64
+	partsSkipped atomic.Uint64
 
 	// mu serializes writers against checkpoints: Insert/InsertBatch hold it
 	// shared (the WAL itself orders concurrent commits), Checkpoint and
@@ -72,6 +141,10 @@ type Durable struct {
 	gcMu      sync.Mutex
 	gcHigh    vclock.VC
 	compacted vclock.VC
+	// attested is the entry-wise maximum of every durably committed VV
+	// attestation (AttestVV); checkpoints re-emit it so log truncation
+	// cannot lose the floor. Guarded by gcMu.
+	attested vclock.VC
 }
 
 // OpenDurable opens (creating or recovering) a durable engine rooted at dir.
@@ -80,9 +153,30 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		opts.CheckpointBytes = defaultCheckpointBytes
 	}
 	mem := New()
-	var floor vclock.VC
-	log, err := wal.Open(dir, wal.Options{SegmentBytes: opts.SegmentBytes, NoSync: opts.NoSync},
+	var floor, attested vclock.VC
+	var d *Durable // late-bound: the WAL error hook fires only after open
+	log, err := wal.Open(dir, wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		NoSync:       opts.NoSync,
+		GroupWindow:  opts.GroupWindow,
+		TagOf:        func(rec []byte) (int, uint64, bool) { return wire.VersionTag(rec) },
+		Neutral:      isAttest,
+		OnError: func(err error) {
+			if d != nil {
+				d.fail(err)
+			}
+		},
+	},
 		func(rec []byte) error {
+			if isAttest(rec) {
+				av, ok := parseAttest(rec)
+				if !ok {
+					return fmt.Errorf("corrupt vv attestation")
+				}
+				attested = attested.GrowTo(len(av))
+				attested.MaxInPlace(av)
+				return nil
+			}
 			v, _, err := wire.DecodeVersion(rec)
 			if err != nil {
 				return err
@@ -99,11 +193,26 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open durable: %w", err)
 	}
-	return &Durable{mem: mem, log: log, checkpointBytes: opts.CheckpointBytes, floor: floor}, nil
+	// The recovered floor covers both halves of the durable state: the
+	// per-origin maxima of the replayed versions and the last persisted
+	// attestation (entries advanced by heartbeats or catch-up claims that
+	// no stored version backs — see attest.go).
+	floor = floor.GrowTo(len(attested))
+	floor.MaxInPlace(attested)
+	d = &Durable{
+		mem:             mem,
+		log:             log,
+		ackGrouped:      opts.AckMode == AckGrouped,
+		checkpointBytes: opts.CheckpointBytes,
+		floor:           floor,
+		attested:        attested,
+	}
+	return d, nil
 }
 
 // RecoveredVV returns the version-vector floor replayed at open: entry i is
-// the highest update timestamp of any recovered version originating at DC i.
+// the highest update timestamp of any recovered version originating at DC i,
+// raised to the last durable attestation (AttestVV).
 func (d *Durable) RecoveredVV() vclock.VC { return d.floor.Clone() }
 
 // Err returns the first persistence error, or nil. The in-memory state keeps
@@ -122,17 +231,44 @@ func (d *Durable) fail(err error) {
 	}
 }
 
-// Insert logs the version, then installs it in memory. The version is
-// durable before it becomes readable.
+// Insert logs the version, then installs it in memory. Under AckSync the
+// version is durable before Insert returns; under AckGrouped it is staged on
+// the commit pipeline and rides the next group's fsync — the local-PUT ack
+// decoupling of the durability ladder (a later commit failure marks the
+// engine sticky-failed rather than dropping the version silently).
+//
+// A version whose append fails is NOT installed: this node is the origin, so
+// an exposed-but-never-logged local version would be observable (local reads,
+// the replication flush) right up to the crash and then vanish from every
+// replica's causal past — the one loss no catch-up can repair. Callers detect
+// the dropped insert via Err and must not ack, advance the VV, or replicate.
 func (d *Durable) Insert(v *item.Version) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	d.fail(d.log.Append(wire.AppendVersion(nil, v)))
+	var err error
+	if d.ackGrouped {
+		err = d.log.AppendAsync(wire.AppendVersion(nil, v))
+	} else {
+		err = d.log.Append(wire.AppendVersion(nil, v))
+	}
+	if err != nil {
+		d.fail(err)
+		return
+	}
 	d.mem.Insert(v)
 }
 
 // InsertBatch logs the whole batch as one commit — a single write and fsync
 // on the replication-batch boundary — then installs it in one shard pass.
+// Replicated batches always commit synchronously, regardless of AckMode: the
+// caller advances version-vector entries (and answers eviction attestations)
+// over this history, claims that must be backed by fsynced bytes.
+//
+// Unlike Insert, a failed append still installs the batch in memory: these
+// versions are remote — their origin DC retains them durably, and a restart
+// of this node rebuilds a lower VV from its log and refetches them through
+// catch-up. Installing keeps reads consistent with the already-advancing VV
+// during the failure window; skipping would manufacture read misses.
 func (d *Durable) InsertBatch(vs []*item.Version) {
 	if len(vs) == 0 {
 		return
@@ -219,6 +355,7 @@ func (d *Durable) checkpoint() {
 	// record it as the compaction floor before the log truncates.
 	d.gcMu.Lock()
 	floor := d.gcHigh.Clone()
+	attested := d.attested.Clone() // stable: d.mu excludes AttestVV here
 	d.gcMu.Unlock()
 	var scratch []byte
 	d.fail(d.log.Checkpoint(func(emit func(rec []byte)) {
@@ -226,6 +363,11 @@ func (d *Durable) checkpoint() {
 			scratch = wire.AppendVersion(scratch[:0], v)
 			emit(scratch)
 		})
+		// The attestation floor must survive the truncation of the
+		// segments that carried it: re-emit the aggregate.
+		if len(attested) > 0 {
+			emit(appendAttest(nil, attested))
+		}
 	}))
 	d.gcMu.Lock()
 	d.compacted = d.compacted.GrowTo(len(floor))
@@ -248,18 +390,88 @@ func (d *Durable) DurableFloor() uint64 { return d.log.SnapshotSeq() }
 // A sticky persistence error fails the stream up front: once an append has
 // failed, the log may be missing versions the in-memory state acknowledged,
 // and a catch-up stream served from it would falsely claim completeness —
-// the caller must fall back instead (repl answers Unsupported).
+// the caller must fall back instead (repl answers Unsupported). The stream
+// also waits on the WAL barrier first: with grouped acks, versions the local
+// server acknowledged may still be in flight on the commit pipeline, and a
+// completeness claim ("everything through t") must only cover fsynced bytes.
 func (d *Durable) ForEachDurable(fn func(v *item.Version) error) error {
-	if err := d.Err(); err != nil {
+	if err := d.barrier(); err != nil {
 		return err
 	}
+	d.fullScans.Add(1)
 	return d.log.ReadFrom(0, func(_ uint64, rec []byte) error {
+		if isAttest(rec) {
+			return nil // local floor bookkeeping, not history to re-ship
+		}
 		v, _, err := wire.DecodeVersion(rec)
 		if err != nil {
 			return err
 		}
 		return fn(v)
 	})
+}
+
+// ForEachDurableRange is ForEachDurable restricted to the per-origin window
+// (lo[o], hi[o]] — entries past either vector's length are unbounded. It
+// seeks through the WAL's segment range index, skipping the snapshot and any
+// segment that cannot intersect the window, so catching up a small recent
+// gap reads O(gap) bytes instead of the full compacted history. The window
+// is advisory: versions outside it may still be streamed (per-part ranges
+// are summaries), so callers keep their per-version filter.
+func (d *Durable) ForEachDurableRange(lo, hi vclock.VC, fn func(v *item.Version) error) error {
+	if err := d.barrier(); err != nil {
+		return err
+	}
+	lo64 := make([]uint64, len(lo))
+	for i, t := range lo {
+		lo64[i] = uint64(t)
+	}
+	hi64 := make([]uint64, len(hi))
+	for i, t := range hi {
+		hi64[i] = uint64(t)
+	}
+	skipped, err := d.log.ReadRange(lo64, hi64, func(_ uint64, rec []byte) error {
+		if isAttest(rec) {
+			return nil // local floor bookkeeping, not history to re-ship
+		}
+		v, _, err := wire.DecodeVersion(rec)
+		if err != nil {
+			return err
+		}
+		return fn(v)
+	})
+	d.rangedReads.Add(1)
+	if skipped > 0 {
+		d.seekHits.Add(1)
+		d.partsSkipped.Add(uint64(skipped))
+	}
+	return err
+}
+
+// barrier fails fast on a sticky persistence error and otherwise waits for
+// the commit pipeline to drain — the sync boundary every durable-history
+// claim is anchored to.
+func (d *Durable) barrier() error {
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := d.log.Barrier(); err != nil {
+		d.fail(err)
+		return err
+	}
+	return nil
+}
+
+// DurableStats returns the engine's durable-path counters: the WAL commit
+// pipeline's and the catch-up seek counters.
+func (d *Durable) DurableStats() DurableStats {
+	return DurableStats{
+		Stats:        d.log.Stats(),
+		FullScans:    d.fullScans.Load(),
+		RangedReads:  d.rangedReads.Load(),
+		SeekHits:     d.seekHits.Load(),
+		PartsSkipped: d.partsSkipped.Load(),
+	}
 }
 
 // Stats counts keys and versions in a single pass.

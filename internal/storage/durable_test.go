@@ -179,14 +179,17 @@ func TestDurableStickyErrorAfterClose(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Writing to a closed engine keeps memory consistent but records the
-	// persistence failure.
+	// Writing to a closed engine records the persistence failure, and the
+	// un-logged local version is NOT installed: this node is its origin, so
+	// exposing it to reads and replication before it exists anywhere
+	// durable would let it vanish from every replica's causal past on the
+	// next crash — the one loss no catch-up can repair.
 	d.Insert(durableVersion("x", 0, 1, vclock.VC{0}))
 	if d.Err() == nil {
 		t.Fatal("insert after Close left no sticky error")
 	}
-	if h := d.Head("x"); h == nil {
-		t.Fatal("in-memory state should keep serving after a failure")
+	if h := d.Head("x"); h != nil {
+		t.Fatalf("un-logged local version was installed: %+v", h)
 	}
 }
 

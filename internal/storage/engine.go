@@ -79,9 +79,21 @@ type CatchUpSource interface {
 	ForEachDurable(fn func(v *item.Version) error) error
 }
 
+// RangedCatchUpSource is implemented by catch-up sources that can seek:
+// ForEachDurableRange streams only the durable history that may fall inside
+// a per-origin (lo, hi] timestamp window, using an index to skip cold
+// storage parts entirely. The window is advisory — versions outside it may
+// still be streamed — so consumers keep their per-version filter; the win is
+// that a small recent gap no longer pays an O(store) scan.
+type RangedCatchUpSource interface {
+	CatchUpSource
+	ForEachDurableRange(lo, hi vclock.VC, fn func(v *item.Version) error) error
+}
+
 var (
-	_ Engine        = (*Mem)(nil)
-	_ Engine        = (*Durable)(nil)
-	_ Recovered     = (*Durable)(nil)
-	_ CatchUpSource = (*Durable)(nil)
+	_ Engine              = (*Mem)(nil)
+	_ Engine              = (*Durable)(nil)
+	_ Recovered           = (*Durable)(nil)
+	_ CatchUpSource       = (*Durable)(nil)
+	_ RangedCatchUpSource = (*Durable)(nil)
 )

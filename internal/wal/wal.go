@@ -11,10 +11,36 @@
 //	uvarint(payload length) || uint32le(crc32c payload checksum) || payload
 //
 // where the payload is opaque to the log (the storage engine stores
-// internal/wire version records). A commit (Append call) frames all its
-// records, issues a single Write and, unless NoSync is set, a single fsync —
-// the group-commit unit, which the storage engine aligns with the
-// replication-batch boundary.
+// internal/wire version records).
+//
+// # Pipelined group commit
+//
+// Commits are pipelined through a single background committer goroutine:
+// Append and AppendAsync frame their records into a staging buffer and
+// return (AppendAsync) or wait for durability (Append), while the committer
+// drains the entire staged buffer as one commit group — one Write and, unless
+// NoSync is set, one fsync per group, no matter how many concurrent appenders
+// contributed. While a group's fsync is in flight the next group accumulates,
+// so the disk is never idle between commits and the fsync cost amortizes
+// across every record staged meanwhile. Barrier waits until everything staged
+// so far is durable; Err reports the sticky persistence error that fails the
+// log permanently once the committer cannot write (the error is also pushed
+// to Options.OnError, and every staged-but-unsynced append is failed rather
+// than silently dropped). Close and Checkpoint drain the pipeline first, so
+// an orderly shutdown never loses an acknowledged-async record.
+//
+// # Per-segment range index
+//
+// When Options.TagOf is set, every record is tagged at stage time with an
+// (origin, timestamp) pair and each segment tracks the [min,max] timestamp
+// range it holds per origin. A rolled segment persists its range as an index
+// trailer record (a reserved payload the log filters out of replay and
+// cursor reads); Open rebuilds the in-memory index from the trailers and — for
+// the tail segment, which has none — from the replayed records themselves.
+// ReadRange uses the index to skip the snapshot and every segment whose
+// ranges cannot intersect a requested per-origin (lo, hi] window, which turns
+// a catch-up of a small recent gap from an O(store) scan into an O(gap) read
+// of the last segment(s).
 //
 // Checkpoint atomically replaces the log's history with a snapshot: the
 // snapshot is written to a temp file, fsynced and renamed to
@@ -30,7 +56,9 @@
 // appends, pinning the files open so concurrent checkpoints cannot yank
 // them away. The replication plane (internal/repl) streams catch-up data
 // through it, and SnapshotSeq exposes the durable floor below which history
-// exists only in compacted (snapshot) form.
+// exists only in compacted (snapshot) form. Cursors see only committed
+// bytes: records staged but not yet written by the committer are invisible,
+// so a cursor can never replay data that a crash could still lose.
 package wal
 
 import (
@@ -39,12 +67,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/bits"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -57,6 +87,10 @@ const (
 	// maxRecordBytes bounds a record so a corrupted length prefix cannot ask
 	// recovery to allocate gigabytes (mirrors wire's frame limit).
 	maxRecordBytes = 1 << 28
+
+	// maxStageBytes bounds the staging buffer: appenders block once this much
+	// is waiting on the committer, bounding memory and the ack-to-durable gap.
+	maxStageBytes = 8 << 20
 )
 
 // Sentinel errors.
@@ -70,6 +104,12 @@ var (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// idxMagic prefixes the payload of an index trailer record — the per-origin
+// [min,max] timestamp ranges a rolled segment persists about itself. The
+// first byte is outside the wire codec's marker space and outside printable
+// ASCII, so engine payloads can never collide with it.
+var idxMagic = []byte{0xF7, 'w', 'i', 'd', 'x', '1'}
+
 // Options parameterizes a Log.
 type Options struct {
 	// SegmentBytes rolls to a new segment once the active one reaches this
@@ -78,6 +118,136 @@ type Options struct {
 	// NoSync skips the fsync at each commit boundary. Cheap, but a process
 	// crash may lose the last commits; machine crashes may lose more.
 	NoSync bool
+	// GroupWindow is how long the committer lingers after the first record of
+	// a group is staged, coalescing concurrent appends into one fsync. 0
+	// commits as soon as the committer is free (pipelining alone already
+	// groups whatever accumulated during the previous fsync).
+	GroupWindow time.Duration
+	// TagOf extracts the (origin, timestamp) index tag from a record payload;
+	// ok=false marks the record untagged, which makes its segment never
+	// skippable by ReadRange. nil disables the range index.
+	TagOf func(rec []byte) (origin int, ts uint64, ok bool)
+	// Neutral, when set, marks records that are invisible to the range
+	// index: they neither tag their segment nor force it unskippable, so
+	// engine bookkeeping records (which TagOf cannot parse) do not defeat
+	// the seek optimization. Checked before TagOf.
+	Neutral func(rec []byte) bool
+	// OnError is invoked once, without internal locks held, when the
+	// background committer hits a persistence error and the log goes sticky-
+	// failed. Synchronous callers additionally get the error returned.
+	OnError func(error)
+}
+
+// Stats counts durable-path work. Aggregate with Merge.
+type Stats struct {
+	Groups  uint64 // commit groups written
+	Fsyncs  uint64 // fsyncs issued (file and directory)
+	Records uint64 // records committed
+
+	GroupMax  uint64     // largest commit group, in records
+	GroupHist [17]uint64 // records-per-group histogram, bucket i ≈ 2^i records
+
+	AckLagSumNS int64 // total stage→durable latency across groups, ns
+	AckLagMaxNS int64 // worst stage→durable latency of any group, ns
+}
+
+// Merge folds o into s (sums counters, maxes the maxima).
+func (s *Stats) Merge(o Stats) {
+	s.Groups += o.Groups
+	s.Fsyncs += o.Fsyncs
+	s.Records += o.Records
+	if o.GroupMax > s.GroupMax {
+		s.GroupMax = o.GroupMax
+	}
+	for i := range s.GroupHist {
+		s.GroupHist[i] += o.GroupHist[i]
+	}
+	s.AckLagSumNS += o.AckLagSumNS
+	if o.AckLagMaxNS > s.AckLagMaxNS {
+		s.AckLagMaxNS = o.AckLagMaxNS
+	}
+}
+
+// GroupP50 returns the approximate median commit-group size in records
+// (the lower bound of the histogram bucket holding the median), 0 if no
+// groups have committed.
+func (s Stats) GroupP50() uint64 {
+	if s.Groups == 0 {
+		return 0
+	}
+	half := (s.Groups + 1) / 2
+	var seen uint64
+	for i, n := range s.GroupHist {
+		seen += n
+		if seen >= half {
+			return uint64(1) << i
+		}
+	}
+	return s.GroupMax
+}
+
+// tagEntry is a staged record's index tag; origin -1 means untagged, -2
+// means neutral (invisible to the index, see Options.Neutral).
+type tagEntry struct {
+	origin int32
+	ts     uint64
+}
+
+const tagNeutral = -2
+
+// partRange is the per-origin [min,max] timestamp range of one log part
+// (segment or snapshot). lo[o] == 0 means origin o is absent (real tags
+// carry physical-clock timestamps, which are always > 0).
+type partRange struct {
+	lo, hi   []uint64
+	untagged bool // holds at least one record without a tag: never skippable
+}
+
+func (p *partRange) add(t tagEntry) {
+	if t.origin == tagNeutral {
+		return
+	}
+	if t.origin < 0 {
+		p.untagged = true
+		return
+	}
+	o := int(t.origin)
+	for len(p.lo) <= o {
+		p.lo = append(p.lo, 0)
+		p.hi = append(p.hi, 0)
+	}
+	if p.lo[o] == 0 || t.ts < p.lo[o] {
+		p.lo[o] = t.ts
+	}
+	if t.ts > p.hi[o] {
+		p.hi[o] = t.ts
+	}
+}
+
+// overlaps reports whether the part may hold a record inside the per-origin
+// window (lo[o], hi[o]]. Missing request entries are unbounded (lo 0, hi
+// +inf), an unknown range (nil) or an untagged record forces a read.
+func (p *partRange) overlaps(lo, hi []uint64) bool {
+	if p == nil || p.untagged {
+		return true
+	}
+	for o, plo := range p.lo {
+		if plo == 0 {
+			continue
+		}
+		var rlo uint64
+		rhi := ^uint64(0)
+		if o < len(lo) {
+			rlo = lo[o]
+		}
+		if o < len(hi) {
+			rhi = hi[o]
+		}
+		if p.hi[o] > rlo && plo <= rhi {
+			return true
+		}
+	}
+	return false
 }
 
 // Log is a segmented append-only log. It is safe for concurrent use.
@@ -85,15 +255,39 @@ type Log struct {
 	dir      string
 	segBytes int64
 	noSync   bool
+	window   time.Duration
+	tagOf    func(rec []byte) (int, uint64, bool)
+	neutral  func(rec []byte) bool
+	onErr    func(error)
 
-	mu       sync.Mutex
+	mu     sync.Mutex
+	stageC sync.Cond // signals the committer: work staged / closing
+	doneC  sync.Cond // signals appenders: group committed / state change
+
 	f        *os.File // active segment, nil after Close
 	seq      uint64   // active segment sequence number
 	firstSeg uint64   // oldest live segment sequence number
 	snap     uint64   // current snapshot sequence number, 0 if none
-	size     int64    // bytes in the active segment
-	since    int64    // bytes appended (or replayed) since the last checkpoint
-	buf      []byte   // frame scratch, reused across Append calls
+	size     int64    // committed bytes in the active segment
+	since    int64    // bytes committed (or replayed) since the last checkpoint
+	closed   bool
+	done     bool  // committer goroutine has exited
+	err      error // sticky persistence error; the log is dead once set
+
+	stage      []byte     // framed records awaiting the committer
+	stageTags  []tagEntry // index tags for the staged records
+	stageFirst time.Time  // when the oldest staged record arrived
+	spare      []byte     // recycled group buffer
+	spareTags  []tagEntry
+	stagedID   uint64 // id the currently-staging group will commit under
+	committed  uint64 // id of the last durably committed group
+	committing bool   // committer is writing a group outside the lock
+
+	idx      map[uint64]*partRange // ranges of sealed segments
+	cur      *partRange            // range of the active segment
+	snapRng  *partRange            // range of the snapshot, nil if unknown
+	buf      []byte                // checkpoint frame scratch
+	stats    Stats
 }
 
 // Open opens (creating if necessary) the log in dir and replays its state:
@@ -113,6 +307,36 @@ func Open(dir string, opts Options, replay func(rec []byte) error) (*Log, error)
 		return nil, err
 	}
 
+	l := &Log{
+		dir:      dir,
+		segBytes: opts.SegmentBytes,
+		noSync:   opts.NoSync,
+		window:   opts.GroupWindow,
+		tagOf:    opts.TagOf,
+		neutral:  opts.Neutral,
+		onErr:    opts.OnError,
+		snap:     snapSeq,
+		stagedID: 1,
+		idx:      make(map[uint64]*partRange),
+	}
+	l.stageC.L = &l.mu
+	l.doneC.L = &l.mu
+
+	// sift wraps replay: index trailers are consumed into trailer (never shown
+	// to the engine), every other record is tagged into rng and replayed.
+	sift := func(rng *partRange, trailer **partRange) func(rec []byte) error {
+		return func(rec []byte) error {
+			if tr, ok := parseIdxTrailer(rec); ok {
+				if trailer != nil {
+					*trailer = tr
+				}
+				return nil
+			}
+			rng.add(l.tag(rec))
+			return replay(rec)
+		}
+	}
+
 	if snapSeq > 0 {
 		data, err := os.ReadFile(filepath.Join(dir, fileName(snapSeq, snapSuffix)))
 		if err != nil {
@@ -120,22 +344,31 @@ func Open(dir string, opts Options, replay func(rec []byte) error) (*Log, error)
 		}
 		// Snapshots are renamed into place after an fsync, so a readable
 		// snapshot must parse end to end; any framing error is corruption.
-		if _, err := walk(data, replay, false); err != nil {
+		rng := &partRange{}
+		if _, err := walk(data, sift(rng, nil), false); err != nil {
 			return nil, fmt.Errorf("wal: snapshot %d: %w", snapSeq, err)
 		}
+		l.snapRng = rng
 	}
 
-	l := &Log{dir: dir, segBytes: opts.SegmentBytes, noSync: opts.NoSync, snap: snapSeq}
 	var tailLen, tailValid int // final segment: file size and valid prefix
 	for i, seq := range segs {
 		data, err := os.ReadFile(filepath.Join(dir, fileName(seq, segSuffix)))
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
-		consumed, werr := walk(data, replay, i == len(segs)-1)
+		rng := &partRange{}
+		var trailer *partRange
+		consumed, werr := walk(data, sift(rng, &trailer), i == len(segs)-1)
 		if werr != nil {
 			return nil, fmt.Errorf("wal: segment %d: %w", seq, werr)
 		}
+		if trailer != nil {
+			// A sealed segment's persisted index is authoritative — it keeps
+			// ranges available even when this open has no TagOf.
+			rng = trailer
+		}
+		l.idx[seq] = rng
 		l.since += int64(consumed)
 		tailLen, tailValid = len(data), consumed
 	}
@@ -145,6 +378,8 @@ func Open(dir string, opts Options, replay func(rec []byte) error) (*Log, error)
 	if n := len(segs); n > 0 {
 		l.seq = segs[n-1]
 		l.firstSeg = segs[0]
+		l.cur = l.idx[l.seq]
+		delete(l.idx, l.seq)
 		path := filepath.Join(dir, fileName(l.seq, segSuffix))
 		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 		if err != nil {
@@ -167,7 +402,24 @@ func Open(dir string, opts Options, replay func(rec []byte) error) (*Log, error)
 		}
 		l.firstSeg = snapSeq + 1
 	}
+	if l.cur == nil {
+		l.cur = &partRange{}
+	}
+	go l.committer()
 	return l, nil
+}
+
+// tag computes a staged record's index tag.
+func (l *Log) tag(rec []byte) tagEntry {
+	if l.neutral != nil && l.neutral(rec) {
+		return tagEntry{origin: tagNeutral}
+	}
+	if l.tagOf != nil {
+		if o, ts, ok := l.tagOf(rec); ok && o >= 0 {
+			return tagEntry{origin: int32(o), ts: ts}
+		}
+	}
+	return tagEntry{origin: -1}
 }
 
 // scanDir classifies the directory's files: ascending segment sequences
@@ -214,39 +466,239 @@ func scanDir(dir string) (segs []uint64, snapSeq uint64, err error) {
 	return live, snapSeq, nil
 }
 
-// Append commits the given records: all of them are framed into a single
-// Write on the active segment, followed by one fsync (unless NoSync) — the
-// group-commit boundary. The record slices are not retained.
+// ---------------------------------------------------------------------------
+// The commit pipeline
+// ---------------------------------------------------------------------------
+
+// stageLocked frames recs into the staging buffer and returns the id of the
+// commit group they will ride. Blocks while the stage is over its cap.
+func (l *Log) stageLocked(recs [][]byte) (uint64, error) {
+	for {
+		if l.closed {
+			return 0, ErrClosed
+		}
+		if l.err != nil {
+			return 0, l.err
+		}
+		if l.f == nil {
+			return 0, ErrClosed
+		}
+		if len(l.stage) < maxStageBytes {
+			break
+		}
+		l.doneC.Wait()
+	}
+	if len(l.stage) == 0 {
+		l.stageFirst = time.Now()
+	}
+	for _, r := range recs {
+		l.stage = appendFrame(l.stage, r)
+		l.stageTags = append(l.stageTags, l.tag(r))
+	}
+	l.stageC.Signal()
+	return l.stagedID, nil
+}
+
+// Append commits the given records and waits until they are durable: the
+// records join the staging buffer, coalesce with every other append staged
+// meanwhile into a single commit group — one Write, one fsync (unless
+// NoSync) — and Append returns once that group has committed. The record
+// slices are not retained.
 func (l *Log) Append(recs ...[]byte) error {
 	if len(recs) == 0 {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.f == nil {
-		return ErrClosed
+	id, err := l.stageLocked(recs)
+	if err != nil {
+		return err
 	}
-	if l.size >= l.segBytes {
-		if err := l.rollLocked(); err != nil {
-			return err
+	for l.committed < id {
+		if l.err != nil {
+			return l.err
 		}
-	}
-	buf := l.buf[:0]
-	for _, r := range recs {
-		buf = appendFrame(buf, r)
-	}
-	l.buf = buf
-	if _, err := l.f.Write(buf); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	l.size += int64(len(buf))
-	l.since += int64(len(buf))
-	if !l.noSync {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+		if l.closed {
+			return ErrClosed
 		}
+		l.doneC.Wait()
 	}
 	return nil
+}
+
+// AppendAsync stages the given records for the committer and returns without
+// waiting for durability: the ack-to-durable gap is bounded by the staging
+// cap plus one in-flight commit group. A later persistence failure fails the
+// log (Err, Options.OnError) rather than dropping the records silently, and
+// Close/Checkpoint/Barrier drain the pipeline. The record slices are framed
+// (copied) before return and not retained.
+func (l *Log) AppendAsync(recs ...[]byte) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.stageLocked(recs)
+	return err
+}
+
+// Barrier waits until every record staged before the call is durable (or the
+// log has failed). It is the sync boundary async appenders order against:
+// catch-up completeness claims and replication-plane VV advancement call it
+// before promising history to a remote.
+func (l *Log) Barrier() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed || l.f == nil {
+			return ErrClosed
+		}
+		if len(l.stage) == 0 && !l.committing {
+			return nil
+		}
+		l.doneC.Wait()
+	}
+}
+
+// Err returns the sticky persistence error, if the committer has failed.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Stats returns a snapshot of the log's durable-path counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// committer is the single background goroutine that drains the staging
+// buffer: each cycle takes everything staged as one commit group, writes it
+// with one Write and (unless NoSync) one fsync — outside the lock, so the
+// next group accumulates meanwhile — then publishes the new durable boundary.
+func (l *Log) committer() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		for !l.closed && l.err == nil && len(l.stage) == 0 {
+			l.stageC.Wait()
+		}
+		if l.closed || l.err != nil {
+			// After a sticky error the staged tail is undeliverable; park
+			// until Close so late wakeups keep finding a live Cond.
+			for !l.closed {
+				l.stageC.Wait()
+			}
+			l.done = true
+			l.doneC.Broadcast()
+			return
+		}
+		if l.window > 0 {
+			// Linger to let concurrent appenders join this group's fsync.
+			if d := l.window - time.Since(l.stageFirst); d > 0 {
+				l.mu.Unlock()
+				time.Sleep(d)
+				l.mu.Lock()
+				if l.closed || l.err != nil || len(l.stage) == 0 {
+					continue
+				}
+			}
+		}
+		group, tags, start := l.stage, l.stageTags, l.stageFirst
+		l.stage, l.stageTags = l.spare[:0], l.spareTags[:0]
+		id := l.stagedID
+		l.stagedID++
+		l.committing = true
+		l.doneC.Broadcast() // stage drained: release backpressured appenders
+		if l.size >= l.segBytes {
+			if err := l.rollLocked(); err != nil {
+				l.committing = false
+				l.spare, l.spareTags = group, tags
+				l.failLocked(err)
+				continue
+			}
+		}
+		f := l.f
+		l.mu.Unlock()
+
+		_, werr := f.Write(group)
+		if werr == nil && !l.noSync {
+			werr = f.Sync()
+		}
+
+		l.mu.Lock()
+		l.committing = false
+		l.spare, l.spareTags = group, tags
+		if werr != nil {
+			l.failLocked(fmt.Errorf("wal: commit: %w", werr))
+			continue
+		}
+		l.size += int64(len(group))
+		l.since += int64(len(group))
+		for _, t := range tags {
+			l.cur.add(t)
+		}
+		n := uint64(len(tags))
+		l.stats.Groups++
+		l.stats.Records += n
+		if !l.noSync {
+			l.stats.Fsyncs++
+		}
+		if n > l.stats.GroupMax {
+			l.stats.GroupMax = n
+		}
+		b := bits.Len64(n) - 1
+		if b >= len(l.stats.GroupHist) {
+			b = len(l.stats.GroupHist) - 1
+		}
+		l.stats.GroupHist[b]++
+		lag := time.Since(start).Nanoseconds()
+		l.stats.AckLagSumNS += lag
+		if lag > l.stats.AckLagMaxNS {
+			l.stats.AckLagMaxNS = lag
+		}
+		l.committed = id
+		l.doneC.Broadcast()
+	}
+}
+
+// failLocked records the sticky error, wakes everyone, and reports it to
+// Options.OnError (outside the lock).
+func (l *Log) failLocked(err error) {
+	if l.err != nil {
+		return
+	}
+	l.err = err
+	l.stageC.Broadcast()
+	l.doneC.Broadcast()
+	if cb := l.onErr; cb != nil {
+		l.mu.Unlock()
+		cb(err)
+		l.mu.Lock()
+	}
+}
+
+// drainLocked waits for the commit pipeline to go idle (stage empty, no
+// group in flight). Returns the sticky error or ErrClosed if the log dies
+// while waiting.
+func (l *Log) drainLocked() error {
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed || l.f == nil {
+			return ErrClosed
+		}
+		if len(l.stage) == 0 && !l.committing {
+			return nil
+		}
+		l.doneC.Wait()
+	}
 }
 
 // Checkpoint atomically replaces the log's history with a snapshot: fill is
@@ -255,13 +707,14 @@ func (l *Log) Append(recs ...[]byte) error {
 // an emitted slice may be reused by the caller immediately after emit
 // returns). The caller must guarantee the emitted records capture every
 // record appended so far — the storage engine holds its writers out during
-// the call. On return the old segments are gone and a fresh, empty segment
-// is active.
+// the call. The commit pipeline is drained first, so async appends are on
+// disk before the segments holding them are pruned. On return the old
+// segments are gone and a fresh, empty segment is active.
 func (l *Log) Checkpoint(fill func(emit func(rec []byte))) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.f == nil {
-		return ErrClosed
+	if err := l.drainLocked(); err != nil {
+		return err
 	}
 	tmp := filepath.Join(l.dir, "checkpoint"+tmpSuffix)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -269,11 +722,13 @@ func (l *Log) Checkpoint(fill func(emit func(rec []byte))) error {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	var werr error
+	snapRng := &partRange{}
 	buf := l.buf[:0]
 	fill(func(rec []byte) {
 		if werr != nil {
 			return
 		}
+		snapRng.add(l.tag(rec))
 		buf = appendFrame(buf, rec)
 		if len(buf) >= 1<<20 {
 			_, werr = f.Write(buf)
@@ -293,6 +748,7 @@ func (l *Log) Checkpoint(fill func(emit func(rec []byte))) error {
 			f.Close()
 			return fmt.Errorf("wal: checkpoint: %w", err)
 		}
+		l.stats.Fsyncs++
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
@@ -322,11 +778,14 @@ func (l *Log) Checkpoint(fill func(emit func(rec []byte))) error {
 		if os.Remove(path) != nil {
 			break // older segments were pruned by earlier checkpoints
 		}
+		delete(l.idx, seq)
 	}
 	if l.snap != 0 {
 		_ = os.Remove(filepath.Join(l.dir, fileName(l.snap, snapSuffix)))
 	}
 	l.snap = oldSeq
+	l.snapRng = snapRng
+	l.cur = &partRange{}
 	l.since = 0
 	return nil
 }
@@ -363,17 +822,34 @@ type cursorPart struct {
 // below the snapshot floor (SnapshotSeq), the snapshot's records are
 // replayed first — attributed to the floor sequence — followed by every live
 // segment ≥ seq. The boundary is captured atomically at the call: records
-// committed before ReadFrom is invoked are included, later appends are not,
-// and concurrent appends or checkpoints never corrupt the iteration (files
-// are pinned open before the lock is released). This is the replication
-// catch-up read path: it shares nothing with the hot append path beyond the
-// boundary capture.
+// durably committed before ReadFrom is invoked are included, staged or later
+// appends are not, and concurrent appends or checkpoints never corrupt the
+// iteration (files are pinned open before the lock is released). This is the
+// replication catch-up read path: it shares nothing with the hot append path
+// beyond the boundary capture.
 func (l *Log) ReadFrom(seq uint64, fn func(seg uint64, rec []byte) error) error {
+	_, err := l.read(seq, false, nil, nil, fn)
+	return err
+}
+
+// ReadRange replays, in order, the durable records that may fall inside the
+// per-origin window (lo[o], hi[o]] — request entries past either slice's
+// length are unbounded. It consults the segment range index to skip the
+// snapshot and any segment that cannot intersect the window, and returns how
+// many such parts it skipped (the seek win) without reading them. fn may
+// still see records outside the window: ranges are per-part summaries, so
+// callers keep their per-record filter.
+func (l *Log) ReadRange(lo, hi []uint64, fn func(seg uint64, rec []byte) error) (skipped int, err error) {
+	return l.read(0, true, lo, hi, fn)
+}
+
+func (l *Log) read(seq uint64, ranged bool, lo, hi []uint64, fn func(seg uint64, rec []byte) error) (int, error) {
 	l.mu.Lock()
-	if l.f == nil {
+	if l.f == nil || l.closed {
 		l.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
+	skipped := 0
 	var parts []cursorPart
 	fail := func(err error) error {
 		l.mu.Unlock()
@@ -383,28 +859,40 @@ func (l *Log) ReadFrom(seq uint64, fn func(seg uint64, rec []byte) error) error 
 		return fmt.Errorf("wal: cursor: %w", err)
 	}
 	if l.snap > 0 && seq <= l.snap {
-		f, err := os.Open(filepath.Join(l.dir, fileName(l.snap, snapSuffix)))
-		if err != nil {
-			return fail(err)
+		if ranged && !l.snapRng.overlaps(lo, hi) {
+			skipped++
+		} else {
+			f, err := os.Open(filepath.Join(l.dir, fileName(l.snap, snapSuffix)))
+			if err != nil {
+				return skipped, fail(err)
+			}
+			parts = append(parts, cursorPart{seq: l.snap, f: f, limit: -1})
 		}
-		parts = append(parts, cursorPart{seq: l.snap, f: f, limit: -1})
 	}
-	lo := l.firstSeg
-	if seq > lo {
-		lo = seq
+	first := l.firstSeg
+	if seq > first {
+		first = seq
 	}
-	for s := lo; s <= l.seq; s++ {
+	for s := first; s <= l.seq; s++ {
+		rng := l.cur
+		if s != l.seq {
+			rng = l.idx[s]
+		}
+		if ranged && !rng.overlaps(lo, hi) {
+			skipped++
+			continue
+		}
 		f, err := os.Open(filepath.Join(l.dir, fileName(s, segSuffix)))
 		if err != nil {
 			if os.IsNotExist(err) {
 				continue // pruned by an earlier checkpoint; snapshot covers it
 			}
-			return fail(err)
+			return skipped, fail(err)
 		}
 		limit := int64(-1)
 		if s == l.seq {
 			// The active segment may grow after the lock drops; stop at the
-			// captured size, which is always a whole-record boundary.
+			// committed size, which is always a whole-record boundary.
 			limit = l.size
 		}
 		parts = append(parts, cursorPart{seq: s, f: f, limit: limit})
@@ -418,13 +906,13 @@ func (l *Log) ReadFrom(seq uint64, fn func(seg uint64, rec []byte) error) error 
 		}
 		p.f.Close()
 	}
-	return err
+	return skipped, err
 }
 
 // readPart replays one pinned cursor file. Every record must parse: cursor
 // files never carry a torn tail (the active segment is cut at a commit
 // boundary and older files were fully committed), so any framing error is
-// real corruption.
+// real corruption. Index trailer records are filtered out.
 func readPart(p cursorPart, fn func(seg uint64, rec []byte) error) error {
 	var data []byte
 	var err error
@@ -437,7 +925,12 @@ func readPart(p cursorPart, fn func(seg uint64, rec []byte) error) error {
 	if err != nil {
 		return fmt.Errorf("wal: cursor: segment %d: %w", p.seq, err)
 	}
-	_, err = walk(data, func(rec []byte) error { return fn(p.seq, rec) }, false)
+	_, err = walk(data, func(rec []byte) error {
+		if isIdxTrailer(rec) {
+			return nil
+		}
+		return fn(p.seq, rec)
+	}, false)
 	if err != nil {
 		return fmt.Errorf("wal: cursor: segment %d: %w", p.seq, err)
 	}
@@ -447,34 +940,55 @@ func readPart(p cursorPart, fn func(seg uint64, rec []byte) error) error {
 // Dir returns the log's directory.
 func (l *Log) Dir() string { return l.dir }
 
-// Close syncs and closes the active segment. Further operations return
-// ErrClosed.
+// Close drains the commit pipeline, then syncs and closes the active
+// segment. Further operations return ErrClosed.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.f == nil {
+	if l.closed {
 		return nil
 	}
+	for (len(l.stage) > 0 || l.committing) && l.err == nil {
+		l.doneC.Wait()
+	}
+	l.closed = true
+	l.stageC.Broadcast()
+	l.doneC.Broadcast()
+	for !l.done {
+		l.doneC.Wait()
+	}
 	var err error
-	if !l.noSync {
-		err = l.f.Sync()
+	if l.f != nil {
+		if !l.noSync && l.err == nil {
+			err = l.f.Sync()
+			l.stats.Fsyncs++
+		}
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
 	}
-	if cerr := l.f.Close(); err == nil {
-		err = cerr
-	}
-	l.f = nil
 	return err
 }
 
-// rollLocked closes the active segment and starts the next one.
+// rollLocked seals the active segment — persisting its range index as a
+// trailer record — and starts the next one.
 func (l *Log) rollLocked() error {
+	if trailer := appendIdxTrailer(nil, l.cur); trailer != nil {
+		if _, err := l.f.Write(trailer); err != nil {
+			return fmt.Errorf("wal: seal segment: %w", err)
+		}
+	}
 	if !l.noSync {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
+		l.stats.Fsyncs++
 	}
 	l.f.Close()
 	l.f = nil
+	l.idx[l.seq] = l.cur
+	l.cur = &partRange{}
 	return l.startSegmentLocked(l.seq + 1)
 }
 
@@ -484,8 +998,8 @@ func (l *Log) startSegmentLocked(seq uint64) error {
 	if err != nil {
 		return fmt.Errorf("wal: new segment: %w", err)
 	}
-	// Persist the new directory entry: Append fsyncs record bytes into the
-	// file, but without this a crash could drop the segment file itself.
+	// Persist the new directory entry: the committer fsyncs record bytes into
+	// the file, but without this a crash could drop the segment file itself.
 	if err := l.syncDir(); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: new segment: %w", err)
@@ -507,6 +1021,9 @@ func (l *Log) syncDir() error {
 	if cerr := d.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		l.stats.Fsyncs++
+	}
 	return err
 }
 
@@ -519,6 +1036,84 @@ func appendFrame(b, payload []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(payload)))
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, crcTable))
 	return append(b, payload...)
+}
+
+// appendIdxTrailer frames a segment's range index as a trailer record; nil if
+// there is nothing to persist (no tagged records and no untagged marker —
+// an empty segment needs no trailer).
+func appendIdxTrailer(b []byte, r *partRange) []byte {
+	n := 0
+	for _, lo := range r.lo {
+		if lo > 0 {
+			n++
+		}
+	}
+	if n == 0 && !r.untagged {
+		return b
+	}
+	p := make([]byte, 0, len(idxMagic)+2+n*15)
+	p = append(p, idxMagic...)
+	if r.untagged {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
+	p = binary.AppendUvarint(p, uint64(n))
+	for o, lo := range r.lo {
+		if lo == 0 {
+			continue
+		}
+		p = binary.AppendUvarint(p, uint64(o))
+		p = binary.AppendUvarint(p, lo)
+		p = binary.AppendUvarint(p, r.hi[o])
+	}
+	return appendFrame(b, p)
+}
+
+func isIdxTrailer(rec []byte) bool {
+	return len(rec) >= len(idxMagic) && string(rec[:len(idxMagic)]) == string(idxMagic)
+}
+
+// parseIdxTrailer decodes an index trailer payload; ok=false if rec is a
+// regular record. A recognizable but malformed trailer yields an untagged
+// (never-skippable) range rather than an error — the index is advisory.
+func parseIdxTrailer(rec []byte) (*partRange, bool) {
+	if !isIdxTrailer(rec) {
+		return nil, false
+	}
+	r := &partRange{}
+	b := rec[len(idxMagic):]
+	bad := &partRange{untagged: true}
+	if len(b) < 1 {
+		return bad, true
+	}
+	r.untagged = b[0] != 0
+	b = b[1:]
+	n, un := binary.Uvarint(b)
+	if un <= 0 || n > 1<<20 {
+		return bad, true
+	}
+	b = b[un:]
+	for i := uint64(0); i < n; i++ {
+		o, un := binary.Uvarint(b)
+		if un <= 0 || o > 1<<20 {
+			return bad, true
+		}
+		b = b[un:]
+		lo, un := binary.Uvarint(b)
+		if un <= 0 {
+			return bad, true
+		}
+		b = b[un:]
+		hi, un := binary.Uvarint(b)
+		if un <= 0 {
+			return bad, true
+		}
+		b = b[un:]
+		r.add(tagEntry{origin: int32(o), ts: lo})
+		r.add(tagEntry{origin: int32(o), ts: hi})
+	}
+	return r, true
 }
 
 // nextFrame parses the first framed record of b, returning the payload and

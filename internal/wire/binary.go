@@ -342,6 +342,45 @@ func appendVersion(b []byte, v *item.Version) []byte {
 // and a replication message agree byte for byte.
 func AppendVersion(b []byte, v *item.Version) []byte { return appendVersion(b, v) }
 
+// VersionTag extracts just (SrcReplica, UpdateTime) from an encoded version
+// record without decoding — or allocating — the rest. The write-ahead log
+// uses it to tag records for its per-segment range index on the append path,
+// so it must stay a few header reads, not a full decode. ok=false means the
+// bytes are not a well-formed version record prefix.
+func VersionTag(rec []byte) (src int, ts uint64, ok bool) {
+	if len(rec) < 1 || rec[0] != 1 {
+		return 0, 0, false
+	}
+	b := rec[1:]
+	for i := 0; i < 2; i++ { // key string, then value bytes: skip both
+		n, un := binary.Uvarint(b)
+		if un <= 0 {
+			return 0, 0, false
+		}
+		b = b[un:]
+		if i == 1 { // value length carries a +1 nil marker
+			if n == 0 {
+				continue
+			}
+			n--
+		}
+		if uint64(len(b)) < n {
+			return 0, 0, false
+		}
+		b = b[n:]
+	}
+	s, un := binary.Uvarint(b)
+	if un <= 0 {
+		return 0, 0, false
+	}
+	b = b[un:]
+	t, un := binary.Uvarint(b)
+	if un <= 0 {
+		return 0, 0, false
+	}
+	return int(s), t, true
+}
+
 // DecodeVersion parses one version record from the front of b, returning the
 // version and the number of bytes consumed. Corrupted or truncated input
 // yields an error, never a panic, and a nil-version marker is rejected (logs
@@ -385,12 +424,73 @@ func appendItemReply(b []byte, r *msg.ItemReply) []byte {
 
 var errShortFrame = fmt.Errorf("wire: short frame")
 
+// versionArena amortizes the per-version allocations of a batch decode:
+// Version structs, dependency-vector entries and value bytes are carved out
+// of chunked slabs, so an n-version ReplicateBatch or CatchUpReply costs
+// O(n/chunk) allocations instead of ~4n. A full chunk is retired and a fresh
+// one allocated — never grown in place — so pointers handed out stay valid
+// for the life of the decoded versions. The trade-off is retention: one
+// long-lived version keeps its chunk's neighbors reachable, which is fine
+// for replication batches (versions enter the store together and are pruned
+// by the same GC vector) but wrong for messages whose versions have
+// independent lifetimes — only the batch decode paths install an arena.
+type versionArena struct {
+	vers []item.Version
+	deps []vclock.Timestamp
+	blob []byte
+}
+
+const (
+	arenaVersionChunk = 64
+	arenaDepsChunk    = 512
+	arenaBlobChunk    = 16 << 10
+)
+
+func (a *versionArena) newVersion() *item.Version {
+	if len(a.vers) == cap(a.vers) {
+		a.vers = make([]item.Version, 0, arenaVersionChunk)
+	}
+	a.vers = a.vers[:len(a.vers)+1]
+	return &a.vers[len(a.vers)-1]
+}
+
+// ts returns an n-entry timestamp slice from the deps slab (oversize vectors
+// fall through to a direct allocation).
+func (a *versionArena) ts(n int) []vclock.Timestamp {
+	if n > arenaDepsChunk/4 {
+		return make([]vclock.Timestamp, n)
+	}
+	if a.deps == nil || cap(a.deps)-len(a.deps) < n {
+		a.deps = make([]vclock.Timestamp, 0, arenaDepsChunk)
+	}
+	s := a.deps[len(a.deps) : len(a.deps)+n : len(a.deps)+n]
+	a.deps = a.deps[:len(a.deps)+n]
+	return s
+}
+
+// bytes returns an n-byte slice from the blob slab (oversize values fall
+// through to a direct allocation).
+func (a *versionArena) bytes(n int) []byte {
+	if n > arenaBlobChunk/2 {
+		return make([]byte, n)
+	}
+	if a.blob == nil || cap(a.blob)-len(a.blob) < n {
+		a.blob = make([]byte, 0, arenaBlobChunk)
+	}
+	s := a.blob[len(a.blob) : len(a.blob)+n : len(a.blob)+n]
+	a.blob = a.blob[:len(a.blob)+n]
+	return s
+}
+
 // frameReader walks one decoded frame. Methods record the first error; the
-// caller checks err once at the end.
+// caller checks err once at the end. When arena is set, decoded versions
+// (structs, deps, values) are carved out of it instead of allocated
+// individually.
 type frameReader struct {
-	b   []byte
-	pos int
-	err error
+	b     []byte
+	pos   int
+	err   error
+	arena *versionArena
 }
 
 func (f *frameReader) fail() {
@@ -451,7 +551,12 @@ func (f *frameReader) bytes() []byte {
 	if f.err != nil {
 		return nil
 	}
-	out := make([]byte, len(raw))
+	var out []byte
+	if f.arena != nil {
+		out = f.arena.bytes(len(raw))
+	} else {
+		out = make([]byte, len(raw))
+	}
 	copy(out, raw)
 	return out
 }
@@ -468,7 +573,12 @@ func (f *frameReader) vc() vclock.VC {
 		f.fail()
 		return nil
 	}
-	out := make(vclock.VC, n)
+	var out vclock.VC
+	if f.arena != nil {
+		out = vclock.VC(f.arena.ts(int(n)))
+	} else {
+		out = make(vclock.VC, n)
+	}
 	for i := range out {
 		out[i] = vclock.Timestamp(f.uint())
 	}
@@ -479,7 +589,12 @@ func (f *frameReader) version() *item.Version {
 	if f.byteVal() == 0 {
 		return nil
 	}
-	v := &item.Version{}
+	var v *item.Version
+	if f.arena != nil {
+		v = f.arena.newVersion()
+	} else {
+		v = &item.Version{}
+	}
 	v.Key = f.string()
 	v.Value = f.bytes()
 	v.SrcReplica = int(f.uint())
@@ -525,6 +640,7 @@ func parsePayload(frame []byte) (Envelope, error) {
 			if uint64(len(f.b)-f.pos) < n {
 				f.fail()
 			} else {
+				f.arena = &versionArena{}
 				m.Versions = make([]*item.Version, 0, n)
 				for i := uint64(0); i < n && f.err == nil; i++ {
 					m.Versions = append(m.Versions, f.version())
@@ -589,6 +705,7 @@ func parsePayload(frame []byte) (Envelope, error) {
 			if uint64(len(f.b)-f.pos) < n {
 				f.fail()
 			} else {
+				f.arena = &versionArena{}
 				m.Versions = make([]*item.Version, 0, n)
 				for i := uint64(0); i < n && f.err == nil; i++ {
 					m.Versions = append(m.Versions, f.version())

@@ -119,10 +119,28 @@ type Config struct {
 	// SegmentBytes is the WAL segment roll size (0 = 4 MiB). Ignored
 	// without DataDir.
 	SegmentBytes int64
-	// NoFsync skips the per-commit fsync: much faster on slow filesystems,
-	// but a machine crash may lose the latest commits (a process crash
-	// usually does not). Ignored without DataDir.
+	// NoSync skips the per-commit fsync — the bottom rung of the durability
+	// ladder (see storage.AckMode for the ladder in full): much faster on
+	// slow filesystems, but a machine crash may lose the latest commits (a
+	// process crash usually does not). Ignored without DataDir.
+	NoSync bool
+	// NoFsync is the old name for NoSync; either field enables it.
+	//
+	// Deprecated: set NoSync (the WAL and storage layers' canonical name).
 	NoFsync bool
+	// AckMode picks where on the durability ladder local PUTs are
+	// acknowledged: AckSync (default) returns only after the write's commit
+	// group is fsynced; AckGrouped returns after the in-memory insert and
+	// WAL staging, letting the background committer fsync the group — far
+	// lower PUT latency, with durability trailing by at most one in-flight
+	// commit group. Replication and catch-up completeness always wait on the
+	// sync boundary regardless. Ignored without DataDir.
+	AckMode AckMode
+	// GroupCommitWindow is how long the WAL committer lingers to coalesce
+	// concurrent commits into one fsync (0 = no added delay; pipelining
+	// alone already batches whatever accumulates during the previous
+	// fsync). Ignored without DataDir.
+	GroupCommitWindow time.Duration
 	// CatchUp selects the replication catch-up mode. CatchUpAuto (default)
 	// enables sequenced replication streams and WAL-shipped resync exactly
 	// when the deployment is durable (DataDir set): a replica that loses
@@ -153,6 +171,19 @@ type Config struct {
 	// (10 s); negative holds back forever. Ignored without GCInterval.
 	GCMaxHoldback time.Duration
 }
+
+// AckMode selects where on the durability ladder local PUTs are
+// acknowledged (Config.AckMode).
+type AckMode int
+
+// Ack modes.
+const (
+	// AckSync acknowledges a PUT only after its commit group is durable.
+	AckSync AckMode = iota
+	// AckGrouped acknowledges a PUT once it is staged on the WAL commit
+	// pipeline; the fsync it rides happens in the background.
+	AckGrouped
+)
 
 // CatchUpMode selects the replication catch-up behavior (Config.CatchUp).
 type CatchUpMode int
@@ -201,6 +232,10 @@ func Open(cfg Config) (*Store, error) {
 	case CatchUpOff:
 		catchUp = cluster.CatchUpOff
 	}
+	ackMode := storage.AckSync
+	if cfg.AckMode == AckGrouped {
+		ackMode = storage.AckGrouped
+	}
 	inner, err := cluster.New(cluster.Config{
 		NumDCs:                cfg.DataCenters,
 		NumPartitions:         cfg.Partitions,
@@ -219,7 +254,9 @@ func Open(cfg Config) (*Store, error) {
 		Durable: storage.DurableOptions{
 			CheckpointBytes: cfg.CheckpointBytes,
 			SegmentBytes:    cfg.SegmentBytes,
-			NoSync:          cfg.NoFsync,
+			NoSync:          cfg.NoSync || cfg.NoFsync,
+			AckMode:         ackMode,
+			GroupWindow:     cfg.GroupCommitWindow,
 		},
 		CatchUp:            catchUp,
 		CatchUpMaxInFlight: cfg.CatchUpMaxInFlight,
@@ -427,6 +464,32 @@ type Stats struct {
 	// GCHoldbackAge is how long the oldest laggard (a frozen, catching-up or
 	// joining link) has been deferring garbage collection, 0 when none is.
 	GCHoldbackAge time.Duration
+	// Fsyncs counts WAL file and directory syncs across all durable engines;
+	// CommitGroups counts commit groups fsynced. Records / CommitGroups is
+	// the mean group-commit batch size. All durable-path fields stay zero
+	// for in-memory deployments (no Config.DataDir).
+	Fsyncs       uint64
+	CommitGroups uint64
+	// WALRecords counts records committed through the WAL pipeline.
+	WALRecords uint64
+	// CommitGroupP50 and CommitGroupMax describe the commit-group size
+	// distribution: the median bucket (lower bound, records per group) and
+	// the largest group observed.
+	CommitGroupP50 uint64
+	CommitGroupMax uint64
+	// AckToDurableMean and AckToDurableMax are the mean and worst lag
+	// between staging a record on the commit pipeline and its group
+	// becoming durable — the window an AckGrouped PUT's durability trails
+	// its acknowledgement.
+	AckToDurableMean time.Duration
+	AckToDurableMax  time.Duration
+	// SeekHits counts catch-up streams served through the WAL's segment
+	// range index; FullScans counts streams that walked the full durable
+	// history; PartsSkipped is the number of cold snapshot/segment parts
+	// the index let those seeks skip entirely.
+	SeekHits     uint64
+	FullScans    uint64
+	PartsSkipped uint64
 }
 
 // MaxReplicationLag returns the worst entry of ReplicationLag.
@@ -466,6 +529,19 @@ func (s *Store) Stats() Stats {
 		LinkStates:            repl.LinkStates,
 		GCHoldbackAge:         repl.GCHoldbackAge,
 	}
+	durable := s.inner.DurableStats()
+	st.Fsyncs = durable.Fsyncs
+	st.CommitGroups = durable.Groups
+	st.WALRecords = durable.Records
+	st.CommitGroupP50 = durable.GroupP50()
+	st.CommitGroupMax = durable.GroupMax
+	if durable.Groups > 0 {
+		st.AckToDurableMean = time.Duration(durable.AckLagSumNS / int64(durable.Groups))
+	}
+	st.AckToDurableMax = time.Duration(durable.AckLagMaxNS)
+	st.SeekHits = durable.SeekHits
+	st.FullScans = durable.FullScans
+	st.PartsSkipped = durable.PartsSkipped
 	if err := s.inner.StorageErr(); err != nil {
 		st.StorageError = err.Error()
 	}
