@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-recovery race-catchup race-membership race-chaos check bench
+.PHONY: all vet build test race race-recovery race-catchup race-membership race-reshard race-chaos check bench
 
 all: check
 
@@ -35,6 +35,12 @@ race-catchup:
 race-membership:
 	$(GO) test -race -count=1 -run 'Membership|Join|Leave' ./internal/repl/... ./internal/cluster/... .
 
+# Guards elastic resharding: slot-table epochs, live partition splits and
+# slot moves under a checked workload (drain-then-flip, WAL bootstrap of the
+# new owner, client retry through the epoch fence) under -race.
+race-reshard:
+	$(GO) test -race -count=1 -run 'Split|MoveSlots|Slot|Reshard' ./internal/keyspace/... ./internal/cluster/... ./internal/kvserver/...
+
 # The chaos plane: a ~30 s seeded fault-injection soak (crash/restarts,
 # DC kills + forced removal, join/leave churn, link flaps, latency
 # reprofiles) with live causal checking, under -race. Override CHAOS_SEED to
@@ -42,7 +48,7 @@ race-membership:
 race-chaos:
 	CHAOS_SECONDS=$${CHAOS_SECONDS:-30} $(GO) test -race -count=1 -v -run 'TestChaosSoak' ./internal/chaos/
 
-check: vet build test race race-recovery race-catchup race-membership race-chaos
+check: vet build test race race-recovery race-catchup race-membership race-reshard race-chaos
 
 # Hot-path microbenchmarks (the numbers tracked across PRs), published as a
 # dated JSON trajectory: `make bench` runs the Fig-adjacent cluster
@@ -52,8 +58,9 @@ BENCH_DATE ?= $(shell date +%F)
 BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 bench:
 	{ \
-	  $(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC|BenchmarkCatchUpThroughput|BenchmarkDurablePut|BenchmarkCatchUpSmallGap' -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC|BenchmarkCatchUpThroughput|BenchmarkDurablePut|BenchmarkCatchUpSmallGap|BenchmarkReshardThroughput' -benchmem . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkWireCodec' -benchmem ./internal/wire/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSlotRouting' -benchmem ./internal/keyspace/ && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkVClockOps|BenchmarkStorage' -benchmem ./internal/vclock/ ./internal/storage/ ; \
 	} | tee /dev/stderr | $(GO) run ./cmd/benchjson -date $(BENCH_DATE) > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	occ "repro"
+	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/harness"
 	"repro/internal/item"
@@ -553,5 +554,93 @@ func BenchmarkROTxPOCC(b *testing.B) {
 		if _, err := sess.ROTx(keys); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkReshardThroughput measures the live partition split: how many
+// versions per second the drain-then-flip migration moves onto the new
+// owner while a concurrent workload keeps writing through the epoch fence.
+// The copy walks every retained version of the moved slots at each DC's
+// local donor, so the moved count is writes-per-key times the keys whose
+// slot changes owner.
+func BenchmarkReshardThroughput(b *testing.B) {
+	const (
+		keys        = 256
+		writesPer   = 8
+		liveWriters = 3
+	)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := cluster.New(cluster.Config{
+			NumDCs: 3, NumPartitions: 2, MaxPartitions: 3, Engine: cluster.POCC,
+			HeartbeatInterval: time.Millisecond,
+			Seed:              42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := c.NewSession(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keyList := make([]string, keys)
+		for k := range keyList {
+			keyList[k] = fmt.Sprintf("reshard-bench-%d", k)
+			for w := 0; w < writesPer; w++ {
+				if err := sess.Put(keyList[k], []byte(strconv.Itoa(w))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		// Live load across every DC for the duration of the split; sessions
+		// ride through the ErrWrongSlotEpoch fence via client retry.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var livePuts atomic.Int64
+		for w := 0; w < liveWriters; w++ {
+			s, err := c.NewSession(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(w int, s *client.Session) {
+				defer wg.Done()
+				for j := 0; ; j++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.Put(fmt.Sprintf("live-w%d-%d", w, j%32), []byte("x")); err != nil {
+						b.Error(err)
+						return
+					}
+					livePuts.Add(1)
+				}
+			}(w, s)
+		}
+		b.StartTimer()
+		start := time.Now()
+		np, err := c.SplitPartition(0)
+		dur := time.Since(start)
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keyList {
+			if c.PartitionOf(k) == np {
+				moved += writesPer
+			}
+		}
+		if moved == 0 {
+			b.Fatal("split moved no benchmark keys")
+		}
+		b.ReportMetric(float64(moved)/dur.Seconds(), "moved_versions/s")
+		b.ReportMetric(float64(dur)/float64(time.Millisecond), "split_ms")
+		b.ReportMetric(float64(livePuts.Load())/dur.Seconds(), "live_puts/s")
+		c.Close()
 	}
 }

@@ -12,6 +12,11 @@
 // bootstraps its full history from the existing DCs' write-ahead logs and
 // then serves on the next port, and LEAVE <dc> retires one, its history
 // surviving on the remaining DCs.
+//
+// With -max-partitions headroom the keyspace is elastic too: SPLIT <p>
+// grows every DC by one partition server, migrating half of partition p's
+// hash slots (and their history) to it live, MOVESLOTS rebalances slots
+// between existing partitions, and SLOTS shows the routing table.
 package main
 
 import (
@@ -44,12 +49,13 @@ func run() int {
 		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "WAL growth that arms a snapshot checkpoint (0 = 1 MiB, negative disables; needs -data-dir)")
 		segBytes   = flag.Int64("segment-bytes", 0, "WAL segment roll size (0 = 4 MiB; needs -data-dir)")
 		noSync     = flag.Bool("no-sync", false, "skip the per-commit fsync (faster, loses the latest commits on a machine crash)")
-	noFsync    = flag.Bool("no-fsync", false, "deprecated alias for -no-sync")
-	ackMode    = flag.String("ack", "sync", "local PUT durability: sync (ack after group fsync) or grouped (ack after staging; fsync trails)")
-	groupWin   = flag.Duration("group-commit-window", 0, "extra linger coalescing concurrent commits into one fsync (0 = pipeline batching only)")
+		noFsync    = flag.Bool("no-fsync", false, "deprecated alias for -no-sync")
+		ackMode    = flag.String("ack", "sync", "local PUT durability: sync (ack after group fsync) or grouped (ack after staging; fsync trails)")
+		groupWin   = flag.Duration("group-commit-window", 0, "extra linger coalescing concurrent commits into one fsync (0 = pipeline batching only)")
 		catchUp    = flag.String("catchup", "auto", "replication catch-up mode: auto (on when durable), on, off")
 		catchUpWin = flag.Int("catchup-max-inflight", 0, "max un-acked bytes per WAL-shipped catch-up stream (0 = 1 MiB)")
 		maxDCs     = flag.Int("max-dcs", 0, "DC-slot capacity for runtime joins via the JOIN admin command (0 = -dcs, fixed membership; needs -data-dir to join)")
+		maxParts   = flag.Int("max-partitions", 0, "partition capacity for live keyspace splits via the SPLIT admin command (0 = -partitions, fixed layout)")
 		join       = flag.Int("join", 0, "grow the deployment by this many DCs at startup through the membership protocol (needs -max-dcs headroom and -data-dir)")
 	)
 	flag.Parse()
@@ -106,6 +112,7 @@ func run() int {
 		CatchUp:            catchUpMode,
 		CatchUpMaxInFlight: *catchUpWin,
 		MaxDataCenters:     *maxDCs,
+		MaxPartitions:      *maxParts,
 	}
 	if !*tcp {
 		cfg.Latency = occ.AWSProfile(*latency)

@@ -2,12 +2,13 @@
 // opens an in-process multi-DC store and lets you issue GETs, PUTs and
 // read-only transactions from sessions in different data centers, inject
 // and heal network partitions, grow and shrink the deployment (join/leave,
-// with -max-dcs headroom), and inspect statistics — a hands-on tour of
+// with -max-dcs headroom), split hot partitions live (split/moveslots, with
+// -max-partitions headroom), and inspect statistics — a hands-on tour of
 // optimistic causal consistency.
 //
 // Usage:
 //
-//	poccshell [-engine pocc|cure|hapocc] [-dcs 3] [-partitions 4] [-max-dcs 6]
+//	poccshell [-engine pocc|cure|hapocc] [-dcs 3] [-partitions 4] [-max-dcs 6] [-max-partitions 8]
 //
 // Then type "help".
 package main
@@ -32,6 +33,7 @@ func main() {
 		partitions = flag.Int("partitions", 4, "partitions per data center")
 		latency    = flag.Float64("latency", 0.05, "AWS latency scale (1.0 = real)")
 		maxDCs     = flag.Int("max-dcs", 0, "DC-slot capacity for the join command (0 = -dcs, fixed membership)")
+		maxParts   = flag.Int("max-partitions", 0, "partition capacity for the split command (0 = -partitions, fixed keyspace layout)")
 		dataDir    = flag.String("data-dir", "", "durable WAL-backed storage root (required for join; a temp dir is used when -max-dcs is set without it)")
 	)
 	flag.Parse()
@@ -59,6 +61,7 @@ func main() {
 		Seed:           uint64(time.Now().UnixNano()),
 		DataDir:        dir,
 		MaxDataCenters: *maxDCs,
+		MaxPartitions:  *maxParts,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -161,6 +164,12 @@ func (sh *shell) exec(out io.Writer, line string) {
 		sh.cmdKill(out, args)
 	case "evict":
 		sh.cmdEvict(out, args)
+	case "split":
+		sh.cmdSplit(out, args)
+	case "moveslots":
+		sh.cmdMoveSlots(out, args)
+	case "slots":
+		sh.cmdSlots(out)
 	default:
 		fmt.Fprintf(out, "unknown command %q (try \"help\")\n", cmd)
 	}
@@ -182,6 +191,13 @@ const helpText = `commands:
                         others' stabilization freezes until you evict it)
   evict <dc>            forcibly remove a crashed DC: the survivors agree on
                         its final replicated timestamps and resume
+  split <p>             grow every DC by one partition server: half of
+                        partition p's hash slots (and their history) move to
+                        it live (needs -max-partitions headroom)
+  moveslots <to> <s...> reassign hash slots to an existing partition,
+                        migrating their history first
+  slots                 show the slot routing table (epoch 0 = static
+                        layout)
   stats                 server-side blocking/staleness statistics, link
                         health and GC holdback
   quit                  exit
@@ -278,6 +294,7 @@ func (sh *shell) cmdStats(out io.Writer) {
 		st.Operations, st.BlockedOperations, st.BlockingProbability, st.MeanBlockingTime)
 	fmt.Fprintf(out, "old reads=%.3f%% unmerged=%.3f%% keys=%d versions=%d messages=%d\n",
 		st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, sh.store.Messages())
+	fmt.Fprintf(out, "layout: partitions=%d slot_epoch=%d\n", st.Partitions, st.SlotEpoch)
 	fmt.Fprintf(out, "replication: max lag=%v catchups=%d served=%d active=%d full_resyncs=%d\n",
 		st.MaxReplicationLag().Round(time.Microsecond), st.CatchUps, st.CatchUpsServed,
 		st.CatchUpsActive, st.FullResyncs)
@@ -423,4 +440,65 @@ func (sh *shell) cmdWhereis(out io.Writer, args []string) {
 		return
 	}
 	fmt.Fprintf(out, "partition %d\n", sh.store.PartitionOf(args[0]))
+}
+
+func (sh *shell) cmdSplit(out io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(out, "usage: split <partition>")
+		return
+	}
+	donor, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Fprintln(out, "partition must be a number")
+		return
+	}
+	start := time.Now()
+	np, err := sh.store.SplitPartition(donor)
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "partition %d split in %v: p%d now serves half its slots (epoch %d)\n",
+		donor, time.Since(start).Round(time.Millisecond), np, sh.store.Stats().SlotEpoch)
+}
+
+func (sh *shell) cmdMoveSlots(out io.Writer, args []string) {
+	if len(args) < 2 {
+		fmt.Fprintln(out, "usage: moveslots <to> <slot> [slot...]")
+		return
+	}
+	to, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Fprintln(out, "target partition must be a number")
+		return
+	}
+	var slots []int
+	for _, a := range args[1:] {
+		sl, err := strconv.Atoi(a)
+		if err != nil {
+			fmt.Fprintf(out, "bad slot %q\n", a)
+			return
+		}
+		slots = append(slots, sl)
+	}
+	start := time.Now()
+	if err := sh.store.MoveSlots(slots, to); err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "%d slot(s) moved to p%d in %v\n",
+		len(slots), to, time.Since(start).Round(time.Millisecond))
+}
+
+func (sh *shell) cmdSlots(out io.Writer) {
+	tbl := sh.store.SlotTable()
+	if tbl == nil {
+		fmt.Fprintf(out, "epoch 0 (static layout): %d partitions, slot s -> s mod %d\n",
+			sh.store.Partitions(), sh.store.Partitions())
+		return
+	}
+	fmt.Fprintf(out, "epoch %d: %d partitions\n", tbl.Epoch, tbl.Parts)
+	for p := 0; p < tbl.Parts; p++ {
+		fmt.Fprintf(out, "  p%d: %d slot(s)\n", p, len(tbl.SlotsOwnedBy(p)))
+	}
 }

@@ -199,12 +199,47 @@
 // range. Stats surfaces per-link health states, the oldest holdback age and
 // the full-resync count.
 //
+// # Partitioning and resharding
+//
+// Keys map to partitions through a first-class slot table rather than a
+// fixed hash: every key hashes (FNV-1a, allocation-free) to one of 256
+// slots, and an epoch-stamped slot map (internal/keyspace.SlotMap) assigns
+// each slot an owning partition. Absent a map the layout is the implicit
+// slot%N spread, so fixed deployments pay nothing. The map is a lattice —
+// per-slot assignments carry the epoch that moved them and merge
+// higher-stamp-wins — so concurrently gossiped tables converge on every
+// server, and replicated batches and catch-up chunks are stamped with the
+// sender's slot epoch.
+//
+// With Config.MaxPartitions headroom the partition axis is elastic at
+// runtime, the partition-analogue of dynamic DC membership.
+// Store.SplitPartition starts the next partition index in every data center
+// (gated behind the stabilization gate, owning its slots-to-be under the
+// next epoch) and moves half the donor's slots onto it; Store.MoveSlots
+// reassigns an explicit slot set between existing partitions. Both drive
+// the same drain-then-flip migration: install the next-epoch table
+// everywhere — the install serializes on each server's outbound write lock,
+// so once it returns the old owners reject operations on the moved slots
+// (ErrWrongSlotEpoch) and no in-flight write can still commit under the old
+// table: the moved-slot version universe provably freezes before the drain
+// marks are taken — wait for every data center's donors to deliver their streams
+// everywhere (the drain), then copy the moved history from each DC's local
+// donors into its new owner with the donor's version-vector claim, release
+// the gate, and flip routing. Client sessions ride through the fence by
+// re-resolving their route and retrying, so no acknowledged write is lost
+// and no causal dependency is ever served out of order; a drain defeated by
+// a concurrent failure aborts by rolling the table forward onto the old
+// owners (the lattice cannot go back). The kvserver SPLIT/MOVESLOTS/SLOTS
+// commands, occ.Store.SlotTable and poccshell split/moveslots/slots expose
+// the same operations; make race-reshard guards the path under -race.
+//
 // # Chaos plane
 //
 // internal/chaos is the standing fault-injection harness tying the above
 // together: from a single seed it derives a deterministic schedule of
 // server crash/restarts, DC joins, graceful leaves, kills followed by
-// forced removal, inter-DC link flaps and live latency reprofiles, and
+// forced removal, live partition splits and slot moves under the checked
+// workload, inter-DC link flaps and live latency reprofiles, and
 // executes it against a durable HA-POCC deployment while checker sessions
 // (internal/causaltest, no auto-fallback — errors reopen fresh sessions,
 // mirroring real client failover) assert causal consistency and a watchdog

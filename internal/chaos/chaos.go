@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/causaltest"
 	"repro/internal/cluster"
+	"repro/internal/keyspace"
 	"repro/internal/netemu"
 	"repro/internal/storage"
 	"repro/internal/vclock"
@@ -59,6 +60,13 @@ const (
 	// KillAndEvict crashes a whole DC and forcibly removes it: the survivors
 	// agree on its final replicated timestamps and discard the rest.
 	KillAndEvict
+	// SlotMove reshards part of one partition's slot range onto another
+	// existing partition (drain-then-flip under the next slot-table epoch).
+	SlotMove
+	// PartitionSplit grows the keyspace by one partition server per DC and
+	// moves half of a donor's slots onto it, bootstrapped from the donors'
+	// history while the checked workload keeps writing.
+	PartitionSplit
 )
 
 func (k Kind) String() string {
@@ -75,6 +83,10 @@ func (k Kind) String() string {
 		return "remove-dc"
 	case KillAndEvict:
 		return "kill+evict"
+	case SlotMove:
+		return "slot-move"
+	case PartitionSplit:
+		return "partition-split"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -85,9 +97,11 @@ type Event struct {
 	// At is the offset from the start of the run.
 	At   time.Duration
 	Kind Kind
-	// DC (and P for CrashRestart) is the primary target; DC2 is the peer of
-	// a LinkFlap.
+	// DC (and P for CrashRestart, the donor partition for SlotMove and
+	// PartitionSplit) is the primary target; DC2 is the peer of a LinkFlap.
 	DC, DC2, P int
+	// P2 is the receiving partition of a SlotMove.
+	P2 int
 	// Dur is the down window of a LinkFlap.
 	Dur time.Duration
 	// Scale is the LatencyScale multiplier.
@@ -102,6 +116,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v %v dc%d<->dc%d for %v", e.At, e.Kind, e.DC, e.DC2, e.Dur)
 	case LatencyScale:
 		return fmt.Sprintf("%v %v x%g", e.At, e.Kind, e.Scale)
+	case SlotMove:
+		return fmt.Sprintf("%v %v p%d->p%d", e.At, e.Kind, e.P, e.P2)
+	case PartitionSplit:
+		return fmt.Sprintf("%v %v p%d", e.At, e.Kind, e.P)
 	default:
 		return fmt.Sprintf("%v %v dc%d", e.At, e.Kind, e.DC)
 	}
@@ -119,11 +137,11 @@ func Schedule(seed uint64, d time.Duration, parts, maxDCs int) []Event {
 	for at < d {
 		e := Event{At: at}
 		switch r := rng.IntN(100); {
-		case r < 35:
+		case r < 30:
 			e.Kind = CrashRestart
 			e.DC = rng.IntN(maxDCs)
 			e.P = rng.IntN(parts)
-		case r < 60:
+		case r < 52:
 			e.Kind = LinkFlap
 			e.DC = rng.IntN(maxDCs)
 			e.DC2 = rng.IntN(maxDCs - 1)
@@ -131,19 +149,29 @@ func Schedule(seed uint64, d time.Duration, parts, maxDCs int) []Event {
 				e.DC2++
 			}
 			e.Dur = 100*time.Millisecond + time.Duration(rng.Int64N(int64(600*time.Millisecond)))
-		case r < 72:
+		case r < 62:
 			e.Kind = LatencyScale
 			e.Scale = []float64{0.25, 0.5, 2, 4, 1}[rng.IntN(5)]
-		case r < 82:
+		case r < 70:
 			e.Kind = AddDC
-		case r < 91:
+		case r < 78:
 			e.Kind = RemoveDC
 			// DC 0 is never removed: the harness needs one anchor DC to write
 			// the convergence marker from and to keep at least one seed member.
 			e.DC = 1 + rng.IntN(maxDCs-1)
-		default:
+		case r < 86:
 			e.Kind = KillAndEvict
 			e.DC = 1 + rng.IntN(maxDCs-1)
+		case r < 93:
+			// Donor and receiver are drawn from the initial layout (always
+			// live); the slots actually moved are picked at execution time
+			// from the live table and recorded in the trace.
+			e.Kind = SlotMove
+			e.P = rng.IntN(parts)
+			e.P2 = rng.IntN(parts)
+		default:
+			e.Kind = PartitionSplit
+			e.P = rng.IntN(parts)
 		}
 		evs = append(evs, e)
 		at += 120*time.Millisecond + time.Duration(rng.Int64N(int64(500*time.Millisecond)))
@@ -159,8 +187,10 @@ type Options struct {
 	// time). Zero means 3 s.
 	Duration time.Duration
 	// DCs×Partitions is the initial layout (0 → 3×2). MaxDCs bounds the
-	// lifetime DC-slot capacity (0 → DCs+3).
-	DCs, Partitions, MaxDCs int
+	// lifetime DC-slot capacity (0 → DCs+3); MaxPartitions bounds the
+	// partition axis so PartitionSplit faults have headroom (0 →
+	// Partitions+2).
+	DCs, Partitions, MaxDCs, MaxPartitions int
 	// Workers is the number of concurrent checker sessions (0 → 4).
 	Workers int
 	// DataDir roots the per-server WALs. Required: crash-restarts, kills and
@@ -184,6 +214,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDCs == 0 {
 		o.MaxDCs = o.DCs + 3
+	}
+	if o.MaxPartitions == 0 {
+		o.MaxPartitions = o.Partitions + 2
 	}
 	if o.Workers == 0 {
 		o.Workers = 4
@@ -239,23 +272,25 @@ type harness struct {
 	reg   *causaltest.Registry
 	start time.Time
 
-	mu      sync.Mutex
-	active  map[int]bool // DCs workers and faults may target
-	joining bool         // an AddDC bootstrap is in flight (at most one)
-	down    map[[2]int]bool
-	trace   []string
-	viols   []string
+	mu         sync.Mutex
+	active     map[int]bool // DCs workers and faults may target
+	joining    bool         // an AddDC bootstrap is in flight (at most one)
+	resharding bool         // a SlotMove/PartitionSplit is in flight (at most one)
+	down       map[[2]int]bool
+	trace      []string
+	viols      []string
 
 	evicting atomic.Int32 // kill+evict rounds in flight (watchdog license)
 	flapping atomic.Int32 // link flaps in flight (watchdog license)
 
 	ops, reopens, opErrs atomic.Uint64
 
-	stop     chan struct{} // closes when workers should exit
-	workerWG sync.WaitGroup
-	healWG   sync.WaitGroup
-	joinWG   sync.WaitGroup
-	wdWG     sync.WaitGroup
+	stop      chan struct{} // closes when workers should exit
+	workerWG  sync.WaitGroup
+	healWG    sync.WaitGroup
+	joinWG    sync.WaitGroup
+	reshardWG sync.WaitGroup
+	wdWG      sync.WaitGroup
 }
 
 // Run executes a full chaos run: build the deployment, inject the schedule,
@@ -293,8 +328,13 @@ func Run(opts Options) (*Report, error) {
 		// Soak the pipelined commit path in its loosest acknowledged mode:
 		// grouped acks are exactly what the kill/restart faults must not be
 		// able to turn into causal violations.
-		Durable: storage.DurableOptions{AckMode: storage.AckGrouped},
-		MaxDCs:  opts.MaxDCs,
+		Durable:       storage.DurableOptions{AckMode: storage.AckGrouped},
+		MaxDCs:        opts.MaxDCs,
+		MaxPartitions: opts.MaxPartitions,
+		// An undrainable reshard (a member killed mid-drain) must abort and
+		// roll forward inside the soak window, not stall it for the default
+		// 30s.
+		ReshardTimeout: 4 * time.Second,
 		// Joins must either finish or unwind inside the epilogue budget.
 		JoinTimeout: 10 * time.Second,
 		// Short enough that holdbacks for permanently dead links release
@@ -481,6 +521,29 @@ func (h *harness) apply(e Event) {
 			}
 		}()
 
+	case SlotMove, PartitionSplit:
+		h.mu.Lock()
+		busy := h.resharding
+		if !busy {
+			h.resharding = true
+		}
+		h.mu.Unlock()
+		if busy {
+			h.tracef("skip %v: a reshard is already in flight", e)
+			return
+		}
+		// Reshards run off the schedule loop: a drain defeated by an
+		// overlapping kill takes the full drain bound before it aborts, and
+		// that wait must not starve the rest of the schedule.
+		h.reshardWG.Add(1)
+		go func() {
+			defer h.reshardWG.Done()
+			h.runReshard(e)
+			h.mu.Lock()
+			h.resharding = false
+			h.mu.Unlock()
+		}()
+
 	case RemoveDC:
 		if !h.claimRemoval(e) {
 			return
@@ -510,6 +573,62 @@ func (h *harness) apply(e Event) {
 			return
 		}
 		h.tracef("%v: dc%d evicted at agreed finals", e, e.DC)
+	}
+}
+
+// runReshard executes a SlotMove or PartitionSplit against live cluster
+// state. Reshards that cannot proceed (capacity used up, donor owns
+// nothing, drain defeated by an overlapping fault) are skips, not
+// violations: the abort path rolls the slot table forward onto the old
+// owners and is itself part of the machinery under test. The checked
+// workload keeps writing throughout — sessions pinned to the old owner
+// retry through core.ErrWrongSlotEpoch until routing flips.
+func (h *harness) runReshard(e Event) {
+	switch e.Kind {
+	case PartitionSplit:
+		if h.c.NumPartitions() >= h.c.MaxPartitions() {
+			h.tracef("skip %v: partition capacity %d used up", e, h.c.MaxPartitions())
+			return
+		}
+		np, err := h.c.SplitPartition(e.P)
+		if err != nil {
+			h.tracef("skip %v: %v", e, err)
+			return
+		}
+		h.tracef("%v: p%d live at slot epoch %d", e, np, h.c.SlotTable().Epoch)
+
+	case SlotMove:
+		parts := h.c.NumPartitions()
+		donor, target := e.P%parts, e.P2%parts
+		if target == donor {
+			target = (target + 1) % parts
+		}
+		if target == donor {
+			h.tracef("skip %v: single partition", e)
+			return
+		}
+		tbl := h.c.SlotTable()
+		if tbl == nil {
+			tbl = keyspace.DefaultMap(parts)
+		}
+		owned := tbl.SlotsOwnedBy(donor)
+		if len(owned) == 0 {
+			h.tracef("skip %v: p%d owns no slots", e, donor)
+			return
+		}
+		// Move a modest prefix so repeated draws keep both sides populated.
+		n := len(owned) / 4
+		if n == 0 {
+			n = 1
+		}
+		if n > 8 {
+			n = 8
+		}
+		if err := h.c.MoveSlots(owned[:n], target); err != nil {
+			h.tracef("skip %v: %v", e, err)
+			return
+		}
+		h.tracef("%v: %d slot(s) p%d->p%d at slot epoch %d", e, n, donor, target, h.c.SlotTable().Epoch)
 	}
 }
 
@@ -624,7 +743,9 @@ func (h *harness) watchdog(stop <-chan struct{}) {
 		}
 		cur := vclock.Timestamp(0)
 		ok := true
-		for p := 0; p < h.opts.Partitions; p++ {
+		// Live partition count: splits grow it mid-run, and a freshly
+		// flipped partition's cursor folds in once its servers stabilize.
+		for p := 0; p < h.c.NumPartitions(); p++ {
 			srv := h.c.Server(0, p)
 			if srv == nil {
 				ok = false // mid-restart; try next tick
@@ -670,7 +791,8 @@ func (h *harness) epilogue() {
 	}
 	h.healWG.Wait()
 	h.joinWG.Wait()
-	h.tracef("healed; joins settled; quiescing")
+	h.reshardWG.Wait()
+	h.tracef("healed; joins and reshards settled; quiescing")
 
 	close(h.stop)
 	h.workerWG.Wait()
@@ -752,7 +874,7 @@ func (h *harness) convergenceLag(dcs []int, markerKey string, markerUT vclock.Ti
 	// GSS must cover the marker at every surviving server: stabilization
 	// resumed after the last eviction/heal.
 	for _, dc := range dcs {
-		for p := 0; p < h.opts.Partitions; p++ {
+		for p := 0; p < h.c.NumPartitions(); p++ {
 			srv := h.c.Server(dc, p)
 			if srv == nil {
 				return fmt.Sprintf("dc%d-p%d not running", dc, p)

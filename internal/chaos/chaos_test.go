@@ -50,7 +50,7 @@ func TestScheduleCoversAllKinds(t *testing.T) {
 	for _, e := range Schedule(7, 60*time.Second, 2, 6) {
 		seen[e.Kind] = true
 	}
-	for _, k := range []Kind{CrashRestart, LinkFlap, LatencyScale, AddDC, RemoveDC, KillAndEvict} {
+	for _, k := range []Kind{CrashRestart, LinkFlap, LatencyScale, AddDC, RemoveDC, KillAndEvict, SlotMove, PartitionSplit} {
 		if !seen[k] {
 			t.Errorf("60s schedule never drew %v", k)
 		}

@@ -27,6 +27,17 @@ import (
 // surviving DC instead.
 var ErrNoDataCenter = errors.New("client: session's data center left the deployment")
 
+// Slot-epoch retry budget. While the cluster reshards (SplitPartition /
+// MoveSlots), the old owner of a moved slot rejects operations with
+// core.ErrWrongSlotEpoch until cluster routing flips to the new owner. The
+// session retries with a fresh route resolution each attempt, so it lands on
+// the new owner automatically once the flip happens; the budget bounds how
+// long a session camps on a reshard that never completes.
+const (
+	slotRetryLimit = 400
+	slotRetryDelay = 25 * time.Millisecond
+)
+
 // Router maps keys to the partition servers of one data center.
 type Router interface {
 	// ServerFor returns the server responsible for key.
@@ -148,17 +159,23 @@ func (s *Session) GetReply(key string) (msg.ItemReply, error) {
 }
 
 func (s *Session) getReply(key string) (msg.ItemReply, error) {
-	srv := s.cfg.Router.ServerFor(key)
-	if srv == nil {
-		return msg.ItemReply{}, ErrNoDataCenter
-	}
+	var slotRetries int
 	for {
+		// Resolved inside the loop: a slot-epoch rejection means the key's
+		// slot moved, and the router re-resolves to the new owner.
+		srv := s.cfg.Router.ServerFor(key)
+		if srv == nil {
+			return msg.ItemReply{}, ErrNoDataCenter
+		}
 		mode, rdv := s.opContext()
 		s.injectLatency()
 		reply, err := srv.Get(key, rdv, mode)
 		s.injectLatency()
 		if err != nil {
 			if s.handleSessionError(err) {
+				continue
+			}
+			if s.handleSlotEpoch(err, &slotRetries) {
 				continue
 			}
 			return msg.ItemReply{}, err
@@ -180,11 +197,12 @@ func (s *Session) Put(key string, value []byte) error {
 // PutMeta writes key and returns the new version's identity (update time and
 // source replica), which test checkers use to track real dependencies.
 func (s *Session) PutMeta(key string, value []byte) (vclock.Timestamp, int, error) {
-	srv := s.cfg.Router.ServerFor(key)
-	if srv == nil {
-		return 0, 0, ErrNoDataCenter
-	}
+	var slotRetries int
 	for {
+		srv := s.cfg.Router.ServerFor(key)
+		if srv == nil {
+			return 0, 0, ErrNoDataCenter
+		}
 		s.mu.Lock()
 		mode := s.mode
 		// Cloned, not scratch: the server takes ownership of dv (it becomes
@@ -196,6 +214,9 @@ func (s *Session) PutMeta(key string, value []byte) (vclock.Timestamp, int, erro
 		s.injectLatency()
 		if err != nil {
 			if s.handleSessionError(err) {
+				continue
+			}
+			if s.handleSlotEpoch(err, &slotRetries) {
 				continue
 			}
 			return 0, 0, err
@@ -232,11 +253,16 @@ func (s *Session) ROTx(keys []string) (map[string][]byte, error) {
 
 // ROTxReplies is ROTx returning full replies including causal metadata.
 func (s *Session) ROTxReplies(keys []string) ([]msg.ItemReply, error) {
-	coord := s.cfg.Router.Coordinator()
-	if coord == nil {
-		return nil, ErrNoDataCenter
-	}
+	var slotRetries int
 	for {
+		// Coordinator and the per-key slicing function are resolved per
+		// attempt: mid-reshard a slice can land on a partition that no longer
+		// owns the key (ErrWrongSlotEpoch), and the retry re-slices the
+		// transaction under the refreshed routing table.
+		coord := s.cfg.Router.Coordinator()
+		if coord == nil {
+			return nil, ErrNoDataCenter
+		}
 		// The snapshot must include everything the client has read AND
 		// written (Proposition 4 of the paper assumes the client's writes are
 		// in the snapshot): send max(RDV, DV), which covers the writes the
@@ -251,6 +277,9 @@ func (s *Session) ROTxReplies(keys []string) ([]msg.ItemReply, error) {
 		s.injectLatency()
 		if err != nil {
 			if s.handleSessionError(err) {
+				continue
+			}
+			if s.handleSlotEpoch(err, &slotRetries) {
 				continue
 			}
 			return nil, err
@@ -302,6 +331,23 @@ func (s *Session) handleSessionError(err error) bool {
 	s.dv = vclock.New(s.cfg.NumDCs)
 	s.rdv = vclock.New(s.cfg.NumDCs)
 	s.fallbacks++
+	return true
+}
+
+// handleSlotEpoch reports whether the operation should be retried after a
+// routing refresh. It pauses briefly so the retry loop does not spin while a
+// reshard drains, and gives up once the budget is exhausted (the caller then
+// surfaces ErrWrongSlotEpoch — the write was never accepted, so failing is
+// safe).
+func (s *Session) handleSlotEpoch(err error, attempts *int) bool {
+	if !errors.Is(err, core.ErrWrongSlotEpoch) {
+		return false
+	}
+	*attempts++
+	if *attempts > slotRetryLimit {
+		return false
+	}
+	time.Sleep(slotRetryDelay)
 	return true
 }
 

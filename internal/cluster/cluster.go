@@ -121,6 +121,19 @@ type Config struct {
 	// reused, so the capacity bounds the total number of joins over the
 	// deployment's lifetime, not the concurrent member count.
 	MaxDCs int
+	// MaxPartitions reserves capacity for partition servers added at runtime
+	// (SplitPartition), the partition-axis analogue of MaxDCs: the server
+	// matrix and every server's per-partition state are sized to it up
+	// front. 0 means NumPartitions — a fixed keyspace layout. Capped by
+	// keyspace.NumSlots (a partition must own at least one slot to be
+	// useful, and slot owners are one byte on the wire).
+	MaxPartitions int
+	// ReshardTimeout bounds the drain phase of SplitPartition/MoveSlots
+	// (how long the coordinator waits for every member's donors to deliver
+	// their streams everywhere before aborting the reshard). 0 means 30s;
+	// fault-injection harnesses set it low so an undrainable reshard aborts
+	// inside the soak window instead of stalling it.
+	ReshardTimeout time.Duration
 	// JoinTimeout bounds how long a joining DC's servers keep soliciting the
 	// deployment before giving up (core.Config.JoinTimeout); WaitForJoin
 	// tears a failed join down cleanly. 0 retries forever.
@@ -179,9 +192,20 @@ func (c *Config) withDefaults() Config {
 
 // Cluster is a running deployment.
 type Cluster struct {
-	cfg    Config
-	maxDCs int
-	net    *netemu.Network // nil in TCP mode
+	cfg      Config
+	maxDCs   int
+	maxParts int
+	net      *netemu.Network // nil in TCP mode
+
+	// Routing state for the slot table (tentpole of the resharding arc).
+	// slots is nil until the first reshard: routing then falls back to the
+	// static keyspace.PartitionOf layout, which DefaultMap reproduces
+	// exactly, so pre-reshard deployments pay nothing. parts is the number
+	// of live partition servers per DC (grows on SplitPartition); reshardMu
+	// serializes reshards so at most one slot migration is in flight.
+	slots     atomic.Pointer[keyspace.SlotMap]
+	parts     atomic.Int32
+	reshardMu sync.Mutex
 
 	// servers is the [dc][partition] matrix, pre-allocated to MaxDCs rows so
 	// AddDC never reshapes it; entries are atomic pointers so sessions
@@ -241,7 +265,8 @@ func isReplPlane(m any) bool {
 	case msg.Replicate, msg.ReplicateBatch, msg.Heartbeat,
 		msg.CatchUpRequest, msg.CatchUpReply, msg.CatchUpAck,
 		msg.JoinRequest, msg.JoinAccept, msg.MembershipUpdate, msg.LeaveNotice,
-		msg.EvictProposal, msg.EvictAck, msg.EvictNotice:
+		msg.EvictProposal, msg.EvictAck, msg.EvictNotice,
+		msg.SlotMapUpdate, msg.SlotHandoff:
 		return true
 	}
 	return false
@@ -282,7 +307,18 @@ func New(cfg Config) (*Cluster, error) {
 	if maxDCs == 0 {
 		maxDCs = cfg.NumDCs
 	}
-	c := &Cluster{cfg: cfg, maxDCs: maxDCs, status: make([]uint8, maxDCs)}
+	if cfg.MaxPartitions != 0 && cfg.MaxPartitions < cfg.NumPartitions {
+		return nil, fmt.Errorf("cluster: MaxPartitions %d below NumPartitions %d", cfg.MaxPartitions, cfg.NumPartitions)
+	}
+	if cfg.MaxPartitions > keyspace.NumSlots {
+		return nil, fmt.Errorf("cluster: MaxPartitions %d exceeds the slot universe (%d)", cfg.MaxPartitions, keyspace.NumSlots)
+	}
+	maxParts := cfg.MaxPartitions
+	if maxParts == 0 {
+		maxParts = cfg.NumPartitions
+	}
+	c := &Cluster{cfg: cfg, maxDCs: maxDCs, maxParts: maxParts, status: make([]uint8, maxDCs)}
+	c.parts.Store(int32(cfg.NumPartitions))
 	var transports map[netemu.NodeID]core.Transport
 	if cfg.TCP {
 		var err error
@@ -309,12 +345,14 @@ func New(cfg Config) (*Cluster, error) {
 		c.relays = make([][]*relay, maxDCs)
 	}
 	for dc := 0; dc < maxDCs; dc++ {
-		c.servers[dc] = make([]atomic.Pointer[core.Server], cfg.NumPartitions)
-		c.transports[dc] = make([]core.Transport, cfg.NumPartitions)
-		c.skews[dc] = make([]time.Duration, cfg.NumPartitions)
-		c.mx[dc] = make([]*core.Metrics, cfg.NumPartitions)
+		// Columns are sized to MaxPartitions so SplitPartition only fills
+		// entries in, mirroring the MaxDCs row reservation.
+		c.servers[dc] = make([]atomic.Pointer[core.Server], maxParts)
+		c.transports[dc] = make([]core.Transport, maxParts)
+		c.skews[dc] = make([]time.Duration, maxParts)
+		c.mx[dc] = make([]*core.Metrics, maxParts)
 		if c.relays != nil {
-			c.relays[dc] = make([]*relay, cfg.NumPartitions)
+			c.relays[dc] = make([]*relay, maxParts)
 		}
 	}
 
@@ -398,6 +436,14 @@ func (c *Cluster) serverConfigLocked(dc, p int, joining bool) core.Config {
 	if numDCs < c.cfg.NumDCs {
 		numDCs = c.cfg.NumDCs
 	}
+	// A server started or restarted after a reshard begins from the current
+	// slot table and partition count; pre-reshard (slots nil) it gets no
+	// table and routes by the static layout, exactly like the seed.
+	numParts := int(c.parts.Load())
+	var slots *keyspace.SlotMap
+	if m := c.slots.Load(); m != nil {
+		slots = m.Clone()
+	}
 	view := msg.Membership{
 		Epoch:  c.epoch,
 		Status: append([]uint8(nil), c.status[:numDCs]...),
@@ -410,7 +456,9 @@ func (c *Cluster) serverConfigLocked(dc, p int, joining bool) core.Config {
 	return core.Config{
 		ID:                       netemu.NodeID{DC: dc, Partition: p},
 		NumDCs:                   numDCs,
-		NumPartitions:            c.cfg.NumPartitions,
+		NumPartitions:            numParts,
+		MaxPartitions:            c.maxParts,
+		SlotMap:                  slots,
 		Clock:                    clock.New(c.skews[dc][p]),
 		Endpoint:                 c.transports[dc][p],
 		DefaultMode:              mode,
@@ -461,7 +509,7 @@ func (c *Cluster) RestartServer(dc, p int) error {
 	if c.relays == nil {
 		return errors.New("cluster: RestartServer requires Config.DataDir (durable engines)")
 	}
-	if dc < 0 || dc >= len(c.relays) || p < 0 || p >= c.cfg.NumPartitions || c.relays[dc][p] == nil {
+	if dc < 0 || dc >= len(c.relays) || p < 0 || p >= c.numParts() || c.relays[dc][p] == nil {
 		return fmt.Errorf("cluster: no server dc%d-p%d (DC never joined)", dc, p)
 	}
 	old := c.Server(dc, p)
@@ -538,7 +586,7 @@ func (c *Cluster) AddDC() (int, error) {
 	// Register the new DC's endpoints (and relays) before any server — ours
 	// or a sibling answering a JoinRequest — can address them.
 	rng := rand.New(rand.NewPCG(c.cfg.Seed, 0xadd<<16|uint64(dc)))
-	for p := 0; p < c.cfg.NumPartitions; p++ {
+	for p := 0; p < c.numParts(); p++ {
 		id := netemu.NodeID{DC: dc, Partition: p}
 		if c.cfg.ClockSkew > 0 {
 			c.skews[dc][p] = time.Duration(rng.Int64N(int64(2*c.cfg.ClockSkew))) - c.cfg.ClockSkew
@@ -570,7 +618,7 @@ func (c *Cluster) AddDC() (int, error) {
 	c.epoch++
 	c.status[dc] = msg.DCJoining
 	c.dcs.Store(int32(dc + 1))
-	for p := 0; p < c.cfg.NumPartitions; p++ {
+	for p := 0; p < c.numParts(); p++ {
 		srv, err := core.NewServer(c.serverConfigLocked(dc, p, true))
 		if err != nil {
 			// Unwind the half-started DC: the servers already running
@@ -603,7 +651,7 @@ func (c *Cluster) WaitForJoin(dc int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		done := true
-		for p := 0; p < c.cfg.NumPartitions; p++ {
+		for p := 0; p < c.numParts(); p++ {
 			srv := c.Server(dc, p)
 			if srv != nil && srv.JoinFailed() {
 				c.unwindJoin(dc)
@@ -635,7 +683,7 @@ func (c *Cluster) WaitForJoin(dc int, timeout time.Duration) error {
 // announces its departure (so siblings that merged the join drop the dead
 // links) and closes, and the mirror marks the slot Left for good.
 func (c *Cluster) unwindJoin(dc int) {
-	for p := 0; p < c.cfg.NumPartitions; p++ {
+	for p := 0; p < c.numParts(); p++ {
 		if srv := c.servers[dc][p].Swap(nil); srv != nil {
 			srv.AnnounceLeave()
 			srv.Close()
@@ -681,7 +729,7 @@ func (c *Cluster) RemoveDC(dc int) error {
 	c.status[dc] = msg.DCLeft
 	c.epoch++
 	c.memberMu.Unlock()
-	for p := 0; p < c.cfg.NumPartitions; p++ {
+	for p := 0; p < c.numParts(); p++ {
 		srv := c.servers[dc][p].Swap(nil)
 		if srv == nil {
 			continue // half-started join slot; nothing ever ran here
@@ -714,7 +762,7 @@ func (c *Cluster) KillDC(dc int) error {
 		return fmt.Errorf("cluster: dc%d already left", dc)
 	}
 	c.memberMu.Unlock()
-	for p := 0; p < c.cfg.NumPartitions; p++ {
+	for p := 0; p < c.numParts(); p++ {
 		if rl := c.relays[dc][p]; rl != nil {
 			rl.dropRepl.Store(true) // a dead machine receives nothing
 		}
@@ -761,7 +809,7 @@ func (c *Cluster) ForceRemoveDC(dead int, timeout time.Duration) error {
 	}
 	// One eviction round per partition: each link (dead,p)→(·,p) has its own
 	// agreed final, proposed by the lowest live DC holding that partition.
-	finals := make([]vclock.Timestamp, c.cfg.NumPartitions)
+	finals := make([]vclock.Timestamp, c.numParts())
 	for p := range finals {
 		var prop *core.Server
 		for dc := 0; dc < int(c.dcs.Load()); dc++ {
@@ -818,7 +866,7 @@ func (c *Cluster) Membership() msg.Membership {
 // engine keeps serving from memory but no longer survives a crash.
 func (c *Cluster) StorageErr() error {
 	for dc := 0; dc < c.NumDCs(); dc++ {
-		for p := 0; p < c.cfg.NumPartitions; p++ {
+		for p := 0; p < c.numParts(); p++ {
 			srv := c.Server(dc, p)
 			if srv == nil {
 				continue // departed DC
@@ -837,7 +885,7 @@ func (c *Cluster) StorageErr() error {
 func (c *Cluster) StorageStats() storage.StoreStats {
 	var st storage.StoreStats
 	for dc := 0; dc < c.NumDCs(); dc++ {
-		for p := 0; p < c.cfg.NumPartitions; p++ {
+		for p := 0; p < c.numParts(); p++ {
 			srv := c.Server(dc, p)
 			if srv == nil {
 				continue // departed DC
@@ -855,7 +903,7 @@ func (c *Cluster) StorageStats() storage.StoreStats {
 func (c *Cluster) DurableStats() storage.DurableStats {
 	var st storage.DurableStats
 	for dc := 0; dc < c.NumDCs(); dc++ {
-		for p := 0; p < c.cfg.NumPartitions; p++ {
+		for p := 0; p < c.numParts(); p++ {
 			srv := c.Server(dc, p)
 			if srv == nil {
 				continue // departed DC
@@ -942,7 +990,7 @@ func (c *Cluster) ReplicationStats() ReplicationStats {
 	for dc := 0; dc < dcs; dc++ {
 		st.LagPerLink[dc] = make([]time.Duration, dcs)
 		st.LinkStates[dc] = make([]string, dcs)
-		for p := 0; p < c.cfg.NumPartitions; p++ {
+		for p := 0; p < c.numParts(); p++ {
 			srv := c.Server(dc, p)
 			if srv == nil {
 				continue // departed DC
@@ -980,7 +1028,7 @@ func (c *Cluster) buildTCPTransports() (map[netemu.NodeID]core.Transport, error)
 	c.tcpDir = make(map[netemu.NodeID]string)
 	out := make(map[netemu.NodeID]core.Transport)
 	for dc := 0; dc < c.cfg.NumDCs; dc++ {
-		for p := 0; p < c.cfg.NumPartitions; p++ {
+		for p := 0; p < c.numParts(); p++ {
 			id := netemu.NodeID{DC: dc, Partition: p}
 			node, err := tcpnet.Listen(id, "127.0.0.1:0")
 			if err != nil {
@@ -1055,8 +1103,41 @@ func (c *Cluster) Server(dc, p int) *core.Server {
 	return c.servers[dc][p].Load()
 }
 
-// PartitionOf returns the partition responsible for key.
+// numParts returns the number of partition servers currently live in every
+// member DC (grows on SplitPartition).
+func (c *Cluster) numParts() int { return int(c.parts.Load()) }
+
+// NumPartitions returns the number of live partition servers per DC.
+func (c *Cluster) NumPartitions() int { return c.numParts() }
+
+// MaxPartitions returns the deployment's partition capacity.
+func (c *Cluster) MaxPartitions() int { return c.maxParts }
+
+// SlotTable returns a copy of the cluster's current routing table, or nil if
+// the deployment still routes by the static layout (no reshard has run).
+func (c *Cluster) SlotTable() *keyspace.SlotMap {
+	if m := c.slots.Load(); m != nil {
+		return m.Clone()
+	}
+	return nil
+}
+
+// routingMap returns the effective slot table: the installed one, or the
+// default layout materialized (reshards start from it).
+func (c *Cluster) routingMap() *keyspace.SlotMap {
+	if m := c.slots.Load(); m != nil {
+		return m
+	}
+	return keyspace.DefaultMap(c.numParts())
+}
+
+// PartitionOf returns the partition responsible for key. Until the first
+// reshard this is the static hash layout; afterwards the slot table decides,
+// loaded atomically so sessions pick up an epoch flip between operations.
 func (c *Cluster) PartitionOf(key string) int {
+	if m := c.slots.Load(); m != nil {
+		return m.OwnerOf(key)
+	}
 	return keyspace.PartitionOf(key, c.cfg.NumPartitions)
 }
 
@@ -1069,11 +1150,11 @@ type dcRouter struct {
 }
 
 func (r *dcRouter) ServerFor(key string) *core.Server {
-	return r.c.Server(r.dc, keyspace.PartitionOf(key, r.c.cfg.NumPartitions))
+	return r.c.Server(r.dc, r.c.PartitionOf(key))
 }
 func (r *dcRouter) Coordinator() *core.Server { return r.c.Server(r.dc, r.coord) }
 func (r *dcRouter) PartitionOf(key string) int {
-	return keyspace.PartitionOf(key, r.c.cfg.NumPartitions)
+	return r.c.PartitionOf(key)
 }
 
 // NewSession opens a client session against data center dc. The session's
@@ -1097,7 +1178,7 @@ func (c *Cluster) newSession(dc int, autoFallback bool) (*client.Session, error)
 	if dc < 0 || dc >= c.NumDCs() || c.Server(dc, 0) == nil {
 		return nil, fmt.Errorf("cluster: no data center %d", dc)
 	}
-	coord := int(c.rr.Add(1) % uint64(c.cfg.NumPartitions))
+	coord := int(c.rr.Add(1) % uint64(c.numParts()))
 	mode := core.Optimistic
 	if c.cfg.Engine == Cure {
 		mode = core.Pessimistic

@@ -57,11 +57,8 @@ func TestEngineString(t *testing.T) {
 }
 
 func TestPutIsReplicatedAcrossDCs(t *testing.T) {
-	c := newCluster(t, Config{
-		NumDCs: 3, NumPartitions: 2, Engine: POCC,
-		Latency: UniformLatency(100*time.Microsecond, 2*time.Millisecond),
-		Seed:    1,
-	})
+	c := NewTestCluster(t, Topology{DCs: 3, Partitions: 2},
+		WithLatency(UniformLatency(100*time.Microsecond, 2*time.Millisecond), 0))
 	s0, err := c.NewSession(0)
 	if err != nil {
 		t.Fatal(err)
@@ -86,11 +83,10 @@ func TestPutIsReplicatedAcrossDCs(t *testing.T) {
 func TestReadYourWrites(t *testing.T) {
 	for _, engine := range []Engine{POCC, Cure, HAPOCC} {
 		t.Run(engine.String(), func(t *testing.T) {
-			c := newCluster(t, Config{
-				NumDCs: 2, NumPartitions: 2, Engine: engine,
-				Latency: UniformLatency(100*time.Microsecond, 5*time.Millisecond),
-				Seed:    2,
-			})
+			c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2},
+				WithEngine(engine),
+				WithLatency(UniformLatency(100*time.Microsecond, 5*time.Millisecond), 0),
+				WithSeed(2))
 			s, err := c.NewSession(0)
 			if err != nil {
 				t.Fatal(err)
@@ -113,11 +109,9 @@ func TestReadYourWrites(t *testing.T) {
 }
 
 func TestSessionDependencyVectors(t *testing.T) {
-	c := newCluster(t, Config{
-		NumDCs: 2, NumPartitions: 2, Engine: POCC,
-		Latency: UniformLatency(50*time.Microsecond, time.Millisecond),
-		Seed:    3,
-	})
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2},
+		WithLatency(UniformLatency(50*time.Microsecond, time.Millisecond), 0),
+		WithSeed(3))
 	s, err := c.NewSession(0)
 	if err != nil {
 		t.Fatal(err)
@@ -155,12 +149,11 @@ func TestSessionDependencyVectors(t *testing.T) {
 // the stale version until stabilization catches up.
 func TestOptimisticFreshnessVsPessimisticStaleness(t *testing.T) {
 	build := func(engine Engine) (*Cluster, string, string) {
-		c := newCluster(t, Config{
-			NumDCs: 2, NumPartitions: 2, Engine: engine,
-			HeartbeatInterval: time.Millisecond,
-			Latency:           UniformLatency(50*time.Microsecond, time.Millisecond),
-			Seed:              4,
-		})
+		c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2},
+			WithEngine(engine),
+			WithHeartbeat(time.Millisecond),
+			WithLatency(UniformLatency(50*time.Microsecond, time.Millisecond), 0),
+			WithSeed(4))
 		keyDep := keyInPartition(t, 2, 0) // dependency lives in partition 0
 		keyTop := keyInPartition(t, 2, 1) // dependent item in partition 1
 		c.Seed(keyDep, []byte("dep-old"))
@@ -236,12 +229,10 @@ func TestOptimisticFreshnessVsPessimisticStaleness(t *testing.T) {
 // X whose replication is stuck — the GET must block until the partition
 // heals, and then return the dependency.
 func TestLazyDependencyResolutionBlocks(t *testing.T) {
-	c := newCluster(t, Config{
-		NumDCs: 2, NumPartitions: 2, Engine: POCC,
-		HeartbeatInterval: time.Millisecond,
-		Latency:           UniformLatency(50*time.Microsecond, time.Millisecond),
-		Seed:              5,
-	})
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2},
+		WithHeartbeat(time.Millisecond),
+		WithLatency(UniformLatency(50*time.Microsecond, time.Millisecond), 0),
+		WithSeed(5))
 	keyX := keyInPartition(t, 2, 0)
 	keyY := keyInPartition(t, 2, 1)
 	c.Seed(keyX, []byte("x-old"))
@@ -306,12 +297,11 @@ func TestLazyDependencyResolutionBlocks(t *testing.T) {
 func TestROTxAcrossPartitions(t *testing.T) {
 	for _, engine := range []Engine{POCC, Cure} {
 		t.Run(engine.String(), func(t *testing.T) {
-			c := newCluster(t, Config{
-				NumDCs: 2, NumPartitions: 4, Engine: engine,
-				HeartbeatInterval: time.Millisecond,
-				Latency:           UniformLatency(50*time.Microsecond, time.Millisecond),
-				Seed:              6,
-			})
+			c := NewTestCluster(t, Topology{DCs: 2, Partitions: 4},
+				WithEngine(engine),
+				WithHeartbeat(time.Millisecond),
+				WithLatency(UniformLatency(50*time.Microsecond, time.Millisecond), 0),
+				WithSeed(6))
 			tbl := keyspace.Build(4, 2)
 			c.SeedTable(tbl)
 			s, err := c.NewSession(0)
@@ -338,14 +328,15 @@ func TestROTxAcrossPartitions(t *testing.T) {
 }
 
 func TestHAPOCCFallbackAndPromotion(t *testing.T) {
-	c := newCluster(t, Config{
-		NumDCs: 2, NumPartitions: 2, Engine: HAPOCC,
-		HeartbeatInterval:     time.Millisecond,
-		StabilizationInterval: 5 * time.Millisecond,
-		BlockTimeout:          50 * time.Millisecond,
-		Latency:               UniformLatency(50*time.Microsecond, time.Millisecond),
-		Seed:                  7,
-	})
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2},
+		WithEngine(HAPOCC),
+		WithHeartbeat(time.Millisecond),
+		WithLatency(UniformLatency(50*time.Microsecond, time.Millisecond), 0),
+		WithSeed(7),
+		WithConfig(func(cfg *Config) {
+			cfg.StabilizationInterval = 5 * time.Millisecond
+			cfg.BlockTimeout = 50 * time.Millisecond
+		}))
 	keyX := keyInPartition(t, 2, 0)
 	keyY := keyInPartition(t, 2, 1)
 	c.Seed(keyX, []byte("x-old"))
@@ -413,13 +404,10 @@ func TestHAPOCCFallbackAndPromotion(t *testing.T) {
 }
 
 func TestConvergenceAfterQuiescence(t *testing.T) {
-	c := newCluster(t, Config{
-		NumDCs: 3, NumPartitions: 2, Engine: POCC,
-		HeartbeatInterval: time.Millisecond,
-		Latency:           UniformLatency(50*time.Microsecond, 2*time.Millisecond),
-		JitterFrac:        0.3,
-		Seed:              8,
-	})
+	c := NewTestCluster(t, Topology{DCs: 3, Partitions: 2},
+		WithHeartbeat(time.Millisecond),
+		WithLatency(UniformLatency(50*time.Microsecond, 2*time.Millisecond), 0.3),
+		WithSeed(8))
 	tbl := keyspace.Build(2, 4)
 	c.SeedTable(tbl)
 	// Concurrent conflicting writers in every DC.
@@ -461,12 +449,11 @@ func TestStabilizationMessageOverhead(t *testing.T) {
 	// idle POCC deployment only heartbeats. With heartbeats disabled by a
 	// huge interval, POCC should be nearly silent.
 	idleMessages := func(engine Engine) uint64 {
-		c := newCluster(t, Config{
-			NumDCs: 2, NumPartitions: 4, Engine: engine,
-			HeartbeatInterval:     time.Hour,
-			StabilizationInterval: 2 * time.Millisecond,
-			Seed:                  9,
-		})
+		c := NewTestCluster(t, Topology{DCs: 2, Partitions: 4},
+			WithEngine(engine),
+			WithHeartbeat(time.Hour),
+			WithSeed(9),
+			WithConfig(func(cfg *Config) { cfg.StabilizationInterval = 2 * time.Millisecond }))
 		time.Sleep(100 * time.Millisecond)
 		return c.Network().MessageCount()
 	}
@@ -481,7 +468,7 @@ func TestStabilizationMessageOverhead(t *testing.T) {
 }
 
 func TestSeedVisibleEverywhere(t *testing.T) {
-	c := newCluster(t, Config{NumDCs: 3, NumPartitions: 2, Engine: POCC, Seed: 10})
+	c := NewTestCluster(t, Topology{DCs: 3, Partitions: 2}, WithSeed(10))
 	c.Seed("s1", []byte("seeded"))
 	for dc := 0; dc < 3; dc++ {
 		reply, err := c.ReadAt(dc, "s1")
@@ -495,7 +482,7 @@ func TestSeedVisibleEverywhere(t *testing.T) {
 }
 
 func TestNewSessionBounds(t *testing.T) {
-	c := newCluster(t, Config{NumDCs: 2, NumPartitions: 1, Engine: POCC, Seed: 11})
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 1}, WithSeed(11))
 	if _, err := c.NewSession(-1); err == nil {
 		t.Fatal("negative DC must be rejected")
 	}
@@ -505,13 +492,11 @@ func TestNewSessionBounds(t *testing.T) {
 }
 
 func TestGarbageCollectionAcrossCluster(t *testing.T) {
-	c := newCluster(t, Config{
-		NumDCs: 2, NumPartitions: 2, Engine: POCC,
-		HeartbeatInterval: time.Millisecond,
-		GCInterval:        5 * time.Millisecond,
-		Latency:           UniformLatency(50*time.Microsecond, 500*time.Microsecond),
-		Seed:              12,
-	})
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2},
+		WithHeartbeat(time.Millisecond),
+		WithGC(5*time.Millisecond),
+		WithLatency(UniformLatency(50*time.Microsecond, 500*time.Microsecond), 0),
+		WithSeed(12))
 	s, err := c.NewSession(0)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keyspace"
+)
+
+// TestSplitPartitionBasic splits a quiescent deployment and checks that the
+// moved history survives and routing follows the new layout.
+func TestSplitPartitionBasic(t *testing.T) {
+	c := NewTestCluster(t, Topology{DCs: 3, Partitions: 2, MaxPartitions: 4},
+		WithLatency(UniformLatency(50*time.Microsecond, 500*time.Microsecond), 0))
+
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("split-k%d", i)
+		if err := s.Put(keys[i], []byte("v-"+keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	np, err := c.SplitPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np != 2 {
+		t.Fatalf("new partition = %d, want 2", np)
+	}
+	if c.NumPartitions() != 3 {
+		t.Fatalf("NumPartitions = %d, want 3", c.NumPartitions())
+	}
+	tbl := c.SlotTable()
+	if tbl == nil || tbl.Epoch == 0 {
+		t.Fatalf("slot table not installed after split: %+v", tbl)
+	}
+	if got := len(tbl.SlotsOwnedBy(np)); got == 0 {
+		t.Fatal("split moved no slots to the new partition")
+	}
+
+	// Every key must still be readable from every DC — the moved ones now
+	// served by the new owner.
+	movedKeys := 0
+	for _, k := range keys {
+		if c.PartitionOf(k) == np {
+			movedKeys++
+		}
+		for dc := 0; dc < 3; dc++ {
+			sd, err := c.NewSession(dc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !waitUntil(t, 5*time.Second, func() bool {
+				v, errGet := sd.Get(k)
+				return errGet == nil && string(v) == "v-"+k
+			}) {
+				t.Fatalf("dc%d lost %q (owner %d) after split", dc, k, c.PartitionOf(k))
+			}
+		}
+	}
+	if movedKeys == 0 {
+		t.Fatal("no test key routed to the new partition; widen the key set")
+	}
+
+	// New writes to moved keys go through the new owner and replicate.
+	for _, k := range keys {
+		if c.PartitionOf(k) != np {
+			continue
+		}
+		if err := s.Put(k, []byte("v2")); err != nil {
+			t.Fatalf("put %q after split: %v", k, err)
+		}
+		for dc := 0; dc < 3; dc++ {
+			sd, _ := c.NewSession(dc)
+			if !waitUntil(t, 5*time.Second, func() bool {
+				v, errGet := sd.Get(k)
+				return errGet == nil && string(v) == "v2"
+			}) {
+				t.Fatalf("dc%d did not converge on post-split write to %q", dc, k)
+			}
+		}
+		break
+	}
+}
+
+// TestSplitPartitionDurable splits a durable deployment (the copy streams
+// out of the donors' WALs) and restarts a new-partition server afterwards
+// to check the inherited history is durable at the new owner.
+func TestSplitPartitionDurable(t *testing.T) {
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2, MaxPartitions: 3},
+		WithDataDir(t.TempDir()))
+
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 48)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("durable-k%d", i)
+		if err := s.Put(keys[i], []byte("d-"+keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	np, err := c.SplitPartition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved string
+	for _, k := range keys {
+		if c.PartitionOf(k) == np {
+			moved = k
+			break
+		}
+	}
+	if moved == "" {
+		t.Fatal("no key moved to the new partition")
+	}
+	if err := c.RestartServer(0, np); err != nil {
+		t.Fatal(err)
+	}
+	sd, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitUntil(t, 5*time.Second, func() bool {
+		v, errGet := sd.Get(moved)
+		return errGet == nil && string(v) == "d-"+moved
+	}) {
+		t.Fatalf("restarted new owner lost inherited key %q", moved)
+	}
+}
+
+// TestMoveSlots moves a slot range between existing partitions and checks
+// history and routing follow.
+func TestMoveSlots(t *testing.T) {
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2})
+
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 48)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("move-k%d", i)
+		if err := s.Put(keys[i], []byte("m-"+keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move every slot p0 owns to p1: p1 becomes the whole keyspace's owner.
+	slots := c.routingMap().SlotsOwnedBy(0)
+	if err := c.MoveSlots(slots, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if got := c.PartitionOf(k); got != 1 {
+			t.Fatalf("key %q still routed to %d after move", k, got)
+		}
+		for dc := 0; dc < 2; dc++ {
+			sd, _ := c.NewSession(dc)
+			if !waitUntil(t, 5*time.Second, func() bool {
+				v, errGet := sd.Get(k)
+				return errGet == nil && string(v) == "m-"+k
+			}) {
+				t.Fatalf("dc%d lost %q after slot move", dc, k)
+			}
+		}
+	}
+	if err := s.Put(keys[0], []byte("post-move")); err != nil {
+		t.Fatalf("put after move: %v", err)
+	}
+}
+
+// TestSplitPartitionUnderLoad is the reshard acceptance check: sessions in
+// every DC write continuously while the split runs; afterwards no
+// acknowledged write may be lost (each key is written by one session, so
+// the last acknowledged value must be the LWW winner everywhere).
+func TestSplitPartitionUnderLoad(t *testing.T) {
+	c := NewTestCluster(t, Topology{DCs: 3, Partitions: 2, MaxPartitions: 4},
+		WithLatency(UniformLatency(50*time.Microsecond, 300*time.Microsecond), 0))
+
+	const writers = 3 // one per DC, disjoint key spaces
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	type acked struct {
+		key, val string
+	}
+	lastAcked := make([][]acked, writers)
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := c.NewSession(w)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			final := make(map[string]string)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					for k, v := range final {
+						lastAcked[w] = append(lastAcked[w], acked{k, v})
+					}
+					return
+				default:
+				}
+				k := fmt.Sprintf("load-w%d-k%d", w, i%32)
+				v := fmt.Sprintf("w%d-i%d", w, i)
+				if err := s.Put(k, []byte(v)); err != nil {
+					errs[w] = fmt.Errorf("put %q: %w", k, err)
+					return
+				}
+				final[k] = v
+			}
+		}(w)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let writes hit both partitions
+	np, err := c.SplitPartition(0)
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // keep writing through the new epoch
+	close(stop)
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+
+	movedKeys := 0
+	for w := 0; w < writers; w++ {
+		for _, a := range lastAcked[w] {
+			if c.PartitionOf(a.key) == np {
+				movedKeys++
+			}
+			for dc := 0; dc < 3; dc++ {
+				sd, err := c.NewSession(dc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !waitUntil(t, 10*time.Second, func() bool {
+					v, errGet := sd.Get(a.key)
+					return errGet == nil && string(v) == a.val
+				}) {
+					v, _ := sd.Get(a.key)
+					t.Fatalf("acked write lost: dc%d key %q = %q, want %q (owner %d, table %+v)",
+						dc, a.key, v, a.val, c.PartitionOf(a.key), c.SlotTable().Epoch)
+				}
+			}
+		}
+	}
+	if movedKeys == 0 {
+		t.Fatal("workload never touched a moved slot; widen the key set")
+	}
+}
+
+// TestSplitRoutingMatchesServers checks the cluster router and every
+// server's own table agree after a split (no server left on the old epoch).
+func TestSplitRoutingMatchesServers(t *testing.T) {
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2, MaxPartitions: 4})
+	if _, err := c.SplitPartition(0); err != nil {
+		t.Fatal(err)
+	}
+	want := c.SlotTable()
+	for dc := 0; dc < 2; dc++ {
+		for p := 0; p < c.NumPartitions(); p++ {
+			srv := c.Server(dc, p)
+			if srv == nil {
+				t.Fatalf("no server dc%d-p%d", dc, p)
+			}
+			if !waitUntil(t, 2*time.Second, func() bool {
+				tbl := srv.SlotTable()
+				return tbl != nil && tbl.Epoch >= want.Epoch
+			}) {
+				t.Fatalf("dc%d-p%d stuck below epoch %d", dc, p, want.Epoch)
+			}
+		}
+	}
+	// One owner per key: the router agrees with keyspace.SlotOf.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if got, want := c.PartitionOf(k), int(want.Owner[keyspace.SlotOf(k)]); got != want {
+			t.Fatalf("router sends %q to %d, table says %d", k, got, want)
+		}
+	}
+}

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/item"
+	"repro/internal/keyspace"
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/netemu"
@@ -92,6 +93,11 @@ var (
 	// the block timeout: the server suspects a network partition and closes
 	// the session so the client can re-initialize it pessimistically.
 	ErrSessionClosed = errors.New("core: session closed (suspected network partition)")
+	// ErrWrongSlotEpoch is returned when an operation reaches a server that
+	// no longer owns the key's slot: the client's slot table is stale (a
+	// reshard moved the slot). Clients refresh their routing table and retry
+	// — the error is a redirect, not a failure.
+	ErrWrongSlotEpoch = errors.New("core: wrong slot epoch (slot moved; refresh routing)")
 )
 
 // Metrics aggregates the per-server statistics the evaluation reports.
@@ -202,6 +208,24 @@ type Config struct {
 	// NumDCs DCs are active). Deployments that grew or shrank pass the
 	// current view so restarted and joining servers start from reality.
 	Membership msg.Membership
+	// MaxPartitions caps the partition ids this server can ever track
+	// within its DC — the headroom for splitting partitions at runtime,
+	// mirroring MaxDCs: the same-DC peer state (stabilization and GC
+	// inputs, RO-TX fan-in) is reserved up front. 0 means NumPartitions —
+	// a fixed partition count, the pre-reshard behavior and footprint.
+	MaxPartitions int
+	// SlotMap is the initial slot table routing keys to partition servers
+	// within the DC. Nil means the static layout: this server owns exactly
+	// the keys PartitionOf maps to its id, and no ownership checks run.
+	// With a map installed, operations on keys whose slot this server does
+	// not own fail with ErrWrongSlotEpoch, and the table is gossiped and
+	// lattice-merged across the deployment (see InstallSlotMap).
+	SlotMap *keyspace.SlotMap
+	// Gated starts the server behind the stabilization gate without the
+	// whole-DC join protocol: it serves and replicates normally but does
+	// not feed the DC's GSS until ReleaseGate. SplitPartition uses it for
+	// the new slot owner while the donor's history is being copied in.
+	Gated bool
 	// Metrics receives the server's statistics; required.
 	Metrics *Metrics
 }
@@ -210,7 +234,7 @@ func (c *Config) validate() error {
 	if c.NumDCs < 1 || c.NumPartitions < 1 {
 		return fmt.Errorf("core: invalid layout %dx%d", c.NumDCs, c.NumPartitions)
 	}
-	if c.ID.DC < 0 || c.ID.DC >= c.NumDCs || c.ID.Partition < 0 || c.ID.Partition >= c.NumPartitions {
+	if c.ID.DC < 0 || c.ID.DC >= c.NumDCs || c.ID.Partition < 0 || c.ID.Partition >= c.maxPartitions() {
 		return fmt.Errorf("core: id %v outside layout %dx%d", c.ID, c.NumDCs, c.NumPartitions)
 	}
 	if c.Clock == nil || c.Endpoint == nil || c.Metrics == nil {
@@ -231,6 +255,17 @@ func (c *Config) validate() error {
 	if c.MaxDCs != 0 && c.MaxDCs < c.NumDCs {
 		return fmt.Errorf("core: MaxDCs %d below NumDCs %d", c.MaxDCs, c.NumDCs)
 	}
+	if c.MaxPartitions != 0 && c.MaxPartitions < c.NumPartitions {
+		return fmt.Errorf("core: MaxPartitions %d below NumPartitions %d", c.MaxPartitions, c.NumPartitions)
+	}
+	if c.MaxPartitions > keyspace.NumSlots {
+		return fmt.Errorf("core: MaxPartitions %d exceeds the slot universe (%d)", c.MaxPartitions, keyspace.NumSlots)
+	}
+	if c.SlotMap != nil {
+		if err := c.SlotMap.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -240,6 +275,14 @@ func (c *Config) maxDCs() int {
 		return c.MaxDCs
 	}
 	return c.NumDCs
+}
+
+// maxPartitions resolves the same-DC peer-state capacity.
+func (c *Config) maxPartitions() int {
+	if c.MaxPartitions != 0 {
+		return c.MaxPartitions
+	}
+	return c.NumPartitions
 }
 
 // atomicVC is a vector clock whose entries are read and written atomically,
@@ -369,14 +412,21 @@ func (l *waitList) wake() {
 
 // Server is one partition replica p_n^m.
 type Server struct {
-	cfg    Config
-	m      int // data center id
-	n      int // partition id
-	maxDCs int // version-vector capacity (DC ids this server can track)
-	clk    *clock.Clock
-	ep     Transport
-	store  storage.Engine
-	mx     *Metrics
+	cfg      Config
+	m        int // data center id
+	n        int // partition id
+	maxDCs   int // version-vector capacity (DC ids this server can track)
+	maxParts int // same-DC peer-state capacity (partition ids trackable)
+	clk      *clock.Clock
+	ep       Transport
+	store    storage.Engine
+	mx       *Metrics
+
+	// slots is the current slot table (immutable; swapped whole under
+	// slotMu, read lock-free on the per-operation routing check). Nil means
+	// the static layout with no ownership enforcement.
+	slots  atomic.Pointer[keyspace.SlotMap]
+	slotMu sync.Mutex // serializes merge-and-swap of the slot table
 
 	// joined closes when this server's DC finishes bootstrapping into the
 	// deployment (immediately for ordinary members). The stabilization loop
@@ -452,11 +502,13 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	maxDCs := cfg.maxDCs()
+	maxParts := cfg.maxPartitions()
 	s := &Server{
 		cfg:       cfg,
 		m:         cfg.ID.DC,
 		n:         cfg.ID.Partition,
 		maxDCs:    maxDCs,
+		maxParts:  maxParts,
 		clk:       cfg.Clock,
 		ep:        cfg.Endpoint,
 		store:     eng,
@@ -464,13 +516,16 @@ func NewServer(cfg Config) (*Server, error) {
 		joined:    make(chan struct{}),
 		vv:        newAtomicVC(maxDCs),
 		gss:       newAtomicVC(maxDCs),
-		peerVV:    make([]vclock.VC, cfg.NumPartitions),
-		gcContrib: make([]vclock.VC, cfg.NumPartitions),
+		peerVV:    make([]vclock.VC, maxParts),
+		gcContrib: make([]vclock.VC, maxParts),
 		activeTx:  make(map[uint64]vclock.VC),
 		pendingTx: make(map[uint64]*txPending),
 		stop:      make(chan struct{}),
 	}
-	if !cfg.Joining {
+	if cfg.SlotMap != nil {
+		s.slots.Store(cfg.SlotMap.Clone())
+	}
+	if !cfg.Joining && !cfg.Gated {
 		close(s.joined)
 		s.joinedOnce.Do(func() {})
 	}
@@ -691,6 +746,119 @@ func (s *Server) ForceRemove(dead int, timeout time.Duration) (vclock.Timestamp,
 // GSS returns a copy of the current globally stable snapshot.
 func (s *Server) GSS() vclock.VC { return s.gss.snapshot() }
 
+// SlotTable returns the server's current slot table (nil under the static
+// layout). The returned map is immutable — callers must not modify it.
+func (s *Server) SlotTable() *keyspace.SlotMap { return s.slots.Load() }
+
+// SlotEpoch returns the epoch of the current slot table (0 under the static
+// layout).
+func (s *Server) SlotEpoch() uint64 {
+	if sm := s.slots.Load(); sm != nil {
+		return sm.Epoch
+	}
+	return 0
+}
+
+// liveParts is the number of partition servers currently live in this DC:
+// the slot table's count when it exceeds the configured layout (a split
+// grew the DC after this server started), clamped to the reserved capacity.
+func (s *Server) liveParts() int {
+	n := s.cfg.NumPartitions
+	if sm := s.slots.Load(); sm != nil && sm.Parts > n {
+		n = sm.Parts
+	}
+	if n > s.maxParts {
+		n = s.maxParts
+	}
+	return n
+}
+
+// ownsKey reports whether this server currently owns the key's slot. Under
+// the static layout (nil table) every key the old hash routed here is
+// accepted unchecked — the pre-reshard behavior.
+func (s *Server) ownsKey(key string) bool {
+	sm := s.slots.Load()
+	return sm == nil || int(sm.Owner[keyspace.SlotOf(key)]) == s.n
+}
+
+// InstallSlotMap folds a slot table into the server's own by the lattice
+// merge and, when the merge changed anything, gossips the merged table to
+// the same-DC partitions and the cross-DC siblings. Because the merge is
+// idempotent, the gossip converges: a receiver that learns nothing new
+// re-sends nothing. It returns whether the local table changed.
+func (s *Server) InstallSlotMap(m *keyspace.SlotMap) bool {
+	if m == nil || s.stopped.Load() {
+		return false
+	}
+	s.slotMu.Lock()
+	cur := s.slots.Load()
+	var merged *keyspace.SlotMap
+	changed := false
+	if cur == nil {
+		merged, changed = m.Clone(), true
+	} else {
+		merged = cur.Clone()
+		changed = merged.Merge(m)
+	}
+	if changed {
+		// Store under the replication manager's outbound lock — the same
+		// lock PrepareLocal checks ownership under — so the install is a
+		// hard fence: when it returns, every write the old table admitted
+		// has committed and raised the local VV entry, and the reshard's
+		// drain marks (captured after the install) provably cover the old
+		// layout's entire output.
+		s.repl.Locked(func() { s.slots.Store(merged) })
+	}
+	s.slotMu.Unlock()
+	if !changed {
+		return false
+	}
+	// Same-DC fan-out first (routing within the DC is what the table
+	// protects), then the sibling in every member DC.
+	for p := 0; p < s.liveParts(); p++ {
+		if p != s.n {
+			s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, msg.SlotMapUpdate{Map: merged})
+		}
+	}
+	view := s.repl.View()
+	for dc := 0; dc < s.maxDCs; dc++ {
+		if dc != s.m && view.IsMember(dc) {
+			s.ep.Send(netemu.NodeID{DC: dc, Partition: s.n}, msg.SlotMapUpdate{Map: merged})
+		}
+	}
+	return true
+}
+
+// ReleaseGate opens the stabilization gate of a server started with
+// Config.Gated: its history bootstrap (the reshard copy) is complete, so its
+// version vector may now feed the DC's GSS. Idempotent.
+func (s *Server) ReleaseGate() { s.joinedOnce.Do(func() { close(s.joined) }) }
+
+// AdvanceClock lifts the server's physical clock to at least t. The reshard
+// copy uses it so a new slot owner never assigns an update timestamp below a
+// version it inherited from the donor — LWW would shadow the new write and
+// the catch-up protocol's completion claims would not cover it.
+func (s *Server) AdvanceClock(t vclock.Timestamp) { s.clk.AdvanceTo(t) }
+
+// SeedVV raises the server's version-vector entries to at least vv and wakes
+// any requests the advance unblocks — the reshard bootstrap claim. It is only
+// sound when the caller has installed into this server every version with a
+// timestamp at or below vv whose key this server's slot table routes here:
+// for a freshly split owner that is the donor's VV after the drain, because
+// the copied history is complete for exactly the moved slots and nothing else
+// resolves to the new owner.
+func (s *Server) SeedVV(vv vclock.VC) {
+	woke := false
+	for dc, t := range vv {
+		if dc >= 0 && dc < s.maxDCs && s.vv.raiseTo(dc, t) {
+			woke = true
+		}
+	}
+	if woke {
+		s.vvWaiters.wake()
+	}
+}
+
 // Suspected reports whether the server recently suspected a network
 // partition (a blocked request hit the block timeout). HA-POCC clients use
 // it to decide when to promote sessions back to the optimistic protocol.
@@ -716,6 +884,9 @@ func (s *Server) Suspected() bool {
 // the GSS covers rdv, then returns the freshest stable version.
 func (s *Server) Get(key string, rdv vclock.VC, mode Mode) (msg.ItemReply, error) {
 	var reply msg.ItemReply
+	if !s.ownsKey(key) {
+		return reply, ErrWrongSlotEpoch
+	}
 	var res storage.ReadResult
 	blocked, err := func() (time.Duration, error) {
 		if mode == Pessimistic {
@@ -751,6 +922,9 @@ func (s *Server) Get(key string, rdv vclock.VC, mode Mode) (msg.ItemReply, error
 // The server takes ownership of dv — it becomes the new version's dependency
 // vector — so callers must not mutate it after the call.
 func (s *Server) Put(key string, value []byte, dv vclock.VC, mode Mode) (vclock.Timestamp, error) {
+	if !s.ownsKey(key) {
+		return 0, ErrWrongSlotEpoch
+	}
 	var blocked time.Duration
 	if s.cfg.PutDepWait {
 		var err error
@@ -781,9 +955,16 @@ func (s *Server) Put(key string, value []byte, dv vclock.VC, mode Mode) (vclock.
 	// Publish runs the write path under the replication manager's outbound
 	// lock: timestamp assignment, storage insert and the local VV advance
 	// (PrepareLocal below) stay atomic with enqueueing for replication, so
-	// per-link FIFO order matches timestamp order.
-	ut, ok := s.repl.Publish(d)
-	if !ok {
+	// per-link FIFO order matches timestamp order. Slot ownership is
+	// re-checked there too — the lock-free check above is only a fast path,
+	// and a reshard's fence is sound only if no write can commit under a
+	// table that InstallSlotMap (which serializes on the same lock) already
+	// replaced.
+	ut, err := s.repl.Publish(d)
+	if err != nil {
+		if err == ErrWrongSlotEpoch {
+			return 0, ErrWrongSlotEpoch
+		}
 		return 0, ErrStopped
 	}
 	s.vvWaiters.wake()
@@ -795,14 +976,21 @@ func (s *Server) Put(key string, value []byte, dv vclock.VC, mode Mode) (vclock.
 // allocation).
 type replBackend Server
 
-// PrepareLocal is the under-lock half of Put: assign the update timestamp,
-// install the version (insert before advancing VV so a reader at the new VV
-// finds it) and raise the local entry. Callers wake the VV waiters after
-// the manager releases its lock.
-func (b *replBackend) PrepareLocal(v *item.Version) (vclock.Timestamp, bool) {
+// PrepareLocal is the under-lock half of Put: re-check slot ownership (the
+// authoritative check — Put's lock-free one only fast-fails; a reshard
+// installs its fencing table through the same lock, so a write that loaded
+// the old table but commits here after the install would otherwise escape
+// the drain marks), assign the update timestamp, install the version
+// (insert before advancing VV so a reader at the new VV finds it) and raise
+// the local entry. Callers wake the VV waiters after the manager releases
+// its lock.
+func (b *replBackend) PrepareLocal(v *item.Version) (vclock.Timestamp, error) {
 	s := (*Server)(b)
 	if s.stopped.Load() {
-		return 0, false
+		return 0, ErrStopped
+	}
+	if !s.ownsKey(v.Key) {
+		return 0, ErrWrongSlotEpoch
 	}
 	ut := s.clk.Now()
 	v.UpdateTime = ut
@@ -813,16 +1001,44 @@ func (b *replBackend) PrepareLocal(v *item.Version) (vclock.Timestamp, bool) {
 	// those would let the causal order observe a version no replica durably
 	// holds, a hole no catch-up can repair.
 	if e, ok := s.store.(interface{ Err() error }); ok && e.Err() != nil {
-		return 0, false
+		return 0, ErrStopped
 	}
 	s.vv.raiseTo(s.m, ut)
-	return ut, true
+	return ut, nil
 }
 
 // ApplyRemote installs a batch of remote versions under one shard pass.
-func (b *replBackend) ApplyRemote(vs []*item.Version) {
-	(*Server)(b).store.InsertBatch(vs)
+// slotEpoch is the sender's slot-table epoch when the batch was cut: when it
+// trails this server's table, the batch may contain versions of slots a
+// reshard has since moved away, so after the local insert (this server's VV
+// claims still require it to hold the stream) those versions are forwarded
+// to their current in-DC owner as an idempotent SlotHandoff. The reshard
+// protocol's drain makes this path rare; it exists so a batch in flight
+// across the epoch flip cannot strand versions on the old owner.
+func (b *replBackend) ApplyRemote(vs []*item.Version, slotEpoch uint64) {
+	s := (*Server)(b)
+	s.store.InsertBatch(vs)
+	sm := s.slots.Load()
+	if sm == nil || slotEpoch >= sm.Epoch {
+		return
+	}
+	var byOwner map[int][]*item.Version
+	for _, v := range vs {
+		if o := int(sm.Owner[keyspace.SlotOf(v.Key)]); o != s.n {
+			if byOwner == nil {
+				byOwner = make(map[int][]*item.Version)
+			}
+			byOwner[o] = append(byOwner[o], v)
+		}
+	}
+	for o, fw := range byOwner {
+		s.ep.Send(netemu.NodeID{DC: s.m, Partition: o}, msg.SlotHandoff{Versions: fw})
+	}
 }
+
+// SlotEpoch stamps outgoing replication batches and catch-up chunks with
+// the sender's slot-table epoch (see ApplyRemote).
+func (b *replBackend) SlotEpoch() uint64 { return (*Server)(b).SlotEpoch() }
 
 // DropAbove discards src-originated versions above after — the forced-removal
 // purge of a departed DC's un-agreed suffix.
@@ -876,7 +1092,7 @@ func (s *Server) ROTx(keys []string, rdv vclock.VC, mode Mode, partitionOf func(
 	txID := s.txSeq.Add(1)
 	pending := &txPending{
 		remaining: len(byPartition),
-		seen:      make([]bool, s.cfg.NumPartitions),
+		seen:      make([]bool, s.maxParts),
 		done:      make(chan struct{}),
 	}
 	var tv vclock.VC
@@ -935,6 +1151,8 @@ func (s *Server) ROTx(keys []string, rdv vclock.VC, mode Mode, partitionOf func(
 			return nil, ErrSessionClosed
 		case ErrStopped.Error():
 			return nil, ErrStopped
+		case ErrWrongSlotEpoch.Error():
+			return nil, ErrWrongSlotEpoch
 		}
 		return nil, errors.New(errStr)
 	}
@@ -983,6 +1201,12 @@ func (s *Server) handle(src netemu.NodeID, m any) {
 		s.applyVVExchange(mm)
 	case msg.GCExchange:
 		s.applyGCExchange(mm)
+	case msg.SlotMapUpdate:
+		s.InstallSlotMap(mm.Map)
+	case msg.SlotHandoff:
+		// Idempotent store inserts only: the forwarder cannot vouch for the
+		// origins' gap-free prefixes, so the VV must not move here.
+		s.store.InsertBatch(mm.Versions)
 	case msg.SliceReq:
 		// Slice reads may block on VV/GSS; never stall the link goroutine.
 		go s.serveSlice(src, mm)
@@ -1005,6 +1229,9 @@ func (s *Server) applyReplicate(src netemu.NodeID, m msg.Replicate) {
 // applyVVExchange records a same-DC peer's version vector and recomputes the
 // GSS as the aggregate minimum (§IV-C).
 func (s *Server) applyVVExchange(m msg.VVExchange) {
+	if m.Partition < 0 || m.Partition >= s.maxParts {
+		return
+	}
 	s.gssMu.Lock()
 	s.peerVV[m.Partition] = m.VV
 	s.recomputeGSSLocked()
@@ -1017,8 +1244,14 @@ func (s *Server) applyVVExchange(m msg.VVExchange) {
 // per entry. Called with gssMu held.
 func (s *Server) recomputeGSSLocked() {
 	s.peerVV[s.n] = s.vv.load(s.peerVV[s.n])
-	min := s.gssScratch.CopyFrom(s.peerVV[0])
-	for _, v := range s.peerVV[1:] {
+	// Fold only the live partitions: the reserved tail (split headroom) has
+	// never spoken and would pin the aggregate minimum at zero. A partition
+	// that just went live contributes its zero vector until its first
+	// exchange arrives — the GSS merely stalls (it is monotone), it cannot
+	// regress.
+	live := s.peerVV[:s.liveParts()]
+	min := s.gssScratch.CopyFrom(live[0])
+	for _, v := range live[1:] {
 		min.MinInPlace(v)
 	}
 	s.gssScratch = min
@@ -1036,6 +1269,9 @@ func (s *Server) recomputeGSSLocked() {
 // applyGCExchange records a peer's GC contribution; when contributions from
 // every partition are known, prune with their aggregate minimum.
 func (s *Server) applyGCExchange(m msg.GCExchange) {
+	if m.Partition < 0 || m.Partition >= s.maxParts {
+		return
+	}
 	s.gcMu.Lock()
 	s.gcContrib[m.Partition] = m.TV
 	gv := s.gcVectorLocked()
@@ -1049,8 +1285,9 @@ func (s *Server) applyGCExchange(m msg.GCExchange) {
 // not contributed yet. Called with gcMu held.
 func (s *Server) gcVectorLocked() vclock.VC {
 	s.gcContrib[s.n] = s.localGCContribution()
-	vs := make([]vclock.VC, 0, len(s.gcContrib))
-	for _, c := range s.gcContrib {
+	live := s.gcContrib[:s.liveParts()]
+	vs := make([]vclock.VC, 0, len(live))
+	for _, c := range live {
 		if c == nil {
 			return nil
 		}
@@ -1118,9 +1355,25 @@ func (s *Server) gcMaxHoldback() time.Duration {
 // break the transaction's causal cut (the seed's flaky Cure* stress
 // failure).
 func (s *Server) serveSlice(src netemu.NodeID, req msg.SliceReq) {
+	resp := msg.SliceResp{TxID: req.TxID}
+	for _, k := range req.Keys {
+		if !s.ownsKey(k) {
+			// The coordinator routed this slice with a stale slot table; the
+			// whole transaction retries after a refresh.
+			resp.Err = ErrWrongSlotEpoch.Error()
+			break
+		}
+	}
+	if resp.Err != "" {
+		if src == s.cfg.ID {
+			s.applySliceResp(s.n, resp)
+			return
+		}
+		s.ep.Send(src, resp)
+		return
+	}
 	blocked, err := s.waitVV(req.TV, -1)
 	s.mx.TxBlocking.Record(blocked)
-	resp := msg.SliceResp{TxID: req.TxID}
 	if err != nil {
 		resp.Err = err.Error()
 	} else {
@@ -1197,7 +1450,7 @@ func (s *Server) stabilizationLoop() {
 		s.gssMu.Lock()
 		s.recomputeGSSLocked()
 		s.gssMu.Unlock()
-		for p := 0; p < s.cfg.NumPartitions; p++ {
+		for p := 0; p < s.liveParts(); p++ {
 			if p != s.n {
 				s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, msg.VVExchange{Partition: s.n, VV: vv})
 			}
@@ -1221,7 +1474,7 @@ func (s *Server) gcLoop() {
 		contrib := s.localGCContribution()
 		gv := s.gcVectorLocked()
 		s.gcMu.Unlock()
-		for p := 0; p < s.cfg.NumPartitions; p++ {
+		for p := 0; p < s.liveParts(); p++ {
 			if p != s.n {
 				s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, msg.GCExchange{Partition: s.n, TV: contrib})
 			}

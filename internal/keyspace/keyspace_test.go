@@ -86,3 +86,173 @@ func TestAllKeysIsACopy(t *testing.T) {
 		t.Fatal("AllKeys must return a copy")
 	}
 }
+
+// --- Slot table ---
+
+func TestSlotOfMatchesPartitionOf(t *testing.T) {
+	// PartitionOf is definitionally the default slot layout; the identity
+	// must hold for every partition count, not just powers of two.
+	f := func(key string, nRaw uint8) bool {
+		n := 1 + int(nRaw%64)
+		return DefaultMap(n).OwnerOf(key) == PartitionOf(key, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotOfInRange(t *testing.T) {
+	f := func(key string) bool {
+		s := SlotOf(key)
+		return s >= 0 && s < NumSlots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomMap builds an arbitrary-but-valid SlotMap from fuzz bytes.
+func randomMap(owners [NumSlots]uint8, stamps [NumSlots]uint8, parts uint8, epoch uint8) *SlotMap {
+	m := &SlotMap{Parts: 1 + int(parts)%NumSlots}
+	m.Epoch = uint64(epoch)
+	for s := 0; s < NumSlots; s++ {
+		m.Owner[s] = uint8(int(owners[s]) % m.Parts)
+		st := uint64(stamps[s])
+		if st > m.Epoch {
+			st = m.Epoch
+		}
+		m.Stamp[s] = st
+	}
+	return m
+}
+
+// Every key maps to exactly one owner at every epoch, and that owner is a
+// real partition: the ISSUE's "never orphan or double-own" property. Owner
+// is a total function (array lookup), so orphan/double-own can only appear
+// as an out-of-range or divergent post-merge assignment.
+func TestSlotMapMergeNeverOrphans(t *testing.T) {
+	f := func(ao, as [NumSlots]uint8, ap, ae uint8, bo, bs [NumSlots]uint8, bp, be uint8) bool {
+		a := randomMap(ao, as, ap, ae)
+		b := randomMap(bo, bs, bp, be)
+		ab := a.Clone()
+		ab.Merge(b)
+		if err := ab.Validate(); err != nil {
+			return false
+		}
+		// Commutativity: merging in the other order yields the same map.
+		ba := b.Clone()
+		ba.Merge(a)
+		if *ab != *ba {
+			return false
+		}
+		// Idempotence: merging again changes nothing.
+		if ab.Merge(b) || ab.Merge(a) {
+			return false
+		}
+		// Single ownership at the merged epoch: every slot has exactly one
+		// in-range owner.
+		for s := 0; s < NumSlots; s++ {
+			if int(ab.Owner[s]) >= ab.Parts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotMapMergeMonotone(t *testing.T) {
+	// A merged map never loses a slot movement: higher stamps survive.
+	f := func(ao, as [NumSlots]uint8, ap, ae uint8, bo, bs [NumSlots]uint8, bp, be uint8) bool {
+		a := randomMap(ao, as, ap, ae)
+		b := randomMap(bo, bs, bp, be)
+		ab := a.Clone()
+		ab.Merge(b)
+		for s := 0; s < NumSlots; s++ {
+			if ab.Stamp[s] < a.Stamp[s] || ab.Stamp[s] < b.Stamp[s] {
+				return false
+			}
+		}
+		return ab.Epoch >= a.Epoch && ab.Epoch >= b.Epoch && ab.Parts >= a.Parts && ab.Parts >= b.Parts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveSlots(t *testing.T) {
+	m := DefaultMap(2)
+	moved, err := m.MoveSlots([]int{0, 2, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Epoch != 1 || moved.Parts != 3 {
+		t.Fatalf("epoch=%d parts=%d, want 1/3", moved.Epoch, moved.Parts)
+	}
+	for _, s := range []int{0, 2, 4} {
+		if moved.Owner[s] != 2 || moved.Stamp[s] != 1 {
+			t.Fatalf("slot %d owner=%d stamp=%d", s, moved.Owner[s], moved.Stamp[s])
+		}
+	}
+	if moved.Owner[1] != m.Owner[1] || moved.Stamp[1] != 0 {
+		t.Fatal("untouched slot changed")
+	}
+	if m.Epoch != 0 {
+		t.Fatal("MoveSlots mutated the receiver")
+	}
+	// A stale holder of m that merges `moved` adopts every movement.
+	stale := m.Clone()
+	if !stale.Merge(moved) {
+		t.Fatal("merge of a newer map must report change")
+	}
+	if *stale != *moved {
+		t.Fatal("merge must converge to the moved map")
+	}
+	if _, err := m.MoveSlots([]int{-1}, 0); err == nil {
+		t.Fatal("negative slot must be rejected")
+	}
+	if _, err := m.MoveSlots([]int{0}, NumSlots); err == nil {
+		t.Fatal("out-of-range target must be rejected")
+	}
+}
+
+func TestSlotMapValidate(t *testing.T) {
+	m := DefaultMap(4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m.Clone()
+	bad.Owner[7] = 200 // only 4 partitions
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range owner must fail validation")
+	}
+	bad = m.Clone()
+	bad.Stamp[3] = 9 // past epoch 0
+	if bad.Validate() == nil {
+		t.Fatal("stamp past epoch must fail validation")
+	}
+	bad = m.Clone()
+	bad.Parts = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero partitions must fail validation")
+	}
+}
+
+// BenchmarkSlotRouting guards the routing half of the GET hot path: hashing
+// a key to its slot and resolving the owner must not allocate.
+func BenchmarkSlotRouting(b *testing.B) {
+	m := DefaultMap(4)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user:%d:profile", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += m.OwnerOf(keys[i&63])
+	}
+	_ = sink
+}

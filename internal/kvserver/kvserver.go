@@ -12,8 +12,21 @@
 //	GET <key>                 -> VALUE <value> | NIL
 //	TX <key> [key...]         -> TXVAL <key> <value> | TXNIL <key> (one per
 //	                             key, any order) then TXEND
-//	WHEREIS <key>             -> PARTITION <n>
+//	WHEREIS <key>             -> PARTITION <n> (the key's current owner —
+//	                             slot-table routing after a reshard)
 //	STATS                     -> STATS ops=<n> blocked=<n> ...
+//	SPLIT <partition>         -> SPLITDONE <new-partition> (admin: grow every
+//	                             DC by one partition server; half the donor's
+//	                             hash slots move to it, history migrates,
+//	                             routing flips — needs -max-partitions
+//	                             headroom)
+//	MOVESLOTS <to> <slot...>  -> MOVED <n> <to> (admin: reassign hash slots
+//	                             to an existing partition, migrating their
+//	                             history first)
+//	SLOTS                     -> SLOTS epoch=<e> parts=<n> then one line
+//	                             "SLOT <owner> <slots...>" per partition,
+//	                             then SLOTEND (the current routing table;
+//	                             epoch 0 = static hash layout)
 //	JOIN                      -> JOINED <dc> <addr> (admin: grow the
 //	                             deployment by one DC; the new DC boots,
 //	                             catches up from its siblings' WALs, and
@@ -256,7 +269,7 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 		fmt.Fprintf(w, "PARTITION %d\n", s.store.PartitionOf(key))
 	case "STATS":
 		st := s.store.Stats()
-		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d dcs=%d max_lag_ms=%.3f link_lag_ms=%s catchups=%d catchups_served=%d catchups_active=%d full_resyncs=%d links=%s gc_holdback_ms=%.3f fsyncs=%d commit_groups=%d wal_records=%d group_p50=%d group_max=%d ack_lag_mean_us=%.1f ack_lag_max_us=%.1f seek_hits=%d full_scans=%d parts_skipped=%d\n",
+		fmt.Fprintf(w, "STATS ops=%d blocked=%d block_prob=%.3e old_pct=%.3f unmerged_pct=%.3f keys=%d versions=%d messages=%d dcs=%d max_lag_ms=%.3f link_lag_ms=%s catchups=%d catchups_served=%d catchups_active=%d full_resyncs=%d links=%s gc_holdback_ms=%.3f fsyncs=%d commit_groups=%d wal_records=%d group_p50=%d group_max=%d ack_lag_mean_us=%.1f ack_lag_max_us=%.1f seek_hits=%d full_scans=%d parts_skipped=%d partitions=%d slot_epoch=%d\n",
 			st.Operations, st.BlockedOperations, st.BlockingProbability,
 			st.PercentOldReads, st.PercentUnmergedReads, st.Keys, st.Versions, s.store.Messages(),
 			s.store.DataCenters(),
@@ -268,7 +281,62 @@ func (s *Server) handleLine(w *bufio.Writer, sess *occ.Session, line string) boo
 			st.Fsyncs, st.CommitGroups, st.WALRecords, st.CommitGroupP50, st.CommitGroupMax,
 			float64(st.AckToDurableMean)/float64(time.Microsecond),
 			float64(st.AckToDurableMax)/float64(time.Microsecond),
-			st.SeekHits, st.FullScans, st.PartsSkipped)
+			st.SeekHits, st.FullScans, st.PartsSkipped,
+			st.Partitions, st.SlotEpoch)
+	case "SPLIT":
+		donor, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil {
+			fmt.Fprintln(w, "ERR usage: SPLIT <partition>")
+			return false
+		}
+		np, err := s.store.SplitPartition(donor)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "SPLITDONE %d\n", np)
+	case "MOVESLOTS":
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			fmt.Fprintln(w, "ERR usage: MOVESLOTS <to> <slot> [slot...]")
+			return false
+		}
+		to, err := strconv.Atoi(fields[0])
+		if err != nil {
+			fmt.Fprintln(w, "ERR usage: MOVESLOTS <to> <slot> [slot...]")
+			return false
+		}
+		slots := make([]int, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			sl, err := strconv.Atoi(f)
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad slot %q\n", f)
+				return false
+			}
+			slots = append(slots, sl)
+		}
+		if err := s.store.MoveSlots(slots, to); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "MOVED %d %d\n", len(slots), to)
+	case "SLOTS":
+		tbl := s.store.SlotTable()
+		if tbl == nil {
+			fmt.Fprintf(w, "SLOTS epoch=0 parts=%d\n", s.store.Partitions())
+			fmt.Fprintln(w, "SLOTEND")
+			return false
+		}
+		fmt.Fprintf(w, "SLOTS epoch=%d parts=%d\n", tbl.Epoch, tbl.Parts)
+		for p := 0; p < tbl.Parts; p++ {
+			owned := tbl.SlotsOwnedBy(p)
+			var sb strings.Builder
+			for _, sl := range owned {
+				fmt.Fprintf(&sb, " %d", sl)
+			}
+			fmt.Fprintf(w, "SLOT %d%s\n", p, sb.String())
+		}
+		fmt.Fprintln(w, "SLOTEND")
 	case "JOIN":
 		dc, err := s.store.AddDataCenter()
 		if err != nil {

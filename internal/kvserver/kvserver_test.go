@@ -320,3 +320,133 @@ func TestJoinLeaveAdminCommands(t *testing.T) {
 		t.Fatalf("survivor get = %q ok=%v err=%v", v, ok, err)
 	}
 }
+
+// readSlots sends SLOTS and reads the multi-line reply: the header plus
+// every SLOT line through SLOTEND.
+func readSlots(t *testing.T, conn net.Conn, r *bufio.Reader) (header string, slotLines []string) {
+	t.Helper()
+	if _, err := fmt.Fprintf(conn, "SLOTS\n"); err != nil {
+		t.Fatal(err)
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	header = strings.TrimRight(line, "\n")
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "SLOTEND" {
+			return header, slotLines
+		}
+		slotLines = append(slotLines, line)
+	}
+}
+
+func TestSplitAndSlotsAdminCommands(t *testing.T) {
+	store, err := occ.Open(occ.Config{
+		DataCenters: 2, Partitions: 2, Engine: occ.POCC,
+		MaxPartitions: 3,
+		Seed:          13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(store, "127.0.0.1", 0)
+	if err != nil {
+		store.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+
+	admin := dial(t, srv, 0)
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("reshard-%d", i)
+		if err := admin.Put(keys[i], "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	conn, r := rawConn(t, srv)
+	// Before any reshard the layout is implicit: epoch 0, no SLOT lines.
+	header, lines := readSlots(t, conn, r)
+	if header != "SLOTS epoch=0 parts=2" || len(lines) != 0 {
+		t.Fatalf("slots before split = %q %v", header, lines)
+	}
+
+	if resp := sendLine(t, conn, r, "SPLIT 0"); resp != "SPLITDONE 2" {
+		t.Fatalf("split = %q", resp)
+	}
+	if got := store.Partitions(); got != 3 {
+		t.Fatalf("partitions = %d after split, want 3", got)
+	}
+
+	// The installed table renders one SLOT line per partition and every
+	// partition owns at least one slot.
+	header, lines = readSlots(t, conn, r)
+	if header != "SLOTS epoch=1 parts=3" {
+		t.Fatalf("slots header = %q", header)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("slot lines = %v, want 3", lines)
+	}
+	for p, line := range lines {
+		if !strings.HasPrefix(line, fmt.Sprintf("SLOT %d ", p)) {
+			t.Fatalf("slot line %d = %q", p, line)
+		}
+	}
+
+	// STATS surfaces the live layout.
+	stats, err := admin.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats, "partitions=3") || !strings.Contains(stats, "slot_epoch=1") {
+		t.Fatalf("stats missing layout fields: %q", stats)
+	}
+
+	// Every pre-split key is still served, now through the wider layout.
+	for _, k := range keys {
+		if v, ok, err := admin.Get(k); err != nil || !ok || v != "v" {
+			t.Fatalf("get %q after split = %q ok=%v err=%v", k, v, ok, err)
+		}
+	}
+
+	// MOVESLOTS reassigns an explicit range and bumps the epoch; WHEREIS
+	// agrees with the table afterwards.
+	tbl := store.SlotTable()
+	owned := tbl.SlotsOwnedBy(0)
+	if len(owned) == 0 {
+		t.Fatal("partition 0 owns nothing after split")
+	}
+	moveCmd := "MOVESLOTS 1"
+	for _, sl := range owned[:2] {
+		moveCmd += fmt.Sprintf(" %d", sl)
+	}
+	if resp := sendLine(t, conn, r, moveCmd); resp != "MOVED 2 1" {
+		t.Fatalf("moveslots = %q", resp)
+	}
+	if got := store.SlotTable().Epoch; got != 2 {
+		t.Fatalf("slot epoch = %d after move, want 2", got)
+	}
+	resp := sendLine(t, conn, r, "WHEREIS "+keys[0])
+	wantP := store.PartitionOf(keys[0])
+	if !strings.HasPrefix(resp, fmt.Sprintf("PARTITION %d", wantP)) {
+		t.Fatalf("whereis %q = %q, want partition %d", keys[0], resp, wantP)
+	}
+
+	// Bad arguments are usage errors, not table mutations.
+	if resp := sendLine(t, conn, r, "SPLIT"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("bare SPLIT = %q", resp)
+	}
+	if resp := sendLine(t, conn, r, "MOVESLOTS 1"); !strings.HasPrefix(resp, "ERR usage: MOVESLOTS") {
+		t.Fatalf("bare MOVESLOTS = %q", resp)
+	}
+}

@@ -6,6 +6,7 @@ package msg
 
 import (
 	"repro/internal/item"
+	"repro/internal/keyspace"
 	"repro/internal/netemu"
 	"repro/internal/vclock"
 )
@@ -44,6 +45,12 @@ type ReplicateBatch struct {
 	Epoch    uint64
 	Seq      uint64
 	Floor    vclock.Timestamp
+	// SlotEpoch is the sender's slot-table epoch when the batch was flushed.
+	// A receiver whose table has moved past it re-routes versions of moved
+	// slots to their current in-DC owner (core's slot handoff) instead of
+	// applying them to a server that no longer serves the slot. Zero means
+	// the sender predates resharding (or runs the static layout).
+	SlotEpoch uint64
 }
 
 // Heartbeat advertises the sender's current clock so idle replicas keep the
@@ -118,6 +125,19 @@ type CatchUpReply struct {
 	Through     vclock.Timestamp
 	FullResync  bool
 	Departed    []DepartedClaim
+	// SlotEpoch is the sender's slot-table epoch for this chunk (see
+	// ReplicateBatch.SlotEpoch); caught-up versions of since-moved slots get
+	// re-routed by the receiver exactly like live traffic.
+	SlotEpoch uint64
+	// Progress is the sender's per-origin claim for this chunk: for every
+	// origin d with Progress[d] > 0, the requester — once it has applied
+	// chunks 1..Chunk of this round — holds every version d originated in
+	// the round's shipped window with UpdateTime ≤ Progress[d]. The sender
+	// only advances an origin's claim while its log walk visits that
+	// origin's versions in ascending timestamp order (checkpoint-snapshot
+	// segments are not globally ordered), so the claim is always safe to
+	// resume a later round from. Nil on legacy streams.
+	Progress vclock.VC
 }
 
 // CatchUpAck acknowledges receipt of one catch-up chunk, opening the
@@ -327,6 +347,26 @@ type EvictNotice struct {
 	DC    int
 	Final vclock.Timestamp
 	View  Membership
+}
+
+// SlotMapUpdate gossips an epoch-stamped slot table (keyspace.SlotMap).
+// Receivers fold it in by the lattice merge and re-gossip on change, so a
+// reshard driven at any one server converges across the deployment without
+// coordination — the within-DC analogue of MembershipUpdate.
+type SlotMapUpdate struct {
+	Map *keyspace.SlotMap
+}
+
+// SlotHandoff forwards versions that reached a server which no longer owns
+// their slots (a replication batch or catch-up chunk stamped with a
+// pre-reshard slot epoch) to the slot's current in-DC owner. Handoff inserts
+// are idempotent store writes only — they never advance the receiver's
+// version vector, because the forwarding server cannot vouch for the
+// origin's gap-free prefix. They are defense-in-depth: the reshard protocol
+// drains in-flight traffic before flipping routing, so handoffs carry
+// near-zero volume in practice.
+type SlotHandoff struct {
+	Versions []*item.Version
 }
 
 // SliceReq asks a same-DC partition to read keys within the transactional

@@ -52,7 +52,7 @@ func TestFullResyncBelowCompactedFloor(t *testing.T) {
 	m, tr, _ := newTestManager(t, Config{
 		ID: netemu.NodeID{DC: 0, Partition: 0}, NumDCs: 2, CatchUp: true, Source: src,
 	})
-	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+	if _, err := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); err != nil {
 		t.Fatal("publish refused")
 	}
 	dst := netemu.NodeID{DC: 1, Partition: 0}
@@ -106,7 +106,7 @@ func TestIncrementalAboveCompactedFloor(t *testing.T) {
 	m, tr, _ := newTestManager(t, Config{
 		ID: netemu.NodeID{DC: 0, Partition: 0}, NumDCs: 2, CatchUp: true, Source: src,
 	})
-	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+	if _, err := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); err != nil {
 		t.Fatal("publish refused")
 	}
 	dst := netemu.NodeID{DC: 1, Partition: 0}

@@ -132,11 +132,22 @@ type Transport interface {
 type Backend interface {
 	// PrepareLocal assigns v its update timestamp, installs it in storage
 	// and raises the local version-vector entry — the write-path work that
-	// must be atomic with enqueueing v for replication. It reports false
-	// (and does nothing) when the server has stopped.
-	PrepareLocal(v *item.Version) (vclock.Timestamp, bool)
-	// ApplyRemote installs a batch of remote versions in storage.
-	ApplyRemote(vs []*item.Version)
+	// must be atomic with enqueueing v for replication. A non-nil error
+	// (surfaced verbatim by Publish, with nothing done) means the backend
+	// refused the write: it has stopped, or its slot table no longer routes
+	// v's key here. The ownership check lives in this under-lock half — not
+	// in the caller's fast path — so a slot-map install serialized by Locked
+	// is a hard fence: no write commits under a table the install replaced.
+	PrepareLocal(v *item.Version) (vclock.Timestamp, error)
+	// ApplyRemote installs a batch of remote versions in storage. slotEpoch
+	// is the sender's slot-table epoch when the batch was stamped: a backend
+	// whose table has moved past it re-routes versions whose slots changed
+	// owner (see keyspace.SlotMap). Zero means the sender predates slot
+	// tables (or runs the default map) — versions apply in place.
+	ApplyRemote(vs []*item.Version, slotEpoch uint64)
+	// SlotEpoch returns the backend's current slot-table epoch (0 when no
+	// table is installed); stamped on outbound batches and catch-up chunks.
+	SlotEpoch() uint64
 	// VVEntry returns the server's version-vector entry for dc.
 	VVEntry(dc int) vclock.Timestamp
 	// RaiseVV lifts the version-vector entry for dc to at least t and wakes
@@ -170,6 +181,18 @@ type Source interface {
 // win is that serving a small recent gap stops scanning the full store.
 type RangedSource interface {
 	ForEachDurableRange(lo, hi vclock.VC, fn func(v *item.Version) error) error
+}
+
+// TailSource is optionally implemented by a Source whose ranged walk can
+// flag, per version, that the record came from the append-ordered live log
+// (tail) rather than the unordered snapshot (see
+// storage.TailCatchUpSource). Own-origin tail versions arrive in ascending
+// timestamp order after all own-origin snapshot history, which is what lets
+// serveCatchUp stamp sound mid-stream progress claims: when an own-origin
+// tail version with timestamp t has been shipped, every own-origin version
+// at or below t the requester asked for is in the chunks sent so far.
+type TailSource interface {
+	ForEachDurableTail(lo, hi vclock.VC, fn func(v *item.Version, tail bool) error) error
 }
 
 // CompactedSource is optionally implemented by a Source whose log discards
@@ -269,6 +292,10 @@ type Stats struct {
 	// because the requested floor was below the sender's checkpoint-
 	// compacted boundary (the GC-overran-the-laggard degraded path).
 	FullResyncs uint64
+	// Resumed counts inbound rounds that picked up a dead predecessor's
+	// persisted mid-stream progress instead of re-requesting its whole
+	// range — the catch-up starvation fix for flaky links.
+	Resumed uint64
 	// ActiveIn is the number of links currently frozen awaiting catch-up.
 	ActiveIn int
 }
@@ -295,6 +322,19 @@ type inLink struct {
 	chainBase  uint64 // sequence immediately before the chain's first batch
 	chainSeq   uint64
 	chainTS    vclock.Timestamp
+
+	// Resumable rounds. resume records, per origin, the floor below which
+	// streamed chunks have already been applied contiguously — the round's
+	// persisted progress. A round that dies mid-stream (frozen link, lost
+	// chunk, superseding re-request) restarts from max(VV, resume) instead
+	// of re-streaming everything after the VV floor, so a slow link makes
+	// forward progress across rounds instead of starving. nextChunk is the
+	// next contiguous chunk number expected for reqID: a chunk's Progress
+	// claim is only valid once chunks 1..k have all been applied, so a gap
+	// in the stream stops resume (but never version installs) from
+	// advancing. Cleared when a round completes — the Done raise covers it.
+	resume    vclock.VC
+	nextChunk uint64
 
 	// Eviction freeze. Acking an EvictProposal attests "I hold everything
 	// through evictCap" — the entry must not pass that point before the
@@ -412,6 +452,7 @@ type Manager struct {
 	statDone       atomic.Uint64
 	statServed     atomic.Uint64
 	statFullResync atomic.Uint64
+	statResumed    atomic.Uint64
 	activeIn       atomic.Int64
 
 	stopped atomic.Bool
@@ -556,6 +597,7 @@ func (r *Manager) Stats() Stats {
 		Completed:   r.statDone.Load(),
 		Served:      r.statServed.Load(),
 		FullResyncs: r.statFullResync.Load(),
+		Resumed:     r.statResumed.Load(),
 		ActiveIn:    int(r.activeIn.Load()),
 	}
 }
@@ -1160,22 +1202,38 @@ func (r *Manager) Close(flush bool) {
 // Outbound: publish, flush, heartbeat
 // ---------------------------------------------------------------------------
 
+// ErrRetired is returned by Publish after the local DC has left the
+// deployment: nothing rides the links anymore, so acking a write then would
+// lose it the moment the node shuts down.
+var ErrRetired = errors.New("repl: local DC has left the deployment")
+
+// Locked runs fn under the outbound lock, serialized against Publish's
+// critical section. The slot-table fence uses it: installing a new table
+// inside Locked guarantees that every write committed under the old table
+// has already raised the local version-vector entry when the install
+// returns, so a reshard's drain marks (captured after the install) cover
+// every version the old layout will ever produce.
+func (r *Manager) Locked(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn()
+}
+
 // Publish runs the local write path: under the outbound lock it lets the
 // backend assign v its timestamp and install it, then enqueues v for
 // replication, flushing inline when the batch is full (or unbatched). It
-// reports false when the server has stopped or its DC has left the
-// deployment — after the Leave announcement nothing rides the links, so
-// acking a write then would lose it the moment the node shuts down.
-func (r *Manager) Publish(v *item.Version) (vclock.Timestamp, bool) {
+// returns ErrRetired when the DC has left the deployment, and surfaces the
+// backend's refusal (stopped, or the key's slot moved away) verbatim.
+func (r *Manager) Publish(v *item.Version) (vclock.Timestamp, error) {
 	r.mu.Lock()
 	if r.retired.Load() {
 		r.mu.Unlock()
-		return 0, false
+		return 0, ErrRetired
 	}
-	ut, ok := r.be.PrepareLocal(v)
-	if !ok {
+	ut, err := r.be.PrepareLocal(v)
+	if err != nil {
 		r.mu.Unlock()
-		return 0, false
+		return 0, err
 	}
 	if r.fanout {
 		r.buf = append(r.buf, v)
@@ -1184,7 +1242,7 @@ func (r *Manager) Publish(v *item.Version) (vclock.Timestamp, bool) {
 		}
 	}
 	r.mu.Unlock()
-	return ut, true
+	return ut, nil
 }
 
 // flushLocked stamps the buffered updates with the next batch sequence and
@@ -1203,7 +1261,8 @@ func (r *Manager) flushLocked() {
 	if hb > r.lastTS {
 		r.lastTS = hb
 	}
-	m := msg.ReplicateBatch{Versions: r.buf, HBTime: hb, Epoch: r.epoch, Seq: r.seq, Floor: r.floor}
+	m := msg.ReplicateBatch{Versions: r.buf, HBTime: hb, Epoch: r.epoch, Seq: r.seq,
+		Floor: r.floor, SlotEpoch: r.be.SlotEpoch()}
 	r.buf = nil
 	for _, dc := range *r.targets.Load() {
 		r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n}, m)
@@ -1339,7 +1398,7 @@ func (r *Manager) HandleBatch(src netemu.NodeID, m msg.ReplicateBatch) {
 	if !r.validSrc(src.DC) {
 		return
 	}
-	r.be.ApplyRemote(r.filterDeparted(m.Versions))
+	r.be.ApplyRemote(r.filterDeparted(m.Versions), m.SlotEpoch)
 	adv := m.HBTime
 	if n := len(m.Versions); n > 0 {
 		if last := m.Versions[n-1].UpdateTime; last > adv {
@@ -1515,8 +1574,17 @@ func (r *Manager) startCatchUpLocked(st *inLink, dc int) {
 	st.chainSet = false
 	st.reqID = r.reqSeq.Add(1)
 	st.reqAt = time.Now()
+	st.nextChunk = 1
 	r.statReq.Add(1)
 	have := r.haveVV()
+	if len(st.resume) > 0 {
+		// A prior round for this link died mid-stream: ask only for history
+		// past its persisted progress, not the whole range again.
+		if st.resume.Get(dc) > have[dc] {
+			r.statResumed.Add(1)
+		}
+		have.MaxInPlace(st.resume)
+	}
 	r.ep.Send(netemu.NodeID{DC: dc, Partition: r.n},
 		msg.CatchUpRequest{ReqID: st.reqID, From: have[dc], Have: have})
 }
@@ -1564,10 +1632,28 @@ func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
 		return
 	}
 	if len(m.Versions) > 0 {
-		r.be.ApplyRemote(r.filterDeparted(m.Versions))
+		r.be.ApplyRemote(r.filterDeparted(m.Versions), m.SlotEpoch)
 	}
 	if !m.Done {
 		r.ep.Send(src, msg.CatchUpAck{ReqID: m.ReqID, Chunk: m.Chunk})
+		st := r.in[src.DC]
+		st.mu.Lock()
+		if st.pending && st.reqID == m.ReqID {
+			// A flowing stream is alive: refresh the re-request clock so a
+			// long stream is not superseded mid-flight, and persist the
+			// sender's progress claim once every chunk up to this one has
+			// been applied — the resume point a follow-up round starts from
+			// if this stream dies before Done.
+			st.reqAt = time.Now()
+			if m.Chunk == st.nextChunk {
+				st.nextChunk++
+				if len(m.Progress) > 0 {
+					st.resume = st.resume.GrowTo(len(m.Progress))
+					st.resume.MaxInPlace(m.Progress)
+				}
+			}
+		}
+		st.mu.Unlock()
 		return
 	}
 	st := r.in[src.DC]
@@ -1577,6 +1663,7 @@ func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
 		return // a stale stream; the live round will complete on its own
 	}
 	st.pending = false
+	st.resume, st.nextChunk = nil, 0
 	r.activeIn.Add(-1)
 	r.statDone.Add(1)
 	if m.FullResync {
@@ -1773,7 +1860,7 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, req msg.Catch
 	done := msg.CatchUpReply{
 		ReqID: s.reqID, Done: true,
 		ResumeEpoch: r.epoch, ResumeSeq: resumeSeq, Through: through,
-		Departed: claims,
+		Departed: claims, SlotEpoch: r.be.SlotEpoch(),
 	}
 	if r.cfg.Source == nil {
 		done.Unsupported = true
@@ -1804,6 +1891,22 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, req msg.Catch
 		shipFloor[c.DC], shipCeil[c.DC] = f, c.Through
 	}
 
+	// Resumable rounds: mid-stream progress claims for this node's own
+	// origin. A claim stamped on chunk k asserts that every own-origin
+	// version at or below it that the requester asked for rides in chunks
+	// 1..k — so a round that dies mid-stream can resume past the claim
+	// instead of restarting from the request floor. The claim only advances
+	// on own-origin tail versions (TailSource): those arrive in ascending
+	// timestamp order after all own-origin snapshot history, making the
+	// assertion sound the moment the version is shipped. It freezes if the
+	// ascending order is ever violated (defensive — local commits append in
+	// timestamp order) and never advances through an unordered snapshot,
+	// where no mid-stream completeness claim can be proven.
+	var (
+		ownClaim   vclock.Timestamp
+		ownLast    vclock.Timestamp
+		ownOrdered = true
+	)
 	var (
 		chunkID    uint64
 		chunk      []*item.Version
@@ -1835,7 +1938,14 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, req msg.Catch
 			}
 		}
 		chunkID++
-		r.ep.Send(src, msg.CatchUpReply{ReqID: s.reqID, Chunk: chunkID, Versions: chunk})
+		cm := msg.CatchUpReply{ReqID: s.reqID, Chunk: chunkID, Versions: chunk,
+			SlotEpoch: r.be.SlotEpoch()}
+		if ownClaim > 0 {
+			p := make(vclock.VC, r.maxDCs)
+			p[r.m] = ownClaim
+			cm.Progress = p
+		}
+		r.ep.Send(src, cm)
 		window = append(window, struct {
 			id    uint64
 			bytes int
@@ -1845,7 +1955,7 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, req msg.Catch
 		return nil
 	}
 
-	walk := func(v *item.Version) error {
+	walk := func(v *item.Version, tail bool) error {
 		select {
 		case <-s.cancel:
 			return errCanceled
@@ -1854,6 +1964,23 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, req msg.Catch
 		default:
 		}
 		d := v.SrcReplica
+		if tail && d == r.m && ownOrdered {
+			if v.UpdateTime <= ownLast {
+				ownOrdered = false
+			} else {
+				ownLast = v.UpdateTime
+				// Below the floor the requester already holds it; above the
+				// ceiling it is outside the round — either way every needed
+				// own version at or below t is shipped once this one is.
+				t := v.UpdateTime
+				if c := shipCeil[d]; t > c {
+					t = c
+				}
+				if t > ownClaim {
+					ownClaim = t
+				}
+			}
+		}
 		if d < 0 || d >= r.maxDCs || v.UpdateTime <= shipFloor[d] || v.UpdateTime > shipCeil[d] {
 			return nil
 		}
@@ -1865,12 +1992,20 @@ func (r *Manager) serveCatchUp(src netemu.NodeID, s *catchUpServe, req msg.Catch
 		return nil
 	}
 	var err error
-	if rs, ok := r.cfg.Source.(RangedSource); ok {
+	switch sc := r.cfg.Source.(type) {
+	case TailSource:
+		// Seek plus provenance: segments outside the requested windows are
+		// skipped, and tail versions carry the ordering guarantee the
+		// progress claims need.
+		err = sc.ForEachDurableTail(shipFloor, shipCeil, walk)
+	case RangedSource:
 		// Seek: let the storage index skip every segment outside the
 		// requested windows, so a small gap is served in O(gap).
-		err = rs.ForEachDurableRange(shipFloor, shipCeil, walk)
-	} else {
-		err = r.cfg.Source.ForEachDurable(walk)
+		err = sc.ForEachDurableRange(shipFloor, shipCeil,
+			func(v *item.Version) error { return walk(v, false) })
+	default:
+		err = r.cfg.Source.ForEachDurable(
+			func(v *item.Version) error { return walk(v, false) })
 	}
 	if err == nil {
 		err = sendChunk()

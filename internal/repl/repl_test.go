@@ -2,6 +2,7 @@ package repl
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -74,25 +75,27 @@ func (b *fakeBackend) isJoined() bool {
 	return b.joined
 }
 
-func (b *fakeBackend) PrepareLocal(v *item.Version) (vclock.Timestamp, bool) {
+func (b *fakeBackend) PrepareLocal(v *item.Version) (vclock.Timestamp, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.stopped {
-		return 0, false
+		return 0, errors.New("fake backend stopped")
 	}
 	ut := b.clk.Now()
 	v.UpdateTime = ut
 	if ut > b.vv[v.SrcReplica] {
 		b.vv[v.SrcReplica] = ut
 	}
-	return ut, true
+	return ut, nil
 }
 
-func (b *fakeBackend) ApplyRemote(vs []*item.Version) {
+func (b *fakeBackend) ApplyRemote(vs []*item.Version, _ uint64) {
 	b.mu.Lock()
 	b.applied = append(b.applied, vs...)
 	b.mu.Unlock()
 }
+
+func (b *fakeBackend) SlotEpoch() uint64 { return 0 }
 
 func (b *fakeBackend) VVEntry(dc int) vclock.Timestamp {
 	b.mu.Lock()
@@ -184,7 +187,7 @@ func TestPublishSequencesBatches(t *testing.T) {
 		HeartbeatInterval: time.Hour, // timed flushing effectively off: size-driven flushes only
 	})
 	for i := 0; i < 6; i++ {
-		if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+		if _, err := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); err != nil {
 			t.Fatal("publish refused")
 		}
 	}
@@ -334,6 +337,77 @@ func TestFirstContactWithHistoryResyncs(t *testing.T) {
 	}
 }
 
+// TestResumableRoundPersistsChunkProgress: a catch-up stream that dies
+// mid-round must not restart from scratch. Contiguously applied chunks
+// carry Progress claims that persist as the link's resume floor; a chunk
+// arriving out of order contributes versions but no claim (a gap in the
+// stream means later claims cover history this node may not hold). The
+// follow-up round then asks from max(VV, resume) — strictly past the dead
+// round's applied prefix — instead of the frozen VV entry.
+func TestResumableRoundPersistsChunkProgress(t *testing.T) {
+	m, tr, be := newTestManager(t, Config{
+		ID: netemu.NodeID{DC: 0, Partition: 0}, NumDCs: 3, CatchUp: true,
+	})
+	src := netemu.NodeID{DC: 1, Partition: 0}
+	m.HandleBatch(src, msg.ReplicateBatch{Versions: []*item.Version{ver(1, 100, "a")}, HBTime: 100, Epoch: 7, Seq: 1})
+	// Seq 2-3 lost; the gap opens round 1.
+	m.HandleBatch(src, msg.ReplicateBatch{Versions: []*item.Version{ver(1, 400, "d")}, HBTime: 400, Epoch: 7, Seq: 4})
+	out := tr.msgs(src)
+	req1, ok := out[len(out)-1].(msg.CatchUpRequest)
+	if !ok || req1.From != 100 {
+		t.Fatalf("round 1 request = %#v, want From=100", out[len(out)-1])
+	}
+	// Chunk 1 applies contiguously: its claim (own history ≤ 250 delivered)
+	// becomes the persisted resume floor.
+	m.HandleCatchUpReply(src, msg.CatchUpReply{
+		ReqID: req1.ReqID, Chunk: 1,
+		Versions: []*item.Version{ver(1, 200, "b")},
+		Progress: vclock.VC{0, 250, 0},
+	})
+	// Chunk 3 arrives with chunk 2 missing: versions install, but the claim
+	// must be ignored — it vouches for chunk 2's contents too.
+	m.HandleCatchUpReply(src, msg.CatchUpReply{
+		ReqID: req1.ReqID, Chunk: 3,
+		Versions: []*item.Version{ver(1, 380, "c2")},
+		Progress: vclock.VC{0, 380, 0},
+	})
+	if got := be.VVEntry(1); got != 100 {
+		t.Fatalf("VV[1] = %d mid-round, want it frozen at 100", got)
+	}
+	// The stream dies here (no Done). After the re-request interval the next
+	// sequenced arrival re-opens the round from the resume floor.
+	time.Sleep(120 * time.Millisecond)
+	m.HandleBatch(src, msg.ReplicateBatch{Versions: []*item.Version{ver(1, 500, "e")}, HBTime: 500, Epoch: 7, Seq: 5})
+	out = tr.msgs(src)
+	req2, ok := out[len(out)-1].(msg.CatchUpRequest)
+	if !ok || req2.ReqID == req1.ReqID {
+		t.Fatalf("round 2 never opened: %#v", out[len(out)-1])
+	}
+	if req2.From != 250 {
+		t.Fatalf("round 2 From = %d, want 250 (chunk 1's claim, not the frozen VV 100, not the gapped chunk's 380)", req2.From)
+	}
+	if st := m.Stats(); st.Resumed != 1 {
+		t.Fatalf("stats = %+v, want Resumed=1", st)
+	}
+	// Round 2 completes at the sender's live resume point (its stream is at
+	// seq 5, everything through ts 500 streamed or previously delivered).
+	m.HandleCatchUpReply(src, msg.CatchUpReply{
+		ReqID: req2.ReqID, Chunk: 1,
+		Versions: []*item.Version{ver(1, 300, "c")},
+	})
+	m.HandleCatchUpReply(src, msg.CatchUpReply{
+		ReqID: req2.ReqID, Done: true, ResumeEpoch: 7, ResumeSeq: 5, Through: 500,
+	})
+	if got := be.VVEntry(1); got != 500 {
+		t.Fatalf("VV[1] = %d after resumed round, want 500", got)
+	}
+	// The link is healthy again: sequencing continues without a new round.
+	m.HandleBatch(src, msg.ReplicateBatch{Versions: []*item.Version{ver(1, 600, "f")}, HBTime: 600, Epoch: 7, Seq: 6})
+	if got := be.VVEntry(1); got != 600 {
+		t.Fatalf("VV[1] = %d after resync, want 600", got)
+	}
+}
+
 // TestServeCatchUpStreamsAndResumes: the serving side flushes, snapshots the
 // resume point, streams the durable history filtered to (From, Through] and
 // own-origin versions, and finishes with Done.
@@ -350,7 +424,7 @@ func TestServeCatchUpStreamsAndResumes(t *testing.T) {
 	be.RaiseVV(0, 300) // local progress; NewManager picked up 0, raise lastTS via publishes instead
 	// Publish one version so lastTS covers the history (the manager's
 	// resume floor was captured at construction, before RaiseVV above).
-	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+	if _, err := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); err != nil {
 		t.Fatal("publish refused")
 	}
 	dst := netemu.NodeID{DC: 1, Partition: 0}
@@ -411,7 +485,7 @@ func TestServeCatchUpBackpressure(t *testing.T) {
 		Source:           &fakeSource{vs: vs},
 		MaxInFlightBytes: 1, // every chunk must be acked before the next
 	})
-	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+	if _, err := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); err != nil {
 		t.Fatal("publish refused")
 	}
 	dst := netemu.NodeID{DC: 1, Partition: 0}
@@ -517,7 +591,7 @@ func TestJoinRequestExtendsFanout(t *testing.T) {
 	if acc.View.Get(2) != msg.DCJoining || acc.View.Get(0) != msg.DCActive {
 		t.Fatalf("accepted view = %+v", acc.View)
 	}
-	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+	if _, err := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); err != nil {
 		t.Fatal("publish refused")
 	}
 	batches := 0
@@ -542,7 +616,7 @@ func TestLeaveFlushesThenNotifies(t *testing.T) {
 		ID: netemu.NodeID{DC: 0, Partition: 0}, NumDCs: 2, BatchSize: 64,
 		HeartbeatInterval: time.Hour,
 	})
-	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+	if _, err := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); err != nil {
 		t.Fatal("publish refused")
 	}
 	final := m.Leave()
@@ -567,7 +641,7 @@ func TestLeaveFlushesThenNotifies(t *testing.T) {
 	}
 	// A departed node refuses new writes — an acked write after the notice
 	// would replicate to nobody — and sends nothing more.
-	if _, ok := m.Publish(&item.Version{Key: "k2", SrcReplica: 0}); ok {
+	if _, err := m.Publish(&item.Version{Key: "k2", SrcReplica: 0}); err == nil {
 		t.Fatal("publish accepted after the leave announcement")
 	}
 	m.Close(true)
@@ -600,7 +674,7 @@ func TestLeaveNoticeRetiresLink(t *testing.T) {
 	if m.View().Get(1) != msg.DCLeft {
 		t.Fatalf("view = %+v, want dc1 departed", m.View())
 	}
-	if _, ok := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); !ok {
+	if _, err := m.Publish(&item.Version{Key: "k", SrcReplica: 0}); err != nil {
 		t.Fatal("publish refused")
 	}
 	for _, raw := range tr.msgs(src) {

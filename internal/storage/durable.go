@@ -419,6 +419,20 @@ func (d *Durable) ForEachDurable(fn func(v *item.Version) error) error {
 // is advisory: versions outside it may still be streamed (per-part ranges
 // are summaries), so callers keep their per-version filter.
 func (d *Durable) ForEachDurableRange(lo, hi vclock.VC, fn func(v *item.Version) error) error {
+	return d.ForEachDurableTail(lo, hi, func(v *item.Version, _ bool) error { return fn(v) })
+}
+
+// ForEachDurableTail is ForEachDurableRange plus a per-version provenance
+// flag: tail is true when the record was read from the live log — where
+// records sit in append order, so versions this node originated appear in
+// ascending timestamp order — and false for the unordered snapshot (and,
+// conservatively, for the first segment the walk touches when the snapshot
+// boundary cannot be pinned exactly). Every snapshot version is streamed
+// before any tail version, so once a tail version of some origin appears,
+// all earlier history of that origin in the walk's window has already been
+// delivered. This is what lets the catch-up server stamp sound mid-stream
+// progress claims (repl.TailSource).
+func (d *Durable) ForEachDurableTail(lo, hi vclock.VC, fn func(v *item.Version, tail bool) error) error {
 	if err := d.barrier(); err != nil {
 		return err
 	}
@@ -430,7 +444,23 @@ func (d *Durable) ForEachDurableRange(lo, hi vclock.VC, fn func(v *item.Version)
 	for i, t := range hi {
 		hi64[i] = uint64(t)
 	}
-	skipped, err := d.log.ReadRange(lo64, hi64, func(_ uint64, rec []byte) error {
+	// Snapshot records are attributed to the snapshot's floor sequence and
+	// live segments always number above it. The floor is sampled before the
+	// read pins its cursor, so a checkpoint racing the sample could present
+	// a newer snapshot under a higher sequence: folding in the first segment
+	// the walk actually reports re-pins the boundary (a fresh snapshot is
+	// the walk's first segment). The fold is conservative — at worst the
+	// first live segment of a never-checkpointed store is flagged unordered
+	// and progress claims start one segment later.
+	boundary := d.log.SnapshotSeq()
+	first := true
+	skipped, err := d.log.ReadRange(lo64, hi64, func(seg uint64, rec []byte) error {
+		if first {
+			first = false
+			if seg > boundary {
+				boundary = seg
+			}
+		}
 		if isAttest(rec) {
 			return nil // local floor bookkeeping, not history to re-ship
 		}
@@ -438,7 +468,7 @@ func (d *Durable) ForEachDurableRange(lo, hi vclock.VC, fn func(v *item.Version)
 		if err != nil {
 			return err
 		}
-		return fn(v)
+		return fn(v, seg > boundary)
 	})
 	d.rangedReads.Add(1)
 	if skipped > 0 {

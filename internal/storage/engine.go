@@ -90,10 +90,23 @@ type RangedCatchUpSource interface {
 	ForEachDurableRange(lo, hi vclock.VC, fn func(v *item.Version) error) error
 }
 
+// TailCatchUpSource is implemented by catch-up sources whose ranged walk can
+// additionally flag, per version, whether the record came from the
+// append-ordered live log (tail — versions of one origin arrive in ascending
+// timestamp order, after all of that origin's snapshot history) or from the
+// unordered snapshot. Consumers that make mid-stream completeness claims
+// (resumable catch-up in internal/repl) may only advance a claim on tail
+// versions.
+type TailCatchUpSource interface {
+	RangedCatchUpSource
+	ForEachDurableTail(lo, hi vclock.VC, fn func(v *item.Version, tail bool) error) error
+}
+
 var (
 	_ Engine              = (*Mem)(nil)
 	_ Engine              = (*Durable)(nil)
 	_ Recovered           = (*Durable)(nil)
 	_ CatchUpSource       = (*Durable)(nil)
 	_ RangedCatchUpSource = (*Durable)(nil)
+	_ TailCatchUpSource   = (*Durable)(nil)
 )

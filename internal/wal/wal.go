@@ -283,11 +283,11 @@ type Log struct {
 	committed  uint64 // id of the last durably committed group
 	committing bool   // committer is writing a group outside the lock
 
-	idx      map[uint64]*partRange // ranges of sealed segments
-	cur      *partRange            // range of the active segment
-	snapRng  *partRange            // range of the snapshot, nil if unknown
-	buf      []byte                // checkpoint frame scratch
-	stats    Stats
+	idx     map[uint64]*partRange // ranges of sealed segments
+	cur     *partRange            // range of the active segment
+	snapRng *partRange            // range of the snapshot, nil if unknown
+	buf     []byte                // checkpoint frame scratch
+	stats   Stats
 }
 
 // Open opens (creating if necessary) the log in dir and replays its state:

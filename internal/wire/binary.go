@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"repro/internal/item"
+	"repro/internal/keyspace"
 	"repro/internal/msg"
 	"repro/internal/vclock"
 )
@@ -49,6 +50,8 @@ const (
 	tagEvictProposal
 	tagEvictAck
 	tagEvictNotice
+	tagSlotMapUpdate
+	tagSlotHandoff
 )
 
 // maxFrame bounds a frame's payload so a corrupted length prefix cannot ask
@@ -166,6 +169,10 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 		tag = tagEvictAck
 	case msg.EvictNotice:
 		tag = tagEvictNotice
+	case msg.SlotMapUpdate:
+		tag = tagSlotMapUpdate
+	case msg.SlotHandoff:
+		tag = tagSlotHandoff
 	default:
 		return b, fmt.Errorf("wire: encode: unsupported message type %T", env.Msg)
 	}
@@ -188,6 +195,7 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 		b = appendUint(b, m.Epoch)
 		b = appendUint(b, m.Seq)
 		b = appendUint(b, uint64(m.Floor))
+		b = appendUint(b, m.SlotEpoch)
 	case msg.Heartbeat:
 		b = appendUint(b, uint64(m.Time))
 		b = appendUint(b, m.Epoch)
@@ -254,6 +262,8 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 				b = appendUint(b, uint64(c.Through))
 			}
 		}
+		b = appendUint(b, m.SlotEpoch)
+		b = appendVC(b, m.Progress)
 	case msg.CatchUpAck:
 		b = appendUint(b, m.ReqID)
 		b = appendUint(b, m.Chunk)
@@ -281,8 +291,36 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 		b = appendUint(b, uint64(m.DC))
 		b = appendUint(b, uint64(m.Final))
 		b = appendMembership(b, m.View)
+	case msg.SlotMapUpdate:
+		b = appendSlotMap(b, m.Map)
+	case msg.SlotHandoff:
+		if m.Versions == nil {
+			b = appendUint(b, 0)
+		} else {
+			b = appendUint(b, uint64(len(m.Versions))+1)
+			for _, v := range m.Versions {
+				b = appendVersion(b, v)
+			}
+		}
 	}
 	return b, nil
+}
+
+// appendSlotMap encodes an epoch-stamped slot table: presence byte, epoch,
+// partition count, the 256 owner bytes raw, then the 256 per-slot stamps as
+// varints (almost all zero in steady state, so one byte each).
+func appendSlotMap(b []byte, m *keyspace.SlotMap) []byte {
+	if m == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendUint(b, m.Epoch)
+	b = appendUint(b, uint64(m.Parts))
+	b = append(b, m.Owner[:]...)
+	for s := 0; s < keyspace.NumSlots; s++ {
+		b = appendUint(b, m.Stamp[s])
+	}
+	return b
 }
 
 func appendUint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
@@ -611,6 +649,34 @@ func (f *frameReader) membership() msg.Membership {
 	return msg.Membership{Epoch: f.uint(), Status: f.bytes(), Final: f.vc()}
 }
 
+// slotMap decodes an epoch-stamped slot table and validates its structural
+// invariants (owners in range, stamps below the epoch) so a corrupted frame
+// cannot install a table that routes keys to nonexistent partitions.
+func (f *frameReader) slotMap() *keyspace.SlotMap {
+	if f.byteVal() == 0 {
+		return nil
+	}
+	m := &keyspace.SlotMap{}
+	m.Epoch = f.uint()
+	m.Parts = int(f.uint())
+	owners := f.take(keyspace.NumSlots)
+	if f.err != nil {
+		return nil
+	}
+	copy(m.Owner[:], owners)
+	for s := 0; s < keyspace.NumSlots; s++ {
+		m.Stamp[s] = f.uint()
+	}
+	if f.err != nil {
+		return nil
+	}
+	if err := m.Validate(); err != nil {
+		f.err = err
+		return nil
+	}
+	return m
+}
+
 func (f *frameReader) itemReply() msg.ItemReply {
 	var r msg.ItemReply
 	r.Key = f.string()
@@ -651,6 +717,7 @@ func parsePayload(frame []byte) (Envelope, error) {
 		m.Epoch = f.uint()
 		m.Seq = f.uint()
 		m.Floor = vclock.Timestamp(f.uint())
+		m.SlotEpoch = f.uint()
 		env.Msg = m
 	case tagHeartbeat:
 		env.Msg = msg.Heartbeat{Time: vclock.Timestamp(f.uint()), Epoch: f.uint(),
@@ -730,6 +797,8 @@ func parsePayload(frame []byte) (Envelope, error) {
 				}
 			}
 		}
+		m.SlotEpoch = f.uint()
+		m.Progress = f.vc()
 		env.Msg = m
 	case tagCatchUpAck:
 		env.Msg = msg.CatchUpAck{ReqID: f.uint(), Chunk: f.uint()}
@@ -747,6 +816,23 @@ func parsePayload(frame []byte) (Envelope, error) {
 		env.Msg = msg.EvictAck{DC: int(f.uint()), ReqID: f.uint(), Entry: vclock.Timestamp(f.uint())}
 	case tagEvictNotice:
 		env.Msg = msg.EvictNotice{DC: int(f.uint()), Final: vclock.Timestamp(f.uint()), View: f.membership()}
+	case tagSlotMapUpdate:
+		env.Msg = msg.SlotMapUpdate{Map: f.slotMap()}
+	case tagSlotHandoff:
+		var m msg.SlotHandoff
+		if marker := f.uint(); marker > 0 && f.err == nil {
+			n := marker - 1
+			if uint64(len(f.b)-f.pos) < n {
+				f.fail()
+			} else {
+				f.arena = &versionArena{}
+				m.Versions = make([]*item.Version, 0, n)
+				for i := uint64(0); i < n && f.err == nil; i++ {
+					m.Versions = append(m.Versions, f.version())
+				}
+			}
+		}
+		env.Msg = m
 	default:
 		return env, fmt.Errorf("wire: unknown message tag %d", tag)
 	}

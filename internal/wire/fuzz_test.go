@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/item"
+	"repro/internal/keyspace"
 	"repro/internal/msg"
 	"repro/internal/netemu"
 	"repro/internal/vclock"
@@ -115,6 +116,69 @@ func FuzzMembershipDecode(f *testing.F) {
 			env, err := dec.Decode()
 			if err != nil {
 				return // corrupted input must fail, not panic
+			}
+			var buf bytes.Buffer
+			if err := NewBinaryEncoder(&buf).Encode(env); err != nil {
+				t.Fatalf("decoded envelope failed to re-encode: %v (%#v)", err, env)
+			}
+			re, err := NewBinaryDecoder(bytes.NewReader(buf.Bytes())).Decode()
+			if err != nil {
+				t.Fatalf("re-encoded envelope failed to decode: %v (%#v)", err, env)
+			}
+			if !reflect.DeepEqual(env, re) {
+				t.Fatalf("re-encode changed the message:\n in: %#v\nout: %#v", env, re)
+			}
+		}
+	})
+}
+
+// FuzzSlotMapDecode drives the binary decoder with mutations of the slot
+// table message set (SlotMapUpdate/SlotHandoff) plus slot-epoch-stamped
+// replication and catch-up frames. A slot map installs directly into every
+// server's routing state, so a corrupted frame must either fail cleanly or
+// yield a map whose invariants hold (owners in range, stamps below the
+// epoch) — and any frame that decodes must re-encode to the same message.
+func FuzzSlotMapDecode(f *testing.F) {
+	m4 := keyspace.DefaultMap(4)
+	moved, err := m4.MoveSlots([]int{0, 4, 8, 12}, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []any{
+		msg.SlotMapUpdate{},
+		msg.SlotMapUpdate{Map: m4},
+		msg.SlotMapUpdate{Map: moved},
+		msg.SlotHandoff{Versions: []*item.Version{{
+			Key: "user:42", Value: []byte("payload"), SrcReplica: 1,
+			UpdateTime: 123456, Deps: vclock.VC{7, 0, 99},
+		}}},
+		msg.ReplicateBatch{HBTime: 123456, Epoch: 77, Seq: 3, Floor: 1000, SlotEpoch: 2},
+		msg.CatchUpReply{ReqID: 9, Done: true, Through: 123456, SlotEpoch: 2,
+			Progress: vclock.VC{7, 0, 99}},
+	}
+	for _, m := range seeds {
+		var buf bytes.Buffer
+		if err := NewBinaryEncoder(&buf).Encode(Envelope{
+			Src: netemu.NodeID{DC: 1, Partition: 2}, Msg: m,
+		}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2]) // truncated frame
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewBinaryDecoder(bytes.NewReader(data))
+		for {
+			env, err := dec.Decode()
+			if err != nil {
+				return // corrupted input must fail, not panic
+			}
+			if u, ok := env.Msg.(msg.SlotMapUpdate); ok && u.Map != nil {
+				if verr := u.Map.Validate(); verr != nil {
+					t.Fatalf("decoder produced an invalid slot map: %v", verr)
+				}
 			}
 			var buf bytes.Buffer
 			if err := NewBinaryEncoder(&buf).Encode(env); err != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/item"
+	"repro/internal/keyspace"
 	"repro/internal/msg"
 	"repro/internal/netemu"
 	"repro/internal/vclock"
@@ -110,6 +111,22 @@ func genDeparted(r *rand.Rand) []msg.DepartedClaim {
 	}
 }
 
+// genSlotMap returns nil or a random *valid* slot map — the decoder
+// validates structural invariants, so generated maps must satisfy them.
+func genSlotMap(r *rand.Rand) *keyspace.SlotMap {
+	if r.IntN(4) == 0 {
+		return nil
+	}
+	m := &keyspace.SlotMap{Epoch: r.Uint64N(1 << 40), Parts: 1 + r.IntN(keyspace.NumSlots)}
+	for s := 0; s < keyspace.NumSlots; s++ {
+		m.Owner[s] = uint8(r.IntN(m.Parts))
+		if m.Epoch > 0 {
+			m.Stamp[s] = r.Uint64N(m.Epoch + 1)
+		}
+	}
+	return m
+}
+
 // genMsg draws one random protocol message of the i-th type.
 func genMsg(r *rand.Rand, kind int) any {
 	switch kind % numMsgKinds {
@@ -117,10 +134,11 @@ func genMsg(r *rand.Rand, kind int) any {
 		return msg.Replicate{V: genVersion(r)}
 	case 1:
 		m := msg.ReplicateBatch{
-			HBTime: vclock.Timestamp(r.Uint64N(1 << 62)),
-			Epoch:  r.Uint64(),
-			Seq:    r.Uint64(),
-			Floor:  vclock.Timestamp(r.Uint64N(1 << 62)),
+			HBTime:    vclock.Timestamp(r.Uint64N(1 << 62)),
+			Epoch:     r.Uint64(),
+			Seq:       r.Uint64(),
+			Floor:     vclock.Timestamp(r.Uint64N(1 << 62)),
+			SlotEpoch: r.Uint64N(1 << 40),
 		}
 		switch r.IntN(4) {
 		case 0: // nil Versions
@@ -185,6 +203,8 @@ func genMsg(r *rand.Rand, kind int) any {
 			Through:     vclock.Timestamp(r.Uint64N(1 << 62)),
 			FullResync:  r.IntN(2) == 0,
 			Departed:    genDeparted(r),
+			SlotEpoch:   r.Uint64N(1 << 40),
+			Progress:    genVC(r),
 		}
 		switch r.IntN(4) {
 		case 0: // nil Versions
@@ -210,15 +230,29 @@ func genMsg(r *rand.Rand, kind int) any {
 		return msg.EvictProposal{DC: r.IntN(8), ReqID: r.Uint64(), View: genMembership(r)}
 	case 15:
 		return msg.EvictAck{DC: r.IntN(8), ReqID: r.Uint64(), Entry: vclock.Timestamp(r.Uint64N(1 << 62))}
-	default:
+	case 16:
 		return msg.EvictNotice{DC: r.IntN(8), Final: vclock.Timestamp(r.Uint64N(1 << 62)), View: genMembership(r)}
+	case 17:
+		return msg.SlotMapUpdate{Map: genSlotMap(r)}
+	default:
+		m := msg.SlotHandoff{}
+		switch r.IntN(4) {
+		case 0: // nil Versions
+		case 1:
+			m.Versions = []*item.Version{}
+		default:
+			for i := 0; i < 1+r.IntN(6); i++ {
+				m.Versions = append(m.Versions, genVersion(r))
+			}
+		}
+		return m
 	}
 }
 
 // numMsgKinds is the number of distinct message types genMsg produces —
 // keep it in sync with the switch above so the property tests cover every
 // wire type.
-const numMsgKinds = 17
+const numMsgKinds = 19
 
 func binaryRoundTrip(t *testing.T, env Envelope) Envelope {
 	t.Helper()
@@ -361,6 +395,14 @@ func TestBinaryRoundTripEdgeCases(t *testing.T) {
 		msg.EvictAck{DC: 2, ReqID: 9, Entry: 123},
 		msg.EvictNotice{},
 		msg.EvictNotice{DC: 2, Final: 456, View: msg.Membership{Epoch: 7, Status: []uint8{msg.DCActive, msg.DCActive, msg.DCLeft}, Final: vclock.VC{0, 0, 456}}},
+		msg.SlotMapUpdate{},
+		msg.SlotMapUpdate{Map: keyspace.DefaultMap(4)},
+		msg.ReplicateBatch{Epoch: 1, Seq: 2, Floor: 3, SlotEpoch: 4},
+		msg.CatchUpReply{Done: true, SlotEpoch: 5, Progress: vclock.VC{1, 0, 9}},
+		msg.CatchUpReply{Done: true, Progress: vclock.VC{}},
+		msg.SlotHandoff{},
+		msg.SlotHandoff{Versions: []*item.Version{}},
+		msg.SlotHandoff{Versions: []*item.Version{{Key: "k", Deps: vclock.New(3)}}},
 	}
 	for i, m := range cases {
 		env := Envelope{Src: netemu.NodeID{DC: 1, Partition: 2}, Msg: m}

@@ -108,6 +108,8 @@ func registerTypes() {
 	gob.Register(msg.EvictProposal{})
 	gob.Register(msg.EvictAck{})
 	gob.Register(msg.EvictNotice{})
+	gob.Register(msg.SlotMapUpdate{})
+	gob.Register(msg.SlotHandoff{})
 	gob.Register(&item.Version{})
 }
 

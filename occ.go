@@ -159,6 +159,10 @@ type Config struct {
 	// departed DC's slot is never reused, so this bounds the total joins
 	// over the store's lifetime.
 	MaxDataCenters int
+	// MaxPartitions reserves capacity for partition servers added at runtime
+	// (SplitPartition), the partition-axis analogue of MaxDataCenters. 0
+	// means Partitions — a fixed keyspace layout.
+	MaxPartitions int
 	// JoinTimeout bounds how long a joining data center keeps soliciting the
 	// deployment before giving up; WaitForJoin then tears the half-joined DC
 	// down cleanly and reports the failure. 0 retries forever.
@@ -261,6 +265,7 @@ func Open(cfg Config) (*Store, error) {
 		CatchUp:            catchUp,
 		CatchUpMaxInFlight: cfg.CatchUpMaxInFlight,
 		MaxDCs:             cfg.MaxDataCenters,
+		MaxPartitions:      cfg.MaxPartitions,
 		JoinTimeout:        cfg.JoinTimeout,
 		GCMaxHoldback:      cfg.GCMaxHoldback,
 	})
@@ -349,13 +354,45 @@ func (s *Store) KillDataCenter(dc int) error {
 	return nil
 }
 
-// Partitions returns the number of partitions per data center.
-func (s *Store) Partitions() int { return s.inner.Config().NumPartitions }
+// Partitions returns the number of live partition servers per data center
+// (grows when SplitPartition runs).
+func (s *Store) Partitions() int { return s.inner.NumPartitions() }
 
-// PartitionOf returns the partition responsible for key.
+// MaxPartitions returns the store's partition capacity.
+func (s *Store) MaxPartitions() int { return s.inner.MaxPartitions() }
+
+// PartitionOf returns the partition currently responsible for key: the
+// static hash layout until the first reshard, the slot table afterwards.
 func (s *Store) PartitionOf(key string) int {
-	return keyspace.PartitionOf(key, s.inner.Config().NumPartitions)
+	return s.inner.PartitionOf(key)
 }
+
+// SplitPartition grows every data center by one partition server: half of
+// the donor partition's hash slots are reassigned to the new server under
+// the next slot-table epoch, the new owners are bootstrapped from their
+// local donors' history, and routing flips — all while sessions keep
+// operating (they retry through the epoch change transparently). Returns
+// the new partition's index. Requires MaxPartitions headroom.
+func (s *Store) SplitPartition(donor int) (int, error) {
+	p, err := s.inner.SplitPartition(donor)
+	if err != nil {
+		return 0, fmt.Errorf("occ: %w", err)
+	}
+	return p, nil
+}
+
+// MoveSlots reassigns the given hash slots (each in [0, keyspace.NumSlots))
+// to an existing partition, migrating their history before routing flips.
+func (s *Store) MoveSlots(slots []int, to int) error {
+	if err := s.inner.MoveSlots(slots, to); err != nil {
+		return fmt.Errorf("occ: %w", err)
+	}
+	return nil
+}
+
+// SlotTable returns a copy of the store's slot routing table, or nil while
+// the deployment still routes by the static hash layout (no reshard ran).
+func (s *Store) SlotTable() *keyspace.SlotMap { return s.inner.SlotTable() }
 
 // Seed loads an initial value for key into every data center, immediately
 // visible and stable (used to populate a store before a workload).
@@ -490,6 +527,11 @@ type Stats struct {
 	SeekHits     uint64
 	FullScans    uint64
 	PartsSkipped uint64
+	// Partitions is the number of live partition servers per DC; SlotEpoch
+	// is the slot-table generation (0 until the first reshard — the static
+	// hash layout).
+	Partitions int
+	SlotEpoch  uint64
 }
 
 // MaxReplicationLag returns the worst entry of ReplicationLag.
@@ -542,6 +584,10 @@ func (s *Store) Stats() Stats {
 	st.SeekHits = durable.SeekHits
 	st.FullScans = durable.FullScans
 	st.PartsSkipped = durable.PartsSkipped
+	st.Partitions = s.inner.NumPartitions()
+	if tbl := s.inner.SlotTable(); tbl != nil {
+		st.SlotEpoch = tbl.Epoch
+	}
 	if err := s.inner.StorageErr(); err != nil {
 		st.StorageError = err.Error()
 	}
