@@ -204,8 +204,13 @@
 // Keys map to partitions through a first-class slot table rather than a
 // fixed hash: every key hashes (FNV-1a, allocation-free) to one of 256
 // slots, and an epoch-stamped slot map (internal/keyspace.SlotMap) assigns
-// each slot an owning partition. Absent a map the layout is the implicit
-// slot%N spread, so fixed deployments pay nothing. The map is a lattice —
+// each slot an owning partition. Absent a map the layout is the original
+// hash%N spread, byte-for-byte what pre-slot-table deployments used, so
+// fixed deployments pay nothing and durable data keeps its placement across
+// the upgrade; because that static layout is expressible as a slot table
+// only when N divides the slot universe (keyspace.SlotAligned), the first
+// reshard — and reserving MaxPartitions headroom — requires such a
+// partition count. The map is a lattice —
 // per-slot assignments carry the epoch that moved them and merge
 // higher-stamp-wins — so concurrently gossiped tables converge on every
 // server, and replicated batches and catch-up chunks are stamped with the
@@ -224,8 +229,15 @@
 // table: the moved-slot version universe provably freezes before the drain
 // marks are taken — wait for every data center's donors to deliver their streams
 // everywhere (the drain), then copy the moved history from each DC's local
-// donors into its new owner with the donor's version-vector claim, release
-// the gate, and flip routing. Client sessions ride through the fence by
+// donors into its new owner, release the gate, and flip routing. The
+// next-epoch table is staged in cluster state for the whole fence-to-flip
+// window, so a server crash-restarted mid-reshard boots already fenced. A
+// freshly split owner additionally adopts the donors' version-vector claim
+// (it serves nothing but the copied slots, so the claim is complete); a
+// pre-existing MoveSlots target keeps its own vector — the donors' would
+// overclaim versions its other slots have not yet received — and dependency
+// waits on the inherited history resolve as heartbeats advance it. Client
+// sessions ride through the fence by
 // re-resolving their route and retrying, so no acknowledged write is lost
 // and no causal dependency is ever served out of order; a drain defeated by
 // a concurrent failure aborts by rolling the table forward onto the old

@@ -27,15 +27,19 @@ import (
 // surviving DC instead.
 var ErrNoDataCenter = errors.New("client: session's data center left the deployment")
 
-// Slot-epoch retry budget. While the cluster reshards (SplitPartition /
+// Slot-epoch retry pacing. While the cluster reshards (SplitPartition /
 // MoveSlots), the old owner of a moved slot rejects operations with
 // core.ErrWrongSlotEpoch until cluster routing flips to the new owner. The
 // session retries with a fresh route resolution each attempt, so it lands on
-// the new owner automatically once the flip happens; the budget bounds how
-// long a session camps on a reshard that never completes.
+// the new owner automatically once the flip happens; Config.SlotRetryBudget
+// bounds how long a session camps on a reshard that never completes.
 const (
-	slotRetryLimit = 400
 	slotRetryDelay = 25 * time.Millisecond
+	// defaultSlotRetryBudget is twice the cluster's default reshard drain
+	// bound (30s), so a session never gives up on a slow but healthy
+	// reshard. Deployments with a custom drain bound pass a matching budget
+	// through Config.SlotRetryBudget instead.
+	defaultSlotRetryBudget = 60 * time.Second
 )
 
 // Router maps keys to the partition servers of one data center.
@@ -65,6 +69,13 @@ type Config struct {
 	// session re-initializes pessimistically and retries; it promotes back
 	// to optimistic when the coordinator stops suspecting a partition.
 	AutoFallback bool
+	// SlotRetryBudget bounds how long one operation keeps retrying through
+	// core.ErrWrongSlotEpoch while a reshard migrates its key's slot. It
+	// must exceed the deployment's reshard drain bound, or a session parked
+	// on a fenced slot surfaces the error for a migration that completes
+	// moments later. 0 selects a default of 60s (twice the cluster's
+	// default drain bound).
+	SlotRetryBudget time.Duration
 }
 
 // Session is a client session. A session must be used by one goroutine at a
@@ -159,7 +170,7 @@ func (s *Session) GetReply(key string) (msg.ItemReply, error) {
 }
 
 func (s *Session) getReply(key string) (msg.ItemReply, error) {
-	var slotRetries int
+	var slotDeadline time.Time
 	for {
 		// Resolved inside the loop: a slot-epoch rejection means the key's
 		// slot moved, and the router re-resolves to the new owner.
@@ -175,7 +186,7 @@ func (s *Session) getReply(key string) (msg.ItemReply, error) {
 			if s.handleSessionError(err) {
 				continue
 			}
-			if s.handleSlotEpoch(err, &slotRetries) {
+			if s.handleSlotEpoch(err, &slotDeadline) {
 				continue
 			}
 			return msg.ItemReply{}, err
@@ -197,7 +208,7 @@ func (s *Session) Put(key string, value []byte) error {
 // PutMeta writes key and returns the new version's identity (update time and
 // source replica), which test checkers use to track real dependencies.
 func (s *Session) PutMeta(key string, value []byte) (vclock.Timestamp, int, error) {
-	var slotRetries int
+	var slotDeadline time.Time
 	for {
 		srv := s.cfg.Router.ServerFor(key)
 		if srv == nil {
@@ -216,7 +227,7 @@ func (s *Session) PutMeta(key string, value []byte) (vclock.Timestamp, int, erro
 			if s.handleSessionError(err) {
 				continue
 			}
-			if s.handleSlotEpoch(err, &slotRetries) {
+			if s.handleSlotEpoch(err, &slotDeadline) {
 				continue
 			}
 			return 0, 0, err
@@ -253,7 +264,7 @@ func (s *Session) ROTx(keys []string) (map[string][]byte, error) {
 
 // ROTxReplies is ROTx returning full replies including causal metadata.
 func (s *Session) ROTxReplies(keys []string) ([]msg.ItemReply, error) {
-	var slotRetries int
+	var slotDeadline time.Time
 	for {
 		// Coordinator and the per-key slicing function are resolved per
 		// attempt: mid-reshard a slice can land on a partition that no longer
@@ -279,7 +290,7 @@ func (s *Session) ROTxReplies(keys []string) ([]msg.ItemReply, error) {
 			if s.handleSessionError(err) {
 				continue
 			}
-			if s.handleSlotEpoch(err, &slotRetries) {
+			if s.handleSlotEpoch(err, &slotDeadline) {
 				continue
 			}
 			return nil, err
@@ -336,15 +347,20 @@ func (s *Session) handleSessionError(err error) bool {
 
 // handleSlotEpoch reports whether the operation should be retried after a
 // routing refresh. It pauses briefly so the retry loop does not spin while a
-// reshard drains, and gives up once the budget is exhausted (the caller then
-// surfaces ErrWrongSlotEpoch — the write was never accepted, so failing is
-// safe).
-func (s *Session) handleSlotEpoch(err error, attempts *int) bool {
+// reshard drains, and gives up once the operation's budget is exhausted (the
+// caller then surfaces ErrWrongSlotEpoch — the write was never accepted, so
+// failing is safe). deadline is per operation, armed on the first rejection.
+func (s *Session) handleSlotEpoch(err error, deadline *time.Time) bool {
 	if !errors.Is(err, core.ErrWrongSlotEpoch) {
 		return false
 	}
-	*attempts++
-	if *attempts > slotRetryLimit {
+	if deadline.IsZero() {
+		budget := s.cfg.SlotRetryBudget
+		if budget <= 0 {
+			budget = defaultSlotRetryBudget
+		}
+		*deadline = time.Now().Add(budget)
+	} else if time.Now().After(*deadline) {
 		return false
 	}
 	time.Sleep(slotRetryDelay)

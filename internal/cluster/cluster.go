@@ -199,13 +199,18 @@ type Cluster struct {
 
 	// Routing state for the slot table (tentpole of the resharding arc).
 	// slots is nil until the first reshard: routing then falls back to the
-	// static keyspace.PartitionOf layout, which DefaultMap reproduces
-	// exactly, so pre-reshard deployments pay nothing. parts is the number
-	// of live partition servers per DC (grows on SplitPartition); reshardMu
-	// serializes reshards so at most one slot migration is in flight.
-	slots     atomic.Pointer[keyspace.SlotMap]
-	parts     atomic.Int32
-	reshardMu sync.Mutex
+	// static keyspace.PartitionOf layout, so pre-reshard deployments pay
+	// nothing. pendingSlots stages an in-flight reshard's next-epoch table
+	// from fence-install until the flip, so a server crash-restarted inside
+	// that window boots already fenced instead of resurrecting the
+	// pre-reshard table and accepting moved-slot writes the new owner will
+	// never see. parts is the number of live partition servers per DC (grows
+	// on SplitPartition); reshardMu serializes reshards so at most one slot
+	// migration is in flight.
+	slots        atomic.Pointer[keyspace.SlotMap]
+	pendingSlots atomic.Pointer[keyspace.SlotMap]
+	parts        atomic.Int32
+	reshardMu    sync.Mutex
 
 	// servers is the [dc][partition] matrix, pre-allocated to MaxDCs rows so
 	// AddDC never reshapes it; entries are atomic pointers so sessions
@@ -316,6 +321,13 @@ func New(cfg Config) (*Cluster, error) {
 	maxParts := cfg.MaxPartitions
 	if maxParts == 0 {
 		maxParts = cfg.NumPartitions
+	}
+	if maxParts > cfg.NumPartitions && !keyspace.SlotAligned(cfg.NumPartitions) {
+		// Reshard headroom is reserved, but the first reshard could never
+		// run: the static hash%N layout the deployment starts on is only
+		// expressible as a slot table when N divides the slot universe.
+		return nil, fmt.Errorf("cluster: MaxPartitions headroom requires NumPartitions dividing %d (got %d); the static layout cannot otherwise be adopted as a slot table",
+			keyspace.NumSlots, cfg.NumPartitions)
 	}
 	c := &Cluster{cfg: cfg, maxDCs: maxDCs, maxParts: maxParts, status: make([]uint8, maxDCs)}
 	c.parts.Store(int32(cfg.NumPartitions))
@@ -438,10 +450,15 @@ func (c *Cluster) serverConfigLocked(dc, p int, joining bool) core.Config {
 	}
 	// A server started or restarted after a reshard begins from the current
 	// slot table and partition count; pre-reshard (slots nil) it gets no
-	// table and routes by the static layout, exactly like the seed.
+	// table and routes by the static layout, exactly like the seed. An
+	// in-flight reshard's staged table takes precedence: a donor restarted
+	// between the fence install and the flip must come back fenced, or it
+	// would accept moved-slot writes that are stranded once routing flips.
 	numParts := int(c.parts.Load())
 	var slots *keyspace.SlotMap
-	if m := c.slots.Load(); m != nil {
+	if m := c.pendingSlots.Load(); m != nil {
+		slots = m.Clone()
+	} else if m := c.slots.Load(); m != nil {
 		slots = m.Clone()
 	}
 	view := msg.Membership{
@@ -538,6 +555,15 @@ func (c *Cluster) RestartServer(dc, p int) error {
 		return fmt.Errorf("cluster: restart dc%d-p%d: %w", dc, p, err)
 	}
 	c.servers[dc][p].Store(srv)
+	// Re-read the routing state after publishing the server: a reshard that
+	// flipped (or aborted) between the config snapshot above and now has
+	// already walked the server matrix, so its install may have hit the dead
+	// predecessor. The lattice merge makes the re-install idempotent.
+	if m := c.pendingSlots.Load(); m != nil {
+		srv.InstallSlotMap(m)
+	} else if m := c.slots.Load(); m != nil {
+		srv.InstallSlotMap(m)
+	}
 	return nil
 }
 
@@ -1192,6 +1218,11 @@ func (c *Cluster) newSession(dc int, autoFallback bool) (*client.Session, error)
 		Mode:           mode,
 		RequestLatency: c.cfg.SessionLatency,
 		AutoFallback:   autoFallback,
+		// A session parked on a fenced slot must outlast the slowest healthy
+		// reshard, whose drain phase is bounded by the cluster's configured
+		// timeout — otherwise it surfaces ErrWrongSlotEpoch for a migration
+		// that completes moments later.
+		SlotRetryBudget: 2 * c.reshardTimeout(),
 	})
 }
 

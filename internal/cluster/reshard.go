@@ -59,6 +59,9 @@ func (c *Cluster) SplitPartition(donor int) (int, error) {
 	if np >= c.maxParts {
 		return 0, fmt.Errorf("cluster: no MaxPartitions headroom left (capacity %d used up)", c.maxParts)
 	}
+	if err := c.adoptableLayout(); err != nil {
+		return 0, err
+	}
 	cur := c.routingMap()
 	owned := cur.SlotsOwnedBy(donor)
 	if len(owned) < 2 {
@@ -96,12 +99,32 @@ func (c *Cluster) MoveSlots(slots []int, to int) error {
 	if to < 0 || to >= np {
 		return fmt.Errorf("cluster: no partition %d", to)
 	}
+	if err := c.adoptableLayout(); err != nil {
+		return err
+	}
 	cur := c.routingMap()
 	next, err := cur.MoveSlots(slots, to)
 	if err != nil {
 		return err
 	}
 	return c.reshard(cur, next, slots, to, -1, c.memberDCs())
+}
+
+// adoptableLayout guards the static→slot-table transition. Until the first
+// reshard installs a table, the deployment routes by the seed's hash%N
+// layout, which the epoch-0 slot table reproduces only when N divides the
+// slot universe; adopting a misaligned table would silently re-home keys
+// away from the stores that hold them. Once a table is installed, any
+// further reshard is slot-to-slot and needs no alignment.
+func (c *Cluster) adoptableLayout() error {
+	if c.slots.Load() != nil {
+		return nil
+	}
+	if np := c.numParts(); !keyspace.SlotAligned(np) {
+		return fmt.Errorf("cluster: cannot reshard: the static layout over %d partitions is not expressible as a slot table (partition count must divide %d)",
+			np, keyspace.NumSlots)
+	}
+	return nil
 }
 
 // memberDCs lists the DC ids currently in the deployment (active or still
@@ -213,7 +236,12 @@ func (c *Cluster) reshard(cur, next *keyspace.SlotMap, moved []int, target, newP
 	// From here on the old owners reject operations on the moved slots
 	// (core.ErrWrongSlotEpoch) — no new moved-slot version can be created
 	// under the old layout — while cluster routing still resolves to them,
-	// keeping retrying clients parked until the flip.
+	// keeping retrying clients parked until the flip. The table is staged in
+	// cluster state first, so a server crash-restarted anywhere in the
+	// fence-to-flip window boots from the fenced table instead of the
+	// pre-reshard one (serverConfigLocked consults the staged pointer);
+	// finishReshard clears the stage on every exit path, abort included.
+	c.pendingSlots.Store(next.Clone())
 	liveParts := c.numParts()
 	if newPart >= 0 {
 		liveParts = newPart + 1
@@ -272,8 +300,17 @@ func (c *Cluster) reshard(cur, next *keyspace.SlotMap, moved []int, target, newP
 	// history: durable donors stream their WAL-backed store, in-memory
 	// donors enumerate their chains. The donor's version vector is captured
 	// before the walk — it only covers versions already in the store, and
-	// no moved-slot version is created after the drain — so seeding it into
-	// the target is a sound completeness claim for the slots it inherits.
+	// no moved-slot version is created after the drain — so for a freshly
+	// split owner (which routes nothing but the moved slots) seeding it
+	// into the target is a sound completeness claim for everything the
+	// target serves. A pre-existing target also owns slots the donors know
+	// nothing about: its own replication streams may lag the donors', and
+	// adopting their VV would overclaim versions it never received —
+	// reads would skip causal waits and the inflated catch-up floor would
+	// permanently skip re-requesting the gap. Such a target keeps its own
+	// VV: the copied history is already in its store, and dependency waits
+	// on it resolve as heartbeats advance the VV past the (pre-drain)
+	// moved timestamps.
 	for _, dc := range members {
 		tgt := c.Server(dc, target)
 		if tgt == nil {
@@ -331,9 +368,14 @@ func (c *Cluster) reshard(cur, next *keyspace.SlotMap, moved []int, target, newP
 		}
 		// The target's clock must not issue timestamps at or below the
 		// inherited history (LWW would resurrect moved versions over fresh
-		// writes); then the VV claim unblocks dependency waits on it.
+		// writes).
 		tgt.AdvanceClock(maxTS)
-		tgt.SeedVV(seed)
+		if newPart >= 0 {
+			// Only a fresh split owner adopts the donors' VV claim (see the
+			// soundness note above); it also sets the catch-up floor so the
+			// copied history is not re-requested from scratch.
+			tgt.SeedVV(seed)
+		}
 	}
 
 	c.finishReshard(next, members, newPart)
@@ -354,6 +396,13 @@ func (c *Cluster) finishReshard(m *keyspace.SlotMap, members []int, newPart int)
 		}
 		c.parts.Store(int32(newPart + 1))
 	}
+	// Settle the cluster-level routing state before walking the servers:
+	// a server (re)starting from here on boots from the outcome table, and
+	// the walk below (plus the re-install in RestartServer) catches servers
+	// that raced the stage. Fenced old owners bounce any early-routed
+	// operation, so clients just retry across the hand-over.
+	c.slots.Store(m.Clone())
+	c.pendingSlots.Store(nil)
 	for _, dc := range members {
 		for p := 0; p < c.numParts(); p++ {
 			if srv := c.Server(dc, p); srv != nil {
@@ -361,7 +410,6 @@ func (c *Cluster) finishReshard(m *keyspace.SlotMap, members []int, newPart int)
 			}
 		}
 	}
-	c.slots.Store(m.Clone())
 }
 
 // abortReshard rolls a half-done reshard forward: the epoch lattice cannot

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/keyspace"
+	"repro/internal/vclock"
 )
 
 // TestSplitPartitionBasic splits a quiescent deployment and checks that the
@@ -263,6 +264,148 @@ func TestSplitPartitionUnderLoad(t *testing.T) {
 	}
 	if movedKeys == 0 {
 		t.Fatal("workload never touched a moved slot; widen the key set")
+	}
+}
+
+// TestMoveSlotsLaggingTargetNoOverclaim pins the soundness condition of the
+// reshard bootstrap claim: when slots move to a PRE-EXISTING partition whose
+// own replication stream lags, the target must NOT adopt the donors'
+// version vectors — they cover versions of the target's original slots that
+// it never received, and the inflated vector would both satisfy causal
+// waits for missing versions and become a catch-up floor that permanently
+// skips re-requesting them. The test severs the target's inbound link,
+// writes into the hole, reshards, and requires (a) the target's vector not
+// to jump over the hole and (b) the hole to heal once the link is restored.
+func TestMoveSlotsLaggingTargetNoOverclaim(t *testing.T) {
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2}, WithDataDir(t.TempDir()))
+
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var donorKeys, targetKeys []string
+	for i := 0; len(donorKeys) < 8 || len(targetKeys) < 8; i++ {
+		k := fmt.Sprintf("lag-k%d", i)
+		if c.PartitionOf(k) == 0 {
+			donorKeys = append(donorKeys, k)
+		} else {
+			targetKeys = append(targetKeys, k)
+		}
+	}
+	for _, k := range append(append([]string(nil), donorKeys...), targetKeys...) {
+		if err := s.Put(k, []byte("base-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sever the target's inbound replication at DC1 and write into the gap:
+	// these versions exist only at DC0 until the link heals.
+	if err := c.DropInboundReplication(1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	var sevMin vclock.Timestamp
+	for i, k := range targetKeys {
+		ut, _, err := s.PutMeta(k, []byte("sev-"+k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || ut < sevMin {
+			sevMin = ut
+		}
+	}
+	// Push the donor's column past the severed timestamps, so the donor VV
+	// at DC1 genuinely overclaims the target's gap — the bait the old
+	// seeding logic would have swallowed.
+	for _, k := range donorKeys {
+		if err := s.Put(k, []byte("post-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitUntil(t, 5*time.Second, func() bool {
+		return c.Server(1, 0).VV().Get(0) >= sevMin
+	}) {
+		t.Fatal("donor column at DC1 never advanced past the severed writes")
+	}
+
+	if err := c.MoveSlots(c.routingMap().SlotsOwnedBy(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Server(1, 1).VV().Get(0); got >= sevMin {
+		t.Fatalf("lagging target's VV[0] = %d claims the severed writes (first at %d): the reshard overclaimed", got, sevMin)
+	}
+
+	// Heal the link: the sequence gap must be detected and every severed
+	// write recovered — an inflated catch-up floor would skip them forever.
+	if err := c.DropInboundReplication(1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range targetKeys {
+		k := k
+		if !waitUntil(t, 10*time.Second, func() bool {
+			r, err := c.ReadAt(1, k)
+			return err == nil && r.Exists && string(r.Value) == "sev-"+k
+		}) {
+			t.Fatalf("severed write to %q never reached DC1 (catch-up stats %+v)", k, c.ReplicationStats())
+		}
+	}
+	for _, k := range donorKeys {
+		k := k
+		if !waitUntil(t, 10*time.Second, func() bool {
+			r, err := c.ReadAt(1, k)
+			return err == nil && r.Exists && string(r.Value) == "post-"+k
+		}) {
+			t.Fatalf("moved key %q lost at DC1 after the move", k)
+		}
+	}
+}
+
+// TestRestartMidReshardBootsFenced checks that a server crash-restarted
+// inside a reshard's fence-to-flip window boots from the staged next-epoch
+// table, not the pre-reshard one: an unfenced donor incarnation would accept
+// moved-slot writes that are stranded — acknowledged but invisible — once
+// routing flips to the new owner.
+func TestRestartMidReshardBootsFenced(t *testing.T) {
+	c := NewTestCluster(t, Topology{DCs: 2, Partitions: 2}, WithDataDir(t.TempDir()))
+	cur := c.routingMap()
+	next, err := cur.MoveSlots(cur.SlotsOwnedBy(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage the table exactly as reshard() does before installing the fence,
+	// then crash-restart a donor inside the window.
+	c.pendingSlots.Store(next.Clone())
+	defer c.pendingSlots.Store(nil)
+	if err := c.RestartServer(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	tbl := c.Server(0, 0).SlotTable()
+	if tbl == nil || tbl.Epoch < next.Epoch {
+		t.Fatalf("restarted donor booted with table %+v, want the staged epoch %d (unfenced incarnation would strand moved-slot writes)",
+			tbl, next.Epoch)
+	}
+}
+
+// TestUnalignedStaticLayoutCannotReshard pins the static→slot-table
+// transition guard: a hash%N layout is expressible as a slot table only when
+// N divides the slot universe, so reshard headroom over an unaligned count
+// is rejected at construction and a reshard attempt on a fixed unaligned
+// deployment fails cleanly instead of silently re-homing keys.
+func TestUnalignedStaticLayoutCannotReshard(t *testing.T) {
+	if _, err := New(Config{NumDCs: 1, NumPartitions: 3, MaxPartitions: 6, Engine: POCC}); err == nil {
+		t.Fatal("MaxPartitions headroom over an unaligned 3-partition layout must be rejected")
+	}
+	c := NewTestCluster(t, Topology{DCs: 1, Partitions: 3})
+	if err := c.MoveSlots([]int{0}, 1); err == nil {
+		t.Fatal("MoveSlots on an unaligned static layout must be rejected")
+	}
+	// Aligned layouts still reshard, and once a table exists the partition
+	// count is free to grow past alignment (slot-to-slot moves).
+	a := NewTestCluster(t, Topology{DCs: 1, Partitions: 2, MaxPartitions: 5})
+	if _, err := a.SplitPartition(0); err != nil {
+		t.Fatalf("aligned split: %v", err)
+	}
+	if _, err := a.SplitPartition(0); err != nil { // 3 partitions now — table installed, no alignment needed
+		t.Fatalf("post-table split to an unaligned count: %v", err)
 	}
 }
 

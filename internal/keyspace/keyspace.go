@@ -6,9 +6,11 @@
 //
 // Since the slot-table refactor, the mapping is two-level: keys hash into a
 // fixed universe of NumSlots slots, and an epoch-stamped SlotMap assigns each
-// slot to a partition server. The static layout (DefaultMap) routes exactly
-// like PartitionOf, and resharding moves whole slots between servers by
-// publishing a higher-stamped map.
+// slot to a partition server. The static layout (PartitionOf) remains the
+// seed's plain hash%N — durable deployments from before the refactor keep
+// their key placement — and is expressible as a slot table (DefaultMap)
+// exactly when N divides NumSlots (SlotAligned); resharding moves whole
+// slots between servers by publishing a higher-stamped map.
 package keyspace
 
 import (
@@ -22,22 +24,39 @@ import (
 // owners wide while still splitting any realistic partition count evenly.
 const NumSlots = 256
 
-// SlotOf returns the slot a key hashes into. It is an inlined FNV-1a so the
+// hash32 is an inlined FNV-1a (identical output to hash/fnv's New32a) so the
 // per-operation routing path stays allocation-free.
-func SlotOf(key string) int {
+func hash32(key string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return int(h % NumSlots)
+	return h
+}
+
+// SlotOf returns the slot a key hashes into.
+func SlotOf(key string) int {
+	return int(hash32(key) % NumSlots)
 }
 
 // PartitionOf returns the partition responsible for key under a static
-// N-partition layout. It is definitionally DefaultMap(n).OwnerOf(key): the
-// slot table with owner[s] = s mod n routes every key identically.
+// N-partition layout: the full hash mod n, byte-for-byte the layout the
+// pre-slot-table code used, so durable deployments keep their key placement
+// across the refactor. When n divides NumSlots this coincides with
+// DefaultMap(n).OwnerOf(key); for other n no slot table reproduces it (a
+// single slot holds keys with different hash%n values), which is why
+// adopting slot routing on a live static layout requires SlotAligned(n).
 func PartitionOf(key string, n int) int {
-	return SlotOf(key) % n
+	return int(hash32(key) % uint32(n))
+}
+
+// SlotAligned reports whether the epoch-0 slot layout over n partitions
+// (DefaultMap) routes every key identically to the static hash layout
+// (PartitionOf): true exactly when n divides NumSlots, since
+// hash%NumSlots%n == hash%n holds for all hashes only then.
+func SlotAligned(n int) bool {
+	return n > 0 && NumSlots%n == 0
 }
 
 // SlotMap is the epoch-stamped assignment of slots to partition servers
@@ -64,8 +83,11 @@ type SlotMap struct {
 	Stamp [NumSlots]uint64
 }
 
-// DefaultMap returns the epoch-0 static layout over n partitions:
-// owner[s] = s mod n. It routes identically to PartitionOf(·, n).
+// DefaultMap returns the epoch-0 slot layout over n partitions:
+// owner[s] = s mod n. It routes identically to PartitionOf(·, n) exactly
+// when SlotAligned(n); for other n the two layouts disagree on some keys,
+// so a deployment still routing statically must not adopt it (see
+// cluster.SplitPartition / MoveSlots, which refuse the transition).
 func DefaultMap(n int) *SlotMap {
 	if n <= 0 || n > NumSlots {
 		panic(fmt.Sprintf("keyspace: DefaultMap(%d) out of range [1,%d]", n, NumSlots))

@@ -2,6 +2,7 @@ package keyspace
 
 import (
 	"fmt"
+	"hash/fnv"
 	"testing"
 	"testing/quick"
 )
@@ -90,11 +91,40 @@ func TestAllKeysIsACopy(t *testing.T) {
 // --- Slot table ---
 
 func TestSlotOfMatchesPartitionOf(t *testing.T) {
-	// PartitionOf is definitionally the default slot layout; the identity
-	// must hold for every partition count, not just powers of two.
+	// The default slot layout reproduces the static hash layout exactly for
+	// the slot-aligned partition counts — the precondition for adopting slot
+	// routing on a live deployment without re-homing keys.
+	f := func(key string, nRaw uint8) bool {
+		for n := 1; n <= NumSlots; n *= 2 {
+			if !SlotAligned(n) {
+				return false
+			}
+			if DefaultMap(n).OwnerOf(key) != PartitionOf(key, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{3, 5, 6, 7, 24, 100} {
+		if SlotAligned(n) {
+			t.Fatalf("SlotAligned(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestPartitionOfMatchesSeedLayout(t *testing.T) {
+	// PartitionOf must stay byte-for-byte the pre-slot-table mapping
+	// (fnv32a(key) % n) for EVERY partition count: durable deployments from
+	// before the refactor restart onto this code and their WAL-recovered
+	// stores hold keys placed by that layout.
 	f := func(key string, nRaw uint8) bool {
 		n := 1 + int(nRaw%64)
-		return DefaultMap(n).OwnerOf(key) == PartitionOf(key, n)
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(key))
+		return PartitionOf(key, n) == int(h.Sum32()%uint32(n))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
