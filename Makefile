@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-recovery race-catchup race-membership race-reshard race-chaos check bench
+.PHONY: all vet build test race race-recovery race-catchup race-membership race-reshard race-frontdoor race-chaos check bench
 
 all: check
 
@@ -41,6 +41,13 @@ race-membership:
 race-reshard:
 	$(GO) test -race -count=1 -run 'Split|MoveSlots|Slot|Reshard' ./internal/keyspace/... ./internal/cluster/... ./internal/kvserver/...
 
+# Guards the binary front door: the pipelined serving path (per-session FIFO
+# workers, out-of-order completion across sessions, single coalescing writer)
+# and the client pool (in-flight table, multiplexed sessions) under -race,
+# including the blocked-GET no-stall and restart/reshard churn scenarios.
+race-frontdoor:
+	$(GO) test -race -count=1 -run 'FrontDoor|TextLarge' ./internal/kvserver/ ./internal/client/ ./internal/wire/
+
 # The chaos plane: a ~30 s seeded fault-injection soak (crash/restarts,
 # DC kills + forced removal, join/leave churn, link flaps, latency
 # reprofiles) with live causal checking, under -race. Override CHAOS_SEED to
@@ -48,7 +55,7 @@ race-reshard:
 race-chaos:
 	CHAOS_SECONDS=$${CHAOS_SECONDS:-30} $(GO) test -race -count=1 -v -run 'TestChaosSoak' ./internal/chaos/
 
-check: vet build test race race-recovery race-catchup race-membership race-reshard race-chaos
+check: vet build test race race-recovery race-catchup race-membership race-reshard race-frontdoor race-chaos
 
 # Hot-path microbenchmarks (the numbers tracked across PRs), published as a
 # dated JSON trajectory: `make bench` runs the Fig-adjacent cluster
@@ -60,6 +67,7 @@ bench:
 	{ \
 	  $(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC|BenchmarkCatchUpThroughput|BenchmarkDurablePut|BenchmarkCatchUpSmallGap|BenchmarkReshardThroughput' -benchmem . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkWireCodec' -benchmem ./internal/wire/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFrontDoorText|BenchmarkFrontDoorPipelined|BenchmarkFrontDoorPooled' -benchmem ./internal/kvserver/ && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSlotRouting' -benchmem ./internal/keyspace/ && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkVClockOps|BenchmarkStorage' -benchmem ./internal/vclock/ ./internal/storage/ ; \
 	} | tee /dev/stderr | $(GO) run ./cmd/benchjson -date $(BENCH_DATE) > $(BENCH_OUT)

@@ -1,6 +1,11 @@
 // Command pocccli is a line client for a pocckv server: it connects to one
 // data center's port and forwards commands, printing replies.
 //
+// By default it speaks the binary front-door protocol through a pooled
+// connection (the fast path pocckv serves alongside the text protocol);
+// -text falls back to the legacy line protocol, byte for byte what a telnet
+// session would send.
+//
 //	pocccli -addr 127.0.0.1:7070
 //	> put user:1 ada
 //	OK
@@ -15,6 +20,8 @@ import (
 	"net"
 	"os"
 	"strings"
+
+	"repro/internal/client"
 )
 
 func main() {
@@ -23,15 +30,122 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:7070", "pocckv data-center address")
+	text := flag.Bool("text", false, "use the legacy line-text protocol instead of the binary front door")
 	flag.Parse()
 
-	conn, err := net.Dial("tcp", *addr)
+	if *text {
+		return runText(*addr)
+	}
+	pool, err := client.DialPool(client.PoolConfig{Addr: *addr, Conns: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer pool.Close()
+	sess := pool.Session()
+	if err := sess.Ping(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("connected to %s (binary front door)\n", *addr)
+
+	stdin := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !stdin.Scan() {
+			fmt.Println()
+			return 0
+		}
+		line := strings.TrimSpace(stdin.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			fmt.Println("BYE")
+			return 0
+		}
+		for _, out := range runBinary(sess, line) {
+			fmt.Println(out)
+		}
+	}
+}
+
+// runBinary executes one REPL line against a front-door session, rendering
+// replies in the text protocol's familiar shapes.
+func runBinary(sess *client.RemoteSession, line string) []string {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "PING":
+		if err := sess.Ping(); err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		return []string{"PONG"}
+	case "PUT":
+		key, value, ok := strings.Cut(rest, " ")
+		if !ok || key == "" {
+			return []string{"ERR usage: PUT <key> <value>"}
+		}
+		if err := sess.Put(key, []byte(value)); err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		return []string{"OK"}
+	case "GET":
+		key := strings.TrimSpace(rest)
+		if key == "" {
+			return []string{"ERR usage: GET <key>"}
+		}
+		v, err := sess.Get(key)
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		if v == nil {
+			return []string{"NIL"}
+		}
+		return []string{"VALUE " + string(v)}
+	case "TX":
+		keys := strings.Fields(rest)
+		if len(keys) == 0 {
+			return []string{"ERR usage: TX <key> [key...]"}
+		}
+		vals, err := sess.ROTx(keys)
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		out := make([]string, 0, len(keys)+1)
+		for _, k := range keys {
+			if vals[k] == nil {
+				out = append(out, "TXNIL "+k)
+			} else {
+				out = append(out, "TXVAL "+k+" "+string(vals[k]))
+			}
+		}
+		return append(out, "TXEND")
+	case "STATS":
+		text, err := sess.Stats()
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		return strings.Split(text, "\n")
+	default:
+		// Everything else (WHEREIS/SPLIT/MOVESLOTS/SLOTS/JOIN/LEAVE/EVICT)
+		// rides the admin frame; the server enforces its allow-list.
+		text, err := sess.Admin(line)
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		return strings.Split(text, "\n")
+	}
+}
+
+// runText is the legacy raw loop: lines out, lines in.
+func runText(addr string) int {
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	defer func() { _ = conn.Close() }()
-	fmt.Printf("connected to %s\n", *addr)
+	fmt.Printf("connected to %s (text protocol)\n", addr)
 
 	serverReader := bufio.NewReader(conn)
 	stdin := bufio.NewScanner(os.Stdin)
@@ -50,7 +164,7 @@ func run() int {
 			return 1
 		}
 		upper := strings.ToUpper(line)
-		multiline := strings.HasPrefix(upper, "TX ")
+		multiline := strings.HasPrefix(upper, "TX ") || upper == "SLOTS"
 		for {
 			resp, err := serverReader.ReadString('\n')
 			if err != nil {
@@ -59,7 +173,7 @@ func run() int {
 			}
 			resp = strings.TrimRight(resp, "\n")
 			fmt.Println(resp)
-			if !multiline || resp == "TXEND" || strings.HasPrefix(resp, "ERR") {
+			if !multiline || resp == "TXEND" || resp == "SLOTEND" || strings.HasPrefix(resp, "ERR") {
 				break
 			}
 		}

@@ -1,7 +1,10 @@
 // Command pocckv runs a geo-replicated causal key-value store and serves it
 // over TCP, one port per data center. Clients connect to "their" data
-// center's port and speak the line protocol documented in
-// internal/kvserver (PUT/GET/TX/STATS — try it with telnet or cmd/pocccli).
+// center's port and speak either protocol the listener serves: the
+// pipelined binary front door (what cmd/pocccli and internal/client.Pool
+// use — multiplexed sessions, out-of-order completion) or the line protocol
+// documented in internal/kvserver (PUT/GET/TX/STATS — try it with telnet or
+// pocccli -text).
 //
 //	pocckv -engine pocc -dcs 3 -partitions 8 -port 7070
 //
@@ -157,7 +160,7 @@ func run() int {
 	if *dataDir != "" {
 		fmt.Printf("durable storage under %s\n", *dataDir)
 	}
-	fmt.Printf("engine=%s partitions=%d (Ctrl-C to stop)\n", engine, *partitions)
+	fmt.Printf("engine=%s partitions=%d protocols=binary+text (Ctrl-C to stop)\n", engine, *partitions)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -245,6 +245,34 @@
 // commands, occ.Store.SlotTable and poccshell split/moveslots/slots expose
 // the same operations; make race-reshard guards the path under -race.
 //
+// # The front door
+//
+// Deployments served over TCP (internal/kvserver) speak two protocols on
+// the same listener, negotiated by the first byte of each connection: a
+// line-oriented text protocol (telnet-friendly, one blocking round trip per
+// command) and, when the connection opens with wire.FrontDoorMagic, the
+// binary front door — the production serving path. Binary connections carry
+// a stream of length-prefixed request frames (internal/wire/frontdoor.go),
+// each tagged with a request id and a client-chosen wire-session id, over
+// the same zero-allocation codec the replication plane uses. Three rules
+// shape the server: requests of one wire session execute in FIFO order (a
+// session is a single thread of execution in the causality order); requests
+// of different sessions complete out of order, so an optimistic GET parked
+// in a dependency wait never head-of-line-blocks the other sessions
+// multiplexed on the connection; and one writer goroutine owns the socket's
+// write side, coalescing whatever responses are ready into a single write
+// per batch. The client half (internal/client.Pool) holds a few pooled
+// connections per data center, multiplexes RemoteSessions onto them
+// round-robin, matches responses to in-flight requests by id, reconstructs
+// canonical error values from wire codes (errors.Is works across the wire),
+// and retries through reshard fences under the same slot-retry budget as
+// in-process sessions. Sizing: a handful of connections saturates a
+// listener; throughput comes from pipelining depth, not socket count.
+// Pipelined throughput on one connection measures >5x the text protocol's
+// (BenchmarkFrontDoorPipelined, enforced by TestFrontDoorPipelinedSpeedup;
+// make race-frontdoor guards the path under -race). pocccli and poccbench's
+// frontdoor experiment ride the binary path; -text falls back.
+//
 // # Chaos plane
 //
 // internal/chaos is the standing fault-injection harness tying the above

@@ -1,0 +1,505 @@
+// The connection pool: the client side of the binary front door. A Pool
+// holds a few TCP connections to one kvserver listener (one data center) and
+// multiplexes many RemoteSessions onto them — the paper's model of many
+// client threads attached to one DC, without a socket per thread.
+//
+// Each connection runs a writer goroutine (coalescing queued request frames
+// into one write per batch — the pipelining primitive) and a reader
+// goroutine (matching response frames to in-flight requests by request id;
+// the server completes requests out of order, so the table, not arrival
+// order, ties responses back). A RemoteSession's synchronous operations ride
+// the same slot-epoch retry policy as the in-process Session: a reshard
+// rejection is retried with fresh routing (server-side) until
+// SlotRetryBudget expires.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+const (
+	// defaultPoolConns is the default socket count per DC. A handful of
+	// connections saturates a listener long before a socket per session
+	// would; request pipelining does the rest.
+	defaultPoolConns = 4
+	// poolWriteQueue bounds the per-connection queue of requests awaiting
+	// the writer. Deep enough for a few hundred pipelined requests in
+	// flight, shallow enough to apply backpressure to a runaway producer.
+	poolWriteQueue = 1024
+	// poolFlushBytes caps one coalesced write batch, mirroring the
+	// server-side writer.
+	poolFlushBytes = 256 * 1024
+)
+
+// ErrPoolClosed is returned by operations on a closed Pool.
+var ErrPoolClosed = errors.New("client: pool closed")
+
+// PoolConfig parameterizes a Pool.
+type PoolConfig struct {
+	// Addr is the kvserver listener address of one data center.
+	Addr string
+	// Conns is how many TCP connections to open. 0 selects a default of 4.
+	Conns int
+	// DialTimeout bounds each connection attempt. 0 selects 5s.
+	DialTimeout time.Duration
+	// SlotRetryBudget bounds how long one synchronous operation keeps
+	// retrying through ErrWrongSlotEpoch while a reshard migrates its key's
+	// slot. 0 selects the same 60s default as the in-process session.
+	SlotRetryBudget time.Duration
+}
+
+// Pool is a set of pooled binary-protocol connections to one kvserver
+// listener. It is safe for concurrent use.
+type Pool struct {
+	cfg         PoolConfig
+	conns       []*poolConn
+	nextConn    atomic.Uint64 // round-robin session placement
+	nextSession atomic.Uint64
+	closed      atomic.Bool
+}
+
+// DialPool opens the pool's connections. It fails fast: if any connection
+// cannot be established, everything is torn down.
+func DialPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = defaultPoolConns
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.SlotRetryBudget <= 0 {
+		cfg.SlotRetryBudget = defaultSlotRetryBudget
+	}
+	p := &Pool{cfg: cfg}
+	for i := 0; i < cfg.Conns; i++ {
+		pc, err := dialPoolConn(cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.conns = append(p.conns, pc)
+	}
+	return p, nil
+}
+
+// Close closes every connection; in-flight calls complete with an error.
+func (p *Pool) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, pc := range p.conns {
+		pc.fail(ErrPoolClosed)
+	}
+}
+
+// Session opens a RemoteSession, multiplexed onto one of the pool's
+// connections round-robin. Sessions are cheap (an id and a counter slot on
+// the server); open one per client thread of execution.
+func (p *Pool) Session() *RemoteSession {
+	pc := p.conns[p.nextConn.Add(1)%uint64(len(p.conns))]
+	return &RemoteSession{pool: p, pc: pc, id: p.nextSession.Add(1)}
+}
+
+// RemoteError is an error reported by the server over the front door. It
+// unwraps to the canonical error value its code names, so errors.Is works
+// across the wire exactly as it does in-process.
+type RemoteError struct {
+	Code byte
+	Text string
+}
+
+func (e *RemoteError) Error() string { return e.Text }
+
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case wire.FDCodeWrongSlotEpoch:
+		return core.ErrWrongSlotEpoch
+	case wire.FDCodeSessionClosed:
+		return core.ErrSessionClosed
+	case wire.FDCodeStopped:
+		return core.ErrStopped
+	case wire.FDCodeNoDataCenter:
+		return ErrNoDataCenter
+	}
+	return nil
+}
+
+// Call is one in-flight front-door request. Issue many before waiting to
+// pipeline them on the session's connection. The request rides inside the
+// Call so one allocation covers the whole round trip.
+type Call struct {
+	req  wire.FrontDoorRequest
+	resp wire.FrontDoorResponse
+	err  error
+	once sync.Once
+	done chan struct{}
+}
+
+// complete finishes the call exactly once. A call can race two outcomes —
+// its response arriving while the connection is being torn down — and the
+// first completion wins; either way the caller learns the connection died
+// or got its answer, both acceptable for an op that raced the teardown.
+func (c *Call) complete(resp wire.FrontDoorResponse, err error) {
+	c.once.Do(func() {
+		c.resp, c.err = resp, err
+		close(c.done)
+	})
+}
+
+// Done is closed when the call completes.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Wait blocks for completion and returns the response. A server-reported
+// error (FDErr) surfaces as a *RemoteError.
+func (c *Call) Wait() (wire.FrontDoorResponse, error) {
+	<-c.done
+	if c.err != nil {
+		return wire.FrontDoorResponse{}, c.err
+	}
+	if c.resp.Kind == wire.FDErr {
+		return wire.FrontDoorResponse{}, &RemoteError{Code: c.resp.Code, Text: c.resp.Text}
+	}
+	return c.resp, nil
+}
+
+// RemoteSession is one client session multiplexed onto a pooled connection.
+// Like the in-process Session, use it from one goroutine at a time for its
+// operations to form a single thread of execution — different sessions of
+// the same pool are fully independent.
+type RemoteSession struct {
+	pool *Pool
+	pc   *poolConn
+	id   uint64
+}
+
+// PingAsync issues a liveness check.
+func (s *RemoteSession) PingAsync() *Call {
+	return s.pc.send(wire.FrontDoorRequest{Op: wire.FDPing, Session: s.id})
+}
+
+// PutAsync issues a write without waiting for it.
+func (s *RemoteSession) PutAsync(key string, value []byte) *Call {
+	return s.pc.send(wire.FrontDoorRequest{Op: wire.FDPut, Session: s.id, Key: key, Value: value})
+}
+
+// GetAsync issues a read without waiting for it.
+func (s *RemoteSession) GetAsync(key string) *Call {
+	return s.pc.send(wire.FrontDoorRequest{Op: wire.FDGet, Session: s.id, Key: key})
+}
+
+// ROTxAsync issues a read-only transaction without waiting for it.
+func (s *RemoteSession) ROTxAsync(keys []string) *Call {
+	return s.pc.send(wire.FrontDoorRequest{Op: wire.FDROTx, Session: s.id, Keys: keys})
+}
+
+// StatsAsync requests the server's stats line.
+func (s *RemoteSession) StatsAsync() *Call {
+	return s.pc.send(wire.FrontDoorRequest{Op: wire.FDStats, Session: s.id})
+}
+
+// AdminAsync runs one admin command line (WHEREIS/SPLIT/MOVESLOTS/SLOTS/
+// JOIN/LEAVE/EVICT/STATS).
+func (s *RemoteSession) AdminAsync(line string) *Call {
+	return s.pc.send(wire.FrontDoorRequest{Op: wire.FDAdmin, Session: s.id, Line: line})
+}
+
+// Ping checks liveness.
+func (s *RemoteSession) Ping() error {
+	_, err := s.PingAsync().Wait()
+	return err
+}
+
+// Put writes key=value, retrying through reshard rejections within the
+// pool's SlotRetryBudget.
+func (s *RemoteSession) Put(key string, value []byte) error {
+	var deadline time.Time
+	for {
+		_, err := s.PutAsync(key, value).Wait()
+		if err == nil {
+			return nil
+		}
+		if !s.retrySlotEpoch(err, &deadline) {
+			return err
+		}
+	}
+}
+
+// Get reads key; nil means the key has no visible version.
+func (s *RemoteSession) Get(key string) ([]byte, error) {
+	var deadline time.Time
+	for {
+		resp, err := s.GetAsync(key).Wait()
+		if err == nil {
+			if !resp.Exists {
+				return nil, nil
+			}
+			return resp.Value, nil
+		}
+		if !s.retrySlotEpoch(err, &deadline) {
+			return nil, err
+		}
+	}
+}
+
+// ROTx reads keys atomically from a causal snapshot; missing keys map to
+// nil, matching the in-process Session.
+func (s *RemoteSession) ROTx(keys []string) (map[string][]byte, error) {
+	var deadline time.Time
+	for {
+		resp, err := s.ROTxAsync(keys).Wait()
+		if err == nil {
+			out := make(map[string][]byte, len(resp.Items))
+			for _, it := range resp.Items {
+				if it.Exists {
+					out[it.Key] = it.Value
+				} else {
+					out[it.Key] = nil
+				}
+			}
+			return out, nil
+		}
+		if !s.retrySlotEpoch(err, &deadline) {
+			return nil, err
+		}
+	}
+}
+
+// Stats returns the raw stats line.
+func (s *RemoteSession) Stats() (string, error) {
+	resp, err := s.StatsAsync().Wait()
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// Admin runs one admin command line and returns its text output.
+func (s *RemoteSession) Admin(line string) (string, error) {
+	resp, err := s.AdminAsync(line).Wait()
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// retrySlotEpoch is the pool twin of Session.handleSlotEpoch: pace retries
+// through a reshard's drain, bounded by the pool's budget.
+func (s *RemoteSession) retrySlotEpoch(err error, deadline *time.Time) bool {
+	if !errors.Is(err, core.ErrWrongSlotEpoch) {
+		return false
+	}
+	if deadline.IsZero() {
+		*deadline = time.Now().Add(s.pool.cfg.SlotRetryBudget)
+	} else if time.Now().After(*deadline) {
+		return false
+	}
+	time.Sleep(slotRetryDelay)
+	return true
+}
+
+// poolConn is one pooled connection: a writer goroutine coalescing queued
+// frames, a reader goroutine completing in-flight calls by request id.
+type poolConn struct {
+	conn   net.Conn
+	wq     chan *Call
+	dead   chan struct{}
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	inflight map[uint64]*Call
+	err      error // sticky death reason
+}
+
+func dialPoolConn(addr string, timeout time.Duration) (*poolConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial pool: %w", err)
+	}
+	// The magic byte selects the binary protocol on the server; everything
+	// after it is frames.
+	if _, err := conn.Write([]byte{wire.FrontDoorMagic}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("client: dial pool: %w", err)
+	}
+	pc := &poolConn{
+		conn:     conn,
+		wq:       make(chan *Call, poolWriteQueue),
+		dead:     make(chan struct{}),
+		inflight: make(map[uint64]*Call),
+	}
+	go pc.writer()
+	go pc.reader()
+	return pc, nil
+}
+
+// send queues one request and returns its Call handle. On a dead connection
+// the call completes immediately with the death reason.
+func (pc *poolConn) send(req wire.FrontDoorRequest) *Call {
+	req.ID = pc.nextID.Add(1)
+	call := &Call{req: req, done: make(chan struct{})}
+	select {
+	case pc.wq <- call: // non-blocking fast path: the queue has room
+	default:
+		select {
+		case pc.wq <- call:
+		case <-pc.dead:
+			call.complete(wire.FrontDoorResponse{}, pc.deathErr())
+			return call
+		}
+	}
+	// The writer may have died (and drained the queue) between the enqueue
+	// and now; complete the stranded call ourselves. If the writer did pick
+	// it up, completion is idempotent.
+	select {
+	case <-pc.dead:
+		call.complete(wire.FrontDoorResponse{}, pc.deathErr())
+	default:
+	}
+	return call
+}
+
+// writer registers each call in the in-flight table (before the bytes hit
+// the wire, so the reader can never see a response for an unknown id),
+// coalesces whatever is queued into one buffer, and issues one write per
+// batch. The whole batch registers under one lock acquisition.
+func (pc *poolConn) writer() {
+	var scratch []byte
+	batch := make([]*Call, 0, 64)
+	for {
+		var c *Call
+		select {
+		case c = <-pc.wq:
+		case <-pc.dead:
+			pc.drainQueue()
+			return
+		}
+		batch = append(batch[:0], c)
+		scratch = wire.AppendFrontDoorRequest(scratch[:0], &c.req)
+	coalesce:
+		for len(scratch) < poolFlushBytes {
+			select {
+			case more := <-pc.wq:
+				batch = append(batch, more)
+				scratch = wire.AppendFrontDoorRequest(scratch, &more.req)
+			default:
+				break coalesce
+			}
+		}
+		pc.mu.Lock()
+		if pc.err != nil {
+			// The connection died while the batch was being staged; the
+			// swapped-out in-flight table will never see these calls, so
+			// complete them here.
+			err := pc.err
+			pc.mu.Unlock()
+			for _, b := range batch {
+				b.complete(wire.FrontDoorResponse{}, err)
+			}
+			pc.drainQueue()
+			return
+		}
+		for _, b := range batch {
+			pc.inflight[b.req.ID] = b
+		}
+		pc.mu.Unlock()
+		if _, err := pc.conn.Write(scratch); err != nil {
+			pc.fail(fmt.Errorf("client: pool write: %w", err))
+			pc.drainQueue()
+			return
+		}
+	}
+}
+
+// drainQueue fails whatever was queued behind a dead connection.
+func (pc *poolConn) drainQueue() {
+	for {
+		select {
+		case c := <-pc.wq:
+			c.complete(wire.FrontDoorResponse{}, pc.deathErr())
+		default:
+			return
+		}
+	}
+}
+
+// reader completes in-flight calls as response frames arrive — in whatever
+// order the server finished them. Frames already sitting in the read buffer
+// (the server coalesces its writes, so they arrive in runs) are decoded
+// together and resolved against the in-flight table under one lock.
+func (pc *poolConn) reader() {
+	br := bufio.NewReader(pc.conn)
+	var buf []byte
+	type arrival struct {
+		resp wire.FrontDoorResponse
+		call *Call
+	}
+	batch := make([]arrival, 0, 64)
+	for {
+		batch = batch[:0]
+		for {
+			frame, err := wire.ReadFrontDoorFrame(br, buf)
+			if err != nil {
+				pc.fail(fmt.Errorf("client: pool read: %w", err))
+				return
+			}
+			buf = frame[:0]
+			resp, err := wire.DecodeFrontDoorResponse(frame)
+			if err != nil {
+				pc.fail(fmt.Errorf("client: pool decode: %w", err))
+				return
+			}
+			batch = append(batch, arrival{resp: resp})
+			if br.Buffered() == 0 || len(batch) >= 256 {
+				break
+			}
+		}
+		pc.mu.Lock()
+		for i := range batch {
+			id := batch[i].resp.ID
+			batch[i].call = pc.inflight[id]
+			delete(pc.inflight, id)
+		}
+		pc.mu.Unlock()
+		for i := range batch {
+			if batch[i].call != nil {
+				batch[i].call.complete(batch[i].resp, nil)
+			}
+			batch[i].call = nil
+		}
+	}
+}
+
+// fail kills the connection once: records the reason, releases the writer,
+// closes the socket (releasing the reader), and completes every in-flight
+// call with the reason.
+func (pc *poolConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.err != nil {
+		pc.mu.Unlock()
+		return
+	}
+	pc.err = err
+	stranded := pc.inflight
+	pc.inflight = make(map[uint64]*Call)
+	pc.mu.Unlock()
+	close(pc.dead)
+	_ = pc.conn.Close()
+	for _, call := range stranded {
+		call.complete(wire.FrontDoorResponse{}, err)
+	}
+}
+
+func (pc *poolConn) deathErr() error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.err
+}

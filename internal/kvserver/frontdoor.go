@@ -1,0 +1,296 @@
+package kvserver
+
+// The binary front door: the pipelined, multiplexed serving path. A
+// connection that opens with wire.FrontDoorMagic carries a stream of
+// length-prefixed request frames (see internal/wire/frontdoor.go) instead of
+// text lines. Three rules shape the implementation:
+//
+//  1. Requests of one wire session execute in FIFO order — a session is a
+//     single thread of execution in the causality order, so reordering
+//     inside a session would break the session guarantees the client
+//     depends on. Each session gets its own worker goroutine and queue.
+//
+//  2. Requests of different sessions complete out of order. A
+//     causally-blocked GET (optimistic reads park in waitVV until the local
+//     partition's version vector catches up) or a slow RO-TX on one session
+//     must not head-of-line-block the pipeline for everyone else. The only
+//     cross-session coupling is backpressure: a session whose queue is full
+//     (fdSessionQueue outstanding requests) stalls the connection reader
+//     until its worker drains.
+//
+//  3. One writer goroutine owns the socket's write side. Workers hand it
+//     finished responses over a channel; it coalesces whatever is ready
+//     into a single buffer and issues one write per batch, so a burst of
+//     pipelined completions costs one syscall, not one per response.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	occ "repro"
+	"repro/internal/wire"
+)
+
+const (
+	// fdSessionQueue bounds the per-session request queue. Deep enough that
+	// a pipelining client with a few hundred requests in flight never stalls
+	// the reader; shallow enough that one runaway session cannot buffer
+	// unbounded work.
+	fdSessionQueue = 1024
+	// fdFlushBytes caps a coalesced write batch. Past this the writer
+	// flushes even with more responses queued, bounding response latency
+	// under sustained load and the scratch buffer's growth.
+	fdFlushBytes = 256 * 1024
+)
+
+// fdAdminCommands is the allow-list of text-protocol commands an FDAdmin
+// frame may run. They are exactly the commands that never touch a client
+// session, so the admin path can reuse handleLine with a nil session.
+var fdAdminCommands = map[string]bool{
+	"WHEREIS": true, "STATS": true, "SPLIT": true, "MOVESLOTS": true,
+	"SLOTS": true, "JOIN": true, "LEAVE": true, "EVICT": true,
+}
+
+type fdConn struct {
+	s    *Server
+	dc   int
+	conn net.Conn
+
+	out  chan wire.FrontDoorResponse // workers -> writer
+	dead chan struct{}               // closed when the writer dies
+	down atomic.Bool                 // set just before dead closes; cheap per-op check
+
+	sessions map[uint64]*fdSession // owned by the reader goroutine
+	workers  sync.WaitGroup
+}
+
+type fdSession struct {
+	sess    *occ.Session
+	sessErr error // Session(dc) failure, reported on every request
+	in      chan wire.FrontDoorRequest
+}
+
+// handleBinaryConn runs one binary front-door connection. The caller has
+// consumed the magic byte; br holds the rest of the stream. It returns when
+// the read side is done and every in-flight request has been answered or
+// abandoned (writer death).
+func (s *Server) handleBinaryConn(dc int, conn net.Conn, br *bufio.Reader) {
+	fd := &fdConn{
+		s: s, dc: dc, conn: conn,
+		out:      make(chan wire.FrontDoorResponse, 1024),
+		dead:     make(chan struct{}),
+		sessions: make(map[uint64]*fdSession),
+	}
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		fd.writer()
+	}()
+
+	var buf []byte
+	for {
+		frame, err := wire.ReadFrontDoorFrame(br, buf)
+		if err != nil {
+			break // EOF or protocol corruption: drop the connection
+		}
+		buf = frame[:0]
+		req, err := wire.DecodeFrontDoorRequest(frame)
+		if err != nil {
+			break
+		}
+		if !fd.dispatch(req) {
+			break // writer died: no way to answer anything anymore
+		}
+	}
+	for _, ss := range fd.sessions {
+		close(ss.in)
+	}
+	fd.workers.Wait()
+	close(fd.out) // writer drains the tail, then exits
+	writerDone.Wait()
+}
+
+// dispatch routes one request to its session's worker, creating session and
+// worker on first use. It reports false when the writer is gone.
+func (fd *fdConn) dispatch(req wire.FrontDoorRequest) bool {
+	ss := fd.sessions[req.Session]
+	if ss == nil {
+		ss = &fdSession{in: make(chan wire.FrontDoorRequest, fdSessionQueue)}
+		ss.sess, ss.sessErr = fd.s.store.Session(fd.dc)
+		fd.sessions[req.Session] = ss
+		fd.workers.Add(1)
+		go func() {
+			defer fd.workers.Done()
+			fd.sessionWorker(ss)
+		}()
+	}
+	// Fast path: a non-blocking send skips selectgo entirely; the queue
+	// almost always has room. Fall back to the two-way select only when the
+	// session's worker is backed up.
+	select {
+	case ss.in <- req:
+		return true
+	default:
+	}
+	select {
+	case ss.in <- req:
+		return true
+	case <-fd.dead:
+		return false
+	}
+}
+
+// sessionWorker executes one session's requests in order.
+func (fd *fdConn) sessionWorker(ss *fdSession) {
+	for req := range ss.in {
+		if fd.down.Load() {
+			continue // connection is gone; drain without executing
+		}
+		resp := fd.execute(ss, &req)
+		select {
+		case fd.out <- resp: // non-blocking fast path
+			continue
+		default:
+		}
+		select {
+		case fd.out <- resp:
+		case <-fd.dead:
+		}
+	}
+}
+
+// writer owns the socket's write side: it coalesces finished responses into
+// one buffer and issues one write per batch. On a write error it closes
+// dead (releasing every worker and the reader) and the connection itself,
+// so the reader unblocks promptly.
+func (fd *fdConn) writer() {
+	defer func() {
+		fd.down.Store(true)
+		close(fd.dead)
+	}()
+	var scratch []byte
+	for resp := range fd.out {
+		scratch = wire.AppendFrontDoorResponse(scratch[:0], &resp)
+	coalesce:
+		for len(scratch) < fdFlushBytes {
+			select {
+			case more, ok := <-fd.out:
+				if !ok {
+					break coalesce
+				}
+				scratch = wire.AppendFrontDoorResponse(scratch, &more)
+			default:
+				break coalesce
+			}
+		}
+		if _, err := fd.conn.Write(scratch); err != nil {
+			_ = fd.conn.Close()
+			return
+		}
+	}
+}
+
+// execute runs one request against its session and builds the response.
+func (fd *fdConn) execute(ss *fdSession, req *wire.FrontDoorRequest) wire.FrontDoorResponse {
+	if ss.sessErr != nil {
+		// The session could not be opened — the DC left the deployment (or
+		// the store is closing). Permanent for this connection.
+		return wire.FrontDoorResponse{
+			Kind: wire.FDErr, ID: req.ID,
+			Code: wire.FDCodeNoDataCenter, Text: ss.sessErr.Error(),
+		}
+	}
+	switch req.Op {
+	case wire.FDPing:
+		return wire.FrontDoorResponse{Kind: wire.FDOK, ID: req.ID}
+	case wire.FDPut:
+		if err := ss.sess.Put(req.Key, req.Value); err != nil {
+			return fdError(req.ID, err)
+		}
+		return wire.FrontDoorResponse{Kind: wire.FDOK, ID: req.ID}
+	case wire.FDGet:
+		v, err := ss.sess.Get(req.Key)
+		if err != nil {
+			return fdError(req.ID, err)
+		}
+		return wire.FrontDoorResponse{
+			Kind: wire.FDValue, ID: req.ID, Exists: v != nil, Value: v,
+		}
+	case wire.FDROTx:
+		items := []wire.FrontDoorTxItem{}
+		if len(req.Keys) > 0 {
+			vals, err := ss.sess.ROTx(req.Keys)
+			if err != nil {
+				return fdError(req.ID, err)
+			}
+			items = make([]wire.FrontDoorTxItem, 0, len(req.Keys))
+			for _, k := range req.Keys {
+				v := vals[k]
+				items = append(items, wire.FrontDoorTxItem{
+					Key: k, Exists: v != nil, Value: v,
+				})
+			}
+		}
+		return wire.FrontDoorResponse{Kind: wire.FDTx, ID: req.ID, Items: items}
+	case wire.FDStats:
+		return fd.runAdminLine(req.ID, "STATS")
+	case wire.FDAdmin:
+		cmd, _, _ := strings.Cut(strings.TrimSpace(req.Line), " ")
+		if !fdAdminCommands[strings.ToUpper(cmd)] {
+			return wire.FrontDoorResponse{
+				Kind: wire.FDErr, ID: req.ID, Code: wire.FDCodeGeneric,
+				Text: "not an admin command: " + cmd,
+			}
+		}
+		return fd.runAdminLine(req.ID, req.Line)
+	default:
+		return wire.FrontDoorResponse{
+			Kind: wire.FDErr, ID: req.ID, Code: wire.FDCodeGeneric,
+			Text: "unknown op",
+		}
+	}
+}
+
+// runAdminLine reuses the text-protocol command dispatch for admin frames:
+// the line's text output (possibly multi-line, e.g. SLOTS) becomes an
+// FDText payload. Only allow-listed commands reach here, none of which use
+// the session argument.
+func (fd *fdConn) runAdminLine(id uint64, line string) wire.FrontDoorResponse {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	fd.s.handleLine(w, nil, line)
+	_ = w.Flush()
+	text := strings.TrimRight(buf.String(), "\n")
+	if strings.HasPrefix(text, "ERR ") {
+		return wire.FrontDoorResponse{
+			Kind: wire.FDErr, ID: id, Code: wire.FDCodeGeneric,
+			Text: strings.TrimPrefix(text, "ERR "),
+		}
+	}
+	return wire.FrontDoorResponse{Kind: wire.FDText, ID: id, Text: text}
+}
+
+// fdError maps an operation error onto an FDErr response with a
+// machine-readable code, so the client pool can reconstruct the canonical
+// error value (errors.Is works on the far side) and drive retry policy
+// without string matching.
+func fdError(id uint64, err error) wire.FrontDoorResponse {
+	code := wire.FDCodeGeneric
+	switch {
+	case errors.Is(err, occ.ErrWrongSlotEpoch):
+		code = wire.FDCodeWrongSlotEpoch
+	case errors.Is(err, occ.ErrSessionClosed):
+		code = wire.FDCodeSessionClosed
+	case errors.Is(err, occ.ErrStopped):
+		code = wire.FDCodeStopped
+	}
+	return wire.FrontDoorResponse{
+		Kind: wire.FDErr, ID: id, Code: code, Text: err.Error(),
+	}
+}

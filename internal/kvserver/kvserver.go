@@ -53,6 +53,7 @@ import (
 	"time"
 
 	occ "repro"
+	"repro/internal/wire"
 )
 
 // Server serves a store over TCP.
@@ -176,6 +177,12 @@ func (s *Server) acceptLoop(dc int, l net.Listener) {
 	}
 }
 
+// maxTextLine bounds one text-protocol line. A longer line gets an "ERR too
+// long" reply (and then loses the connection: the scanner cannot resync
+// mid-token). Values beyond this belong on the binary front door, whose
+// frames go up to wire.MaxFrontDoorFrame.
+const maxTextLine = 1024 * 1024
+
 func (s *Server) handleConn(dc int, conn net.Conn) {
 	defer func() {
 		_ = conn.Close()
@@ -183,6 +190,19 @@ func (s *Server) handleConn(dc int, conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	// Negotiate the protocol on the first byte: wire.FrontDoorMagic selects
+	// the binary pipelined front door, anything else (printable ASCII) is a
+	// legacy text-protocol line.
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wire.FrontDoorMagic {
+		_, _ = br.ReadByte()
+		s.handleBinaryConn(dc, conn, br)
+		return
+	}
 	sess, err := s.store.Session(dc)
 	w := bufio.NewWriter(conn)
 	if err != nil {
@@ -190,8 +210,8 @@ func (s *Server) handleConn(dc int, conn net.Conn) {
 		_ = w.Flush()
 		return
 	}
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	scanner := bufio.NewScanner(br)
+	scanner.Buffer(make([]byte, 64*1024), maxTextLine)
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
 		if line == "" {
@@ -204,6 +224,12 @@ func (s *Server) handleConn(dc int, conn net.Conn) {
 		if quit {
 			return
 		}
+	}
+	// A line past maxTextLine used to kill the connection silently; tell the
+	// client what happened before hanging up.
+	if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+		fmt.Fprintln(w, "ERR too long")
+		_ = w.Flush()
 	}
 }
 

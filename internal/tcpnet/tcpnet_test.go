@@ -1,10 +1,12 @@
 package tcpnet
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/item"
 	"repro/internal/msg"
 	"repro/internal/netemu"
 	"repro/internal/vclock"
@@ -251,6 +253,54 @@ func TestManySendersOneReceiver(t *testing.T) {
 			if ts != vclock.Timestamp(j+1) {
 				t.Fatalf("src %v: FIFO violated at %d", src, j)
 			}
+		}
+	}
+}
+
+// TestBurstDrainsInBatches floods one link with a burst far larger than any
+// single write: the batched drain must deliver every message, in order,
+// payloads intact. The burst is enqueued as fast as possible so the writer
+// observes multi-message backlogs (the batch path), including while it is
+// still dialing.
+func TestBurstDrainsInBatches(t *testing.T) {
+	a, b := pair(t)
+	const count = 3000
+	var mu sync.Mutex
+	var got []msg.ReplicateBatch
+	b.SetHandler(func(_ netemu.NodeID, m any) {
+		mu.Lock()
+		got = append(got, m.(msg.ReplicateBatch))
+		mu.Unlock()
+	})
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 1; i <= count; i++ {
+		a.Send(b.ID(), msg.ReplicateBatch{
+			Seq: uint64(i),
+			Versions: []*item.Version{{
+				Key: "burst", Value: payload, UpdateTime: vclock.Timestamp(i),
+			}},
+		})
+	}
+	if !waitCond(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == count
+	}) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("delivered %d of %d", len(got), count)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, m := range got {
+		if m.Seq != uint64(i+1) {
+			t.Fatalf("position %d holds seq %d: FIFO violated", i, m.Seq)
+		}
+		if len(m.Versions) != 1 || !bytes.Equal(m.Versions[0].Value, payload) {
+			t.Fatalf("payload corrupted at %d", i)
 		}
 	}
 }

@@ -1,0 +1,330 @@
+// The front-door protocol: the framed binary request/response format the
+// kvserver serving path speaks to external clients (internal/client's
+// connection pool, cmd/pocccli). It reuses the binary codec's framing and
+// primitive encodings — every frame is
+//
+//	uvarint(payload length) || payload
+//
+// — but carries client operations instead of replication-plane messages.
+//
+// A request payload is
+//
+//	byte(op) || uvarint(request id) || uvarint(session id) || fields
+//
+// and a response payload is
+//
+//	byte(kind) || uvarint(request id) || fields
+//
+// The request id ties a response back to its request: many requests may be
+// in flight on one connection, and the server completes them out of order
+// (a causally-blocked GET never stalls requests of other sessions behind
+// it), so responses carry no positional meaning. The session id multiplexes
+// many client sessions onto one connection: requests of one session execute
+// in FIFO order (a session is a single thread of execution in the causality
+// order), requests of different sessions execute independently.
+//
+// A binary connection is negotiated by its first byte: a client opens with
+// FrontDoorMagic (0xB1, never the first byte of a text-protocol line), and
+// everything after it is frames. Connections that open with anything else
+// speak the legacy line-text protocol.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// FrontDoorMagic is the first byte of a binary front-door connection. Text
+// protocol lines start with printable ASCII, so the byte unambiguously
+// selects the protocol.
+const FrontDoorMagic = 0xB1
+
+// MaxFrontDoorFrame bounds a front-door frame so a corrupted length prefix
+// cannot ask either side to allocate gigabytes. 16 MiB comfortably fits the
+// largest legal request (a PUT value) and response (a wide RO-TX).
+const MaxFrontDoorFrame = 1 << 24
+
+// Front-door request ops.
+const (
+	// FDPing checks liveness; the reply is FDOK.
+	FDPing byte = iota + 1
+	// FDPut writes Key=Value on the request's session; the reply is FDOK.
+	FDPut
+	// FDGet reads Key; the reply is FDValue.
+	FDGet
+	// FDROTx reads Keys atomically from a causal snapshot; the reply is FDTx.
+	FDROTx
+	// FDStats returns the server's stats line; the reply is FDText.
+	FDStats
+	// FDAdmin runs one admin command line (WHEREIS/SPLIT/MOVESLOTS/SLOTS/
+	// JOIN/LEAVE/EVICT/STATS) and returns its text-protocol output verbatim
+	// as FDText — possibly multi-line (SLOTS).
+	FDAdmin
+)
+
+// Front-door response kinds.
+const (
+	// FDOK acknowledges a request with no payload (PUT, PING).
+	FDOK byte = iota + 1
+	// FDErr reports a failure: a machine-readable code plus the error text.
+	FDErr
+	// FDValue answers a GET: an exists flag and the value bytes.
+	FDValue
+	// FDTx answers an RO-TX: one item per requested key, in request order.
+	FDTx
+	// FDText carries a text payload (STATS line, admin command output).
+	FDText
+)
+
+// Machine-readable error codes on FDErr responses. Clients use them to
+// re-map wire errors onto the canonical error values (errors.Is works again
+// on the far side of the connection) and to drive retry policy without
+// string matching.
+const (
+	// FDCodeGeneric is any error without a dedicated code.
+	FDCodeGeneric byte = iota
+	// FDCodeWrongSlotEpoch: the key's slot moved mid-reshard and the
+	// server-side retry budget expired. Retryable — the client pool keeps
+	// retrying within its own SlotRetryBudget.
+	FDCodeWrongSlotEpoch
+	// FDCodeSessionClosed: the server closed the session (HA-POCC suspected
+	// a network partition). The client must re-initialize its session state.
+	FDCodeSessionClosed
+	// FDCodeStopped: the operation raced a stopping or restarting server.
+	// Transient — retry once the server is back.
+	FDCodeStopped
+	// FDCodeNoDataCenter: the session's data center left the deployment.
+	// Permanent — open a session against a surviving DC.
+	FDCodeNoDataCenter
+)
+
+// FrontDoorRequest is one decoded request frame. Op selects which fields
+// are meaningful: Key+Value for FDPut, Key for FDGet, Keys for FDROTx, Line
+// for FDAdmin.
+type FrontDoorRequest struct {
+	Op      byte
+	ID      uint64 // request id, echoed on the response
+	Session uint64 // session id, multiplexing key on the connection
+	Key     string
+	Value   []byte
+	Keys    []string
+	Line    string
+}
+
+// FrontDoorTxItem is one RO-TX result item.
+type FrontDoorTxItem struct {
+	Key    string
+	Exists bool
+	Value  []byte
+}
+
+// FrontDoorResponse is one decoded response frame. Kind selects which
+// fields are meaningful: Code+Text for FDErr, Exists+Value for FDValue,
+// Items for FDTx, Text for FDText.
+type FrontDoorResponse struct {
+	Kind   byte
+	ID     uint64 // the request this answers
+	Code   byte   // FDErr: machine-readable error code
+	Exists bool   // FDValue: false means the key has no visible version
+	Value  []byte
+	Items  []FrontDoorTxItem
+	Text   string // FDText payload or FDErr message
+}
+
+// AppendFrontDoorRequest appends one complete request frame (length prefix
+// included) to dst and returns the extended slice. Appending to a reused
+// buffer makes the steady-state encode path allocation-free, and many
+// frames appended to one buffer reach the socket in a single write — the
+// client-side pipelining primitive.
+func AppendFrontDoorRequest(dst []byte, r *FrontDoorRequest) []byte {
+	base := len(dst)
+	// Reserve a maximal length prefix, encode the payload after it, then
+	// fix the prefix up. 4 bytes of uvarint cover frames up to 256 MiB.
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, r.Op)
+	dst = appendUint(dst, r.ID)
+	dst = appendUint(dst, r.Session)
+	switch r.Op {
+	case FDPut:
+		dst = appendString(dst, r.Key)
+		dst = appendBytes(dst, r.Value)
+	case FDGet:
+		dst = appendString(dst, r.Key)
+	case FDROTx:
+		if r.Keys == nil {
+			dst = appendUint(dst, 0)
+		} else {
+			dst = appendUint(dst, uint64(len(r.Keys))+1)
+			for _, k := range r.Keys {
+				dst = appendString(dst, k)
+			}
+		}
+	case FDAdmin:
+		dst = appendString(dst, r.Line)
+	}
+	return fixupFramePrefix(dst, base)
+}
+
+// AppendFrontDoorResponse appends one complete response frame (length
+// prefix included) to dst — the server-side twin of AppendFrontDoorRequest.
+func AppendFrontDoorResponse(dst []byte, r *FrontDoorResponse) []byte {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, r.Kind)
+	dst = appendUint(dst, r.ID)
+	switch r.Kind {
+	case FDErr:
+		dst = append(dst, r.Code)
+		dst = appendString(dst, r.Text)
+	case FDValue:
+		dst = appendBool(dst, r.Exists)
+		dst = appendBytes(dst, r.Value)
+	case FDTx:
+		if r.Items == nil {
+			dst = appendUint(dst, 0)
+		} else {
+			dst = appendUint(dst, uint64(len(r.Items))+1)
+			for i := range r.Items {
+				dst = appendString(dst, r.Items[i].Key)
+				dst = appendBool(dst, r.Items[i].Exists)
+				dst = appendBytes(dst, r.Items[i].Value)
+			}
+		}
+	case FDText:
+		dst = appendString(dst, r.Text)
+	}
+	return fixupFramePrefix(dst, base)
+}
+
+// fixupFramePrefix rewrites the 4-byte length reservation at base with the
+// real uvarint length of the payload that follows it, shifting the payload
+// down when the prefix is shorter than the reservation.
+func fixupFramePrefix(dst []byte, base int) []byte {
+	payLen := len(dst) - base - 4
+	var pfx [4]byte
+	n := binary.PutUvarint(pfx[:], uint64(payLen))
+	copy(dst[base:], pfx[:n])
+	if n < 4 {
+		copy(dst[base+n:], dst[base+4:])
+		dst = dst[:base+n+payLen]
+	}
+	return dst
+}
+
+// ReadFrontDoorFrame reads one length-prefixed frame payload, reusing buf
+// when it is large enough. It returns io.EOF unwrapped at a clean stream
+// end so read loops can terminate.
+func ReadFrontDoorFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: front door: %w", err)
+	}
+	if n > MaxFrontDoorFrame {
+		return nil, fmt.Errorf("wire: front door: frame of %d bytes exceeds limit", n)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	frame := buf[:n]
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, fmt.Errorf("wire: front door: truncated frame: %w", err)
+	}
+	return frame, nil
+}
+
+// DecodeFrontDoorRequest parses one request payload (the frame body, length
+// prefix already stripped). Corrupted input yields an error, never a panic.
+func DecodeFrontDoorRequest(frame []byte) (FrontDoorRequest, error) {
+	var r FrontDoorRequest
+	f := &frameReader{b: frame}
+	r.Op = f.byteVal()
+	r.ID = f.uint()
+	r.Session = f.uint()
+	switch r.Op {
+	case FDPing, FDStats:
+	case FDPut:
+		r.Key = f.string()
+		r.Value = f.bytes()
+	case FDGet:
+		r.Key = f.string()
+	case FDROTx:
+		if marker := f.uint(); marker > 0 && f.err == nil {
+			n := marker - 1
+			if uint64(len(f.b)-f.pos) < n {
+				f.fail()
+			} else {
+				r.Keys = make([]string, 0, n)
+				for i := uint64(0); i < n && f.err == nil; i++ {
+					r.Keys = append(r.Keys, f.string())
+				}
+			}
+		}
+	case FDAdmin:
+		r.Line = f.string()
+	default:
+		if f.err == nil {
+			return r, fmt.Errorf("wire: front door: unknown request op %d", r.Op)
+		}
+	}
+	return r, f.finish()
+}
+
+// DecodeFrontDoorResponse parses one response payload.
+func DecodeFrontDoorResponse(frame []byte) (FrontDoorResponse, error) {
+	var r FrontDoorResponse
+	f := &frameReader{b: frame}
+	r.Kind = f.byteVal()
+	r.ID = f.uint()
+	switch r.Kind {
+	case FDOK:
+	case FDErr:
+		r.Code = f.byteVal()
+		r.Text = f.string()
+	case FDValue:
+		r.Exists = f.bool()
+		r.Value = f.bytes()
+	case FDTx:
+		if marker := f.uint(); marker > 0 && f.err == nil {
+			n := marker - 1
+			// Each item takes at least three bytes; reject absurd counts
+			// before allocating.
+			if uint64(len(f.b)-f.pos) < n {
+				f.fail()
+			} else {
+				r.Items = make([]FrontDoorTxItem, 0, n)
+				for i := uint64(0); i < n && f.err == nil; i++ {
+					r.Items = append(r.Items, FrontDoorTxItem{
+						Key:    f.string(),
+						Exists: f.bool(),
+						Value:  f.bytes(),
+					})
+				}
+			}
+		}
+	case FDText:
+		r.Text = f.string()
+	default:
+		if f.err == nil {
+			return r, fmt.Errorf("wire: front door: unknown response kind %d", r.Kind)
+		}
+	}
+	return r, f.finish()
+}
+
+// finish returns the first recorded error, or a trailing-bytes error when
+// the frame was not fully consumed — a strict decode, mirroring
+// parsePayload.
+func (f *frameReader) finish() error {
+	if f.err != nil {
+		return f.err
+	}
+	if f.pos != len(f.b) {
+		return fmt.Errorf("wire: %d trailing bytes in frame", len(f.b)-f.pos)
+	}
+	return nil
+}

@@ -51,6 +51,13 @@ var ErrSessionClosed = core.ErrSessionClosed
 // restarted server is back.
 var ErrStopped = core.ErrStopped
 
+// ErrWrongSlotEpoch is returned by operations whose key's hash slot moved
+// to another partition mid-operation and the server-side retry budget
+// expired. It is retryable: refresh routing (automatic inside sessions) and
+// retry. The network front door re-maps this across the wire so remote
+// clients can drive the same retry policy with errors.Is.
+var ErrWrongSlotEpoch = core.ErrWrongSlotEpoch
+
 // LatencyProfile gives the one-way network delay between two data centers;
 // src == dst is the intra-DC delay.
 type LatencyProfile func(srcDC, dstDC int) time.Duration
