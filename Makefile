@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-recovery race-catchup race-membership race-reshard race-frontdoor race-chaos check bench
+.PHONY: all vet build test race race-recovery race-catchup race-membership race-reshard race-frontdoor race-hlc race-chaos check bench
 
 all: check
 
@@ -48,6 +48,13 @@ race-reshard:
 race-frontdoor:
 	$(GO) test -race -count=1 -run 'FrontDoor|TextLarge' ./internal/kvserver/ ./internal/client/ ./internal/wire/
 
+# Guards the hybrid-clock plane: HLC packing/merge properties, the negative
+# -skew clamp regression, the lean watermark stabilization safety rule, the
+# skew-insensitive PUT clock-wait, and the visibility probe — under -race
+# (the clock's CAS loop and Observe path run on every hot-path message).
+race-hlc:
+	$(GO) test -race -count=1 -run 'HLC|ClockSkew|Skew|Watermark|Visibility|NegativeSkew' ./internal/clock/... ./internal/vclock/... ./internal/core/... ./internal/cluster/... ./internal/harness/...
+
 # The chaos plane: a ~30 s seeded fault-injection soak (crash/restarts,
 # DC kills + forced removal, join/leave churn, link flaps, latency
 # reprofiles) with live causal checking, under -race. Override CHAOS_SEED to
@@ -55,7 +62,7 @@ race-frontdoor:
 race-chaos:
 	CHAOS_SECONDS=$${CHAOS_SECONDS:-30} $(GO) test -race -count=1 -v -run 'TestChaosSoak' ./internal/chaos/
 
-check: vet build test race race-recovery race-catchup race-membership race-reshard race-frontdoor race-chaos
+check: vet build test race race-recovery race-catchup race-membership race-reshard race-frontdoor race-hlc race-chaos
 
 # Hot-path microbenchmarks (the numbers tracked across PRs), published as a
 # dated JSON trajectory: `make bench` runs the Fig-adjacent cluster
@@ -65,7 +72,7 @@ BENCH_DATE ?= $(shell date +%F)
 BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 bench:
 	{ \
-	  $(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC|BenchmarkCatchUpThroughput|BenchmarkDurablePut|BenchmarkCatchUpSmallGap|BenchmarkReshardThroughput' -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkGetPOCC|BenchmarkPutPOCC|BenchmarkROTxPOCC|BenchmarkCatchUpThroughput|BenchmarkDurablePut|BenchmarkCatchUpSmallGap|BenchmarkReshardThroughput|BenchmarkRemoteVisibility' -benchmem . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkWireCodec' -benchmem ./internal/wire/ && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkFrontDoorText|BenchmarkFrontDoorPipelined|BenchmarkFrontDoorPooled' -benchmem ./internal/kvserver/ && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSlotRouting' -benchmem ./internal/keyspace/ && \

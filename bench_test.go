@@ -206,6 +206,37 @@ func BenchmarkAblationClockSkew(b *testing.B) {
 	}
 }
 
+// BenchmarkRemoteVisibility — update visibility as a benchmark axis: the
+// time from a PUT returning at its origin DC until a remote DC's version
+// vector (arrival) and GSS (stable) cover it, the remote GSS lag, and the
+// wire cost per replicated version, with and without ±50 ms emulated clock
+// skew. With hybrid clocks every reported metric should stay flat across
+// the two sub-benchmarks; the raw-clock blowup is measured by the
+// poccbench "visibility" experiment's raw+vector rows.
+func BenchmarkRemoteVisibility(b *testing.B) {
+	sc := benchScale()
+	for _, bc := range []struct {
+		name string
+		skew time.Duration
+	}{{"NoSkew", 0}, {"Skew50ms", 50 * time.Millisecond}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := harness.VisibilityPoint(context.Background(), sc,
+					harness.VisibilityOpts{Skew: bc.skew, Samples: 120})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(st.VisP50)/float64(time.Millisecond), "vis_p50_ms")
+				b.ReportMetric(float64(st.VisP99)/float64(time.Millisecond), "vis_p99_ms")
+				b.ReportMetric(float64(st.StableP99)/float64(time.Millisecond), "stable_p99_ms")
+				b.ReportMetric(float64(st.GSSLagMean)/float64(time.Millisecond), "gss_lag_ms")
+				b.ReportMetric(st.DeltaBytesPerVersion, "delta_B/version")
+				b.ReportMetric(st.AbsBytesPerVersion, "abs_B/version")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationThinkTime — blocking probability vs client think time.
 func BenchmarkAblationThinkTime(b *testing.B) {
 	sc := benchScale()

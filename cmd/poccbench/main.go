@@ -74,9 +74,14 @@ func experiments() []experiment {
 				t, err := harness.AblationHeartbeat(ctx, sc, nil)
 				return []*harness.Table{t}, err
 			}},
-		{"ablation-skew", "clock skew sweep",
+		{"ablation-skew", "clock skew sweep, raw vs hybrid clocks",
 			func(ctx context.Context, sc harness.Scale) ([]*harness.Table, error) {
 				t, err := harness.AblationClockSkew(ctx, sc, nil)
+				return []*harness.Table{t}, err
+			}},
+		{"visibility", "remote visibility and GSS lag by clock/stabilization variant",
+			func(ctx context.Context, sc harness.Scale) ([]*harness.Table, error) {
+				t, err := harness.FigureVisibility(ctx, sc)
 				return []*harness.Table{t}, err
 			}},
 		{"ablation-think", "think time sweep",
@@ -194,6 +199,7 @@ func run() int {
 			"frontdoor": true,
 			"ablation-stab": true, "ablation-hb": true,
 			"ablation-skew": true, "ablation-think": true,
+			"visibility": true,
 		}
 	}
 

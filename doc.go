@@ -113,6 +113,43 @@
 // (wal.Options.Neutral), so they never force a catch-up seek to read a
 // cold segment.
 //
+// # Hybrid clocks and stabilization
+//
+// Timestamps are hybrid logical/physical clocks packed into the same uint64
+// the protocol has always shipped: the low 10 bits are a logical counter,
+// the rest is the wall clock truncated to 1024 ns ticks, so a packed value
+// still reads as nanoseconds and every duration computed from one stays
+// meaningful. A node's clock advances as max(wall, last+1) locally and
+// absorbs every remote timestamp it handles (replicated batches, heartbeats,
+// catch-up claims, and PUT dependency vectors), which changes two costs that
+// scale with clock skew under raw physical clocks:
+//
+//   - The PUT clock-wait (Algorithm 2, line 7) waits on the physical
+//     component only and satisfies the ordering with a logical bump, so a
+//     writer whose clock trails its dependencies' source pays nothing
+//     instead of sleeping out the skew.
+//   - The stable snapshot stops trailing the slowest clock: a DC running
+//     50 ms behind pins every GSS entry under raw clocks (the poccbench
+//     visibility experiment measures ~66 ms GSS lag and a 4x stable-
+//     visibility p99 blowup under ±50 ms skew), while hybrid clocks ride
+//     message traffic to the fastest clock and hold the lag near the
+//     stabilization cadence under the same skew.
+//
+// Config.RawPhysicalClocks reverts to the old raw clock as the ablation
+// baseline. Two wire-level reductions ride the same timestamps: replicated
+// batches encode each version's update time and dependency entries as
+// zigzag varint deltas against the batch's heartbeat timestamp (hybrid
+// timestamps of one flush window sit close together, so deltas are 1-3
+// bytes where absolute wall-clock values cost 9 — measured ~21% fewer bytes
+// per version end to end), and Config.LeanStabilization replaces most GSS
+// exchange ticks' full version vector with one scalar watermark — the
+// minimum nonzero member entry of the sender's VV — refreshed by a full
+// vector every few ticks (Okapi-style; core.Server.applyVVExchange carries
+// the safety argument). BenchmarkRemoteVisibility and the poccbench
+// visibility experiment track the three axes — bytes per version, remote
+// visibility p50/p99, GSS lag — with and without emulated skew, and make
+// race-hlc guards the clock plane under -race.
+//
 // # Replication plane and catch-up
 //
 // Geo-replication is an explicit subsystem (internal/repl): each partition

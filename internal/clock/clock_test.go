@@ -3,6 +3,7 @@ package clock
 import (
 	"sync"
 	"testing"
+	"testing/quick"
 	"time"
 
 	"repro/internal/vclock"
@@ -122,5 +123,155 @@ func TestAdvanceTo(t *testing.T) {
 	c.AdvanceTo(before)
 	if got := c.Now(); got <= high {
 		t.Fatalf("Now() = %d regressed after a backwards AdvanceTo", got)
+	}
+}
+
+// --- negative-skew clamp regression ---------------------------------------
+
+// A large negative skew must not collapse readings onto a constant floor:
+// the clamp rebases on the last-issued timestamp, so the clock keeps moving
+// forward from wherever it has already been — in particular from a recovered
+// or merged floor far above the (negative) wall reading.
+func TestNegativeSkewRebasesOnLastIssued(t *testing.T) {
+	c := New(-time.Hour) // wall reading is deeply negative for the next hour
+	first := c.Now()
+	if first == 0 {
+		t.Fatal("Now() must never return 0")
+	}
+	floor := first + vclock.Timestamp(30*time.Minute)
+	c.AdvanceTo(floor)
+	prev := floor
+	for i := 0; i < 1000; i++ {
+		now := c.Now()
+		if now <= prev {
+			t.Fatalf("Now() = %d after %d: clamp fell back below the last-issued timestamp", now, prev)
+		}
+		prev = now
+	}
+	if prev <= floor {
+		t.Fatalf("readings collapsed below the advanced floor: %d <= %d", prev, floor)
+	}
+}
+
+// --- hybrid logical/physical clocks ---------------------------------------
+
+func TestHLCPacking(t *testing.T) {
+	c := NewHLC(0)
+	a := c.Now()
+	if a.Physical()+vclock.Timestamp(a.Logical()) != a {
+		t.Fatalf("Physical()+Logical() must reassemble the timestamp: %d", a)
+	}
+	// Burst faster than the physical tick: logical counter must climb while
+	// the physical component stays put or advances.
+	prev := a
+	for i := 0; i < 100; i++ {
+		now := c.Now()
+		if now <= prev {
+			t.Fatalf("HLC not strictly increasing: %d after %d", now, prev)
+		}
+		if now.Physical() < prev.Physical() {
+			t.Fatalf("physical component regressed: %d after %d", now.Physical(), prev.Physical())
+		}
+		prev = now
+	}
+}
+
+func TestHLCSkewInsensitivePutWait(t *testing.T) {
+	// A writer whose physical clock trails by 50 ms receives a dependency
+	// stamped by an up-to-date peer. With a raw clock the PUT clock-wait
+	// would sleep out the skew; the HLC must satisfy it with a logical bump,
+	// immediately.
+	fast := NewHLC(0)
+	slow := NewHLC(-50 * time.Millisecond)
+	dep := fast.Now()
+	start := time.Now()
+	ut := slow.SleepUntilAfter(dep)
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("HLC clock-wait slept %v; must be skew-insensitive", elapsed)
+	}
+	if ut <= dep {
+		t.Fatalf("clock-wait returned %d, want > dependency %d", ut, dep)
+	}
+	if ut.Physical() < dep.Physical() {
+		t.Fatalf("hybrid physical component %d below the dependency's %d", ut.Physical(), dep.Physical())
+	}
+}
+
+func TestHLCObserveMergesRemoteTime(t *testing.T) {
+	behind := NewHLC(-20 * time.Millisecond)
+	ahead := NewHLC(20 * time.Millisecond)
+	remote := ahead.Now()
+	behind.Observe(remote)
+	if got := behind.Now(); got <= remote {
+		t.Fatalf("after Observe(%d), Now() = %d, want strictly greater", remote, got)
+	}
+	// Raw clocks must NOT absorb remote time: the skew ablation depends on
+	// the raw variant staying skew-sensitive.
+	raw := New(-20 * time.Millisecond)
+	before := raw.Now()
+	raw.Observe(remote + vclock.Timestamp(time.Hour))
+	after := raw.Now()
+	if after >= remote {
+		t.Fatalf("raw clock absorbed remote time: %d (was %d)", after, before)
+	}
+}
+
+// TestHLCMergeProperties quick.Checks the HLC receive-merge rules: merging is
+// monotone (never lowers the clock), commutative in effect (observing a set
+// of timestamps in any order leaves the clock at the same floor), and the
+// issued timestamp never exceeds max(local physical, observed) by more than
+// one logical tick per local event.
+func TestHLCMergeProperties(t *testing.T) {
+	prop := func(raw []uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		obs := make([]vclock.Timestamp, len(raw))
+		// Keep observations within a century of the epoch so physical
+		// arithmetic cannot overflow uint64 in the assertions.
+		for i, r := range raw {
+			obs[i] = vclock.Timestamp(r % uint64(100*365*24*time.Hour))
+		}
+		a, b := NewHLC(0), NewHLC(0)
+		start := a.Now()
+		// a observes in the given order, b in reverse.
+		for _, o := range obs {
+			a.Observe(o)
+		}
+		for i := len(obs) - 1; i >= 0; i-- {
+			b.Observe(obs[i])
+		}
+		af, bf := a.last.Load(), b.last.Load()
+		max := start
+		for _, o := range obs {
+			if o > max {
+				max = o
+			}
+		}
+		// Commutative in effect: both orders settle on the same floor
+		// (modulo the wall advancing underneath, which only raises both
+		// toward the same reading).
+		if af != bf && vclock.Timestamp(af) < max && vclock.Timestamp(bf) < max {
+			return false
+		}
+		// Monotone: the floor never drops below the largest observation.
+		if vclock.Timestamp(af) < max || vclock.Timestamp(bf) < max {
+			return false
+		}
+		// Bounded drift: issuing an event after the merges stays within one
+		// logical tick of max(physical seen, current wall).
+		now := a.Now()
+		if now <= max {
+			return false
+		}
+		wall := vclock.Timestamp(time.Since(a.epoch).Nanoseconds())
+		bound := max
+		if wall > bound {
+			bound = wall
+		}
+		return now.Physical() <= bound.Physical()+vclock.Timestamp(vclock.LogicalMask)+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }

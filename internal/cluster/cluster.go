@@ -82,6 +82,16 @@ type Config struct {
 	// ClockSkew bounds the per-node clock offset: each node's skew is drawn
 	// uniformly from [-ClockSkew, +ClockSkew], emulating loose NTP sync.
 	ClockSkew time.Duration
+	// RawPhysicalClocks reverts the per-node clocks to raw skewed physical
+	// time (the pre-HLC behavior). By default nodes run hybrid
+	// logical/physical clocks (clock.NewHLC): every received heartbeat,
+	// batch or catch-up claim merges into the local clock, so timestamp
+	// assignment — in particular the PUT clock-wait — is insensitive to
+	// ClockSkew. The skew ablation sets this to measure the raw variant.
+	RawPhysicalClocks bool
+	// LeanStabilization switches the GSS exchange to the Okapi-style scalar
+	// HLC watermark on most ticks (core.Config.LeanStabilization).
+	LeanStabilization bool
 	// Latency is the inter-node latency function (see AWSLatency). Nil means
 	// zero latency.
 	Latency netemu.LatencyFunc
@@ -424,6 +434,16 @@ func (c *Cluster) serverConfig(dc, p int) core.Config {
 	return c.serverConfigLocked(dc, p, c.status[dc] == msg.DCJoining)
 }
 
+// newClock builds the node's clock: hybrid logical/physical by default,
+// raw skewed physical time when Config.RawPhysicalClocks asks for the
+// pre-HLC ablation variant. The drawn skew applies to both.
+func (c *Cluster) newClock(dc, p int) *clock.Clock {
+	if c.cfg.RawPhysicalClocks {
+		return clock.New(c.skews[dc][p])
+	}
+	return clock.NewHLC(c.skews[dc][p])
+}
+
 // serverConfigLocked is serverConfig with memberMu held: the membership
 // mirror (DC count, statuses, epoch) feeds the server's initial view, so a
 // server started or restarted after the deployment grew or shrank begins
@@ -476,11 +496,12 @@ func (c *Cluster) serverConfigLocked(dc, p int, joining bool) core.Config {
 		NumPartitions:            numParts,
 		MaxPartitions:            c.maxParts,
 		SlotMap:                  slots,
-		Clock:                    clock.New(c.skews[dc][p]),
+		Clock:                    c.newClock(dc, p),
 		Endpoint:                 c.transports[dc][p],
 		DefaultMode:              mode,
 		HeartbeatInterval:        c.cfg.HeartbeatInterval,
 		StabilizationInterval:    stab,
+		LeanStabilization:        c.cfg.LeanStabilization,
 		GCInterval:               c.cfg.GCInterval,
 		PutDepWait:               c.cfg.PutDepWait,
 		BlockTimeout:             blockTimeout,

@@ -130,6 +130,13 @@ type Config struct {
 	// StabilizationInterval is the GSS exchange period: 5 ms for Cure*,
 	// infrequent (e.g. 500 ms) for HA-POCC, 0 to disable (pure POCC).
 	StabilizationInterval time.Duration
+	// LeanStabilization switches most GSS exchange ticks from a full
+	// version vector to a single scalar HLC watermark (Okapi-style): the
+	// minimum nonzero member entry of the sender's VV, folded by the
+	// receiver into the sender's last full vector. Cuts stabilization
+	// traffic from O(MaxDCs) varints to one per tick; full vectors are
+	// still sent every leanFullVVEvery ticks to refresh the baseline.
+	LeanStabilization bool
 	// GCInterval is the garbage-collection exchange period; 0 disables GC.
 	GCInterval time.Duration
 	// PutDepWait enables the optional wait of Algorithm 2 line 6 (enabled in
@@ -746,6 +753,32 @@ func (s *Server) ForceRemove(dead int, timeout time.Duration) (vclock.Timestamp,
 // GSS returns a copy of the current globally stable snapshot.
 func (s *Server) GSS() vclock.VC { return s.gss.snapshot() }
 
+// GSSLag reports how far the globally-stable snapshot trails this node's own
+// visibility: the largest per-member-DC gap between the VV and GSS entries,
+// as a physical duration. It is the stable-visibility penalty a pessimistic
+// read pays on top of replication, and the stabilization benchmark's third
+// axis (bytes/version, remote visibility, GSS lag). Zero when stabilization
+// is disabled.
+func (s *Server) GSSLag() time.Duration {
+	if s.cfg.StabilizationInterval <= 0 {
+		return 0
+	}
+	view := s.repl.View()
+	vv, gss := s.vv.snapshot(), s.gss.snapshot()
+	var lag time.Duration
+	for d := range vv {
+		if !view.IsMember(d) {
+			continue
+		}
+		if v, g := vv.Get(d).Physical(), gss.Get(d).Physical(); v > g {
+			if l := time.Duration(v - g); l > lag {
+				lag = l
+			}
+		}
+	}
+	return lag
+}
+
 // SlotTable returns the server's current slot table (nil under the static
 // layout). The returned map is immutable — callers must not modify it.
 func (s *Server) SlotTable() *keyspace.SlotMap { return s.slots.Load() }
@@ -936,7 +969,11 @@ func (s *Server) Put(key string, value []byte, dv vclock.VC, mode Mode) (vclock.
 	}
 	s.mx.PutBlocking.Record(blocked)
 
-	// Ensure the new version's timestamp exceeds all its dependencies.
+	// Ensure the new version's timestamp exceeds all its dependencies (the
+	// clock-wait of Algorithm 2, line 7). A raw physical clock sleeps out
+	// the skew; a hybrid clock waits on the physical component only and
+	// satisfies the ordering with a logical bump, so skewed writers pay
+	// nothing here.
 	s.clk.SleepUntilAfter(dv.MaxEntry())
 
 	val := make([]byte, len(value))
@@ -1228,13 +1265,47 @@ func (s *Server) applyReplicate(src netemu.NodeID, m msg.Replicate) {
 
 // applyVVExchange records a same-DC peer's version vector and recomputes the
 // GSS as the aggregate minimum (§IV-C).
+//
+// A lean exchange (VV nil, Watermark set) raises the already-nonzero entries
+// of the sender's last known full vector to the watermark. Safety of the
+// fold — no entry may ever exceed the sender's true VV entry — follows from
+// three facts:
+//
+//  1. The sender computed the watermark as the minimum over its nonzero
+//     member entries, so for every DC that is still a member, watermark ≤
+//     that entry of the sender's VV. An entry nonzero in our (older) copy is
+//     necessarily nonzero at the (monotone) sender, hence in that minimum.
+//  2. An entry that is zero in our copy is never raised, so a DC that joined
+//     after the sender's last full exchange stays conservatively at zero
+//     until the next full vector arrives (bounded by leanFullVVEvery ticks).
+//  3. A DC departed since our copy was taken has a frozen final timestamp;
+//     raising its entry past the final is vacuous — the leave/evict
+//     protocols guarantee no version beyond the final exists anywhere.
+//
+// A watermark arriving before any full vector has nothing to fold into and
+// is dropped; the sender's periodic full exchanges repair this.
 func (s *Server) applyVVExchange(m msg.VVExchange) {
 	if m.Partition < 0 || m.Partition >= s.maxParts {
 		return
 	}
 	s.gssMu.Lock()
-	s.peerVV[m.Partition] = m.VV
-	s.recomputeGSSLocked()
+	if m.VV == nil {
+		if pv := s.peerVV[m.Partition]; pv != nil {
+			for i, t := range pv {
+				if t > 0 && m.Watermark > t {
+					pv[i] = m.Watermark
+				}
+			}
+			s.recomputeGSSLocked()
+		}
+	} else {
+		// Copy rather than alias: the sender broadcasts one VV slice to every
+		// same-DC peer, and the watermark fold above writes into peerVV
+		// entries — mutating the shared message would race with the other
+		// receivers.
+		s.peerVV[m.Partition] = s.peerVV[m.Partition].CopyFrom(m.VV)
+		s.recomputeGSSLocked()
+	}
 	s.gssMu.Unlock()
 }
 
@@ -1440,6 +1511,7 @@ func (s *Server) stabilizationLoop() {
 	}
 	t := time.NewTicker(s.cfg.StabilizationInterval)
 	defer t.Stop()
+	tick := 0
 	for {
 		select {
 		case <-s.stop:
@@ -1450,12 +1522,46 @@ func (s *Server) stabilizationLoop() {
 		s.gssMu.Lock()
 		s.recomputeGSSLocked()
 		s.gssMu.Unlock()
+		out := msg.VVExchange{Partition: s.n, VV: vv}
+		if s.cfg.LeanStabilization && tick%leanFullVVEvery != 0 {
+			if w := s.stableWatermark(vv); w > 0 {
+				out = msg.VVExchange{Partition: s.n, Watermark: w}
+			}
+		}
+		tick++
 		for p := 0; p < s.liveParts(); p++ {
 			if p != s.n {
-				s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, msg.VVExchange{Partition: s.n, VV: vv})
+				s.ep.Send(netemu.NodeID{DC: s.m, Partition: p}, out)
 			}
 		}
 	}
+}
+
+// leanFullVVEvery is the cadence of full-vector exchanges under lean
+// stabilization: one full VV establishes/refreshes the per-entry baseline,
+// then leanFullVVEvery-1 scalar watermark ticks ride on it.
+const leanFullVVEvery = 16
+
+// stableWatermark computes the scalar attestation a lean stabilization tick
+// broadcasts: the minimum over the node's nonzero VV entries of member DCs.
+// Zero entries (a member with no shipped data yet, typically a fresh joiner)
+// are excluded — including them would pin the watermark at zero — which is
+// safe because receivers never raise a zero entry from a watermark. Departed
+// DCs are excluded so their frozen final timestamps do not pin the watermark
+// in the past. Returns 0 when no entry qualifies; the caller then falls back
+// to a full-vector exchange.
+func (s *Server) stableWatermark(vv vclock.VC) vclock.Timestamp {
+	view := s.repl.View()
+	var w vclock.Timestamp
+	for d, t := range vv {
+		if t == 0 || !view.IsMember(d) {
+			continue
+		}
+		if w == 0 || t < w {
+			w = t
+		}
+	}
+	return w
 }
 
 // gcLoop periodically broadcasts this node's GC contribution and prunes with

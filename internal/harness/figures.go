@@ -312,30 +312,38 @@ func AblationHeartbeat(ctx context.Context, sc Scale, intervals []time.Duration)
 	return t, nil
 }
 
-// AblationClockSkew sweeps the emulated NTP skew against PUT latency: the
-// PUT clock-wait (Algorithm 2 line 7) stretches with the skew while
-// correctness is unaffected.
+// AblationClockSkew sweeps the emulated NTP skew against PUT latency, once
+// with raw skewed physical clocks and once with hybrid clocks. With raw
+// clocks the PUT clock-wait (Algorithm 2 line 7) stretches with the skew
+// while correctness is unaffected; the hybrid variant absorbs remote
+// timestamps into its logical component, so its wait — and hence its
+// response time — should stay flat across the sweep (skew-insensitive).
 func AblationClockSkew(ctx context.Context, sc Scale, skews []time.Duration) (*Table, error) {
 	if len(skews) == 0 {
 		skews = []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
 	}
 	t := &Table{
 		ID:      "ablation-skew",
-		Title:   "POCC: clock skew vs throughput and response time",
-		Columns: []string{"skew ms", "ops/s", "resp ms"},
+		Title:   "POCC: clock skew vs throughput and response time, raw vs hybrid clocks",
+		Columns: []string{"skew ms", "raw ops/s", "raw resp ms", "hlc ops/s", "hlc resp ms"},
 	}
 	for _, sk := range skews {
-		spec := runSpec{scale: sc, engine: cluster.POCC, kind: getPutWorkload, mixParam: 2}
-		if sk == 0 {
-			spec.clockSkew = -1
-		} else {
-			spec.clockSkew = sk
+		row := []string{fmtMs(sk)}
+		for _, raw := range []bool{true, false} {
+			spec := runSpec{scale: sc, engine: cluster.POCC, kind: getPutWorkload,
+				mixParam: 2, rawClocks: raw}
+			if sk == 0 {
+				spec.clockSkew = -1
+			} else {
+				spec.clockSkew = sk
+			}
+			pt, err := run(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtOps(pt.Throughput), fmtMs(pt.MeanResp))
 		}
-		pt, err := run(ctx, spec)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{fmtMs(sk), fmtOps(pt.Throughput), fmtMs(pt.MeanResp)})
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }

@@ -109,6 +109,8 @@ type runSpec struct {
 	heartbeat     time.Duration
 	thinkTime     time.Duration // zero means scale.ThinkTime
 	clockSkew     time.Duration // negative means zero skew, zero means scale default
+	rawClocks     bool          // revert to raw skewed physical clocks (pre-HLC ablation)
+	leanStab      bool          // scalar HLC watermark stabilization instead of full vectors
 }
 
 // run executes one experiment point.
@@ -149,6 +151,8 @@ func run(ctx context.Context, spec runSpec) (Point, error) {
 		Latency:               scaledAWS(sc.LatencyScale),
 		JitterFrac:            sc.JitterFrac,
 		Seed:                  sc.Seed,
+		RawPhysicalClocks:     spec.rawClocks,
+		LeanStabilization:     spec.leanStab,
 	})
 	if err != nil {
 		return Point{}, err

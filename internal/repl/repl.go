@@ -296,6 +296,10 @@ type Stats struct {
 	// persisted mid-stream progress instead of re-requesting its whole
 	// range — the catch-up starvation fix for flaky links.
 	Resumed uint64
+	// Deferred counts fresh inbound batches parked while a catch-up round
+	// was in flight on their link, so the round's chunk and Done-claim
+	// application gets the CPU first (the oversubscription starvation fix).
+	Deferred uint64
 	// ActiveIn is the number of links currently frozen awaiting catch-up.
 	ActiveIn int
 }
@@ -343,7 +347,29 @@ type inLink struct {
 	// follows.
 	evictCap      vclock.Timestamp
 	evictCapUntil time.Time
+
+	// Done-claim priority. While a catch-up round is pending, fresh inbound
+	// batches are parked here (bounded by deferMaxBytes) instead of applied
+	// inline, so under CPU oversubscription the round's chunk and Done
+	// application is not starved by a firehose of new version traffic. The
+	// buffer drains — outside the link lock — before the round's completion
+	// raises the VV, and on link retirement. Past the byte cap batches fall
+	// back to inline application (store inserts are idempotent and
+	// order-independent, so mixing is safe).
+	deferred      []deferredBatch
+	deferredBytes int
 }
+
+// deferredBatch is one parked fresh batch: the versions to apply and the
+// slot epoch they were fenced under.
+type deferredBatch struct {
+	vs        []*item.Version
+	slotEpoch uint64
+}
+
+// deferMaxBytes bounds the parked fresh traffic per link while a catch-up
+// round is pending.
+const deferMaxBytes = 1 << 20
 
 // capRaiseLocked clamps a version-vector raise on a link frozen by a
 // pending eviction round. Called with st.mu held.
@@ -453,6 +479,7 @@ type Manager struct {
 	statServed     atomic.Uint64
 	statFullResync atomic.Uint64
 	statResumed    atomic.Uint64
+	statDeferred   atomic.Uint64
 	activeIn       atomic.Int64
 
 	stopped atomic.Bool
@@ -598,6 +625,7 @@ func (r *Manager) Stats() Stats {
 		Served:      r.statServed.Load(),
 		FullResyncs: r.statFullResync.Load(),
 		Resumed:     r.statResumed.Load(),
+		Deferred:    r.statDeferred.Load(),
 		ActiveIn:    int(r.activeIn.Load()),
 	}
 }
@@ -758,8 +786,17 @@ func (r *Manager) retireLink(dc int) {
 		st.pending = false
 		r.activeIn.Add(-1)
 	}
+	batches := st.deferred
+	st.deferred, st.deferredBytes = nil, 0
 	st.evictCap = 0 // the verdict is in; the Left status caps from here on
 	st.mu.Unlock()
+	// Fresh batches parked during a round the departure cancelled are still
+	// applied — filterDeparted screens the un-agreed suffix now that the DC
+	// is marked Left. Applied outside the link lock: filterDeparted takes
+	// the view lock.
+	for _, b := range batches {
+		r.be.ApplyRemote(r.filterDeparted(b.vs), b.slotEpoch)
+	}
 	r.serveMu.Lock()
 	if s := r.serving[dc]; s != nil {
 		close(s.cancel)
@@ -1398,19 +1435,54 @@ func (r *Manager) HandleBatch(src netemu.NodeID, m msg.ReplicateBatch) {
 	if !r.validSrc(src.DC) {
 		return
 	}
-	r.be.ApplyRemote(r.filterDeparted(m.Versions), m.SlotEpoch)
 	adv := m.HBTime
 	if n := len(m.Versions); n > 0 {
 		if last := m.Versions[n-1].UpdateTime; last > adv {
 			adv = last
 		}
 	}
+	// HLC receive rule: fold the remote attestation into the local clock so
+	// the next local write is stamped past everything it could depend on.
+	r.clk.Observe(adv)
+	if r.cfg.CatchUp && m.Epoch != 0 && r.deferWhilePending(src.DC, m, adv) {
+		return
+	}
+	r.be.ApplyRemote(r.filterDeparted(m.Versions), m.SlotEpoch)
 	if !r.cfg.CatchUp || m.Epoch == 0 {
 		// Catch-up disabled, or a legacy unsequenced batch: optimistic apply.
 		r.be.RaiseVV(src.DC, adv)
 		return
 	}
 	r.handleSequenced(src.DC, m.Epoch, m.Seq, m.Floor, adv, true)
+}
+
+// deferWhilePending parks a fresh sequenced batch while a catch-up round is
+// in flight on its link, returning true if the batch was consumed. The
+// round's bookkeeping still runs — the chain must record the batch for the
+// splice at Done, and a quiet round must be re-requested — but the store
+// application is postponed until the round completes (or the link retires),
+// so chunk application is never starved of CPU by fresh traffic. A VV raise
+// is not owed here: a pending link's entry is frozen by definition, and the
+// drain runs before the completion raises.
+func (r *Manager) deferWhilePending(dc int, m msg.ReplicateBatch, adv vclock.Timestamp) bool {
+	st := r.in[dc]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.pending || st.deferredBytes >= deferMaxBytes {
+		return false
+	}
+	for _, v := range m.Versions {
+		if v != nil {
+			st.deferredBytes += versionBytes(v)
+		}
+	}
+	st.deferred = append(st.deferred, deferredBatch{vs: m.Versions, slotEpoch: m.SlotEpoch})
+	r.statDeferred.Add(1)
+	r.noteChainLocked(st, m.Epoch, m.Seq, adv, true)
+	if time.Since(st.reqAt) > r.reRequest {
+		r.startCatchUpLocked(st, dc)
+	}
+	return true
 }
 
 // HandleHeartbeat advances the sender DC's version-vector entry
@@ -1421,6 +1493,7 @@ func (r *Manager) HandleHeartbeat(src netemu.NodeID, m msg.Heartbeat) {
 	if !r.validSrc(src.DC) {
 		return
 	}
+	r.clk.Observe(m.Time)
 	if !r.cfg.CatchUp || m.Epoch == 0 {
 		r.be.RaiseVV(src.DC, m.Time)
 		return
@@ -1656,11 +1729,30 @@ func (r *Manager) HandleCatchUpReply(src netemu.NodeID, m msg.CatchUpReply) {
 		st.mu.Unlock()
 		return
 	}
+	r.clk.Observe(m.Through)
 	st := r.in[src.DC]
 	st.mu.Lock()
-	if !st.pending || st.reqID != m.ReqID {
+	for {
+		if !st.pending || st.reqID != m.ReqID {
+			st.mu.Unlock()
+			return // a stale stream; the live round will complete on its own
+		}
+		if len(st.deferred) == 0 {
+			break
+		}
+		// Drain the fresh traffic parked during the round before its
+		// completion raises the VV: the chain splice below may attest the
+		// chain tip, which covers these batches. Application happens
+		// outside the link lock (ApplyRemote and filterDeparted take their
+		// own locks); re-check the round afterwards — a concurrent
+		// supersede or retirement ends this completion.
+		batches := st.deferred
+		st.deferred, st.deferredBytes = nil, 0
 		st.mu.Unlock()
-		return // a stale stream; the live round will complete on its own
+		for _, b := range batches {
+			r.be.ApplyRemote(r.filterDeparted(b.vs), b.slotEpoch)
+		}
+		st.mu.Lock()
 	}
 	st.pending = false
 	st.resume, st.nextChunk = nil, 0

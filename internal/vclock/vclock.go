@@ -18,7 +18,32 @@ import (
 // per-process epoch. Timestamps from different nodes are comparable because
 // node clocks are (loosely) synchronized; protocol correctness does not
 // depend on the synchronization precision.
+//
+// Hybrid logical/physical clocks (clock.NewHLC) pack an HLC into the same
+// 64 bits: the low LogicalBits carry the logical counter and the upper bits
+// carry wall-clock nanoseconds truncated to a multiple of 1<<LogicalBits.
+// A packed HLC value still reads as nanoseconds to within one logical tick
+// (1.024 µs), so duration arithmetic on Timestamps — replication lag,
+// heartbeat idling, WAL range indexes — is valid for both representations.
 type Timestamp uint64
+
+// LogicalBits is the width of the logical counter in a packed hybrid
+// timestamp. 10 bits bound the counter at 1024 local events per 1.024 µs of
+// frozen wall clock; past that the counter rolls into the physical component,
+// which is exactly the HLC overflow rule for a bounded-drift clock.
+const LogicalBits = 10
+
+// LogicalMask selects the logical counter of a packed hybrid timestamp.
+const LogicalMask Timestamp = 1<<LogicalBits - 1
+
+// Physical returns the physical (wall-clock) component of a packed hybrid
+// timestamp: nanoseconds truncated to the 1<<LogicalBits tick. For raw
+// physical timestamps it is the same truncation and differs from t by less
+// than 1.024 µs, so it is safe to call without knowing the representation.
+func (t Timestamp) Physical() Timestamp { return t &^ LogicalMask }
+
+// Logical returns the logical counter of a packed hybrid timestamp.
+func (t Timestamp) Logical() uint64 { return uint64(t & LogicalMask) }
 
 // VC is a vector clock with one Timestamp entry per data center.
 type VC []Timestamp

@@ -183,15 +183,35 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 	case msg.Replicate:
 		b = appendVersion(b, m.V)
 	case msg.ReplicateBatch:
-		if m.Versions == nil {
-			b = appendUint(b, 0)
+		// HBTime leads the payload: it is the delta base for the version
+		// timestamps that follow. A format byte picks between the compact
+		// zigzag-delta layout (the default — HLC timestamps inside one
+		// batch cluster tightly around HBTime) and the absolute pre-HLC
+		// layout, kept for the one delta value the dep encoding cannot
+		// represent (see canDeltaBatch).
+		b = appendUint(b, uint64(m.HBTime))
+		if canDeltaBatch(m) {
+			b = append(b, batchDelta)
+			base := uint64(m.HBTime)
+			if m.Versions == nil {
+				b = appendUint(b, 0)
+			} else {
+				b = appendUint(b, uint64(len(m.Versions))+1)
+				for _, v := range m.Versions {
+					b = appendVersionDelta(b, v, base)
+				}
+			}
 		} else {
-			b = appendUint(b, uint64(len(m.Versions))+1)
-			for _, v := range m.Versions {
-				b = appendVersion(b, v)
+			b = append(b, batchAbsolute)
+			if m.Versions == nil {
+				b = appendUint(b, 0)
+			} else {
+				b = appendUint(b, uint64(len(m.Versions))+1)
+				for _, v := range m.Versions {
+					b = appendVersion(b, v)
+				}
 			}
 		}
-		b = appendUint(b, uint64(m.HBTime))
 		b = appendUint(b, m.Epoch)
 		b = appendUint(b, m.Seq)
 		b = appendUint(b, uint64(m.Floor))
@@ -229,6 +249,7 @@ func appendPayload(b []byte, env Envelope) ([]byte, error) {
 	case msg.VVExchange:
 		b = appendUint(b, uint64(m.Partition))
 		b = appendVC(b, m.VV)
+		b = appendUint(b, uint64(m.Watermark))
 	case msg.GCExchange:
 		b = appendUint(b, uint64(m.Partition))
 		b = appendVC(b, m.TV)
@@ -370,6 +391,70 @@ func appendVersion(b []byte, v *item.Version) []byte {
 	b = appendUint(b, uint64(v.SrcReplica))
 	b = appendUint(b, uint64(v.UpdateTime))
 	b = appendVC(b, v.Deps)
+	b = appendBool(b, v.Optimistic)
+	return b
+}
+
+// ReplicateBatch payload formats: version records carry either absolute
+// timestamps (the pre-HLC layout) or varint zigzag deltas against the batch
+// HBTime.
+const (
+	batchAbsolute = 0
+	batchDelta    = 1
+)
+
+// zigzag maps a wrapped (two's-complement) timestamp delta to a varint-
+// friendly unsigned value: small magnitudes of either sign take few bytes.
+// It is a bijection on all 64-bit values; unzigzag inverts it.
+func zigzag(d uint64) uint64   { return (d << 1) ^ uint64(int64(d)>>63) }
+func unzigzag(z uint64) uint64 { return (z >> 1) ^ -(z & 1) }
+
+// canDeltaBatch reports whether the batch is representable in the delta
+// format. The only gap: a nonzero dependency entry encodes as
+// zigzag(entry-base)+1 so that zero entries keep their one-byte marker, and
+// the +1 wraps onto the marker for the single delta value 1<<63. The encoder
+// falls back to the absolute layout for such a batch; the decoder accepts
+// both.
+func canDeltaBatch(m msg.ReplicateBatch) bool {
+	base := uint64(m.HBTime)
+	for _, v := range m.Versions {
+		if v == nil {
+			continue
+		}
+		for _, t := range v.Deps {
+			if t != 0 && uint64(t)-base == 1<<63 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// appendVersionDelta encodes a version record with UpdateTime and dependency
+// entries as zigzag deltas against base (the batch HBTime). With hybrid
+// clocks the timestamps in one flush window sit within microseconds of the
+// base, so the 8-9 byte absolute varints collapse to 1-2 bytes each.
+func appendVersionDelta(b []byte, v *item.Version, base uint64) []byte {
+	if v == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendString(b, v.Key)
+	b = appendBytes(b, v.Value)
+	b = appendUint(b, uint64(v.SrcReplica))
+	b = appendUint(b, zigzag(uint64(v.UpdateTime)-base))
+	if v.Deps == nil {
+		b = appendUint(b, 0)
+	} else {
+		b = appendUint(b, uint64(len(v.Deps))+1)
+		for _, t := range v.Deps {
+			if t == 0 {
+				b = appendUint(b, 0)
+			} else {
+				b = appendUint(b, zigzag(uint64(t)-base)+1)
+			}
+		}
+	}
 	b = appendBool(b, v.Optimistic)
 	return b
 }
@@ -645,6 +730,59 @@ func (f *frameReader) version() *item.Version {
 	return v
 }
 
+// versionDelta decodes a version record in the delta format: UpdateTime and
+// nonzero dependency entries are zigzag deltas against base (wraparound
+// arithmetic, the exact inverse of appendVersionDelta).
+func (f *frameReader) versionDelta(base uint64) *item.Version {
+	if f.byteVal() == 0 {
+		return nil
+	}
+	var v *item.Version
+	if f.arena != nil {
+		v = f.arena.newVersion()
+	} else {
+		v = &item.Version{}
+	}
+	v.Key = f.string()
+	v.Value = f.bytes()
+	v.SrcReplica = int(f.uint())
+	v.UpdateTime = vclock.Timestamp(base + unzigzag(f.uint()))
+	v.Deps = f.vcDelta(base)
+	v.Optimistic = f.bool()
+	if f.err != nil {
+		return nil
+	}
+	return v
+}
+
+func (f *frameReader) vcDelta(base uint64) vclock.VC {
+	marker := f.uint()
+	if marker == 0 || f.err != nil {
+		return nil
+	}
+	n := marker - 1
+	// Each entry takes at least one byte; reject absurd counts before
+	// allocating.
+	if uint64(len(f.b)-f.pos) < n {
+		f.fail()
+		return nil
+	}
+	var out vclock.VC
+	if f.arena != nil {
+		out = vclock.VC(f.arena.ts(int(n)))
+	} else {
+		out = make(vclock.VC, n)
+	}
+	for i := range out {
+		if z := f.uint(); z != 0 {
+			out[i] = vclock.Timestamp(base + unzigzag(z-1))
+		} else {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
 func (f *frameReader) membership() msg.Membership {
 	return msg.Membership{Epoch: f.uint(), Status: f.bytes(), Final: f.vc()}
 }
@@ -701,6 +839,11 @@ func parsePayload(frame []byte) (Envelope, error) {
 		env.Msg = msg.Replicate{V: f.version()}
 	case tagReplicateBatch:
 		var m msg.ReplicateBatch
+		m.HBTime = vclock.Timestamp(f.uint())
+		format := f.byteVal()
+		if format > batchDelta {
+			f.fail()
+		}
 		if marker := f.uint(); marker > 0 && f.err == nil {
 			n := marker - 1
 			if uint64(len(f.b)-f.pos) < n {
@@ -709,11 +852,14 @@ func parsePayload(frame []byte) (Envelope, error) {
 				f.arena = &versionArena{}
 				m.Versions = make([]*item.Version, 0, n)
 				for i := uint64(0); i < n && f.err == nil; i++ {
-					m.Versions = append(m.Versions, f.version())
+					if format == batchDelta {
+						m.Versions = append(m.Versions, f.versionDelta(uint64(m.HBTime)))
+					} else {
+						m.Versions = append(m.Versions, f.version())
+					}
 				}
 			}
 		}
-		m.HBTime = vclock.Timestamp(f.uint())
 		m.Epoch = f.uint()
 		m.Seq = f.uint()
 		m.Floor = vclock.Timestamp(f.uint())
@@ -758,7 +904,8 @@ func parsePayload(frame []byte) (Envelope, error) {
 		m.Err = f.string()
 		env.Msg = m
 	case tagVVExchange:
-		env.Msg = msg.VVExchange{Partition: int(f.uint()), VV: f.vc()}
+		env.Msg = msg.VVExchange{Partition: int(f.uint()), VV: f.vc(),
+			Watermark: vclock.Timestamp(f.uint())}
 	case tagGCExchange:
 		env.Msg = msg.GCExchange{Partition: int(f.uint()), TV: f.vc()}
 	case tagCatchUpRequest:

@@ -187,7 +187,8 @@ func genMsg(r *rand.Rand, kind int) any {
 		}
 		return m
 	case 5:
-		return msg.VVExchange{Partition: r.IntN(8), VV: genVC(r)}
+		return msg.VVExchange{Partition: r.IntN(8), VV: genVC(r),
+			Watermark: vclock.Timestamp(r.Uint64N(1 << 62))}
 	case 6:
 		return msg.GCExchange{Partition: r.IntN(8), TV: genVC(r)}
 	case 7:
@@ -403,6 +404,23 @@ func TestBinaryRoundTripEdgeCases(t *testing.T) {
 		msg.SlotHandoff{},
 		msg.SlotHandoff{Versions: []*item.Version{}},
 		msg.SlotHandoff{Versions: []*item.Version{{Key: "k", Deps: vclock.New(3)}}},
+		// Lean stabilization: watermark-only exchange (VV nil).
+		msg.VVExchange{Partition: 3, Watermark: 1 << 61},
+		msg.VVExchange{Partition: 1, VV: vclock.VC{5, 6}, Watermark: 7},
+		// Delta batch extremes: timestamps far below and far above the
+		// HBTime base (wraparound zigzag deltas), zero dep entries mixed
+		// with nonzero ones, and the one dep delta (1<<63) the delta
+		// format cannot carry — the encoder must fall back to absolute.
+		msg.ReplicateBatch{HBTime: 1 << 61, Versions: []*item.Version{
+			{Key: "lo", UpdateTime: 1, Deps: vclock.VC{0, 1, 1 << 62}},
+			{Key: "hi", UpdateTime: 1<<63 + 9, Deps: vclock.VC{1<<61 + 1, 0}},
+		}},
+		msg.ReplicateBatch{HBTime: 0, Versions: []*item.Version{
+			{Key: "fallback", UpdateTime: 3, Deps: vclock.VC{1 << 63}},
+		}},
+		msg.ReplicateBatch{HBTime: 2, Versions: []*item.Version{
+			{Key: "k", UpdateTime: 2 + 1<<63, Deps: vclock.VC{2 + 1<<63}},
+		}},
 	}
 	for i, m := range cases {
 		env := Envelope{Src: netemu.NodeID{DC: 1, Partition: 2}, Msg: m}
@@ -441,4 +459,58 @@ func TestBinaryRejectsTruncatedFrames(t *testing.T) {
 			t.Fatalf("truncated frame of %d/%d bytes decoded successfully", n, len(full))
 		}
 	}
+}
+
+// TestBinaryDeltaBatchProperty drives the delta ReplicateBatch layout with
+// HLC-shaped traffic: timestamps clustered within a flush window of the
+// HBTime base. Every batch must round-trip exactly, and the delta encoding
+// must beat the absolute (pre-HLC) layout on bytes per version — the
+// tentpole claim of the hybrid-clock arc, pinned here at the unit level.
+func TestBinaryDeltaBatchProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 13))
+	var deltaBytes, absBytes, versions int
+	for i := 0; i < 300; i++ {
+		base := vclock.Timestamp(1<<40 + r.Uint64N(1<<44))
+		m := msg.ReplicateBatch{HBTime: base, Epoch: 1 + r.Uint64N(9), Seq: r.Uint64N(1 << 20)}
+		for j := 0; j < 1+r.IntN(8); j++ {
+			deps := make(vclock.VC, 3)
+			for d := range deps {
+				if r.IntN(4) > 0 {
+					// Within a heartbeat interval of the base, either side.
+					deps[d] = base - 500_000 + vclock.Timestamp(r.Uint64N(1_000_000))
+				}
+			}
+			m.Versions = append(m.Versions, &item.Version{
+				Key:        genString(r),
+				Value:      genBytes(r),
+				SrcReplica: r.IntN(3),
+				UpdateTime: base - vclock.Timestamp(r.Uint64N(200_000)),
+				Deps:       deps,
+				Optimistic: true,
+			})
+		}
+		env := Envelope{Src: netemu.NodeID{DC: 1, Partition: 2}, Msg: m}
+		got := binaryRoundTrip(t, env)
+		if !reflect.DeepEqual(env, got) {
+			t.Fatalf("delta batch mangled:\n in: %#v\nout: %#v", env, got)
+		}
+		var buf bytes.Buffer
+		if err := NewBinaryEncoder(&buf).Encode(env); err != nil {
+			t.Fatal(err)
+		}
+		deltaBytes += buf.Len()
+		// The pre-HLC layout: absolute version records + absolute header.
+		abs := 0
+		for _, v := range m.Versions {
+			abs += len(AppendVersion(nil, v))
+		}
+		absBytes += abs
+		versions += len(m.Versions)
+	}
+	if deltaBytes >= absBytes {
+		t.Fatalf("delta encoding (%d bytes) not smaller than absolute (%d bytes) over %d versions",
+			deltaBytes, absBytes, versions)
+	}
+	t.Logf("bytes/version: delta %.1f vs absolute %.1f over %d versions",
+		float64(deltaBytes)/float64(versions), float64(absBytes)/float64(versions), versions)
 }

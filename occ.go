@@ -96,6 +96,13 @@ type Config struct {
 	JitterFrac float64
 	// ClockSkew bounds the per-node physical-clock offset (emulated NTP).
 	ClockSkew time.Duration
+	// RawPhysicalClocks reverts nodes to raw skewed physical clocks. The
+	// default is hybrid logical/physical clocks, whose timestamp assignment
+	// is insensitive to ClockSkew (see cluster.Config.RawPhysicalClocks).
+	RawPhysicalClocks bool
+	// LeanStabilization switches the GSS exchange to scalar HLC watermarks
+	// on most ticks (Okapi-style lean stabilization).
+	LeanStabilization bool
 	// HeartbeatInterval is Δ of the protocol; defaults to 1 ms.
 	HeartbeatInterval time.Duration
 	// StabilizationInterval is the GSS exchange period; defaults to 5 ms for
@@ -257,6 +264,8 @@ func Open(cfg Config) (*Store, error) {
 		PutDepWait:            true,
 		BlockTimeout:          cfg.BlockTimeout,
 		ClockSkew:             cfg.ClockSkew,
+		RawPhysicalClocks:     cfg.RawPhysicalClocks,
+		LeanStabilization:     cfg.LeanStabilization,
 		Latency:               lat,
 		JitterFrac:            cfg.JitterFrac,
 		Seed:                  cfg.Seed,
